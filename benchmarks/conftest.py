@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper (a figure's series
+or a table's rows), records the key numbers in ``benchmark.extra_info``
+(so they land in pytest-benchmark's report), and prints the rendered
+artefact.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import MobileSoCStudy
+
+
+@pytest.fixture(scope="session")
+def study():
+    return MobileSoCStudy()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled artefact block."""
+    bar = "=" * len(title)
+    print(f"\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,72 @@
+"""A3 ablation — the ARMv8 projection (Sections 1 and 3.1.2): FP64 in
+the NEON unit doubles per-cycle throughput at the same micro-
+architecture.  We rebuild the Figure 2b projection point and re-run the
+single-SoC comparison and a hypothetical ARMv8 Tibidabo."""
+
+import pytest
+from conftest import emit
+
+from repro.arch.catalog import armv8_projection, get_platform
+from repro.cluster.cluster import build_cluster
+from repro.cluster.power import ClusterPowerModel
+from repro.apps.hpl import HPL
+
+
+def test_armv8_projection_point(benchmark, study):
+    out = benchmark(study.armv8_outlook)
+    emit(
+        "Ablation A3: ARMv8 projection",
+        f"Exynos 5250 peak : {out['exynos_peak_gflops']:.1f} GFLOPS\n"
+        f"ARMv8 4c @2GHz   : {out['armv8_peak_gflops']:.1f} GFLOPS\n"
+        f"per-core-per-GHz : {out['per_core_per_ghz_ratio']:.1f}x",
+    )
+    assert out["per_core_per_ghz_ratio"] == pytest.approx(2.0)
+    assert out["armv8_peak_gflops"] == pytest.approx(32.0)
+
+
+def test_armv8_closes_the_gap(benchmark):
+    """The projection point sits ~2.4x under the contemporary server
+    chip instead of ~10x: the Figure 2b convergence claim."""
+
+    def gap():
+        xeon_peak = 166.4  # Xeon E5-2670 (Figure 2b server point)
+        return {
+            "tegra2_gap": xeon_peak / get_platform("Tegra2").peak_gflops(),
+            "armv8_gap": xeon_peak / armv8_projection().peak_gflops(),
+        }
+
+    gaps = benchmark(gap)
+    emit(
+        "Ablation A3b: gap to Xeon E5-2670",
+        "\n".join(f"{k}: {v:.1f}x" for k, v in gaps.items()),
+    )
+    assert gaps["tegra2_gap"] > 80
+    assert gaps["armv8_gap"] < 6
+
+
+def test_armv8_tibidabo_rerun(benchmark):
+    """Tibidabo rebuilt with ARMv8 nodes: HPL throughput and energy
+    efficiency move an order of magnitude."""
+    hpl = HPL()
+
+    def run():
+        cluster = build_cluster(
+            "Tibidabo-v8", 96, platform=armv8_projection(), freq_ghz=2.0
+        )
+        r = hpl.simulate(cluster, 96)
+        pm = ClusterPowerModel()
+        return {
+            "gflops": r.gflops,
+            "efficiency": hpl.efficiency(cluster, r),
+            "mflops_per_watt": pm.mflops_per_watt(cluster, r.gflops),
+        }
+
+    out = benchmark(run)
+    emit(
+        "Ablation A3c: ARMv8 Tibidabo (96 nodes @2 GHz)",
+        f"GFLOPS    : {out['gflops']:.0f} (Tegra 2 build: ~97)\n"
+        f"efficiency: {out['efficiency']:.1%}\n"
+        f"MFLOPS/W  : {out['mflops_per_watt']:.0f} (Tegra 2 build: ~120)",
+    )
+    assert out["gflops"] > 300  # an order-of-magnitude-class jump
+    assert out["mflops_per_watt"] > 250  # vs ~120 for the Tegra 2 build

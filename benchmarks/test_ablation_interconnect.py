@@ -1,0 +1,88 @@
+"""A5 ablation — interconnect upgrade: what would the 10 GbE / InfiniBand
+interfaces the mobile SoCs lack (Section 6.3) actually buy Tibidabo?
+Plus the EEE trade-off behind the cited latency study [36]."""
+
+from conftest import emit
+
+from repro.apps import APPLICATIONS
+from repro.apps.hpl import HPL
+from repro.cluster.cluster import build_cluster
+from repro.net.eee import EEELink
+from repro.net.link import GBE, INFINIBAND_40G, TEN_GBE
+from repro.net.protocol import OPEN_MX
+
+
+def _tibidabo_with(link):
+    return build_cluster(
+        "Tibidabo-upgraded", 96, platform="Tegra2", freq_ghz=1.0,
+        protocol=OPEN_MX, link=link,
+    )
+
+
+def test_interconnect_upgrade(benchmark):
+    hpl = HPL()
+    hydro = APPLICATIONS["HYDRO"]
+
+    def sweep():
+        out = {}
+        for link in (GBE, TEN_GBE, INFINIBAND_40G):
+            cluster = _tibidabo_with(link)
+            out[link.name] = {
+                "hpl_gflops": hpl.simulate(cluster, 96).gflops,
+                "hydro_t_step_ms": hydro.simulate(cluster, 96).time_per_step_s
+                * 1e3,
+            }
+        return out
+
+    data = benchmark(sweep)
+    lines = [
+        f"{name:16s}: HPL {d['hpl_gflops']:6.1f} GFLOPS   "
+        f"HYDRO {d['hydro_t_step_ms']:6.2f} ms/step"
+        for name, d in data.items()
+    ]
+    emit("Ablation A5: Tibidabo with upgraded interconnect", "\n".join(lines))
+    benchmark.extra_info["hpl_gflops"] = {
+        k: round(d["hpl_gflops"], 1) for k, d in data.items()
+    }
+
+    # HPL gains from 10 GbE, but only a few percent: once the wire is
+    # fast, the 1D algorithm's own limits (panel factorisation on the
+    # critical path, block-cyclic imbalance) take over — upgraded
+    # plumbing does not fix algorithmic serialisation.
+    assert data["10GbE"]["hpl_gflops"] > data["1GbE"]["hpl_gflops"] * 1.03
+    # Diminishing returns beyond 10 GbE.
+    gain_10 = data["10GbE"]["hpl_gflops"] / data["1GbE"]["hpl_gflops"]
+    gain_ib = (
+        data["40Gb InfiniBand"]["hpl_gflops"] / data["10GbE"]["hpl_gflops"]
+    )
+    assert gain_ib < gain_10
+    # Latency-bound HYDRO barely moves: its cost is per-message software,
+    # which a fatter pipe does not fix (the Section 4.1 lesson).
+    assert (
+        data["10GbE"]["hydro_t_step_ms"]
+        > data["1GbE"]["hydro_t_step_ms"] * 0.85
+    )
+
+
+def test_eee_tradeoff(benchmark):
+    """[36]: Energy Efficient Ethernet's wake-up latency vs PHY savings."""
+    eee = EEELink()
+
+    def sweep():
+        return {
+            "saving_idle": eee.energy_saving_fraction(0.1),
+            "exec_penalty_snb": eee.execution_time_penalty(65.0, 1.0),
+            "exec_penalty_arndale": eee.execution_time_penalty(65.0, 0.5),
+            "worth_it_hpc": eee.worth_it(0.2, 65.0),
+        }
+
+    data = benchmark(sweep)
+    emit(
+        "EEE trade-off (802.3az on the cluster links)",
+        f"PHY energy saved at 10% load : {data['saving_idle']:.0%}\n"
+        f"execution-time cost (SNB)    : +{data['exec_penalty_snb']:.0%}\n"
+        f"execution-time cost (Arndale): +{data['exec_penalty_arndale']:.0%}\n"
+        f"worth enabling for HPC?      : {data['worth_it_hpc']}",
+    )
+    assert data["saving_idle"] > 0.7
+    assert not data["worth_it_hpc"]

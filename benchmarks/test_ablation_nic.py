@@ -1,0 +1,60 @@
+"""A1 ablation — NIC attachment: what if the Arndale's NIC sat on PCIe
+instead of USB 3.0 (and vice versa for Tegra)?
+
+Quantifies Section 6.3's complaint about missing integrated I/O: the
+attachment alone explains most of the Exynos latency disadvantage.
+"""
+
+from conftest import emit
+
+from repro.net.nic import ONBOARD, PCIE, USB3
+from repro.net.protocol import OPEN_MX, TCP_IP, ProtocolStack
+
+
+def test_nic_attachment_ablation(benchmark):
+    def sweep():
+        out = {}
+        for core, freq in (("Cortex-A9", 1.0), ("Cortex-A15", 1.0)):
+            for att in (PCIE, USB3, ONBOARD):
+                s = ProtocolStack(TCP_IP, att, core_name=core, freq_ghz=freq)
+                out[(core, att.name)] = (
+                    s.small_message_latency_us(),
+                    s.effective_bandwidth_mbs(1 << 22),
+                )
+        return out
+
+    data = benchmark(sweep)
+    emit(
+        "Ablation A1: NIC attachment (TCP/IP, 1 GHz)",
+        "\n".join(
+            f"{core:11s} via {att:8s}: {lat:6.1f}us  {bw:6.1f}MB/s"
+            for (core, att), (lat, bw) in data.items()
+        ),
+    )
+
+    # Swapping the Exynos to PCIe removes most of its latency deficit.
+    usb = data[("Cortex-A15", "USB3.0")][0]
+    pcie = data[("Cortex-A15", "PCIe")][0]
+    tegra = data[("Cortex-A9", "PCIe")][0]
+    assert pcie < usb
+    assert pcie < tegra  # faster core wins once the attachment is equal
+    # On-chip (integrated) controllers — the Section 6.3 ask — win again.
+    assert data[("Cortex-A15", "onboard")][0] < pcie
+
+
+def test_attachment_bandwidth_effect(benchmark):
+    def sweep():
+        return {
+            att.name: ProtocolStack(
+                OPEN_MX, att, core_name="Cortex-A15", freq_ghz=1.0
+            ).effective_bandwidth_mbs(1 << 22)
+            for att in (PCIE, USB3)
+        }
+
+    bw = benchmark(sweep)
+    emit(
+        "Ablation A1b: Open-MX bandwidth by attachment (A15 @1 GHz)",
+        "\n".join(f"{k}: {v:.1f} MB/s" for k, v in bw.items()),
+    )
+    # The USB per-byte software cost caps Exynos bandwidth (Fig. 7e).
+    assert bw["PCIe"] > bw["USB3.0"] * 1.3

@@ -1,0 +1,101 @@
+"""A2 ablation — protocol software: where do TCP/IP's 35 µs and 40% of
+bandwidth go?  Decomposes the Open-MX win into per-message software
+cost, fixed cost, and per-byte (copy/packet) cost, and quantifies the
+effect of a hypothetical hardware protocol-offload engine (the KeyStone
+II feature the paper points to in Section 4.1)."""
+
+import dataclasses
+
+from conftest import emit
+
+from repro.net.nic import PCIE
+from repro.net.protocol import OPEN_MX, TCP_IP, Protocol, ProtocolStack
+
+
+def test_protocol_cost_decomposition(benchmark):
+    def decompose():
+        out = {}
+        for proto in (TCP_IP, OPEN_MX):
+            s = ProtocolStack(proto, PCIE, core_name="Cortex-A9")
+            out[proto.name] = {
+                "software_us": s.software_latency_us(),
+                "hardware_us": s.hardware_latency_us(),
+                "ns_per_byte": s.ns_per_byte(1 << 20),
+                "copies": proto.copies,
+            }
+        return out
+
+    data = benchmark(decompose)
+    lines = []
+    for name, d in data.items():
+        lines.append(
+            f"{name:8s} sw={d['software_us']:5.1f}us "
+            f"hw={d['hardware_us']:5.1f}us "
+            f"per-byte={d['ns_per_byte']:5.2f}ns copies={d['copies']}"
+        )
+    emit("Ablation A2: protocol cost decomposition (Tegra 2)", "\n".join(lines))
+
+    tcp, omx = data["TCP/IP"], data["Open-MX"]
+    assert omx["software_us"] < tcp["software_us"]
+    # Compare the *software* per-byte cost (both include the 8 ns/B wire).
+    wire = 8.0
+    assert omx["ns_per_byte"] - wire < (tcp["ns_per_byte"] - wire) / 3
+    assert omx["copies"] < tcp["copies"]
+
+
+def test_hardware_offload_projection(benchmark):
+    """A protocol-offload engine moves the per-message software cost
+    into (cheap, fixed) hardware — modelled by zeroing the CPU-scaled
+    terms.  This is the Section 4.1 recommendation."""
+
+    def project():
+        offloaded = dataclasses.replace(
+            TCP_IP, sw_overhead_us=2.0, sw_ns_per_byte=0.2
+        )
+        out = {}
+        for name, proto in (("TCP/IP", TCP_IP), ("TCP+offload", offloaded)):
+            s = ProtocolStack(proto, PCIE, core_name="Cortex-A9")
+            out[name] = (
+                s.small_message_latency_us(),
+                s.effective_bandwidth_mbs(1 << 22),
+            )
+        return out
+
+    data = benchmark(project)
+    emit(
+        "Ablation A2b: hardware protocol offload",
+        "\n".join(
+            f"{k:12s}: {lat:6.1f}us  {bw:6.1f}MB/s"
+            for k, (lat, bw) in data.items()
+        ),
+    )
+    lat_plain, bw_plain = data["TCP/IP"]
+    lat_off, bw_off = data["TCP+offload"]
+    assert lat_off < lat_plain * 0.7
+    assert bw_off > bw_plain * 1.4
+
+
+def test_zero_copy_sweep(benchmark):
+    """Bandwidth as a function of copy count (rendezvous zero-copy is
+    the end point of this sweep)."""
+
+    def sweep():
+        out = {}
+        for copies, per_byte in ((2, 5.9), (1, 3.0), (0, 0.44)):
+            proto = Protocol(
+                name=f"{copies}-copy",
+                sw_overhead_us=30.0,
+                fixed_overhead_us=20.0,
+                sw_ns_per_byte=per_byte,
+                copies=copies,
+            )
+            s = ProtocolStack(proto, PCIE, core_name="Cortex-A9")
+            out[copies] = s.effective_bandwidth_mbs(1 << 22)
+        return out
+
+    data = benchmark(sweep)
+    emit(
+        "Ablation A2c: copies vs bandwidth (Tegra 2, 4 MiB messages)",
+        "\n".join(f"{k} copies: {v:6.1f} MB/s" for k, v in data.items()),
+    )
+    assert data[0] > data[1] > data[2]

@@ -1,0 +1,44 @@
+"""E13 — the companion energy-to-solution study [13]: Tibidabo vs an
+Intel Nehalem cluster on PDE-class solvers ("4 times increase in
+simulation time ... up to 3 times lower energy-to-solution")."""
+
+import pytest
+from conftest import emit
+
+from repro.core.energy_study import energy_to_solution, pde_solver_campaign
+
+
+def test_specfem_energy_to_solution(benchmark):
+    r = benchmark(
+        energy_to_solution, "SPECFEM3D", arm_nodes=96, x86_nodes=16
+    )
+    emit(
+        "E13: SPECFEM3D — Tibidabo(96) vs Nehalem(16)",
+        f"time ratio   : {r.time_ratio:.2f}x slower on ARM (paper: ~4x)\n"
+        f"energy ratio : {r.energy_ratio:.2f}x lower on ARM "
+        f"(paper: 'up to 3 times')\n"
+        f"ARM power    : {r.arm_power_w:.0f} W, x86 power: {r.x86_power_w:.0f} W",
+    )
+    benchmark.extra_info["time_ratio"] = round(r.time_ratio, 2)
+    benchmark.extra_info["energy_ratio"] = round(r.energy_ratio, 2)
+    assert 3.0 <= r.time_ratio <= 5.0
+    assert 2.0 <= r.energy_ratio <= 3.5
+
+
+def test_pde_campaign(benchmark):
+    results = benchmark(pde_solver_campaign)
+    emit(
+        "E13 campaign: three solver classes",
+        "\n".join(
+            f"{app:10s} time {r.time_ratio:4.1f}x slower, "
+            f"energy {r.energy_ratio:4.1f}x lower"
+            for app, r in results.items()
+        ),
+    )
+    # Direction holds for every solver class: slower but cheaper.
+    for app, r in results.items():
+        assert r.time_ratio > 1.0, app
+        assert r.energy_ratio > 1.0, app
+    # The PDE solvers land in the published band.
+    assert results["SPECFEM3D"].energy_ratio == pytest.approx(3.0, abs=0.5)
+    assert results["HYDRO"].energy_ratio == pytest.approx(3.0, abs=0.5)

@@ -1,0 +1,29 @@
+"""Figure 1 — TOP500 systems by architecture class, 1993-2013."""
+
+from conftest import emit
+
+from repro.analysis.figures import render_figure
+from repro.core.top500 import dominant_class
+
+
+def test_figure1_top500_share(benchmark, study):
+    data = benchmark(study.figure1)
+    years, x86 = data["x86"]
+    _, risc = data["risc"]
+    _, vector = data["vector"]
+
+    benchmark.extra_info["x86_2013"] = x86[-1]
+    benchmark.extra_info["vector_1993"] = vector[0]
+
+    rows = "\n".join(
+        f"{y}: x86={a:3d} risc={b:3d} vector={c:3d}"
+        for y, a, b, c in zip(years, x86, risc, vector)
+    )
+    emit("Figure 1: TOP500 share by architecture", rows)
+    emit("Figure 1 (chart)", render_figure("figure1", data))
+
+    # The narrative the figure carries.
+    assert dominant_class(1993) == "vector"
+    assert dominant_class(2003) in ("risc", "x86")
+    assert dominant_class(2013) == "x86"
+    assert x86[-1] > 400 and vector[-1] <= 5

@@ -1,0 +1,42 @@
+"""Figures 2a/2b — peak FP64 trends: vector vs commodity, server vs
+mobile, with exponential regressions."""
+
+from conftest import emit
+
+from repro.analysis.figures import render_figure
+
+
+def test_figure2a_vector_vs_micro(benchmark, study):
+    data = benchmark(study.figure2a)
+    gap = data["gap_1995"]
+    benchmark.extra_info["gap_1995"] = round(gap, 2)
+    benchmark.extra_info["micro_growth"] = round(
+        data["micro_fit"].growth_per_year, 3
+    )
+    emit(
+        "Figure 2a: vector vs commodity microprocessor",
+        f"vector growth/yr: {data['vector_fit'].growth_per_year:.2f}\n"
+        f"micro  growth/yr: {data['micro_fit'].growth_per_year:.2f}\n"
+        f"gap in 1995     : {gap:.1f}x  (paper: 'around ten times')",
+    )
+    emit("Figure 2a (chart)", render_figure("figure2a", data))
+    assert 5.0 <= gap <= 15.0
+    assert data["micro_fit"].growth_per_year > data["vector_fit"].growth_per_year
+
+
+def test_figure2b_server_vs_mobile(benchmark, study):
+    data = benchmark(study.figure2b)
+    benchmark.extra_info["gap_2013"] = round(data["gap_2013"], 1)
+    benchmark.extra_info["crossover_year"] = round(data["crossover_year"], 1)
+    benchmark.extra_info["price_ratio"] = round(data["price_ratio"], 1)
+    emit(
+        "Figure 2b: server vs mobile SoC",
+        f"server growth/yr : {data['server_fit'].growth_per_year:.2f}\n"
+        f"mobile growth/yr : {data['mobile_fit'].growth_per_year:.2f}\n"
+        f"gap in 2013      : {data['gap_2013']:.1f}x (paper: ~10x, 'quickly closing')\n"
+        f"trend crossover  : {data['crossover_year']:.0f}\n"
+        f"price ratio      : {data['price_ratio']:.0f}x (paper: ~70x)",
+    )
+    emit("Figure 2b (chart)", render_figure("figure2b", data))
+    assert data["mobile_fit"].growth_per_year > data["server_fit"].growth_per_year
+    assert data["price_ratio"] > 70

@@ -1,0 +1,43 @@
+"""Figure 3 — single-core performance and energy over the frequency
+sweep (baseline: Tegra 2 @ 1 GHz)."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.figures import render_figure
+
+
+def test_figure3_single_core_sweep(benchmark, study):
+    data = benchmark(study.figure3)
+
+    lines = []
+    for plat, pts in data.items():
+        for p in pts:
+            lines.append(
+                f"{plat:14s} @{p['freq_ghz']:4.2f}GHz  "
+                f"speedup={p['speedup']:5.2f}  "
+                f"energy={p['energy_norm']:5.2f}"
+            )
+    emit("Figure 3: single-core frequency sweep", "\n".join(lines))
+    emit("Figure 3 (chart)", render_figure("figure3", data))
+
+    at = lambda plat, f: next(
+        p for p in data[plat] if abs(p["freq_ghz"] - f) < 1e-9
+    )
+    benchmark.extra_info["tegra3_vs_tegra2_1ghz"] = round(
+        at("Tegra3", 1.0)["speedup"], 3
+    )
+    benchmark.extra_info["exynos_vs_tegra2_1ghz"] = round(
+        at("Exynos5250", 1.0)["speedup"], 3
+    )
+
+    # Paper: +9% (Tegra 3), +30% (Exynos) at 1 GHz; 2.3x at max.
+    assert at("Tegra3", 1.0)["speedup"] == pytest.approx(1.09, abs=0.05)
+    assert at("Exynos5250", 1.0)["speedup"] == pytest.approx(1.30, abs=0.09)
+    assert at("Exynos5250", 1.7)["speedup"] == pytest.approx(2.3, abs=0.25)
+    # Performance rises linearly, energy falls, on every platform.
+    for plat, pts in data.items():
+        sp = [p["speedup"] for p in pts]
+        en = [p["energy_norm"] for p in pts]
+        assert sp == sorted(sp), plat
+        assert en == sorted(en, reverse=True), plat

@@ -1,0 +1,37 @@
+"""Figure 4 — multi-core (OpenMP) performance and energy over the
+frequency sweep (baseline: Tegra 2 @ 1 GHz serial)."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.figures import render_figure
+
+
+def test_figure4_multicore_sweep(benchmark, study):
+    f4 = benchmark(study.figure4)
+    f3 = study.figure3()
+
+    lines = []
+    for plat, pts in f4.items():
+        for p in pts:
+            lines.append(
+                f"{plat:14s} @{p['freq_ghz']:4.2f}GHz  "
+                f"speedup={p['speedup']:5.2f}  "
+                f"energy={p['energy_norm']:5.2f}"
+            )
+    emit("Figure 4: multi-core frequency sweep", "\n".join(lines))
+    emit("Figure 4 (chart)", render_figure("figure4", f4))
+
+    # Multithreading improves both time and energy on every platform
+    # (Section 3.1.2), at every shared operating point.
+    for plat in f4:
+        f3_by_freq = {p["freq_ghz"]: p for p in f3[plat]}
+        for p in f4[plat]:
+            serial = f3_by_freq[p["freq_ghz"]]
+            assert p["speedup"] > serial["speedup"], plat
+            assert p["energy_norm"] < serial["energy_norm"], plat
+
+    # Tegra 2's OpenMP version uses ~1.7x less energy than serial.
+    gain = f3["Tegra2"][-1]["energy_norm"] / f4["Tegra2"][-1]["energy_norm"]
+    benchmark.extra_info["tegra2_energy_gain"] = round(gain, 2)
+    assert gain == pytest.approx(1.7, abs=0.25)

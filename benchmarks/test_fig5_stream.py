@@ -1,0 +1,35 @@
+"""Figure 5 — STREAM memory bandwidth, single core and full SoC."""
+
+import pytest
+from conftest import emit
+
+from repro.core.results import render_table
+
+
+def test_figure5_stream_bandwidth(benchmark, study):
+    data = benchmark(study.figure5)
+
+    ops = ("Copy", "Scale", "Add", "Triad")
+    for mode in ("single", "multi"):
+        rows = [
+            [plat] + [round(d[mode][op], 2) for op in ops]
+            for plat, d in data.items()
+        ]
+        emit(
+            f"Figure 5 ({'a' if mode == 'single' else 'b'}): "
+            f"{mode}-core STREAM bandwidth (GB/s)",
+            render_table(["Platform"] + list(ops), rows),
+        )
+
+    effs = {p: round(d["efficiency_vs_peak"], 2) for p, d in data.items()}
+    benchmark.extra_info["efficiency_vs_peak"] = effs
+    emit("Efficiency vs peak", str(effs))
+
+    # Section 3.2's published efficiencies.
+    assert effs["Tegra2"] == pytest.approx(0.62, abs=0.02)
+    assert effs["Tegra3"] == pytest.approx(0.27, abs=0.02)
+    assert effs["Exynos5250"] == pytest.approx(0.52, abs=0.02)
+    assert effs["Corei7-2760QM"] == pytest.approx(0.57, abs=0.02)
+    # ~4.5x Tegra -> Exynos improvement.
+    ratio = data["Exynos5250"]["multi"]["Triad"] / data["Tegra2"]["multi"]["Triad"]
+    assert ratio == pytest.approx(4.5, abs=0.6)

@@ -1,0 +1,34 @@
+"""Figure 6 + Table 3 — scalability of the five production applications
+on Tibidabo (weak scaling for HPL, strong for the rest)."""
+
+from conftest import emit
+
+from repro.analysis.figures import render_figure
+from repro.analysis.tables import render_table3
+
+
+def test_figure6_application_scalability(benchmark, study):
+    data = benchmark(
+        study.figure6, node_counts=(1, 2, 4, 8, 16, 24, 32, 48, 64, 96)
+    )
+
+    emit("Table 3: applications for scalability evaluation", render_table3())
+    lines = []
+    for app, sp in data.items():
+        curve = "  ".join(f"{n}:{s:5.1f}" for n, s in sorted(sp.items()))
+        lines.append(f"{app:10s} {curve}")
+    emit("Figure 6: speed-up on Tibidabo", "\n".join(lines))
+    emit("Figure 6 (chart)", render_figure("figure6", data))
+
+    benchmark.extra_info["speedup_at_96"] = {
+        app: round(sp.get(96, float("nan")), 1) for app, sp in data.items()
+    }
+
+    # The Section 4 narrative, as assertions:
+    assert data["SPECFEM3D"][96] / 96 >= 0.85      # good strong scaling
+    assert data["HYDRO"][16] / 16 >= 0.85          # linear until 16...
+    assert data["HYDRO"][96] / 96 <= 0.70          # ...then bends
+    assert data["PEPC"][24] == 24                  # assumed-linear anchor
+    assert data["PEPC"][96] / 96 <= 0.75           # relatively poor
+    assert data["GROMACS"][2] == 2                 # two-node input
+    assert data["HPL"][96] / 96 >= 0.5             # good weak scaling

@@ -1,0 +1,70 @@
+"""Figure 7 — interconnect latency and effective bandwidth for the six
+configurations (Tegra 2 / Exynos 5 x TCP/IP / Open-MX x frequency),
+plus the Section 4.1 latency-penalty estimates (H2)."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.figures import render_figure
+
+
+PAPER_LATENCY = {
+    "Tegra2 TCP/IP 1.0GHz": 100.0,
+    "Tegra2 OpenMX 1.0GHz": 65.0,
+    "Exynos5 TCP/IP 1.0GHz": 125.0,
+    "Exynos5 OpenMX 1.0GHz": 93.0,
+}
+
+PAPER_BANDWIDTH = {
+    "Tegra2 TCP/IP 1.0GHz": 65.0,
+    "Tegra2 OpenMX 1.0GHz": 117.0,
+    "Exynos5 TCP/IP 1.0GHz": 63.0,
+    "Exynos5 OpenMX 1.0GHz": 69.0,
+    "Exynos5 OpenMX 1.4GHz": 75.0,
+}
+
+
+def test_figure7_interconnect(benchmark, study):
+    data = benchmark(study.figure7)
+
+    lines = []
+    for label, d in data.items():
+        lines.append(
+            f"{label:24s} latency={d['small_message_latency_us']:6.1f}us  "
+            f"peak bw={max(d['bandwidth_mbs'].values()):6.1f}MB/s"
+        )
+    emit("Figure 7: ping-pong latency / effective bandwidth", "\n".join(lines))
+    emit("Figure 7 (charts)", render_figure("figure7", data))
+
+    benchmark.extra_info["latency_us"] = {
+        k: round(v["small_message_latency_us"], 1) for k, v in data.items()
+    }
+
+    for label, paper in PAPER_LATENCY.items():
+        assert data[label]["small_message_latency_us"] == pytest.approx(
+            paper, rel=0.12
+        ), label
+    for label, paper in PAPER_BANDWIDTH.items():
+        assert max(data[label]["bandwidth_mbs"].values()) == pytest.approx(
+            paper, rel=0.20
+        ), label
+    # Raising the Exynos clock 1.0 -> 1.4 GHz cuts latency ~10%.
+    drop = 1 - (
+        data["Exynos5 TCP/IP 1.4GHz"]["small_message_latency_us"]
+        / data["Exynos5 TCP/IP 1.0GHz"]["small_message_latency_us"]
+    )
+    assert drop == pytest.approx(0.10, abs=0.03)
+
+
+def test_latency_penalty_estimates(benchmark, study):
+    pen = benchmark(study.latency_penalties)
+    emit(
+        "Section 4.1: latency -> execution-time penalty",
+        "\n".join(f"{k}: +{v:.0%}" for k, v in pen.items()),
+    )
+    benchmark.extra_info.update({k: round(v, 3) for k, v in pen.items()})
+    # Saravanan et al. reference points and the paper's Arndale estimates.
+    assert pen["snb_100us"] == pytest.approx(0.90, abs=0.02)
+    assert pen["snb_65us"] == pytest.approx(0.60, abs=0.03)
+    assert pen["arndale_100us"] == pytest.approx(0.50, abs=0.08)
+    assert pen["arndale_65us"] == pytest.approx(0.40, abs=0.06)

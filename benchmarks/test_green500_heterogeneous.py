@@ -1,0 +1,79 @@
+"""Green500 list positioning (Sections 2 and 4) and the heterogeneous-
+cluster proposal of the FAWN follow-up ([25], Section 2)."""
+
+import pytest
+from conftest import emit
+
+from repro.arch.catalog import get_platform
+from repro.arch.servers import nehalem_node
+from repro.cluster.heterogeneous import (
+    HeterogeneousCluster,
+    NodeGroup,
+    best_mix_under_power_cap,
+)
+from repro.core.green500 import (
+    megaproto_claim,
+    rank_june_2013,
+    tibidabo_positioning,
+)
+
+
+def test_green500_positions(benchmark, study):
+    def run():
+        head = study.headline_hpl()
+        return {
+            "megaproto": megaproto_claim(),
+            "tibidabo": tibidabo_positioning(head["mflops_per_watt"]),
+        }
+
+    data = benchmark(run)
+    mp_rank, mp_holds = data["megaproto"]
+    tb = data["tibidabo"]
+    emit(
+        "Green500 positioning",
+        f"MegaProto (100 MFLOPS/W) on Nov 2007 list : rank ~{mp_rank:.0f} "
+        f"(paper: 'between 45 and 70')\n"
+        f"Tibidabo ({tb['mflops_per_watt']:.0f} MFLOPS/W) on June 2013 "
+        f"list: rank ~{tb['estimated_rank']:.0f}, "
+        f"{tb['gap_to_best']:.0f}x under #1",
+    )
+    assert mp_holds
+    assert 45 <= mp_rank <= 70
+    assert 350 <= tb["estimated_rank"] <= 470
+    assert tb["gap_to_best"] == pytest.approx(27.0, rel=0.05)
+
+
+def test_heterogeneous_cluster_study(benchmark):
+    """[25]: homogeneous wimpy clusters struggle; mixing requires
+    heterogeneity-aware partitioning."""
+    tegra = NodeGroup(get_platform("Tegra2"), 32, 1.0, node_watts=6.3)
+    xeon = NodeGroup(nehalem_node(), 2, 2.93, node_watts=330.0)
+
+    def run():
+        mixed = HeterogeneousCluster([tegra, xeon])
+        return {
+            "static_eff": mixed.static_efficiency(),
+            "mixed_gflops_per_watt": mixed.gflops_per_watt(),
+            "arm_only_gflops_per_watt": HeterogeneousCluster(
+                [tegra]
+            ).gflops_per_watt(),
+            "best_mix_700w": best_mix_under_power_cap(
+                NodeGroup(nehalem_node(), 1, 2.93, 330.0),
+                NodeGroup(get_platform("Tegra2"), 1, 1.0, 6.3),
+                power_cap_w=700.0,
+            ),
+        }
+
+    data = benchmark(run)
+    mix = data["best_mix_700w"]
+    emit(
+        "Heterogeneous-cluster study (32 Tegra2 + 2 Nehalem)",
+        f"unweighted-split efficiency : {data['static_eff']:.0%} "
+        "(the [25] homogeneity trap)\n"
+        f"mixed GFLOPS/W              : {data['mixed_gflops_per_watt']:.3f}\n"
+        f"ARM-only GFLOPS/W           : {data['arm_only_gflops_per_watt']:.3f}\n"
+        f"best mix under 700 W        : {mix['n_fast']:.0f} Xeon + "
+        f"{mix['n_slow']:.0f} Tegra ({mix['gflops']:.0f} GFLOPS)",
+    )
+    assert data["static_eff"] < 0.5
+    assert data["arm_only_gflops_per_watt"] > data["mixed_gflops_per_watt"]

@@ -1,0 +1,82 @@
+"""H1 — the Section 4 headline: HPL weak scaling on Tibidabo delivering
+97 GFLOPS on 96 nodes at 51% efficiency and 120 MFLOPS/W, compared
+against the June 2013 Green500 reference points."""
+
+import pytest
+from conftest import emit
+
+from repro.cluster.power import GREEN500_REFERENCES, ClusterPowerModel
+from repro.cluster.cluster import tibidabo
+
+
+def test_headline_hpl_96_nodes(benchmark, study):
+    head = benchmark(study.headline_hpl)
+    emit(
+        "Headline: HPL on 96 Tibidabo nodes",
+        f"GFLOPS          : {head['gflops']:.1f}   (paper:  97)\n"
+        f"HPL efficiency  : {head['efficiency']:.1%}   (paper: 51%)\n"
+        f"MFLOPS/W        : {head['mflops_per_watt']:.1f}  (paper: 120)\n"
+        f"cluster power   : {head['total_power_w']:.0f} W",
+    )
+    benchmark.extra_info.update(
+        {k: round(v, 2) for k, v in head.items()}
+    )
+    assert head["gflops"] == pytest.approx(97.0, rel=0.10)
+    assert head["efficiency"] == pytest.approx(0.51, abs=0.05)
+    assert head["mflops_per_watt"] == pytest.approx(120.0, rel=0.10)
+
+
+def test_green500_positioning(benchmark, study):
+    """'competitive with AMD Opteron 6174 and Intel Xeon E5660-based
+    clusters, nineteen times lower than BlueGene/Q, almost 27 times
+    lower than the number one GPU-accelerated system'."""
+    head = study.headline_hpl()
+    pm = ClusterPowerModel()
+    cluster = tibidabo(96, open_mx=True)
+
+    def gaps():
+        measured = head["mflops_per_watt"]
+        return {
+            ref: pm.gap_to(ref, measured)
+            for ref in GREEN500_REFERENCES
+            if ref != "Tibidabo (paper)"
+        }
+
+    result = benchmark(gaps)
+    emit(
+        "Green500 positioning (x lower than reference)",
+        "\n".join(f"{k}: {v:.1f}x" for k, v in result.items()),
+    )
+    assert result["BlueGene/Q (best homogeneous)"] == pytest.approx(
+        19.0, rel=0.15
+    )
+    assert result["Eurotech Eurora (K20 GPU, #1)"] == pytest.approx(
+        27.0, rel=0.15
+    )
+    assert result["AMD Opteron 6174 cluster"] == pytest.approx(1.0, rel=0.15)
+
+
+def test_weak_scaling_gflops_curve(benchmark):
+    """The GFLOPS growth of the weak-scaled HPL runs."""
+    from repro.apps.hpl import HPL
+
+    hpl = HPL()
+
+    def sweep():
+        out = {}
+        for n in (1, 4, 16, 48, 96):
+            cluster = tibidabo(96, open_mx=True)
+            run = hpl.simulate(cluster, n)
+            out[n] = (run.gflops, hpl.efficiency(cluster.subcluster(n), run))
+        return out
+
+    curve = benchmark(sweep)
+    emit(
+        "HPL weak scaling",
+        "\n".join(
+            f"{n:3d} nodes: {g:6.2f} GFLOPS  eff={e:.1%}"
+            for n, (g, e) in curve.items()
+        ),
+    )
+    gflops = [g for g, _ in curve.values()]
+    assert all(b > a for a, b in zip(gflops, gflops[1:]))

@@ -1,0 +1,69 @@
+"""H4 — HPL strong scaling vs input size (the paper's earlier study
+[35], recalled in Section 4: "a change in the input set size affects the
+scalability — the bigger the input set the better the scalability")."""
+
+from conftest import emit
+
+from repro.apps.hpl import HPL
+from repro.cluster.cluster import tibidabo
+
+
+def test_hpl_strong_scaling_vs_input_size(benchmark):
+    hpl = HPL()
+    cluster = tibidabo(32)
+
+    def sweep():
+        return {
+            mem: hpl.strong_scaling_study(cluster, memory_nodes=mem)
+            for mem in (1, 2, 4)
+        }
+
+    curves = benchmark(sweep)
+    lines = []
+    for mem, sp in curves.items():
+        series = "  ".join(f"{p}:{s:4.1f}" for p, s in sorted(sp.items()))
+        lines.append(f"input fits {mem} node(s): {series}  "
+                     f"(eff@32 = {sp[32]/32:.0%})")
+    emit("HPL strong scaling on 32 nodes, input size sweep [35]",
+         "\n".join(lines))
+
+    benchmark.extra_info["eff_at_32"] = {
+        mem: round(sp[32] / 32, 3) for mem, sp in curves.items()
+    }
+    # The [35] finding, as an ordering.
+    assert curves[1][32] < curves[2][32] < curves[4][32]
+    # And each curve is monotone in node count.
+    for sp in curves.values():
+        vals = [sp[p] for p in sorted(sp)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+
+def test_tracing_finds_nothing_on_clean_runs(benchmark):
+    """The post-mortem trace analysis of Section 4 over a healthy run:
+    no stalls (the original study found NFS timeouts this way)."""
+    from repro.mpi.tracing import traced_world
+    from repro.mpi.collectives import allreduce
+    from repro.mpi.api import SyntheticPayload
+
+    cluster = tibidabo(16)
+
+    def run():
+        world, tracer = traced_world(16, cluster.network())
+
+        def prog(ctx):
+            for _ in range(4):
+                right = (ctx.rank + 1) % ctx.size
+                left = (ctx.rank - 1) % ctx.size
+                yield from ctx.exchange(
+                    [(right, SyntheticPayload(8192), 1)], [(left, 1)]
+                )
+                yield from allreduce(ctx, 1.0)
+            return None
+
+        world.run(prog)
+        return tracer.analysis(16)
+
+    analysis = benchmark(run)
+    emit("Post-mortem trace analysis (clean 16-node run)", analysis.summary())
+    assert len(analysis.records) > 100
+    assert analysis.stalls() == []

@@ -1,0 +1,73 @@
+"""The wider IMB suite (Section 4.1 used the Intel MPI Benchmarks):
+SendRecv, Exchange and Allreduce over the calibrated stacks, plus an
+energy-optimal DVFS ablation."""
+
+import pytest
+from conftest import emit
+
+from repro.mpi.benchmarks import (
+    allreduce_benchmark,
+    exchange_benchmark,
+    sendrecv_benchmark,
+)
+from repro.net.nic import PCIE, USB3
+from repro.net.protocol import OPEN_MX, TCP_IP, ProtocolStack
+
+
+def test_imb_extended_suite(benchmark):
+    configs = {
+        "Tegra2/TCP": ProtocolStack(TCP_IP, PCIE, core_name="Cortex-A9"),
+        "Tegra2/OMX": ProtocolStack(OPEN_MX, PCIE, core_name="Cortex-A9"),
+        "Exynos5/OMX": ProtocolStack(OPEN_MX, USB3, core_name="Cortex-A15"),
+    }
+
+    def run():
+        out = {}
+        for label, stack in configs.items():
+            out[label] = {
+                "SendRecv(1KB)": sendrecv_benchmark(stack, 8, 1024, 5),
+                "Exchange(1KB)": exchange_benchmark(stack, 8, 1024, 5),
+                "Allreduce(8B,x16)": allreduce_benchmark(stack, 16),
+            }
+        return out
+
+    data = benchmark(run)
+    lines = []
+    for label, d in data.items():
+        for bench_name, t in d.items():
+            lines.append(f"{label:12s} {bench_name:18s}: {t:8.1f} us")
+    emit("IMB suite over the calibrated stacks", "\n".join(lines))
+
+    # Open-MX wins every benchmark on the same hardware.
+    for bench_name in data["Tegra2/TCP"]:
+        assert data["Tegra2/OMX"][bench_name] < data["Tegra2/TCP"][bench_name]
+    # An Allreduce at 16 ranks over TCP costs ~ log2(16) x latency:
+    # exactly the per-message software cost the paper wants off the CPU.
+    assert data["Tegra2/TCP"]["Allreduce(8B,x16)"] > 4 * 100.0 * 0.9
+
+
+def test_dvfs_energy_optimum(benchmark, study):
+    """Ablation: where on the DVFS curve is energy-to-solution minimal?
+    On every platform the answer is the *highest* frequency — the
+    board-dominated power structure of Section 3.1.2."""
+
+    def find_optima():
+        f3 = study.figure3()
+        return {
+            plat: min(pts, key=lambda p: p["energy_norm"])["freq_ghz"]
+            for plat, pts in f3.items()
+        }
+
+    optima = benchmark(find_optima)
+    emit(
+        "Energy-optimal operating point (single core)",
+        "\n".join(f"{plat}: {f} GHz" for plat, f in optima.items()),
+    )
+    expected_fmax = {
+        "Tegra2": 1.0,
+        "Tegra3": 1.3,
+        "Exynos5250": 1.7,
+        "Corei7-2760QM": 2.4,
+    }
+    for plat, fmax in expected_fmax.items():
+        assert optima[plat] == pytest.approx(fmax)

@@ -1,0 +1,66 @@
+"""Section 6.3 — the HPC-readiness checklist over the Table 1 platforms
+and the Section 2 server-SoC comparators."""
+
+from conftest import emit
+
+from repro.arch.catalog import PLATFORMS
+from repro.arch.features import Feature, assess, readiness_matrix
+from repro.arch.servers import SERVER_PLATFORMS
+from repro.core.results import render_table
+
+
+def test_readiness_matrix(benchmark):
+    platforms = list(PLATFORMS.values()) + list(SERVER_PLATFORMS.values())
+    matrix = benchmark(readiness_matrix, platforms)
+
+    headers = ["Platform"] + [f.name.lower() for f in Feature]
+    rows = [
+        [plat] + ["yes" if row[f.value] else "-" for f in Feature]
+        for plat, row in matrix.items()
+    ]
+    emit("Section 6.3: HPC-readiness matrix", render_table(headers, rows))
+
+    scores = {p.name: assess(p).readiness_score for p in platforms}
+    benchmark.extra_info["scores"] = {
+        k: round(v, 2) for k, v in scores.items()
+    }
+
+    # The paper's conclusion, computable: every mobile SoC fails every
+    # criterion; the server-class SoCs built on the same IP pass most.
+    for name in ("Tegra2", "Tegra3", "Exynos5250"):
+        assert scores[name] == 0.0
+    for name in ("EnergyCore-ECX1000", "X-Gene", "KeyStone-II"):
+        assert scores[name] >= 0.65
+    # "All these limitations are design decisions": the same ARM IP with
+    # the features added (KeyStone II) nearly completes the checklist.
+    assert scores["KeyStone-II"] >= scores["Exynos5250"] + 0.5
+
+
+def test_design_decision_argument(benchmark):
+    """ECC, 10GbE and offload appear exactly in the parts that chose to
+    pay for them — same cores, different integration choices."""
+
+    def evidence():
+        out = {}
+        for name, p in SERVER_PLATFORMS.items():
+            a = assess(p)
+            out[name] = {
+                "core": p.soc.core.name,
+                "ecc": Feature.ECC_MEMORY in a.supported,
+                "fast_io": Feature.FAST_INTERCONNECT_IO in a.supported,
+            }
+        return out
+
+    data = benchmark(evidence)
+    emit(
+        "Same IP, different choices",
+        "\n".join(
+            f"{k:20s} core={v['core']:12s} ecc={v['ecc']} 10GbE+={v['fast_io']}"
+            for k, v in data.items()
+        ),
+    )
+    # Calxeda: literally a Cortex-A9 (the Tegra core) with ECC + 10GbE.
+    assert data["EnergyCore-ECX1000"]["core"] == "Cortex-A9"
+    assert data["EnergyCore-ECX1000"]["ecc"]
+    # KeyStone II: a Cortex-A15 (the Exynos core) with offload + ECC.
+    assert data["KeyStone-II"]["core"] == "Cortex-A15"

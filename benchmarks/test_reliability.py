@@ -1,0 +1,95 @@
+"""H3 — Section 6's quantitative reliability claims: the 30%% daily DRAM
+error probability, thermal limits of fanless boards, and PCIe fault
+exposure of cluster jobs."""
+
+import pytest
+from conftest import emit
+
+from repro.cluster.reliability import (
+    DramErrorModel,
+    PCIeFaultInjector,
+    ThermalModel,
+)
+
+
+def test_dram_error_exposure(benchmark):
+    """'a 1,500 node system, with 2 DIMMs per node, has a 30% error
+    probability on any given day' (Section 6.3)."""
+
+    def sweep():
+        return {
+            rate: DramErrorModel(rate).system_daily_error_probability(1500, 2)
+            for rate in (0.04, 0.045, 0.10, 0.20)
+        }
+
+    probs = benchmark(sweep)
+    emit(
+        "DRAM daily error probability, 1500 nodes x 2 DIMMs",
+        "\n".join(f"annual DIMM rate {r:.0%}: {p:.1%}" for r, p in probs.items()),
+    )
+    benchmark.extra_info["p_at_4.5pct"] = round(probs[0.045], 3)
+    assert probs[0.045] == pytest.approx(0.30, abs=0.04)
+    assert probs[0.20] > probs[0.04]
+
+
+def test_job_failure_without_ecc(benchmark):
+    model = DramErrorModel(0.10)
+
+    def curve():
+        return {
+            n: model.job_failure_probability(n, 24.0, ecc=False)
+            for n in (96, 192, 1500)
+        }
+
+    probs = benchmark(curve)
+    emit(
+        "24-hour job failure probability (no ECC)",
+        "\n".join(f"{n:5d} nodes: {p:.1%}" for n, p in probs.items()),
+    )
+    assert model.job_failure_probability(1500, 24.0, ecc=True) == 0.0
+    assert probs[1500] > probs[96]
+
+
+def test_thermal_budget_of_dev_boards(benchmark):
+    """Section 6.1: sustained max-frequency load destabilises the
+    heatsink-less boards."""
+    tm = ThermalModel()
+
+    def profile():
+        return {
+            p: tm.time_to_instability_s(p) for p in (3.0, 5.0, 6.5, 8.0)
+        }
+
+    times = benchmark(profile)
+    emit(
+        "Time to thermal instability (fanless board)",
+        "\n".join(
+            f"{p:.1f} W: {t:8.0f} s" if t != float("inf") else f"{p:.1f} W: stable"
+            for p, t in times.items()
+        )
+        + f"\nmax sustainable power: {tm.max_sustainable_power_w():.2f} W",
+    )
+    assert times[3.0] == float("inf")
+    assert times[8.0] < times[6.5]
+
+
+def test_pcie_fault_exposure(benchmark):
+    """Section 6.1: flaky Tegra PCIe — survival probability of cluster
+    jobs under the fault injector."""
+    inj = PCIeFaultInjector(mtbf_hours_under_load=200.0)
+
+    def survival():
+        return {
+            (n, h): inj.expected_job_survival(n, h)
+            for n in (16, 96, 192)
+            for h in (1.0, 12.0)
+        }
+
+    probs = benchmark(survival)
+    emit(
+        "Job survival vs PCIe hangs (MTBF 200h/node)",
+        "\n".join(
+            f"{n:4d} nodes x {h:4.0f}h: {p:.1%}" for (n, h), p in probs.items()
+        ),
+    )
+    assert probs[(192, 12.0)] < probs[(16, 1.0)]

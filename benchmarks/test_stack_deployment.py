@@ -1,0 +1,68 @@
+"""Section 5 — the software stack: Figure 8 inventory, deployment
+resolution, and the quantified cost of the ABI/kernel traps."""
+
+from conftest import emit
+
+from repro.arch.catalog import get_platform
+from repro.stack import Deployment, figure8_layout
+from repro.stack.deployment import stack_penalty_summary
+
+
+def test_figure8_stack(benchmark):
+    layout = benchmark(figure8_layout)
+    emit(
+        "Figure 8: software stack deployed on the ARM clusters",
+        "\n".join(
+            f"{layer:22s}: {', '.join(comps)}"
+            for layer, comps in layout.items()
+        ),
+    )
+    assert "mercurium" in layout["compiler"]
+    assert "slurm" in layout["cluster management"]
+    assert {"atlas", "fftw", "hdf5"} <= set(layout["scientific library"])
+
+
+def test_baseline_deployment(benchmark):
+    dep = Deployment(get_platform("Tegra2"))
+    report = benchmark(dep.hpc_baseline)
+    emit(
+        "Tibidabo node deployment",
+        f"components : {len(report.install_order)}\n"
+        f"abi        : {report.abi}\n"
+        f"notes      :\n  " + "\n  ".join(report.build_notes),
+    )
+    assert report.abi == "hardfp"
+    assert report.production_ready
+    # ATLAS's two Section 5 requirements surface as build notes.
+    assert any("pinned" in n for n in report.build_notes)
+    assert any("source modifications" in n for n in report.build_notes)
+
+
+def test_accelerator_stack_penalties(benchmark):
+    """CUDA's armel ABI and OpenCL's old kernel both cost CPU speed —
+    Section 5's 'experimental' caveats, quantified."""
+
+    def sweep():
+        return {
+            plat: stack_penalty_summary(get_platform(plat))
+            for plat in ("Tegra3", "Exynos5250")
+        }
+
+    data = benchmark(sweep)
+    lines = []
+    for plat, pens in data.items():
+        for config, rel in pens.items():
+            lines.append(f"{plat:12s} {config:20s}: {rel:.2f}x")
+    emit("Accelerator-stack CPU penalties (DGEMM-relative)", "\n".join(lines))
+
+    benchmark.extra_info["penalties"] = {
+        p: {k: round(v, 3) for k, v in d.items()} for p, d in data.items()
+    }
+    # armel costs ~10% CPU; the 1 GHz kernel cap costs the 1.7 GHz
+    # Exynos ~40%.
+    assert data["Exynos5250"]["cuda(armel)@fmax"] < 0.95
+    assert data["Exynos5250"]["opencl-kernel@cap"] < 0.65
+    assert (
+        data["Exynos5250"]["opencl-kernel@cap"]
+        < data["Tegra3"]["opencl-kernel@cap"]
+    )

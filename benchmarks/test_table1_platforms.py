@@ -1,0 +1,28 @@
+"""Table 1 — platforms under evaluation."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import render_table1
+from repro.arch.catalog import get_platform
+
+
+def test_table1_platforms(benchmark, study):
+    rows = benchmark(study.table1)
+    emit("Table 1: platforms under evaluation", render_table1())
+
+    by_soc = {r["SoC"]: r for r in rows}
+    benchmark.extra_info["peaks"] = {
+        name: by_soc[name]["FP-64 GFLOPS"] for name in by_soc
+    }
+    # Published peak FP64 GFLOPS.
+    assert by_soc["Tegra2"]["FP-64 GFLOPS"] == pytest.approx(2.0)
+    assert by_soc["Tegra3"]["FP-64 GFLOPS"] == pytest.approx(5.2)
+    assert by_soc["Exynos5250"]["FP-64 GFLOPS"] == pytest.approx(6.8)
+    assert by_soc["Corei7-2760QM"]["FP-64 GFLOPS"] == pytest.approx(76.8)
+    # Published peak memory bandwidths.
+    for name, bw in (
+        ("Tegra2", 2.6), ("Tegra3", 5.86),
+        ("Exynos5250", 12.8), ("Corei7-2760QM", 25.6),
+    ):
+        assert get_platform(name).soc.memory.peak_bandwidth_gbs == bw

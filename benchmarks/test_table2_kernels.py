@@ -1,0 +1,30 @@
+"""Table 2 — the micro-kernel suite, plus functional verification and
+pytest-benchmark timings of the real NumPy kernels."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import render_table2
+from repro.kernels.registry import KERNELS, get_kernel
+
+
+def test_table2_suite(benchmark, study):
+    rows = benchmark(study.table2)
+    emit("Table 2: micro-kernels used for platform evaluation",
+         render_table2())
+    assert len(rows) == 11
+    assert [r["Kernel tag"] for r in rows] == [
+        "vecop", "dmmm", "3dstc", "2dcon", "fft", "red",
+        "hist", "msort", "nbody", "amcd", "spvm",
+    ]
+
+
+@pytest.mark.parametrize("tag", sorted(KERNELS))
+def test_kernel_numpy_throughput(benchmark, tag):
+    """Wall-clock pytest-benchmark of the actual NumPy implementation
+    (the functional half of the suite) at a test-friendly size."""
+    k = get_kernel(tag)
+    size = k.verification_size()
+    data = k.make_input(size, seed=0)
+    benchmark.extra_info["size"] = size
+    benchmark(k.run, data)

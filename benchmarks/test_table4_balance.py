@@ -1,0 +1,34 @@
+"""Table 4 — network bytes/FLOPS ratios (FP64, GPU excluded)."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import render_table4
+
+PAPER_TABLE4 = {
+    "Tegra2": {"1GbE": 0.06, "10GbE": 0.63, "40Gb InfiniBand": 2.50},
+    "Tegra3": {"1GbE": 0.02, "10GbE": 0.24, "40Gb InfiniBand": 0.96},
+    "Exynos5250": {"1GbE": 0.02, "10GbE": 0.18, "40Gb InfiniBand": 0.74},
+    "Corei7-2760QM": {"1GbE": 0.00, "10GbE": 0.02, "40Gb InfiniBand": 0.07},
+}
+
+
+def test_table4_bytes_per_flop(benchmark, study):
+    data = benchmark(study.table4)
+    emit("Table 4: network bytes/FLOPS ratios", render_table4())
+
+    benchmark.extra_info["table"] = {
+        p: {l: round(v, 2) for l, v in row.items()} for p, row in data.items()
+    }
+    for platform, row in PAPER_TABLE4.items():
+        for link, paper in row.items():
+            assert round(data[platform][link], 2) == pytest.approx(
+                paper, abs=0.02
+            ), (platform, link)
+    # The balance argument (Section 4.1): "a 1GbE network interface for
+    # a Tegra 3 or Exynos 5250 has a bytes/FLOPS ratio close to that of a
+    # dual-socket Intel Sandy Bridge" (with InfiniBand).
+    snb_dual_ib = data["Corei7-2760QM"]["40Gb InfiniBand"] / 2.0
+    for mobile in ("Tegra3", "Exynos5250"):
+        ratio = data[mobile]["1GbE"] / snb_dual_ib
+        assert 0.4 < ratio < 2.5, mobile

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Single-SoC evaluation (Section 3): Figures 3, 4, 5 end to end.
+
+Sweeps every platform's DVFS table, serial and all-cores, measuring
+simulated performance and wall energy with the power-meter model, then
+runs the STREAM bandwidth comparison — and prints the same series the
+paper plots.
+
+Usage::
+
+    python examples/single_soc_comparison.py
+"""
+
+from repro.analysis.figures import render_figure
+from repro.core.results import render_table
+from repro.core.study import MobileSoCStudy
+
+
+def print_sweep(title: str, data: dict) -> None:
+    print(f"\n{title}")
+    print("-" * 72)
+    rows = []
+    for plat, pts in data.items():
+        for p in pts:
+            rows.append(
+                [plat, p["freq_ghz"], round(p["speedup"], 2),
+                 round(p["energy_norm"], 2)]
+            )
+    print(
+        render_table(
+            ["platform", "GHz", "speedup vs T2@1GHz", "energy (norm.)"], rows
+        )
+    )
+
+
+def main() -> None:
+    study = MobileSoCStudy()
+
+    f3 = study.figure3()
+    print_sweep("Figure 3: single-core frequency sweep", f3)
+    print(render_figure("figure3", f3))
+
+    f4 = study.figure4()
+    print_sweep("Figure 4: multi-core (OpenMP) frequency sweep", f4)
+
+    print("\nFigure 5: STREAM bandwidth (GB/s)")
+    print("-" * 72)
+    f5 = study.figure5()
+    ops = ("Copy", "Scale", "Add", "Triad")
+    for mode in ("single", "multi"):
+        rows = [
+            [plat] + [round(d[mode][op], 2) for op in ops]
+            + [f"{d['efficiency_vs_peak']:.0%}"]
+            for plat, d in f5.items()
+        ]
+        print(f"\n  {mode}-core:")
+        print(render_table(["platform", *ops, "eff vs peak"], rows))
+
+    print("\nKey observations (paper Section 3):")
+    at = lambda plat, f: next(
+        p for p in f3[plat] if abs(p["freq_ghz"] - f) < 1e-9
+    )
+    print(f"  Tegra 3 vs Tegra 2 @1GHz : {at('Tegra3', 1.0)['speedup']:.2f}x (paper 1.09x)")
+    print(f"  Exynos  vs Tegra 2 @1GHz : {at('Exynos5250', 1.0)['speedup']:.2f}x (paper 1.30x)")
+    print(f"  Exynos @1.7GHz           : {at('Exynos5250', 1.7)['speedup']:.2f}x (paper 2.3x)")
+    print(f"  i7 @2.4GHz               : {at('Corei7-2760QM', 2.4)['speedup']:.2f}x (paper ~7-8x)")
+    print("  Energy/iteration falls as frequency rises on every platform —")
+    print("  the SoC is not the main power sink in these systems.")
+
+
+if __name__ == "__main__":
+    main()

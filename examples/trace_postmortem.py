@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Post-mortem trace analysis (the Paraver workflow of Sections 4-5).
+
+The original study "discovered timeouts in post-mortem application trace
+analysis".  This example reproduces the workflow on the simulated
+cluster: run an application with tracing enabled, summarise the trace,
+inject an NFS-style stall, and show the analyser catching it.
+
+Usage::
+
+    python examples/trace_postmortem.py
+"""
+
+from repro.cluster.cluster import tibidabo
+from repro.mpi.api import SyntheticPayload
+from repro.mpi.collectives import allreduce
+from repro.mpi.tracing import MessageRecord, TraceAnalysis, traced_world
+
+
+def hydro_like(ctx, steps=6, grid=800):
+    halo = SyntheticPayload(grid * 2 * 8)
+    for _ in range(steps):
+        sends, recvs = [], []
+        if ctx.rank + 1 < ctx.size:
+            sends.append((ctx.rank + 1, halo, 10))
+            recvs.append((ctx.rank + 1, 11))
+        if ctx.rank - 1 >= 0:
+            sends.append((ctx.rank - 1, halo, 11))
+            recvs.append((ctx.rank - 1, 10))
+        if sends:
+            yield from ctx.exchange(sends, recvs)
+        yield ctx.compute_flops(150.0 * grid * grid / ctx.size)
+        yield from allreduce(ctx, 1e-3, op=min)
+    return None
+
+
+def main() -> None:
+    cluster = tibidabo(32)
+    print("Running HYDRO-like solver on 32 nodes with tracing enabled...")
+    world, tracer = traced_world(32, cluster.network())
+    world.run(hydro_like)
+    analysis = tracer.analysis(32)
+
+    print("\nTrace summary (the Paraver view):")
+    for line in analysis.summary().splitlines():
+        print(f"  {line}")
+
+    matrix = analysis.comm_matrix_bytes()
+    print("\nCommunication matrix (nearest-neighbour + collective tree):")
+    nz = (matrix > 0).sum()
+    print(f"  {nz} active (src,dst) pairs; "
+          f"heaviest pair moves {matrix.max() / 1024:.1f} KiB")
+
+    print("\nInjecting an NFS-style 45 s stall into the trace...")
+    stalled = TraceAnalysis(
+        analysis.records
+        + [MessageRecord(7, 8, 99, 12800, 1.0, 46.0)],
+        32,
+    )
+    culprits = stalled.stalls()
+    print(f"  stall detector flags {len(culprits)} message(s):")
+    for r in culprits:
+        print(
+            f"    rank {r.src} -> rank {r.dst}, tag {r.tag}: "
+            f"{r.flight_time_s:.1f} s in flight "
+            f"(median {stalled.median_flight_time_s() * 1e6:.0f} us)"
+        )
+    print(
+        "\nThis is how the original team localised the Section 6.2 NFS\n"
+        "timeouts before serialising the parallel I/O phases."
+    )
+
+
+if __name__ == "__main__":
+    main()

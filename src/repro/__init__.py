@@ -1,0 +1,45 @@
+"""repro — reproduction of "Supercomputing with Commodity CPUs: Are
+Mobile SoCs Ready for HPC?" (Rajovic et al., SC'13).
+
+The package rebuilds the paper's entire evaluation as calibrated models
+and simulators:
+
+* :mod:`repro.arch` — the Table 1 platforms (Tegra 2/3, Exynos 5250,
+  Core i7-2760QM) as parametric micro-architecture models,
+* :mod:`repro.kernels` — the 11-kernel micro-benchmark suite (Table 2)
+  plus STREAM, functionally real in NumPy,
+* :mod:`repro.timing` — roofline timing and the Yokogawa power-meter
+  measurement procedure (Figures 3-5),
+* :mod:`repro.net` / :mod:`repro.mpi` / :mod:`repro.sim` — TCP/IP vs
+  Open-MX protocol stacks, switches, and a discrete-event MPI simulator
+  (Figure 7),
+* :mod:`repro.cluster` — the Tibidabo prototype, cluster power,
+  NFS/SLURM, and Section 6's reliability models,
+* :mod:`repro.apps` — HPL, PEPC, HYDRO, GROMACS, SPECFEM3D (Figure 6),
+* :mod:`repro.core` — TOP500 trends (Figures 1-2), metrics (Table 4)
+  and the :class:`~repro.core.study.MobileSoCStudy` orchestrator,
+* :mod:`repro.analysis` — text renderings and paper-vs-measured reports.
+
+Quickstart::
+
+    from repro import MobileSoCStudy
+    study = MobileSoCStudy()
+    print(study.headline_hpl())   # ~97 GFLOPS, ~51%, ~120 MFLOPS/W
+"""
+
+from repro.core.study import MobileSoCStudy
+from repro.arch.catalog import PLATFORMS, get_platform
+from repro.kernels.registry import KERNELS, get_kernel
+from repro.cluster.cluster import tibidabo
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MobileSoCStudy",
+    "PLATFORMS",
+    "get_platform",
+    "KERNELS",
+    "get_kernel",
+    "tibidabo",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Figure/table regeneration as plain text.
+
+The benchmark harness uses these renderers to print the same series the
+paper plots; :mod:`repro.analysis.report` builds the paper-vs-measured
+EXPERIMENTS.md records.
+"""
+
+from repro.analysis.figures import ascii_chart, render_figure
+from repro.analysis.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.analysis.report import build_comparisons, comparisons_markdown
+
+__all__ = [
+    "ascii_chart",
+    "render_figure",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "build_comparisons",
+    "comparisons_markdown",
+]

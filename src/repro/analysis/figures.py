@@ -1,0 +1,161 @@
+"""ASCII renderings of the paper's figures.
+
+Terminal-friendly scatter/line charts: series are plotted on a character
+grid with optional log axes.  These are deliberately simple — the data
+they draw is the reproduction artefact; the chart is a convenience.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    log_y: bool = False,
+    log_x: bool = False,
+    title: str = "",
+) -> str:
+    """Plot named series of (x, y) points on a character grid."""
+    if not series:
+        raise ValueError("nothing to plot")
+    pts_all = [p for pts in series.values() for p in pts]
+    if not pts_all:
+        raise ValueError("series are empty")
+
+    def tx(x: float) -> float:
+        return math.log10(x) if log_x else x
+
+    def ty(y: float) -> float:
+        return math.log10(y) if log_y else y
+
+    xs = [tx(x) for x, _ in pts_all]
+    ys = [ty(y) for _, y in pts_all]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xr = (x1 - x0) or 1.0
+    yr = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            col = int((tx(x) - x0) / xr * (width - 1))
+            row = height - 1 - int((ty(y) - y0) / yr * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    ymax_label = f"{10**y1:.3g}" if log_y else f"{y1:.3g}"
+    ymin_label = f"{10**y0:.3g}" if log_y else f"{y0:.3g}"
+    for i, row in enumerate(grid):
+        prefix = ymax_label if i == 0 else (ymin_label if i == height - 1 else "")
+        lines.append(f"{prefix:>10s} |" + "".join(row))
+    xmin_label = f"{10**x0:.4g}" if log_x else f"{x0:.4g}"
+    xmax_label = f"{10**x1:.4g}" if log_x else f"{x1:.4g}"
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + xmin_label + " " * max(1, width - 14) + xmax_label)
+    legend = "  ".join(
+        f"{m}={name}" for (name, _), m in zip(series.items(), _MARKERS)
+    )
+    lines.append("   " + legend)
+    return "\n".join(lines)
+
+
+def render_figure(name: str, data: dict) -> str:
+    """Render one named figure from the study's data structures."""
+    if name == "figure1":
+        series = {
+            cat: list(zip(*data[cat])) and list(zip(data[cat][0], data[cat][1]))
+            for cat in data
+        }
+        return ascii_chart(
+            series, title="Figure 1: TOP500 systems by architecture class"
+        )
+    if name in ("figure2a", "figure2b"):
+        keys = (
+            ("vector_points", "micro_points")
+            if name == "figure2a"
+            else ("server_points", "mobile_points")
+        )
+        series = {
+            k.replace("_points", ""): [
+                (p.year, p.peak_mflops) for p in data[k]
+            ]
+            for k in keys
+        }
+        return ascii_chart(
+            series,
+            log_y=True,
+            title=f"{name}: peak FP64 MFLOPS over time (log scale)",
+        )
+    if name in ("figure3", "figure4"):
+        perf = {
+            plat: [(pt["freq_ghz"], pt["speedup"]) for pt in pts]
+            for plat, pts in data.items()
+        }
+        energy = {
+            plat: [(pt["freq_ghz"], pt["energy_norm"]) for pt in pts]
+            for plat, pts in data.items()
+        }
+        mode = "single-core" if name == "figure3" else "multi-core"
+        return (
+            ascii_chart(
+                perf, log_y=True, title=f"{name}(a): {mode} speedup vs Tegra2@1GHz"
+            )
+            + "\n\n"
+            + ascii_chart(
+                energy, title=f"{name}(b): {mode} per-iteration energy (norm.)"
+            )
+        )
+    if name == "figure5":
+        single = {
+            plat: list(enumerate(d["single"].values()))
+            for plat, d in data.items()
+        }
+        multi = {
+            plat: list(enumerate(d["multi"].values()))
+            for plat, d in data.items()
+        }
+        return (
+            ascii_chart(
+                single, log_y=True,
+                title="figure5(a): single-core STREAM bandwidth "
+                      "(x: Copy/Scale/Add/Triad)",
+            )
+            + "\n\n"
+            + ascii_chart(
+                multi, log_y=True,
+                title="figure5(b): full-SoC STREAM bandwidth",
+            )
+        )
+    if name == "figure6":
+        series = {
+            app: list(sp.items()) for app, sp in data.items()
+        }
+        series["ideal"] = [(n, float(n)) for n in sorted(
+            {n for sp in data.values() for n in sp}
+        )]
+        return ascii_chart(
+            series, title="Figure 6: scalability of HPC applications on Tibidabo"
+        )
+    if name == "figure7":
+        lat = {
+            label: list(d["latency_us"].items())
+            for label, d in data.items()
+        }
+        bw = {
+            label: list(d["bandwidth_mbs"].items())
+            for label, d in data.items()
+        }
+        return (
+            ascii_chart(lat, title="Figure 7(a-c): ping-pong latency (us)")
+            + "\n\n"
+            + ascii_chart(
+                bw, log_x=True, title="Figure 7(d-f): effective bandwidth (MB/s)"
+            )
+        )
+    raise KeyError(f"unknown figure {name!r}")

@@ -1,0 +1,46 @@
+"""Plain-text renderings of Tables 1-4."""
+
+from __future__ import annotations
+
+from repro.apps import APPLICATIONS
+from repro.arch.catalog import PLATFORMS
+from repro.core.metrics import bytes_per_flop_table
+from repro.core.results import render_table
+from repro.kernels.registry import table2_rows
+
+
+def render_table1() -> str:
+    """Table 1: platforms under evaluation."""
+    rows = [p.describe() for p in PLATFORMS.values()]
+    keys = list(rows[0].keys())
+    # Transpose: attributes as rows, platforms as columns (paper layout).
+    headers = ["Attribute"] + [str(r["SoC"]) for r in rows]
+    body = [[k] + [str(r[k]) for r in rows] for k in keys if k != "SoC"]
+    return render_table(headers, body)
+
+
+def render_table2() -> str:
+    """Table 2: the micro-kernel suite."""
+    rows = table2_rows()
+    return render_table(
+        ["Kernel tag", "Full name", "Properties"],
+        [[r["Kernel tag"], r["Full name"], r["Properties"]] for r in rows],
+    )
+
+
+def render_table3() -> str:
+    """Table 3: applications for scalability evaluation."""
+    return render_table(
+        ["Application", "Description"],
+        [[app.name, app.description] for app in APPLICATIONS.values()],
+    )
+
+
+def render_table4() -> str:
+    """Table 4: network bytes/FLOPS ratios (FP64, excluding GPU)."""
+    data = bytes_per_flop_table(list(PLATFORMS.values()))
+    links = list(next(iter(data.values())).keys())
+    return render_table(
+        ["Platform"] + links,
+        [[plat] + [row[l] for l in links] for plat, row in data.items()],
+    )

@@ -1,0 +1,54 @@
+"""Production applications of the scalability study (Table 3).
+
+=============  ====================================================
+HPL            High-Performance LINPACK (weak scaling)
+PEPC           Tree code for N-body problem (strong)
+HYDRO          2D Eulerian hydrodynamics (strong)
+GROMACS        Molecular dynamics (strong)
+SPECFEM3D      3D seismic wave propagation, spectral elements (strong)
+=============  ====================================================
+
+Every application is an MPI program over the discrete-event simulator:
+computation is charged through the node model, communication flows
+through the same protocol/switch models the ping-pong benchmark
+calibrates.  HPL additionally has a *functional* mode that runs a real
+distributed block LU on NumPy data and is verified against
+``numpy.linalg.solve``.
+"""
+
+from repro.apps.base import Application, AppRunResult, ScalingStudy
+from repro.apps.hpl import HPL
+from repro.apps.pepc import PEPC
+from repro.apps.hydro import Hydro
+from repro.apps.gromacs import Gromacs
+from repro.apps.specfem3d import Specfem3D
+
+#: Table 3 registry, paper order.
+APPLICATIONS = {
+    app.name: app
+    for app in (HPL(), PEPC(), Hydro(), Gromacs(), Specfem3D())
+}
+
+
+def get_application(name: str) -> Application:
+    """Look up a Table 3 application by name (case-insensitive)."""
+    for key, app in APPLICATIONS.items():
+        if key.lower() == name.lower():
+            return app
+    raise KeyError(
+        f"unknown application {name!r}; available: {sorted(APPLICATIONS)}"
+    )
+
+
+__all__ = [
+    "Application",
+    "AppRunResult",
+    "ScalingStudy",
+    "HPL",
+    "PEPC",
+    "Hydro",
+    "Gromacs",
+    "Specfem3D",
+    "APPLICATIONS",
+    "get_application",
+]

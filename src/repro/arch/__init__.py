@@ -1,0 +1,68 @@
+"""Hardware substrate: parametric models of the SoCs and CPUs under study.
+
+This package models the four platforms of Table 1 of the paper (NVIDIA
+Tegra 2, NVIDIA Tegra 3, Samsung Exynos 5250 and Intel Core i7-2760QM) as
+compositions of reusable architectural components:
+
+* :mod:`repro.arch.isa` — instruction-set descriptors and operation mixes,
+* :mod:`repro.arch.core_model` — per-core pipeline/throughput model,
+* :mod:`repro.arch.cache` — a functional set-associative cache simulator,
+* :mod:`repro.arch.dram` — memory-controller and DRAM bandwidth model,
+* :mod:`repro.arch.power` — CMOS + board power model,
+* :mod:`repro.arch.dvfs` — voltage/frequency operating points and governors,
+* :mod:`repro.arch.soc` — the SoC/platform aggregates,
+* :mod:`repro.arch.catalog` — the concrete Table 1 instances.
+"""
+
+from repro.arch.isa import ISA, OpClass, InstructionMix, ARMV7, ARMV8, X86_64
+from repro.arch.cache import CacheConfig, Cache, CacheHierarchy
+from repro.arch.dram import MemorySystem
+from repro.arch.core_model import CoreModel
+from repro.arch.power import PowerModel
+from repro.arch.dvfs import OperatingPoint, DVFSTable, Governor
+from repro.arch.soc import SoC, Platform, GPUInfo, BoardInfo
+from repro.arch.catalog import (
+    PLATFORMS,
+    tegra2,
+    tegra3,
+    exynos5250,
+    core_i7_2760qm,
+    armv8_projection,
+    get_platform,
+)
+from repro.arch.features import Feature, FeatureAssessment, assess, readiness_matrix
+from repro.arch.servers import SERVER_PLATFORMS
+
+__all__ = [
+    "ISA",
+    "OpClass",
+    "InstructionMix",
+    "ARMV7",
+    "ARMV8",
+    "X86_64",
+    "CacheConfig",
+    "Cache",
+    "CacheHierarchy",
+    "MemorySystem",
+    "CoreModel",
+    "PowerModel",
+    "OperatingPoint",
+    "DVFSTable",
+    "Governor",
+    "SoC",
+    "Platform",
+    "GPUInfo",
+    "BoardInfo",
+    "PLATFORMS",
+    "tegra2",
+    "tegra3",
+    "exynos5250",
+    "core_i7_2760qm",
+    "armv8_projection",
+    "get_platform",
+    "Feature",
+    "FeatureAssessment",
+    "assess",
+    "readiness_matrix",
+    "SERVER_PLATFORMS",
+]

@@ -1,0 +1,253 @@
+"""Functional set-associative cache simulator and cache hierarchies.
+
+Two consumers use this module:
+
+* the trace-driven mode of the timing model, which feeds sampled address
+  streams through a :class:`CacheHierarchy` to estimate miss ratios for a
+  kernel's access pattern, and
+* the unit/property tests, which check classical cache invariants
+  (inclusion of hit addresses, LRU behaviour, capacity/conflict misses).
+
+The model is a conventional write-allocate, write-back, LRU,
+set-associative cache.  Latencies are in cycles; the hierarchy converts
+them into an average memory access time (AMAT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Static parameters of one cache level.
+
+    :param name: level name (``"L1D"``, ``"L2"``, ...).
+    :param size_bytes: total capacity.
+    :param line_bytes: cache-line size (power of two).
+    :param associativity: ways per set.
+    :param latency_cycles: access (hit) latency.
+    :param shared: whether the level is shared between all cores of the SoC
+        (the Tegra/Exynos L2 is shared; Sandy Bridge L2 is private with a
+        shared L3 — Table 1 of the paper).
+    """
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    latency_cycles: int
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache sizes must be positive")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                "size must be a multiple of line_bytes * associativity"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+class Cache:
+    """One level of write-allocate, write-back, LRU set-associative cache."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: list[dict[int, int]] = [
+            {} for _ in range(config.n_sets)
+        ]  # tag -> LRU stamp
+        self._dirty: list[set[int]] = [set() for _ in range(config.n_sets)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # -- address arithmetic -------------------------------------------------
+    def _index_tag(self, addr: int) -> tuple[int, int]:
+        line = addr // self.config.line_bytes
+        return line % self.config.n_sets, line // self.config.n_sets
+
+    # -- operations ---------------------------------------------------------
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Access one byte address; returns ``True`` on hit.
+
+        On a miss the line is allocated (write-allocate) and, if a dirty
+        victim is evicted, a write-back is recorded.
+        """
+        idx, tag = self._index_tag(addr)
+        self._clock += 1
+        ways = self._sets[idx]
+        if tag in ways:
+            self.hits += 1
+            ways[tag] = self._clock
+            if write:
+                self._dirty[idx].add(tag)
+            return True
+
+        self.misses += 1
+        if len(ways) >= self.config.associativity:
+            victim = min(ways, key=ways.__getitem__)
+            del ways[victim]
+            self.evictions += 1
+            if victim in self._dirty[idx]:
+                self._dirty[idx].discard(victim)
+                self.writebacks += 1
+        ways[tag] = self._clock
+        if write:
+            self._dirty[idx].add(tag)
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Whether the line holding ``addr`` is resident (no LRU update)."""
+        idx, tag = self._index_tag(addr)
+        return tag in self._sets[idx]
+
+    def flush(self) -> int:
+        """Empty the cache; returns the number of dirty lines written back."""
+        wb = sum(
+            1
+            for idx, ways in enumerate(self._sets)
+            for tag in ways
+            if tag in self._dirty[idx]
+        )
+        self.writebacks += wb
+        self._sets = [{} for _ in range(self.config.n_sets)]
+        self._dirty = [set() for _ in range(self.config.n_sets)]
+        return wb
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = self.writebacks = 0
+
+
+@dataclass
+class HierarchyStats:
+    """Per-level hit/miss counts plus derived AMAT."""
+
+    per_level: dict[str, tuple[int, int]] = field(default_factory=dict)
+    dram_accesses: int = 0
+    amat_cycles: float = 0.0
+
+
+class CacheHierarchy:
+    """An ordered chain of cache levels in front of DRAM.
+
+    ``access`` walks levels in order; the first hit stops the walk, a miss
+    everywhere counts as a DRAM access.  ``amat`` folds per-level miss
+    ratios with the level latencies plus a DRAM latency into the average
+    memory access time, which the core timing model uses for latency-bound
+    access patterns.
+    """
+
+    def __init__(
+        self, levels: Sequence[CacheConfig], dram_latency_cycles: float
+    ) -> None:
+        if not levels:
+            raise ValueError("hierarchy needs at least one level")
+        self.levels = [Cache(cfg) for cfg in levels]
+        self.dram_latency_cycles = float(dram_latency_cycles)
+        self.dram_accesses = 0
+
+    def access(self, addr: int, write: bool = False) -> str:
+        """Access an address; returns the name of the level that hit, or
+        ``"DRAM"`` if all levels missed.  Lines are allocated on the way
+        back (inclusive hierarchy)."""
+        hit_level = "DRAM"
+        for cache in self.levels:
+            if cache.access(addr, write=write):
+                hit_level = cache.config.name
+                break
+        else:
+            self.dram_accesses += 1
+        return hit_level
+
+    def run_trace(
+        self, addresses: Iterable[int], writes: Iterable[bool] | None = None
+    ) -> HierarchyStats:
+        """Feed a full address trace; returns per-level statistics."""
+        if writes is None:
+            for a in addresses:
+                self.access(int(a))
+        else:
+            for a, w in zip(addresses, writes):
+                self.access(int(a), write=bool(w))
+        return self.stats()
+
+    def stats(self) -> HierarchyStats:
+        st = HierarchyStats()
+        for cache in self.levels:
+            st.per_level[cache.config.name] = (cache.hits, cache.misses)
+        st.dram_accesses = self.dram_accesses
+        st.amat_cycles = self.amat()
+        return st
+
+    def amat(self) -> float:
+        """Average memory access time in cycles, folded over the levels."""
+        total = self.levels[0].accesses
+        if total == 0:
+            return float(self.levels[0].config.latency_cycles)
+        amat = self.dram_latency_cycles
+        # Fold from the innermost level outwards:
+        # AMAT_i = lat_i + miss_ratio_i * AMAT_{i+1}
+        for cache in reversed(self.levels):
+            amat = cache.config.latency_cycles + cache.miss_ratio * amat
+        return amat
+
+    def reset(self) -> None:
+        for cache in self.levels:
+            cache.reset_stats()
+            cache.flush()
+        self.dram_accesses = 0
+
+
+def strided_trace(
+    n_accesses: int, stride_bytes: int, base: int = 0
+) -> list[int]:
+    """Synthetic strided address stream (helper for pattern studies)."""
+    return [base + i * stride_bytes for i in range(n_accesses)]
+
+
+def estimate_miss_ratio(
+    levels: Sequence[CacheConfig],
+    footprint_bytes: int,
+    stride_bytes: int,
+    dram_latency_cycles: float = 100.0,
+    passes: int = 2,
+) -> float:
+    """Estimate the last-level miss ratio of a strided sweep over a
+    ``footprint_bytes`` working set, repeated ``passes`` times.
+
+    This is the sampled-trace estimator used by tests and by the access
+    pattern documentation; the roofline executor uses analytic reuse
+    factors instead (much faster) but is validated against this.
+    """
+    if stride_bytes <= 0:
+        raise ValueError("stride must be positive")
+    hier = CacheHierarchy(levels, dram_latency_cycles)
+    n = max(1, footprint_bytes // stride_bytes)
+    for _ in range(passes):
+        for i in range(n):
+            hier.access(i * stride_bytes)
+    last = hier.levels[-1]
+    return last.miss_ratio

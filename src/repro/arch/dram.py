@@ -1,0 +1,95 @@
+"""Memory-controller and DRAM bandwidth/latency model.
+
+Table 1 of the paper lists, per platform: number of channels, channel
+width, maximum DRAM frequency, and the resulting peak bandwidth.  Figure 5
+then reports *measured* STREAM bandwidth, which reaches only a fraction of
+peak: 62% (Tegra 2), 27% (Tegra 3), 52% (Exynos 5250) and 57% (Core
+i7-2760QM) with all cores, and considerably less with a single core.
+
+The model has two regimes:
+
+* **concurrency-limited** (few cores active): each core can keep only
+  ``mlp`` cache-line requests in flight, so its achievable bandwidth is
+  ``mlp * line_bytes / dram_latency`` (Little's law).  The Cortex-A15's
+  larger number of outstanding misses is the paper's explanation for the
+  4.5× single-core STREAM advantage of the Exynos 5250 over Tegra.
+* **controller-limited** (many cores): the sum of per-core demands
+  saturates at ``stream_efficiency * peak_bandwidth``, the calibrated
+  fraction of peak the controller actually sustains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """DRAM + memory-controller description for one platform.
+
+    :param channels: independent memory channels.
+    :param width_bits: data width per channel.
+    :param freq_mhz: maximum DRAM I/O frequency (MHz, per Table 1).
+    :param peak_bandwidth_gbs: peak bandwidth in GB/s.  Stored explicitly
+        (it is what the paper tabulates); :meth:`theoretical_peak_gbs`
+        recomputes it from the channel parameters as a cross-check.
+    :param latency_ns: loaded DRAM access latency seen by a core miss.
+    :param stream_efficiency: calibrated fraction of peak reached by the
+        all-cores STREAM triad (paper Section 3.2).
+    :param line_bytes: cache-line / DRAM burst size.
+    :param ecc: whether the controller supports ECC.  None of the mobile
+        SoCs do — a key limitation in Section 6.3.
+    """
+
+    channels: int
+    width_bits: int
+    freq_mhz: float
+    peak_bandwidth_gbs: float
+    latency_ns: float
+    stream_efficiency: float
+    line_bytes: int = 64
+    ecc: bool = False
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.width_bits <= 0:
+            raise ValueError("channels and width must be positive")
+        if not (0.0 < self.stream_efficiency <= 1.0):
+            raise ValueError("stream_efficiency must be in (0, 1]")
+        if self.latency_ns <= 0:
+            raise ValueError("latency must be positive")
+
+    def theoretical_peak_gbs(self) -> float:
+        """Peak from channel parameters: channels × width × 2 (DDR) × freq."""
+        bytes_per_transfer = self.channels * self.width_bits / 8.0
+        return bytes_per_transfer * 2.0 * self.freq_mhz * 1e6 / 1e9
+
+    def sustained_bandwidth_gbs(self) -> float:
+        """Controller-limited sustained (STREAM-like) bandwidth, GB/s."""
+        return self.peak_bandwidth_gbs * self.stream_efficiency
+
+    def per_core_bandwidth_gbs(self, mlp: float) -> float:
+        """Concurrency-limited bandwidth of one core with ``mlp``
+        outstanding line misses (Little's law), GB/s."""
+        if mlp <= 0:
+            raise ValueError("mlp must be positive")
+        return mlp * self.line_bytes / self.latency_ns  # B/ns == GB/s
+
+    def effective_bandwidth_gbs(
+        self, active_cores: int, mlp_per_core: float
+    ) -> float:
+        """Achievable bandwidth for ``active_cores`` concurrent streams.
+
+        The minimum of the aggregate concurrency limit and the controller
+        limit; this single expression produces both the poor single-core
+        Tegra numbers and the saturated multi-core numbers of Figure 5.
+        """
+        if active_cores <= 0:
+            raise ValueError("need at least one active core")
+        concurrency = active_cores * self.per_core_bandwidth_gbs(mlp_per_core)
+        return min(concurrency, self.sustained_bandwidth_gbs())
+
+    def dram_latency_cycles(self, core_freq_ghz: float) -> float:
+        """DRAM latency expressed in core cycles at ``core_freq_ghz``."""
+        if core_freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.latency_ns * core_freq_ghz

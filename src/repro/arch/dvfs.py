@@ -1,0 +1,122 @@
+"""DVFS operating points and frequency governors.
+
+The paper's kernels for Linux were "tuned for HPC by ... setting the
+default DVFS policy to performance" (Section 5), and Figures 3 and 4 sweep
+the CPU frequency across each platform's operating points.  ATLAS
+auto-tuning additionally required pinning the frequency to the maximum
+(Section 5) — the :class:`Governor` API supports exactly that.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One voltage/frequency pair of a DVFS table."""
+
+    freq_ghz: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0 or self.voltage <= 0:
+            raise ValueError("frequency and voltage must be positive")
+
+
+class DVFSTable:
+    """An ordered set of operating points for one platform."""
+
+    def __init__(self, points: Sequence[OperatingPoint]) -> None:
+        if not points:
+            raise ValueError("DVFS table cannot be empty")
+        self.points = sorted(points, key=lambda p: p.freq_ghz)
+        freqs = [p.freq_ghz for p in self.points]
+        if len(set(freqs)) != len(freqs):
+            raise ValueError("duplicate frequencies in DVFS table")
+
+    @property
+    def fmin(self) -> float:
+        return self.points[0].freq_ghz
+
+    @property
+    def fmax(self) -> float:
+        return self.points[-1].freq_ghz
+
+    def frequencies(self) -> list[float]:
+        """All frequencies (GHz), ascending."""
+        return [p.freq_ghz for p in self.points]
+
+    def voltage_at(self, freq_ghz: float) -> float:
+        """Voltage of the lowest operating point able to run ``freq_ghz``."""
+        for p in self.points:
+            if p.freq_ghz >= freq_ghz - 1e-12:
+                return p.voltage
+        raise ValueError(
+            f"{freq_ghz} GHz exceeds the table maximum {self.fmax} GHz"
+        )
+
+    def nearest(self, freq_ghz: float) -> OperatingPoint:
+        """The operating point closest in frequency to ``freq_ghz``."""
+        return min(self.points, key=lambda p: abs(p.freq_ghz - freq_ghz))
+
+
+class GovernorPolicy(enum.Enum):
+    """Linux cpufreq-style governor policies."""
+
+    PERFORMANCE = "performance"  # always fmax (the paper's HPC setting)
+    POWERSAVE = "powersave"  # always fmin
+    ONDEMAND = "ondemand"  # utilisation-driven
+
+
+class Governor:
+    """Selects an operating point given a utilisation sample."""
+
+    def __init__(
+        self,
+        table: DVFSTable,
+        policy: GovernorPolicy = GovernorPolicy.PERFORMANCE,
+        up_threshold: float = 0.8,
+    ) -> None:
+        if not (0.0 < up_threshold <= 1.0):
+            raise ValueError("up_threshold must be in (0, 1]")
+        self.table = table
+        self.policy = policy
+        self.up_threshold = up_threshold
+        self._current = (
+            table.points[-1]
+            if policy is GovernorPolicy.PERFORMANCE
+            else table.points[0]
+        )
+
+    @property
+    def current(self) -> OperatingPoint:
+        return self._current
+
+    def pin(self, freq_ghz: float) -> OperatingPoint:
+        """Pin the frequency (userspace governor), as required for ATLAS
+        auto-tuning in Section 5.  Raises if the table lacks the point."""
+        for p in self.table.points:
+            if abs(p.freq_ghz - freq_ghz) < 1e-9:
+                self._current = p
+                return p
+        raise ValueError(f"no operating point at {freq_ghz} GHz")
+
+    def step(self, utilisation: float) -> OperatingPoint:
+        """Advance one governor interval with the given utilisation."""
+        if not (0.0 <= utilisation <= 1.0):
+            raise ValueError("utilisation must be in [0, 1]")
+        if self.policy is GovernorPolicy.PERFORMANCE:
+            self._current = self.table.points[-1]
+        elif self.policy is GovernorPolicy.POWERSAVE:
+            self._current = self.table.points[0]
+        else:  # ONDEMAND: jump to max above threshold, else step down
+            pts = self.table.points
+            idx = pts.index(self._current)
+            if utilisation >= self.up_threshold:
+                self._current = pts[-1]
+            elif idx > 0 and utilisation < self.up_threshold / 2:
+                self._current = pts[idx - 1]
+        return self._current

@@ -1,0 +1,120 @@
+"""HPC-readiness feature analysis — Section 6.3 as an executable model.
+
+The paper closes with a checklist of what mobile SoCs lack before "a
+production system is viable": ECC memory, fast I/O for HPC interconnects,
+hardware network protocol support, a 64-bit address space, and a thermal
+package — and points at server-class ARM SoCs (Calxeda EnergyCore,
+Applied Micro X-Gene, TI KeyStone II) that already integrate several of
+them.  This module expresses that checklist over platform models so the
+gap can be *computed*, and so the server-SoC comparators of Section 2
+slot into the same analysis.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.soc import Platform
+from repro.net.nic import attachment_for
+
+
+class Feature(enum.Enum):
+    """The Section 6.3 readiness checklist."""
+
+    ECC_MEMORY = "ECC-protected memory"
+    FAST_INTERCONNECT_IO = "I/O able to carry 10GbE+/InfiniBand"
+    INTEGRATED_NIC = "integrated network interface (no USB/discrete hop)"
+    PROTOCOL_OFFLOAD = "hardware network-protocol support"
+    ADDRESS_64BIT = ">4GB per-process address space"
+    SERVER_THERMAL_PACKAGE = "thermal package for sustained load"
+
+
+#: Minimum sustained I/O bandwidth (Gb/s) considered interconnect-class.
+INTERCONNECT_IO_GBPS = 10.0
+
+#: Per-attachment sustainable I/O bandwidth (Gb/s) of the era's mobile
+#: interfaces (Section 6.3: USB 3.0 is 5 Gb/s; MIPI/SATA3 6 Gb/s).
+ATTACHMENT_IO_GBPS = {"usb3": 5.0, "pcie": 8.0, "onboard": 20.0}
+
+
+@dataclass(frozen=True)
+class FeatureAssessment:
+    """Outcome of evaluating one platform against the checklist."""
+
+    platform: str
+    supported: frozenset[Feature]
+    missing: frozenset[Feature]
+
+    @property
+    def ready(self) -> bool:
+        """HPC-production-ready in the Section 6.3 sense."""
+        return not self.missing
+
+    @property
+    def readiness_score(self) -> float:
+        """Fraction of the checklist satisfied."""
+        total = len(self.supported) + len(self.missing)
+        return len(self.supported) / total if total else 0.0
+
+
+def _has_protocol_offload(platform: Platform) -> bool:
+    # Modelled as a board/SoC annotation; mobile SoCs of the era: none.
+    return getattr(platform, "protocol_offload", False) or (
+        "KeyStone" in platform.name
+    )
+
+
+def assess(platform: Platform, thermal_ok: bool | None = None) -> FeatureAssessment:
+    """Evaluate a platform against the Section 6.3 checklist.
+
+    :param thermal_ok: override for the thermal-package criterion
+        (defaults to the board's ``has_heatsink``).
+    """
+    supported: set[Feature] = set()
+    missing: set[Feature] = set()
+
+    def mark(feature: Feature, ok: bool) -> None:
+        (supported if ok else missing).add(feature)
+
+    soc = platform.soc
+    mark(Feature.ECC_MEMORY, soc.memory.ecc)
+    io_gbps = ATTACHMENT_IO_GBPS.get(
+        platform.board.nic_attachment.lower(), 0.0
+    )
+    mark(Feature.FAST_INTERCONNECT_IO, io_gbps >= INTERCONNECT_IO_GBPS)
+    nic = attachment_for(platform.board.nic_attachment)
+    mark(Feature.INTEGRATED_NIC, nic.name == "onboard")
+    mark(Feature.PROTOCOL_OFFLOAD, _has_protocol_offload(platform))
+    mark(Feature.ADDRESS_64BIT, soc.core.isa.address_bits > 32)
+    thermal = (
+        platform.board.has_heatsink if thermal_ok is None else thermal_ok
+    )
+    mark(Feature.SERVER_THERMAL_PACKAGE, thermal)
+
+    return FeatureAssessment(
+        platform=platform.name,
+        supported=frozenset(supported),
+        missing=frozenset(missing),
+    )
+
+
+def readiness_matrix(platforms: list[Platform]) -> dict[str, dict[str, bool]]:
+    """Platform x feature boolean matrix (rendered by the analysis layer)."""
+    out: dict[str, dict[str, bool]] = {}
+    for p in platforms:
+        a = assess(p)
+        out[p.name] = {f.value: (f in a.supported) for f in Feature}
+    return out
+
+
+def gap_report(platform: Platform) -> list[str]:
+    """Human-readable list of what keeps a platform out of production
+    HPC — the Section 6.3 conclusion for that platform."""
+    a = assess(platform)
+    if a.ready:
+        return [f"{platform.name}: production-ready by the Section 6.3 bar"]
+    return [
+        f"{platform.name} is missing: {feature.value}"
+        for feature in sorted(a.missing, key=lambda f: f.name)
+    ]

@@ -1,0 +1,192 @@
+"""Instruction-set architecture descriptors and operation mixes.
+
+The paper contrasts three ISAs:
+
+* **ARMv7** — 32-bit; hardware double-precision floating point (VFP) is an
+  *optional* feature, and the NEON SIMD unit has no FP64 support.  The
+  soft-float / hard-float ABI distinction discussed in Section 6.2 is
+  captured by :attr:`ISA.hardfp_abi`.
+* **ARMv8** — 64-bit; FP64 is compulsory and is part of the SIMD (NEON)
+  instruction set, doubling per-cycle FP64 throughput at equal frequency
+  (Section 1 / Section 3.1.2 of the paper).
+* **x86-64** — 64-bit with AVX (4-wide FP64 SIMD on Sandy Bridge).
+
+Operation mixes (:class:`InstructionMix`) describe, per kernel iteration,
+how the dynamic instruction stream splits across operation classes.  The
+timing model uses them to derive achievable instruction throughput.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class OpClass(enum.Enum):
+    """Dynamic operation classes used by the core timing model."""
+
+    FP_FMA = "fp_fma"  #: fused multiply-add, counted as two FLOPs
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    INT_ALU = "int_alu"
+    BRANCH = "branch"
+    LOAD = "load"
+    STORE = "store"
+
+
+#: FLOPs contributed by one operation of each class.
+FLOPS_PER_OP: dict[OpClass, float] = {
+    OpClass.FP_FMA: 2.0,
+    OpClass.FP_ADD: 1.0,
+    OpClass.FP_MUL: 1.0,
+    OpClass.FP_DIV: 1.0,
+    OpClass.INT_ALU: 0.0,
+    OpClass.BRANCH: 0.0,
+    OpClass.LOAD: 0.0,
+    OpClass.STORE: 0.0,
+}
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """A dynamic-instruction histogram, normalised or absolute.
+
+    Values are *operation counts* (not fractions); use :meth:`normalised`
+    to obtain fractions.  An instruction mix with all-zero counts is not
+    meaningful and most consumers reject it.
+    """
+
+    counts: dict[OpClass, float] = field(default_factory=dict)
+
+    def total(self) -> float:
+        """Total number of operations in the mix."""
+        return float(sum(self.counts.values()))
+
+    def flops(self) -> float:
+        """Total floating-point operations represented by the mix."""
+        return float(
+            sum(FLOPS_PER_OP[op] * n for op, n in self.counts.items())
+        )
+
+    def fraction(self, op: OpClass) -> float:
+        """Fraction of operations that belong to ``op`` (0 if empty)."""
+        t = self.total()
+        if t == 0:
+            return 0.0
+        return self.counts.get(op, 0.0) / t
+
+    def normalised(self) -> "InstructionMix":
+        """Return a mix whose counts sum to 1 (no-op for an empty mix)."""
+        t = self.total()
+        if t == 0:
+            return InstructionMix({})
+        return InstructionMix({op: n / t for op, n in self.counts.items()})
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        """Return a mix with every count multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return InstructionMix({op: n * factor for op, n in self.counts.items()})
+
+    def merged(self, other: "InstructionMix") -> "InstructionMix":
+        """Element-wise sum of two mixes."""
+        out = dict(self.counts)
+        for op, n in other.counts.items():
+            out[op] = out.get(op, 0.0) + n
+        return InstructionMix(out)
+
+    def memory_ops(self) -> float:
+        """Number of loads + stores."""
+        return self.counts.get(OpClass.LOAD, 0.0) + self.counts.get(
+            OpClass.STORE, 0.0
+        )
+
+    def arithmetic_intensity(self, bytes_per_mem_op: float = 8.0) -> float:
+        """FLOPs per byte of memory traffic implied by the mix.
+
+        This is the *instruction-level* intensity (every load/store counts);
+        cache reuse is accounted for separately by the timing model.
+        Returns ``inf`` for a mix without memory operations.
+        """
+        mem_bytes = self.memory_ops() * bytes_per_mem_op
+        if mem_bytes == 0:
+            return math.inf
+        return self.flops() / mem_bytes
+
+
+@dataclass(frozen=True)
+class ISA:
+    """Descriptor of an instruction-set architecture.
+
+    :param name: canonical name, e.g. ``"ARMv7"``.
+    :param address_bits: virtual address bits available to one process.
+        ARMv7 is 32-bit (4 GB per process — a limitation Section 6.3 of the
+        paper calls out); ARMv8 provides a 42-bit space.
+    :param physical_address_bits: physical addressing (LPAE gives Cortex-A15
+        a 40-bit physical space even though the ISA is 32-bit).
+    :param simd_fp64_lanes: FP64 lanes in the SIMD unit; 0 when the SIMD
+        unit cannot process double precision (ARMv7 NEON).
+    :param fp64_optional: whether hardware FP64 is an optional ISA feature.
+    :param hardfp_abi: whether the *default* distribution ABI passes FP
+        values in FP registers.  ARMv7 distributions of the era defaulted to
+        soft-float calling conventions (Section 6.2): the paper's team had to
+        build custom ``hardfp`` images.
+    """
+
+    name: str
+    address_bits: int
+    physical_address_bits: int
+    simd_fp64_lanes: int
+    fp64_optional: bool
+    hardfp_abi: bool
+
+    @property
+    def max_process_memory_bytes(self) -> int:
+        """Largest per-process address space (bytes)."""
+        return 1 << self.address_bits
+
+    @property
+    def max_physical_memory_bytes(self) -> int:
+        """Largest addressable physical memory (bytes)."""
+        return 1 << self.physical_address_bits
+
+    def softfp_call_penalty(self) -> float:
+        """Relative slowdown multiplier for FP-heavy call-dense code when the
+        distribution uses the soft-float ABI.
+
+        Section 6.2: with ``softfp``, function calls pass FP values through
+        integer registers, "reducing performance accordingly".  We model the
+        published ~10-15% penalty on call-dense FP code as a 1.12 multiplier.
+        A hard-float ABI has no penalty.
+        """
+        return 1.0 if self.hardfp_abi else 1.12
+
+
+ARMV7 = ISA(
+    name="ARMv7",
+    address_bits=32,
+    physical_address_bits=40,  # LPAE on Cortex-A15
+    simd_fp64_lanes=0,
+    fp64_optional=True,
+    hardfp_abi=False,
+)
+
+ARMV8 = ISA(
+    name="ARMv8",
+    address_bits=42,
+    physical_address_bits=48,
+    simd_fp64_lanes=2,
+    fp64_optional=False,
+    hardfp_abi=True,
+)
+
+X86_64 = ISA(
+    name="x86-64",
+    address_bits=48,
+    physical_address_bits=46,
+    simd_fp64_lanes=4,  # AVX on Sandy Bridge
+    fp64_optional=False,
+    hardfp_abi=True,
+)

@@ -1,0 +1,344 @@
+"""Server-class comparator platforms (Section 2's related-work systems).
+
+These are the micro-server SoCs and HPC nodes the paper positions mobile
+SoCs against:
+
+* **Calxeda EnergyCore ECX-1000** — four Cortex-A9 at 1.4 GHz with ECC
+  memory, five integrated 10 GbE links and SATA: "low-power ARM
+  commodity processor IP ... integrated into SoCs targeting the server
+  market".
+* **Applied Micro X-Gene** — eight ARMv8 (64-bit) cores, four 10 GbE.
+* **Intel Atom S1260** — the "fairer" same-price-type comparison point
+  of footnote 5 ($64 list), a low-power x86 server part.
+* **TI KeyStone II** — Cortex-A15s plus a network protocol off-load
+  engine (the Section 4.1 fix for software messaging overhead).
+* **Dual-socket Intel Xeon X5570 (Nehalem)** — the comparison cluster
+  node of the paper's earlier energy-to-solution study [13].
+
+They reuse the same component models as the Table 1 platforms, so every
+analysis (features, power, clusters) runs on them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+
+from repro.arch.cache import CacheConfig
+from repro.arch.core_model import CoreModel, cortex_a9, cortex_a15, cortex_a15_armv8
+from repro.arch.dram import MemorySystem
+from repro.arch.dvfs import DVFSTable, OperatingPoint
+from repro.arch.isa import X86_64
+from repro.arch.power import PowerModel
+from repro.arch.soc import BoardInfo, Platform, SoC
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@lru_cache(maxsize=None)
+def calxeda_ecx1000() -> Platform:
+    """Calxeda EnergyCore ECX-1000: server-ised Cortex-A9 (Section 2)."""
+    soc = SoC(
+        name="EnergyCore-ECX1000",
+        core=cortex_a9(),
+        n_cores=4,
+        cache_levels=(
+            CacheConfig("L1D", 32 * KIB, 32, 4, 4),
+            CacheConfig("L2", 4 * MIB, 32, 8, 25, shared=True),
+        ),
+        memory=MemorySystem(
+            channels=1,
+            width_bits=64,
+            freq_mhz=667.0,
+            peak_bandwidth_gbs=10.6,
+            latency_ns=120.0,
+            stream_efficiency=0.55,
+            ecc=True,  # the server differentiator
+        ),
+        power=PowerModel(
+            board_watts=2.0,  # node card, not a dev kit
+            soc_static_watts=0.8,
+            core_active_watts=1.0,
+            nominal_freq_ghz=1.0,
+            vmin=0.9,
+            vmax=1.2,
+            fmin_ghz=0.8,
+            fmax_ghz=1.4,
+        ),
+        dvfs=DVFSTable(
+            [OperatingPoint(0.8, 0.9), OperatingPoint(1.1, 1.05),
+             OperatingPoint(1.4, 1.2)]
+        ),
+        l2_bw_bytes_per_cycle=2.3,
+    )
+    return Platform(
+        soc=soc,
+        board=BoardInfo(
+            name="Calxeda EnergyCard",
+            dram_bytes=4 * GIB,
+            dram_type="DDR3L-1333 ECC",
+            ethernet_interfaces=("10GbE",) * 5,
+            nic_attachment="onboard",  # fabric on-die
+            has_heatsink=True,
+            root_filesystem="disk",
+        ),
+        calibration_notes="Section 2 comparator; ECC + 5x10GbE on die.",
+    )
+
+
+@lru_cache(maxsize=None)
+def xgene() -> Platform:
+    """Applied Micro X-Gene: 8-core ARMv8 server SoC (Section 2)."""
+    soc = SoC(
+        name="X-Gene",
+        core=replace(cortex_a15_armv8(), name="X-Gene/ARMv8"),
+        n_cores=8,
+        cache_levels=(
+            CacheConfig("L1D", 32 * KIB, 64, 4, 4),
+            CacheConfig("L2", 256 * KIB, 64, 8, 12),
+            CacheConfig("L3", 8 * MIB, 64, 16, 35, shared=True),
+        ),
+        memory=MemorySystem(
+            channels=4,
+            width_bits=64,
+            freq_mhz=800.0,
+            peak_bandwidth_gbs=51.2,
+            latency_ns=90.0,
+            stream_efficiency=0.60,
+            ecc=True,
+        ),
+        power=PowerModel(
+            board_watts=8.0,
+            soc_static_watts=4.0,
+            core_active_watts=2.0,
+            nominal_freq_ghz=1.0,
+            vmin=0.85,
+            vmax=1.1,
+            fmin_ghz=1.0,
+            fmax_ghz=2.4,
+        ),
+        dvfs=DVFSTable(
+            [OperatingPoint(1.0, 0.85), OperatingPoint(1.6, 0.95),
+             OperatingPoint(2.4, 1.1)]
+        ),
+        l2_bw_bytes_per_cycle=6.0,
+    )
+    return Platform(
+        soc=soc,
+        board=BoardInfo(
+            name="X-Gene reference board",
+            dram_bytes=32 * GIB,
+            dram_type="DDR3-1600 ECC",
+            ethernet_interfaces=("10GbE",) * 4,
+            nic_attachment="onboard",
+            has_heatsink=True,
+            root_filesystem="disk",
+        ),
+        calibration_notes="Section 2 comparator: 64-bit, ECC, 4x10GbE.",
+    )
+
+
+def _atom_saltwell() -> CoreModel:
+    """Atom S1260 'Centerton' core: in-order 2-wide x86 with SSE2 FP64."""
+    return CoreModel(
+        name="Saltwell",
+        isa=X86_64,
+        issue_width=2,
+        fp64_flops_per_cycle=2.0,  # SSE2 2-wide, not pipelined FMA
+        fma_latency_cycles=9,
+        mlp=4.0,
+        rob_entries=32,  # in-order-ish: tiny effective window
+        branch_mispredict_cycles=13,
+        smt_threads=2,
+    )
+
+
+@lru_cache(maxsize=None)
+def atom_s1260() -> Platform:
+    """Intel Atom S1260: the footnote-5 same-price-type reference."""
+    soc = SoC(
+        name="Atom-S1260",
+        core=_atom_saltwell(),
+        n_cores=2,
+        threads_per_core=2,
+        cache_levels=(
+            CacheConfig("L1D", 24 * KIB // 8 * 8, 64, 6, 3),
+            CacheConfig("L2", 512 * KIB, 64, 8, 15, shared=True),
+        ),
+        memory=MemorySystem(
+            channels=1,
+            width_bits=64,
+            freq_mhz=667.0,
+            peak_bandwidth_gbs=10.6,
+            latency_ns=95.0,
+            stream_efficiency=0.55,
+            ecc=True,
+        ),
+        power=PowerModel(
+            board_watts=5.0,
+            soc_static_watts=1.5,
+            core_active_watts=1.6,
+            nominal_freq_ghz=1.0,
+            vmin=0.8,
+            vmax=1.0,
+            fmin_ghz=0.6,
+            fmax_ghz=2.0,
+        ),
+        dvfs=DVFSTable(
+            [OperatingPoint(0.6, 0.8), OperatingPoint(1.3, 0.9),
+             OperatingPoint(2.0, 1.0)]
+        ),
+        l2_bw_bytes_per_cycle=3.0,
+    )
+    return Platform(
+        soc=soc,
+        board=BoardInfo(
+            name="Centerton micro-server node",
+            dram_bytes=8 * GIB,
+            dram_type="DDR3-1333 ECC",
+            ethernet_interfaces=("1GbE", "1GbE"),
+            nic_attachment="onboard",
+            has_heatsink=True,
+            root_filesystem="disk",
+        ),
+        calibration_notes="Footnote 5: $64 list price; 8.5 W TDP class.",
+        unit_price_usd=64.0,
+    )
+
+
+@lru_cache(maxsize=None)
+def keystone2() -> Platform:
+    """TI KeyStone II: Cortex-A15 plus a protocol off-load engine."""
+    soc = SoC(
+        name="KeyStone-II",
+        core=cortex_a15(),
+        n_cores=4,
+        cache_levels=(
+            CacheConfig("L1D", 32 * KIB, 64, 2, 4),
+            CacheConfig("L2", 4 * MIB, 64, 16, 21, shared=True),
+        ),
+        memory=MemorySystem(
+            channels=1,
+            width_bits=72,
+            freq_mhz=800.0,
+            peak_bandwidth_gbs=12.8,
+            latency_ns=105.0,
+            stream_efficiency=0.55,
+            ecc=True,  # Section 6.3 names its ECC-capable controller
+        ),
+        power=PowerModel(
+            board_watts=6.0,
+            soc_static_watts=2.0,
+            core_active_watts=1.25,
+            nominal_freq_ghz=1.0,
+            vmin=0.9,
+            vmax=1.15,
+            fmin_ghz=0.8,
+            fmax_ghz=1.4,
+        ),
+        dvfs=DVFSTable(
+            [OperatingPoint(0.8, 0.9), OperatingPoint(1.2, 1.05),
+             OperatingPoint(1.4, 1.15)]
+        ),
+        l2_bw_bytes_per_cycle=2.7,
+    )
+    return Platform(
+        soc=soc,
+        board=BoardInfo(
+            name="KeyStone II EVM",
+            dram_bytes=8 * GIB,
+            dram_type="DDR3-1600 ECC",
+            ethernet_interfaces=("10GbE", "1GbE"),
+            nic_attachment="onboard",
+            has_heatsink=True,
+            root_filesystem="disk",
+        ),
+        calibration_notes="Section 4.1/6.3: hardware protocol accelerator.",
+        protocol_offload=True,
+    )
+
+
+def _nehalem_core() -> CoreModel:
+    return CoreModel(
+        name="Nehalem",
+        isa=X86_64,
+        issue_width=4,
+        fp64_flops_per_cycle=4.0,  # SSE 2-wide add + mul
+        fma_latency_cycles=8,
+        mlp=10.0,
+        rob_entries=128,
+        branch_mispredict_cycles=17,
+        smt_threads=2,
+    )
+
+
+@lru_cache(maxsize=None)
+def nehalem_node() -> Platform:
+    """One socket of the Intel Nehalem (Xeon X5570-class) cluster used
+    by the paper's energy-to-solution comparison study [13]."""
+    soc = SoC(
+        name="Xeon-X5570",
+        core=_nehalem_core(),
+        n_cores=4,
+        threads_per_core=2,
+        cache_levels=(
+            CacheConfig("L1D", 32 * KIB, 64, 8, 4),
+            CacheConfig("L2", 256 * KIB, 64, 8, 11),
+            CacheConfig("L3", 8 * MIB, 64, 16, 38, shared=True),
+        ),
+        memory=MemorySystem(
+            channels=3,
+            width_bits=64,
+            freq_mhz=666.0,
+            peak_bandwidth_gbs=32.0,
+            latency_ns=65.0,
+            stream_efficiency=0.55,
+            ecc=True,
+        ),
+        power=PowerModel(
+            board_watts=95.0,  # server board, fans, PSU losses
+            soc_static_watts=25.0,
+            core_active_watts=9.0,
+            nominal_freq_ghz=1.0,
+            vmin=0.85,
+            vmax=1.2,
+            fmin_ghz=1.6,
+            fmax_ghz=2.93,
+        ),
+        dvfs=DVFSTable(
+            [OperatingPoint(1.6, 0.85), OperatingPoint(2.26, 1.0),
+             OperatingPoint(2.93, 1.2)]
+        ),
+        l2_bw_bytes_per_cycle=6.5,
+    )
+    return Platform(
+        soc=soc,
+        board=BoardInfo(
+            name="2U Nehalem server (one socket modelled)",
+            dram_bytes=24 * GIB,
+            dram_type="DDR3-1333 ECC",
+            ethernet_interfaces=("1GbE", "1GbE"),
+            nic_attachment="onboard",
+            has_heatsink=True,
+            root_filesystem="disk",
+        ),
+        calibration_notes=(
+            "Reference node of the [13] energy-to-solution comparison: "
+            "~4x faster, ~3x more energy than Tibidabo per solution."
+        ),
+    )
+
+
+#: Section 2 comparator registry.
+SERVER_PLATFORMS = {
+    p.name: p
+    for p in (
+        calxeda_ecx1000(),
+        xgene(),
+        atom_s1260(),
+        keystone2(),
+        nehalem_node(),
+    )
+}

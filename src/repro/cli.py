@@ -1,0 +1,170 @@
+"""Command-line interface: regenerate any artefact of the paper.
+
+Usage::
+
+    python -m repro table1            # platforms under evaluation
+    python -m repro table2            # the kernel suite
+    python -m repro table3            # the applications
+    python -m repro table4            # bytes/FLOPS balance
+    python -m repro fig1 ... fig7     # figure series (text + ASCII chart)
+    python -m repro headline          # 97 GFLOPS / 51% / 120 MFLOPS/W
+    python -m repro features          # Section 6.3 readiness matrix
+    python -m repro stack             # Figure 8 software stack
+    python -m repro energy            # the [13] energy-to-solution study
+    python -m repro compare           # all paper-vs-measured claims
+    python -m repro all               # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+ARTEFACTS = (
+    "table1", "table2", "table3", "table4",
+    "fig1", "fig2a", "fig2b", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "headline", "features", "stack", "energy", "green500", "compare",
+)
+
+
+def _print_header(title: str) -> None:
+    print(f"\n{title}")
+    print("=" * len(title))
+
+
+def run_artefact(name: str, study=None) -> None:
+    """Render one artefact to stdout."""
+    from repro.analysis import (
+        render_figure,
+        render_table1,
+        render_table2,
+        render_table3,
+        render_table4,
+    )
+    from repro.core.study import MobileSoCStudy
+
+    study = study or MobileSoCStudy()
+
+    if name == "table1":
+        _print_header("Table 1: platforms under evaluation")
+        print(render_table1())
+    elif name == "table2":
+        _print_header("Table 2: micro-kernel suite")
+        print(render_table2())
+    elif name == "table3":
+        _print_header("Table 3: applications")
+        print(render_table3())
+    elif name == "table4":
+        _print_header("Table 4: network bytes/FLOPS")
+        print(render_table4())
+    elif name == "fig1":
+        _print_header("Figure 1: TOP500 share")
+        print(render_figure("figure1", study.figure1()))
+    elif name == "fig2a":
+        _print_header("Figure 2a: vector vs commodity trends")
+        print(render_figure("figure2a", study.figure2a()))
+    elif name == "fig2b":
+        _print_header("Figure 2b: server vs mobile trends")
+        print(render_figure("figure2b", study.figure2b()))
+    elif name == "fig3":
+        _print_header("Figure 3: single-core sweep")
+        print(render_figure("figure3", study.figure3()))
+    elif name == "fig4":
+        _print_header("Figure 4: multi-core sweep")
+        print(render_figure("figure4", study.figure4()))
+    elif name == "fig5":
+        _print_header("Figure 5: STREAM bandwidth (GB/s)")
+        for plat, d in study.figure5().items():
+            print(
+                f"  {plat:14s} single triad {d['single']['Triad']:6.2f}  "
+                f"multi {d['multi']['Triad']:6.2f}  "
+                f"eff {d['efficiency_vs_peak']:.0%}"
+            )
+    elif name == "fig6":
+        _print_header("Figure 6: application scalability")
+        print(render_figure("figure6", study.figure6()))
+    elif name == "fig7":
+        _print_header("Figure 7: interconnect")
+        print(render_figure("figure7", study.figure7()))
+    elif name == "headline":
+        _print_header("Headline: HPL on 96 Tibidabo nodes")
+        for k, v in study.headline_hpl().items():
+            print(f"  {k}: {v:.2f}")
+    elif name == "features":
+        _print_header("Section 6.3: HPC-readiness matrix")
+        from repro.arch.catalog import PLATFORMS
+        from repro.arch.features import Feature, readiness_matrix
+        from repro.arch.servers import SERVER_PLATFORMS
+        from repro.core.results import render_table
+
+        matrix = readiness_matrix(
+            list(PLATFORMS.values()) + list(SERVER_PLATFORMS.values())
+        )
+        headers = ["Platform"] + [f.name for f in Feature]
+        rows = [
+            [plat] + ["yes" if row[f.value] else "-" for f in Feature]
+            for plat, row in matrix.items()
+        ]
+        print(render_table(headers, rows))
+    elif name == "stack":
+        _print_header("Figure 8: software stack")
+        from repro.stack import figure8_layout
+
+        for layer, comps in figure8_layout().items():
+            print(f"  {layer:22s}: {', '.join(comps)}")
+    elif name == "energy":
+        _print_header("Energy-to-solution vs a Nehalem cluster [13]")
+        from repro.core.energy_study import pde_solver_campaign
+
+        for app, r in pde_solver_campaign().items():
+            print(
+                f"  {app:10s} time {r.time_ratio:4.1f}x slower, "
+                f"energy {r.energy_ratio:4.1f}x lower"
+            )
+    elif name == "green500":
+        _print_header("Green500 positioning")
+        from repro.core.green500 import megaproto_claim, tibidabo_positioning
+
+        mp_rank, mp_holds = megaproto_claim()
+        print(f"  MegaProto @100 MFLOPS/W, Nov 2007: rank ~{mp_rank:.0f} "
+              f"(claim 45-70: {'holds' if mp_holds else 'FAILS'})")
+        tb = tibidabo_positioning(study.headline_hpl()['mflops_per_watt'])
+        print(f"  Tibidabo @{tb['mflops_per_watt']:.0f} MFLOPS/W, June 2013: "
+              f"rank ~{tb['estimated_rank']:.0f}, "
+              f"{tb['gap_to_best']:.0f}x under #1")
+    elif name == "compare":
+        _print_header("Paper vs measured (all encoded claims)")
+        from repro.analysis import build_comparisons, comparisons_markdown
+
+        print(comparisons_markdown(build_comparisons(study)))
+    else:
+        raise SystemExit(f"unknown artefact {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artefacts of the SC'13 mobile-SoC study.",
+    )
+    parser.add_argument(
+        "artefacts",
+        nargs="+",
+        choices=ARTEFACTS + ("all",),
+        help="which artefacts to regenerate",
+    )
+    args = parser.parse_args(argv)
+    names = (
+        list(ARTEFACTS)
+        if "all" in args.artefacts
+        else list(dict.fromkeys(args.artefacts))
+    )
+    from repro.core.study import MobileSoCStudy
+
+    study = MobileSoCStudy()
+    for name in names:
+        run_artefact(name, study)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

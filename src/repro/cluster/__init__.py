@@ -1,0 +1,36 @@
+"""Cluster substrate: Tibidabo and friends.
+
+Builds multi-node systems out of the platform models (:mod:`repro.arch`),
+the interconnect models (:mod:`repro.net`) and the MPI simulator
+(:mod:`repro.mpi`), plus the operational pieces the paper discusses:
+whole-cluster power (for the Green500 figure), the NFS root filesystem
+whose 100 Mbit bottleneck caused application timeouts (Section 6.2), a
+minimal SLURM-like scheduler (Section 5's software stack), and the
+reliability models of Section 6 (DRAM errors without ECC, thermal
+throttling of heatsink-less boards, flaky PCIe).
+"""
+
+from repro.cluster.node import ClusterNode
+from repro.cluster.cluster import Cluster, ClusterNetwork, tibidabo
+from repro.cluster.power import ClusterPowerModel
+from repro.cluster.nfs import NFSModel
+from repro.cluster.slurm import Job, SlurmScheduler
+from repro.cluster.reliability import (
+    DramErrorModel,
+    PCIeFaultInjector,
+    ThermalModel,
+)
+
+__all__ = [
+    "ClusterNode",
+    "Cluster",
+    "ClusterNetwork",
+    "tibidabo",
+    "ClusterPowerModel",
+    "NFSModel",
+    "Job",
+    "SlurmScheduler",
+    "DramErrorModel",
+    "PCIeFaultInjector",
+    "ThermalModel",
+]

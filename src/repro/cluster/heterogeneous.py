@@ -1,0 +1,131 @@
+"""Heterogeneous clusters — the FAWN follow-up's proposal (Section 2).
+
+Lang et al. [25] found homogeneous low-power clusters unsuited to
+complex workloads and proposed "future research in heterogeneous
+clusters using low-power nodes combined with conventional ones".  This
+module makes that proposal executable over our node models:
+
+* a :class:`HeterogeneousCluster` mixes node types;
+* :func:`static_partition_speedup` shows the classic failure mode — an
+  *unweighted* split of divisible work is gated by the slow nodes;
+* :func:`weighted_partition_speedup` shows the fix (work proportional
+  to node throughput), and :func:`efficiency_per_watt` shows where the
+  mixed design actually pays: throughput per watt under a power cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.soc import Platform
+from repro.cluster.node import ClusterNode
+
+
+@dataclass(frozen=True)
+class NodeGroup:
+    """A homogeneous group inside a heterogeneous cluster."""
+
+    platform: Platform
+    count: int
+    freq_ghz: float
+    node_watts: float  # wall power per busy node
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("group needs at least one node")
+        if self.node_watts <= 0:
+            raise ValueError("node power must be positive")
+
+    def node(self) -> ClusterNode:
+        return ClusterNode(0, self.platform, self.freq_ghz)
+
+    def group_gflops(self, workload: str = "dgemm") -> float:
+        return self.count * self.node().achieved_gflops(workload)
+
+    def group_watts(self) -> float:
+        return self.count * self.node_watts
+
+
+class HeterogeneousCluster:
+    """A cluster of mixed node groups running one divisible workload."""
+
+    def __init__(self, groups: list[NodeGroup]) -> None:
+        if not groups:
+            raise ValueError("need at least one group")
+        self.groups = groups
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(g.count for g in self.groups)
+
+    def total_gflops(self, workload: str = "dgemm") -> float:
+        return sum(g.group_gflops(workload) for g in self.groups)
+
+    def total_watts(self) -> float:
+        return sum(g.group_watts() for g in self.groups)
+
+    # -- partitioning models ------------------------------------------------
+    def static_partition_time_s(
+        self, total_flops: float, workload: str = "dgemm"
+    ) -> float:
+        """Equal work per node: finish time is gated by the slowest node
+        (the [25] failure mode for homogeneity-assuming software)."""
+        if total_flops <= 0:
+            raise ValueError("work must be positive")
+        per_node = total_flops / self.n_nodes
+        return max(
+            per_node / (g.node().achieved_gflops(workload) * 1e9)
+            for g in self.groups
+        )
+
+    def weighted_partition_time_s(
+        self, total_flops: float, workload: str = "dgemm"
+    ) -> float:
+        """Work proportional to throughput: every node finishes together
+        (the ideal a heterogeneity-aware runtime approaches)."""
+        if total_flops <= 0:
+            raise ValueError("work must be positive")
+        return total_flops / (self.total_gflops(workload) * 1e9)
+
+    def static_efficiency(self, workload: str = "dgemm") -> float:
+        """Fraction of aggregate throughput an unweighted split keeps."""
+        flops = 1e12
+        return self.weighted_partition_time_s(
+            flops, workload
+        ) / self.static_partition_time_s(flops, workload)
+
+    def gflops_per_watt(self, workload: str = "dgemm") -> float:
+        return self.total_gflops(workload) / self.total_watts()
+
+
+def best_mix_under_power_cap(
+    fast: NodeGroup,
+    slow: NodeGroup,
+    power_cap_w: float,
+    workload: str = "dgemm",
+) -> dict[str, float]:
+    """Sweep fast:slow node mixes under a power cap and report the
+    throughput-maximising one (with weighted partitioning).
+
+    ``fast``/``slow`` describe one node each (``count`` ignored).
+    """
+    if power_cap_w <= 0:
+        raise ValueError("power cap must be positive")
+    fast_one = NodeGroup(fast.platform, 1, fast.freq_ghz, fast.node_watts)
+    slow_one = NodeGroup(slow.platform, 1, slow.freq_ghz, slow.node_watts)
+    f_gf = fast_one.group_gflops(workload)
+    s_gf = slow_one.group_gflops(workload)
+    best = {"n_fast": 0.0, "n_slow": 0.0, "gflops": 0.0}
+    max_fast = int(power_cap_w // fast.node_watts)
+    for n_fast in range(max_fast + 1):
+        remaining = power_cap_w - n_fast * fast.node_watts
+        n_slow = int(remaining // slow.node_watts)
+        gflops = n_fast * f_gf + n_slow * s_gf
+        if gflops > best["gflops"] and n_fast + n_slow > 0:
+            best = {
+                "n_fast": float(n_fast),
+                "n_slow": float(n_slow),
+                "gflops": gflops,
+            }
+    best["gflops_per_watt"] = best["gflops"] / power_cap_w
+    return best

@@ -1,0 +1,98 @@
+"""NFS root-filesystem model.
+
+Every Tibidabo node mounts its root filesystem over NFS (Section 5).
+Section 6.2: "the low 100 Mbit Ethernet bandwidth was not enough to
+support the NFS traffic in the I/O phases of the applications, resulting
+in timeouts, performance degradation and even application crashes.  This
+required application changes to serialize the parallel I/O ... and in
+some cases this limited the maximum number of nodes."
+
+The model: one NFS server behind a ``server_link``; ``n`` clients each
+moving ``bytes_per_client`` through their ``client_link`` concurrently.
+Per-client throughput is the fair share of the server link capped by the
+client link; an I/O phase whose duration exceeds the RPC timeout
+(retrans x timeo) is flagged, and serialising the I/O is offered as the
+mitigation the paper applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.link import FAST_ETHERNET, GBE, Link
+
+
+@dataclass(frozen=True)
+class NFSModel:
+    """NFS server/client throughput and timeout model.
+
+    :param server_link: the server's network attachment.
+    :param client_link: each node's NFS-facing link (100 Mbit on the
+        boards that route NFS over their slow interface).
+    :param rpc_timeout_s: effective NFS RPC deadline (timeo x retrans).
+    :param server_efficiency: fraction of link bandwidth NFS sustains
+        (protocol + disk overheads).
+    """
+
+    server_link: Link = GBE
+    client_link: Link = FAST_ETHERNET
+    rpc_timeout_s: float = 60.0
+    server_efficiency: float = 0.80
+
+    def __post_init__(self) -> None:
+        if self.rpc_timeout_s <= 0:
+            raise ValueError("timeout must be positive")
+        if not (0.0 < self.server_efficiency <= 1.0):
+            raise ValueError("efficiency must be in (0, 1]")
+
+    def per_client_mbs(self, n_clients: int) -> float:
+        """Fair-share throughput per client, MB/s."""
+        if n_clients <= 0:
+            raise ValueError("need at least one client")
+        server_share = (
+            self.server_link.payload_bandwidth_mbs
+            * self.server_efficiency
+            / n_clients
+        )
+        return min(server_share, self.client_link.payload_bandwidth_mbs)
+
+    def parallel_phase_time_s(
+        self, n_clients: int, bytes_per_client: float
+    ) -> float:
+        """Duration of a fully parallel I/O phase."""
+        if bytes_per_client < 0:
+            raise ValueError("bytes must be non-negative")
+        bw = self.per_client_mbs(n_clients) * 1e6  # B/s
+        return bytes_per_client / bw
+
+    def serialized_phase_time_s(
+        self, n_clients: int, bytes_per_client: float
+    ) -> float:
+        """Duration when clients take turns (the paper's mitigation)."""
+        bw = self.per_client_mbs(1) * 1e6
+        return n_clients * bytes_per_client / bw
+
+    def times_out(self, n_clients: int, bytes_per_client: float) -> bool:
+        """Whether a parallel phase would trip the RPC deadline — the
+        Section 6.2 failure mode."""
+        return (
+            self.parallel_phase_time_s(n_clients, bytes_per_client)
+            > self.rpc_timeout_s
+        )
+
+    def max_parallel_clients(self, bytes_per_client: float) -> int:
+        """Largest client count that stays under the deadline — the
+        "limited the maximum number of nodes" effect."""
+        if bytes_per_client <= 0:
+            return 1 << 30  # unbounded for empty phases
+        if self.times_out(1, bytes_per_client):
+            return 0
+        # Once the server link is the bottleneck, phase time grows
+        # linearly with n: t(n) = n * bytes / server_bw.
+        server_bw = (
+            self.server_link.payload_bandwidth_mbs
+            * self.server_efficiency
+            * 1e6
+        )
+        n_max = int(self.rpc_timeout_s * server_bw / bytes_per_client)
+        return max(1, n_max)

@@ -1,0 +1,91 @@
+"""A cluster compute node.
+
+Tibidabo's node is an NVIDIA Tegra 2 on a SECO Q7 module: two Cortex-A9
+cores, 1 GB DDR2, and a 1 GbE NIC attached over PCIe (Section 4).  The
+node model wraps a :class:`~repro.arch.soc.Platform` with the achieved
+application throughput (no vendor-tuned BLAS existed for ARM — one of
+the paper's stated reasons for the modest HPL efficiency) and the NIC
+attachment used to build its protocol stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.soc import Platform
+from repro.net.nic import NICAttachment, attachment_for
+
+#: Fraction of peak FP64 achieved by the dominant compute phase of each
+#: application class, out-of-the-box toolchain (Section 5: natively
+#: compiled ATLAS, no vendor library, "compiled and executed
+#: out-of-the-box, without any tuning").
+ACHIEVED_FRACTION = {
+    "dgemm": 0.68,  # ATLAS DGEMM on Cortex-A9 (drives HPL)
+    "stencil": 0.40,
+    "particle": 0.45,
+    "spectral": 0.50,
+    "generic": 0.45,
+}
+
+
+@dataclass(frozen=True)
+class ClusterNode:
+    """One compute node of a cluster.
+
+    :param node_id: position in the cluster (also the default MPI rank).
+    :param platform: the SoC/board model.
+    :param freq_ghz: operating frequency (performance governor).
+    :param ranks_per_node: MPI ranks placed on the node.
+    """
+
+    node_id: int
+    platform: Platform
+    freq_ghz: float
+    ranks_per_node: int = 1
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        if self.freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if not (1 <= self.ranks_per_node <= self.platform.soc.n_cores):
+            raise ValueError("ranks_per_node must fit the core count")
+
+    @property
+    def nic(self) -> NICAttachment:
+        return attachment_for(self.platform.board.nic_attachment)
+
+    @property
+    def cores(self) -> int:
+        return self.platform.soc.n_cores
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.platform.board.dram_bytes
+
+    def peak_gflops(self) -> float:
+        """Peak FP64 GFLOPS of the whole node."""
+        return self.platform.soc.peak_gflops(self.freq_ghz)
+
+    def achieved_gflops(self, workload: str = "dgemm") -> float:
+        """Achieved GFLOPS of the node's dominant compute phase."""
+        try:
+            frac = ACHIEVED_FRACTION[workload]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload class {workload!r}; "
+                f"known: {sorted(ACHIEVED_FRACTION)}"
+            ) from None
+        cores_per_rank = self.cores / self.ranks_per_node
+        return (
+            self.platform.soc.core.peak_gflops(self.freq_ghz)
+            * cores_per_rank
+            * frac
+        )
+
+    def usable_memory_bytes(self, os_reserve_fraction: float = 0.25) -> int:
+        """Memory available to the application (the OS, NFS caches and
+        the 32-bit address-space overheads eat the rest)."""
+        if not (0.0 <= os_reserve_fraction < 1.0):
+            raise ValueError("reserve fraction must be in [0, 1)")
+        return int(self.memory_bytes * (1.0 - os_reserve_fraction))

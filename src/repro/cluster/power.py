@@ -1,0 +1,98 @@
+"""Whole-cluster power — the Green500 side of the evaluation.
+
+Section 4: running HPL on 96 nodes, Tibidabo delivered 97 GFLOPS at an
+energy efficiency of 120 MFLOPS/W, "competitive with AMD Opteron 6174
+and Intel Xeon E5660-based clusters, but nineteen times lower than ...
+BlueGene/Q, and almost 27 times lower than ... the Eurotech Eurora
+cluster".
+
+A Tibidabo node is a bare Q7 module in a rack chassis, not a full
+developer kit, so its power is lower than the Section 3 board figure:
+SoC + DRAM + NIC + VRM losses.  The model is calibrated so the 96-node
+HPL run lands near the paper's 120 MFLOPS/W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+
+#: June 2013 Green500 reference points (MFLOPS/W) quoted in Section 4.
+GREEN500_REFERENCES = {
+    "Tibidabo (paper)": 120.0,
+    "BlueGene/Q (best homogeneous)": 2300.0,
+    "Eurotech Eurora (K20 GPU, #1)": 3210.0,
+    "AMD Opteron 6174 cluster": 120.0,
+    "Intel Xeon E5660 cluster": 130.0,
+}
+
+
+@dataclass(frozen=True)
+class ClusterPowerModel:
+    """Rack-level power model for an SoC cluster.
+
+    :param module_base_watts: per-node constant draw (DRAM, NIC, VRM
+        losses, module logic) excluding the CPU cores.
+    :param switch_watts: per-switch draw.
+    :param psu_efficiency: AC/DC conversion efficiency (losses are added
+        on top of the DC figures).
+    """
+
+    module_base_watts: float = 3.5
+    switch_watts: float = 40.0
+    psu_efficiency: float = 0.90
+
+    def __post_init__(self) -> None:
+        if self.module_base_watts < 0 or self.switch_watts < 0:
+            raise ValueError("power terms must be non-negative")
+        if not (0.0 < self.psu_efficiency <= 1.0):
+            raise ValueError("psu efficiency must be in (0, 1]")
+
+    def node_power_watts(
+        self, cluster: Cluster, active_cores: int | None = None
+    ) -> float:
+        """DC power of one busy node."""
+        node = cluster.nodes[0]
+        soc = node.platform.soc
+        cores = soc.n_cores if active_cores is None else active_cores
+        if not (0 <= cores <= soc.n_cores):
+            raise ValueError("active_cores out of range")
+        core_power = cores * soc.power.core_power(node.freq_ghz)
+        return (
+            self.module_base_watts + soc.power.soc_static_watts + core_power
+        )
+
+    def n_switches(self, cluster: Cluster) -> int:
+        """Leaf switches plus one core switch when there are several."""
+        leaves = cluster.topology.n_leaves
+        return leaves if leaves == 1 else leaves + 1
+
+    def total_power_watts(
+        self, cluster: Cluster, active_cores: int | None = None
+    ) -> float:
+        """Wall (AC) power of the whole cluster under load."""
+        dc = (
+            cluster.n_nodes * self.node_power_watts(cluster, active_cores)
+            + self.n_switches(cluster) * self.switch_watts
+        )
+        return dc / self.psu_efficiency
+
+    def mflops_per_watt(
+        self,
+        cluster: Cluster,
+        achieved_gflops: float,
+        active_cores: int | None = None,
+    ) -> float:
+        """The Green500 metric for a run achieving ``achieved_gflops``."""
+        if achieved_gflops < 0:
+            raise ValueError("achieved GFLOPS must be non-negative")
+        power = self.total_power_watts(cluster, active_cores)
+        return achieved_gflops * 1e3 / power
+
+    def gap_to(self, reference: str, measured_mflops_w: float) -> float:
+        """How many times below a Green500 reference point we are."""
+        ref = GREEN500_REFERENCES[reference]
+        if measured_mflops_w <= 0:
+            raise ValueError("measured efficiency must be positive")
+        return ref / measured_mflops_w

@@ -1,0 +1,195 @@
+"""Reliability models — Section 6's quantitative claims.
+
+Three independent pieces:
+
+* :class:`DramErrorModel` — the Schroeder et al. field-study arithmetic
+  behind the paper's headline: "4% to 20% of all DIMMs encounter a
+  correctable error [per year] ... these figures suggest that a 1,500
+  node system, with 2 DIMMs per node, has a 30% error probability on any
+  given day" — and mobile SoCs have no ECC to correct them.
+* :class:`ThermalModel` — a first-order RC model of the heatsink-less
+  developer boards: "after continued use at the maximum frequency, both
+  the SoC and power supply circuitry overheat, causing the board to
+  become unstable" (Section 6.1).
+* :class:`PCIeFaultInjector` — the flaky Tegra PCIe root complex:
+  initialisation failures at boot and hangs under sustained load
+  (Section 6.1), for failure-injection testing of cluster runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DramErrorModel:
+    """Field DRAM error arithmetic (Schroeder, Pinheiro, Weber 2009).
+
+    :param annual_dimm_error_rate: probability that a DIMM sees at least
+        one correctable error within a year (the study's 4%–20% range).
+    """
+
+    annual_dimm_error_rate: float = 0.04
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.annual_dimm_error_rate < 1.0):
+            raise ValueError("annual rate must be in (0, 1)")
+
+    def daily_dimm_error_probability(self) -> float:
+        """Per-DIMM probability of an error on a given day, assuming
+        independent days: ``1 - (1 - annual)^(1/365)``."""
+        return 1.0 - (1.0 - self.annual_dimm_error_rate) ** (1.0 / 365.0)
+
+    def system_daily_error_probability(
+        self, n_nodes: int, dimms_per_node: int = 2
+    ) -> float:
+        """Probability that at least one DIMM in the system errs today."""
+        if n_nodes <= 0 or dimms_per_node <= 0:
+            raise ValueError("counts must be positive")
+        p = self.daily_dimm_error_probability()
+        n = n_nodes * dimms_per_node
+        return 1.0 - (1.0 - p) ** n
+
+    def mean_days_between_errors(
+        self, n_nodes: int, dimms_per_node: int = 2
+    ) -> float:
+        """Expected days between system-level DRAM errors."""
+        p_day = self.system_daily_error_probability(n_nodes, dimms_per_node)
+        return 1.0 / p_day
+
+    def job_failure_probability(
+        self,
+        n_nodes: int,
+        job_hours: float,
+        dimms_per_node: int = 2,
+        ecc: bool = False,
+    ) -> float:
+        """Probability that an uncorrected DRAM error lands inside a job.
+
+        With ECC the (correctable) errors are absorbed; without it — the
+        mobile-SoC situation — every one is a potential silent crash or
+        corruption."""
+        if job_hours <= 0:
+            raise ValueError("job duration must be positive")
+        if ecc:
+            return 0.0
+        p_dimm_day = self.daily_dimm_error_probability()
+        rate_per_hour = -math.log(1.0 - p_dimm_day) / 24.0
+        n = n_nodes * dimms_per_node
+        return 1.0 - math.exp(-rate_per_hour * n * job_hours)
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """First-order thermal RC model of a fanless developer board.
+
+    Die temperature under constant power ``P`` follows
+    ``T(t) = T_amb + P * R * (1 - exp(-t / tau))``.
+
+    :param r_c_per_w: junction-to-ambient thermal resistance (degC/W) —
+        large without a heatsink.
+    :param tau_s: thermal time constant.
+    :param t_ambient: ambient temperature (degC).
+    :param t_unstable: temperature at which the board destabilises.
+    """
+
+    r_c_per_w: float = 14.0
+    tau_s: float = 120.0
+    t_ambient: float = 30.0
+    t_unstable: float = 95.0
+
+    def __post_init__(self) -> None:
+        if min(self.r_c_per_w, self.tau_s) <= 0:
+            raise ValueError("R and tau must be positive")
+        if self.t_unstable <= self.t_ambient:
+            raise ValueError("instability threshold must exceed ambient")
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Equilibrium die temperature at constant ``power_w``."""
+        if power_w < 0:
+            raise ValueError("power must be non-negative")
+        return self.t_ambient + power_w * self.r_c_per_w
+
+    def temperature_c(self, power_w: float, t_s: float) -> float:
+        """Die temperature after ``t_s`` seconds at constant power."""
+        if t_s < 0:
+            raise ValueError("time must be non-negative")
+        if power_w < 0:
+            raise ValueError("power must be non-negative")
+        rise = power_w * self.r_c_per_w
+        return self.t_ambient + rise * (1.0 - math.exp(-t_s / self.tau_s))
+
+    def becomes_unstable(self, power_w: float) -> bool:
+        """Whether sustained load eventually destabilises the board."""
+        return self.steady_state_c(power_w) > self.t_unstable
+
+    def time_to_instability_s(self, power_w: float) -> float:
+        """Seconds of sustained load before instability (``inf`` if the
+        steady state stays below the threshold)."""
+        steady = self.steady_state_c(power_w)
+        if steady <= self.t_unstable:
+            return math.inf
+        frac = (self.t_unstable - self.t_ambient) / (steady - self.t_ambient)
+        return -self.tau_s * math.log(1.0 - frac)
+
+    def max_sustainable_power_w(self) -> float:
+        """Largest constant power that never destabilises the board —
+        what a proper thermal package (Section 6.1's fix) must beat."""
+        return (self.t_unstable - self.t_ambient) / self.r_c_per_w
+
+
+class PCIeFaultInjector:
+    """The unstable Tegra PCIe root complex, as a fault injector.
+
+    :param p_boot_failure: probability the interface fails to enumerate
+        at boot ("sometimes the PCIe interface failed to initialize").
+    :param mtbf_hours_under_load: mean time between hangs under heavy
+        traffic ("sometimes it stopped responding when used under heavy
+        workloads"; post-mortem analysis was impossible — the node just
+        dies).
+    :param seed: RNG seed (deterministic injection for tests).
+    """
+
+    def __init__(
+        self,
+        p_boot_failure: float = 0.02,
+        mtbf_hours_under_load: float = 200.0,
+        seed: int = 0,
+    ) -> None:
+        if not (0.0 <= p_boot_failure < 1.0):
+            raise ValueError("boot failure probability must be in [0, 1)")
+        if mtbf_hours_under_load <= 0:
+            raise ValueError("MTBF must be positive")
+        self.p_boot_failure = p_boot_failure
+        self.mtbf_hours_under_load = mtbf_hours_under_load
+        self._rng = np.random.default_rng(seed)
+
+    def boot_nodes(self, n_nodes: int) -> np.ndarray:
+        """Boolean array: which of ``n_nodes`` came up with working PCIe."""
+        if n_nodes <= 0:
+            raise ValueError("need at least one node")
+        return self._rng.random(n_nodes) >= self.p_boot_failure
+
+    def hang_times_s(self, n_nodes: int) -> np.ndarray:
+        """Exponential time-to-hang (seconds) per node under load."""
+        if n_nodes <= 0:
+            raise ValueError("need at least one node")
+        return self._rng.exponential(
+            self.mtbf_hours_under_load * 3600.0, n_nodes
+        )
+
+    def job_survives(self, n_nodes: int, job_hours: float) -> bool:
+        """Whether a job of ``job_hours`` on ``n_nodes`` sees no hang."""
+        if job_hours <= 0:
+            raise ValueError("job duration must be positive")
+        return bool(
+            (self.hang_times_s(n_nodes) > job_hours * 3600.0).all()
+        )
+
+    def expected_job_survival(self, n_nodes: int, job_hours: float) -> float:
+        """Analytic survival probability (no RNG)."""
+        rate = n_nodes * job_hours / self.mtbf_hours_under_load
+        return math.exp(-rate)

@@ -1,0 +1,127 @@
+"""Minimal SLURM-like batch scheduler.
+
+Section 5: "Each node was also configured to run a SLURM client for job
+scheduling across the cluster nodes."  This is a functional FIFO +
+conservative-backfill scheduler over a fixed node pool — enough to run
+the benchmark campaigns the examples script, and a substrate the tests
+exercise for the classic invariants (no node oversubscription, FIFO
+fairness, backfill never delaying the queue head).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Job:
+    """A batch job request."""
+
+    name: str
+    n_nodes: int
+    duration_s: float
+    submit_s: float = 0.0
+    job_id: int = -1
+    start_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("jobs need at least one node")
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.submit_s < 0:
+            raise ValueError("submit time must be non-negative")
+
+    @property
+    def end_s(self) -> float | None:
+        return None if self.start_s is None else self.start_s + self.duration_s
+
+    @property
+    def wait_s(self) -> float | None:
+        return None if self.start_s is None else self.start_s - self.submit_s
+
+
+class SlurmScheduler:
+    """FIFO scheduler with conservative backfill over ``n_nodes`` nodes."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError("cluster needs nodes")
+        self.n_nodes = n_nodes
+        self._ids = itertools.count(1)
+        self.queue: list[Job] = []
+        self.scheduled: list[Job] = []
+
+    def submit(self, job: Job) -> int:
+        """Enqueue a job; returns its id."""
+        if job.n_nodes > self.n_nodes:
+            raise ValueError(
+                f"job {job.name!r} wants {job.n_nodes} nodes; "
+                f"cluster has {self.n_nodes}"
+            )
+        job.job_id = next(self._ids)
+        self.queue.append(job)
+        return job.job_id
+
+    # ------------------------------------------------------------------
+    def _nodes_free_at(self, t: float) -> int:
+        used = sum(
+            j.n_nodes
+            for j in self.scheduled
+            if j.start_s is not None and j.start_s <= t < j.end_s
+        )
+        return self.n_nodes - used
+
+    def _earliest_start(self, job: Job, not_before: float) -> float:
+        """Earliest time >= not_before with enough free nodes for the
+        whole duration of ``job``."""
+        horizon = sorted(
+            {not_before}
+            | {j.start_s for j in self.scheduled if j.start_s is not None}
+            | {j.end_s for j in self.scheduled if j.end_s is not None}
+        )
+        for t in horizon:
+            if t < not_before:
+                continue
+            boundaries = [
+                b
+                for j in self.scheduled
+                for b in (j.start_s, j.end_s)
+                if b is not None and t <= b < t + job.duration_s
+            ]
+            if all(
+                self._nodes_free_at(x) >= job.n_nodes
+                for x in [t] + boundaries
+            ):
+                return t
+        return max(horizon) if horizon else not_before
+
+    def schedule(self) -> list[Job]:
+        """Assign start times: FIFO for the head, conservative backfill
+        for the rest (a later job may start early only if that does not
+        delay any earlier job's reserved start)."""
+        self.queue.sort(key=lambda j: (j.submit_s, j.job_id))
+        for job in self.queue:
+            start = self._earliest_start(job, job.submit_s)
+            job.start_s = start
+            self.scheduled.append(job)
+        self.queue = []
+        return sorted(self.scheduled, key=lambda j: j.job_id)
+
+    def makespan_s(self) -> float:
+        """Completion time of the last scheduled job."""
+        ends = [j.end_s for j in self.scheduled if j.end_s is not None]
+        return max(ends) if ends else 0.0
+
+    def utilisation(self) -> float:
+        """Node-seconds used over node-seconds available until makespan."""
+        span = self.makespan_s()
+        if span == 0:
+            return 0.0
+        used = sum(
+            j.n_nodes * j.duration_s
+            for j in self.scheduled
+            if j.start_s is not None
+        )
+        return used / (self.n_nodes * span)

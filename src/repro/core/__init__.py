@@ -1,0 +1,61 @@
+"""The paper's primary contribution: the mobile-SoC-for-HPC study.
+
+* :mod:`repro.core.top500` — historical datasets behind Figures 1, 2a, 2b,
+* :mod:`repro.core.trends` — exponential regressions, gap and crossover
+  analysis, and the commodity-economics cost ratios,
+* :mod:`repro.core.metrics` — speedup/efficiency/energy metrics,
+  bytes-per-FLOP balance (Table 4), and the latency-penalty model,
+* :mod:`repro.core.study` — :class:`MobileSoCStudy`, the orchestrator
+  that regenerates every figure and table,
+* :mod:`repro.core.results` — typed records and text-table rendering.
+"""
+
+from repro.core.top500 import (
+    TOP500_SHARE,
+    VECTOR_PROCESSORS,
+    MICRO_PROCESSORS,
+    SERVER_PROCESSORS,
+    MOBILE_PROCESSORS,
+    ProcessorPoint,
+)
+from repro.core.trends import (
+    ExponentialFit,
+    fit_exponential,
+    gap_ratio,
+    crossover_year,
+    price_ratio_mobile_vs_hpc,
+)
+from repro.core.metrics import (
+    speedup,
+    parallel_efficiency,
+    energy_to_solution_j,
+    mflops_per_watt,
+    bytes_per_flop,
+    bytes_per_flop_table,
+    latency_penalty,
+)
+from repro.core.study import MobileSoCStudy
+from repro.core.results import render_table
+
+__all__ = [
+    "TOP500_SHARE",
+    "VECTOR_PROCESSORS",
+    "MICRO_PROCESSORS",
+    "SERVER_PROCESSORS",
+    "MOBILE_PROCESSORS",
+    "ProcessorPoint",
+    "ExponentialFit",
+    "fit_exponential",
+    "gap_ratio",
+    "crossover_year",
+    "price_ratio_mobile_vs_hpc",
+    "speedup",
+    "parallel_efficiency",
+    "energy_to_solution_j",
+    "mflops_per_watt",
+    "bytes_per_flop",
+    "bytes_per_flop_table",
+    "latency_penalty",
+    "MobileSoCStudy",
+    "render_table",
+]

@@ -1,0 +1,122 @@
+"""Energy-to-solution comparison — the paper's companion study [13].
+
+Section 4 cites Göddeke et al. (J. Comp. Physics 2013): comparing
+Tibidabo against an Intel Nehalem-based cluster on three classes of PDE
+solvers (including SPECFEM3D), "while Tibidabo had a 4 times increase in
+simulation time, it achieved up to 3 times lower energy-to-solution".
+
+We reproduce the experiment's structure: the same application instance
+is run (simulated) on both clusters, wall power is integrated over the
+run, and the time/energy ratios reported.  The x86 cluster carries an
+infrastructure overhead factor (InfiniBand fabric, chassis fans,
+storage) that a bare ARM prototype does not have — the same asymmetry
+the original measurement setup had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import get_application
+from repro.arch.servers import nehalem_node
+from repro.cluster.cluster import Cluster, build_cluster, tibidabo
+from repro.cluster.power import ClusterPowerModel
+from repro.net.protocol import OPEN_MX
+
+
+@dataclass(frozen=True)
+class EnergyToSolutionResult:
+    """Outcome of one cross-cluster comparison."""
+
+    app: str
+    arm_nodes: int
+    x86_nodes: int
+    arm_time_s: float
+    x86_time_s: float
+    arm_power_w: float
+    x86_power_w: float
+
+    @property
+    def arm_energy_j(self) -> float:
+        return self.arm_time_s * self.arm_power_w
+
+    @property
+    def x86_energy_j(self) -> float:
+        return self.x86_time_s * self.x86_power_w
+
+    @property
+    def time_ratio(self) -> float:
+        """How many times slower the ARM cluster is (paper [13]: ~4x)."""
+        return self.arm_time_s / self.x86_time_s
+
+    @property
+    def energy_ratio(self) -> float:
+        """How many times less energy the ARM cluster uses (paper [13]:
+        'up to 3 times')."""
+        return self.x86_energy_j / self.arm_energy_j
+
+
+def _x86_cluster_power_w(
+    cluster: Cluster, infrastructure_factor: float
+) -> float:
+    """Wall power of the x86 cluster: per-node platform power at full
+    load times the fabric/chassis overhead factor."""
+    node = cluster.nodes[0]
+    soc = node.platform.soc
+    per_node = soc.power.platform_power(
+        node.freq_ghz, soc.n_cores, soc.n_cores, mem_bw_utilisation=0.5
+    )
+    return cluster.n_nodes * per_node * infrastructure_factor
+
+
+def energy_to_solution(
+    app_name: str = "SPECFEM3D",
+    arm_nodes: int = 96,
+    x86_nodes: int = 16,
+    infrastructure_factor: float = 1.5,
+    **app_overrides,
+) -> EnergyToSolutionResult:
+    """Run one application on Tibidabo and on a Nehalem cluster and
+    compare time and energy to solution.
+
+    :param infrastructure_factor: x86-side multiplier for InfiniBand
+        switches, chassis fans and storage (the ARM prototype's switch
+        power is in its own model).
+    """
+    if infrastructure_factor < 1.0:
+        raise ValueError("infrastructure factor is a multiplier >= 1")
+    app = get_application(app_name)
+
+    arm = tibidabo(arm_nodes, open_mx=True)
+    arm_run = app.simulate(arm, arm_nodes, **app_overrides)
+    arm_power = ClusterPowerModel().total_power_watts(arm)
+
+    x86 = build_cluster(
+        "nehalem-cluster",
+        x86_nodes,
+        platform=nehalem_node(),
+        protocol=OPEN_MX,
+    )
+    x86_run = app.simulate(x86, x86_nodes, **app_overrides)
+    x86_power = _x86_cluster_power_w(x86, infrastructure_factor)
+
+    return EnergyToSolutionResult(
+        app=app_name,
+        arm_nodes=arm_nodes,
+        x86_nodes=x86_nodes,
+        arm_time_s=arm_run.time_s,
+        x86_time_s=x86_run.time_s,
+        arm_power_w=arm_power,
+        x86_power_w=x86_power,
+    )
+
+
+def pde_solver_campaign(
+    arm_nodes: int = 96, x86_nodes: int = 16
+) -> dict[str, EnergyToSolutionResult]:
+    """The [13] campaign shape: several solver classes, one comparison
+    each (we use the three applications with PDE-like structure)."""
+    return {
+        name: energy_to_solution(name, arm_nodes, x86_nodes)
+        for name in ("SPECFEM3D", "HYDRO", "GROMACS")
+    }

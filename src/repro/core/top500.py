@@ -1,0 +1,129 @@
+"""Historical datasets behind Figures 1, 2a and 2b.
+
+Transcribed from the public TOP500 lists (June editions) and the
+processor points named in the paper's charts.  Values are representative
+peaks — the figures argue about *trends* (10x gaps, closing rates), not
+individual datapoints, so ±20% transcription error on a log chart is
+immaterial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProcessorPoint:
+    """One processor on a Figure 2 chart."""
+
+    name: str
+    year: float
+    peak_mflops: float
+    family: str  # "vector" | "micro" | "server" | "mobile"
+
+    def __post_init__(self) -> None:
+        if self.peak_mflops <= 0:
+            raise ValueError("peak must be positive")
+
+
+#: Figure 1 — number of TOP500 systems by architecture class, June lists.
+#: Columns: x86, RISC microprocessor, vector/SIMD.
+TOP500_SHARE: dict[int, tuple[int, int, int]] = {
+    1993: (0, 156, 344),
+    1994: (0, 214, 286),
+    1995: (0, 270, 230),
+    1996: (1, 320, 179),
+    1997: (2, 400, 98),
+    1998: (4, 420, 76),
+    1999: (10, 440, 50),
+    2000: (20, 440, 40),
+    2001: (44, 424, 32),
+    2002: (90, 384, 26),
+    2003: (190, 288, 22),
+    2004: (268, 216, 16),
+    2005: (333, 157, 10),
+    2006: (376, 116, 8),
+    2007: (420, 74, 6),
+    2008: (440, 56, 4),
+    2009: (460, 37, 3),
+    2010: (465, 33, 2),
+    2011: (470, 28, 2),
+    2012: (474, 24, 2),
+    2013: (480, 19, 1),
+}
+
+
+#: Figure 2(a) — HPC-class vector processors (per-CPU peak, MFLOPS).
+VECTOR_PROCESSORS: tuple[ProcessorPoint, ...] = (
+    ProcessorPoint("Cray-1", 1976, 160, "vector"),
+    ProcessorPoint("Cray X-MP", 1983, 235, "vector"),
+    ProcessorPoint("Cray-2", 1985, 488, "vector"),
+    ProcessorPoint("Cray Y-MP", 1988, 333, "vector"),
+    ProcessorPoint("Cray C90", 1991, 1_000, "vector"),
+    ProcessorPoint("NEC SX-3", 1992, 2_750, "vector"),
+    ProcessorPoint("Cray T90", 1995, 1_800, "vector"),
+    ProcessorPoint("NEC SX-4", 1995, 2_000, "vector"),
+    ProcessorPoint("NEC SX-5", 1998, 8_000, "vector"),
+)
+
+#: Figure 2(a) — floating-point-capable commodity microprocessors.
+MICRO_PROCESSORS: tuple[ProcessorPoint, ...] = (
+    ProcessorPoint("Intel i860", 1989, 60, "micro"),
+    ProcessorPoint("DEC Alpha EV4", 1992, 150, "micro"),
+    ProcessorPoint("Intel Pentium", 1993, 66, "micro"),
+    ProcessorPoint("Intel Pentium Pro", 1995, 200, "micro"),
+    ProcessorPoint("DEC Alpha EV5", 1996, 600, "micro"),
+    ProcessorPoint("IBM P2SC", 1996, 480, "micro"),
+    ProcessorPoint("Intel Pentium II", 1997, 300, "micro"),
+    ProcessorPoint("HP PA8200", 1997, 800, "micro"),
+    ProcessorPoint("DEC Alpha EV6", 1998, 1_000, "micro"),
+    ProcessorPoint("Intel Pentium III", 1999, 500, "micro"),
+)
+
+#: Figure 2(b) — server-class x86 / Alpha processors (per-chip peak).
+SERVER_PROCESSORS: tuple[ProcessorPoint, ...] = (
+    ProcessorPoint("DEC Alpha EV4", 1992, 150, "server"),
+    ProcessorPoint("DEC Alpha EV56", 1996, 1_200, "server"),
+    ProcessorPoint("DEC Alpha EV67", 1999, 1_466, "server"),
+    ProcessorPoint("Intel Pentium 4", 2001, 3_000, "server"),
+    ProcessorPoint("AMD Opteron 246", 2003, 4_400, "server"),
+    ProcessorPoint("Intel Xeon 5160", 2006, 24_000, "server"),
+    ProcessorPoint("AMD Opteron 2356", 2008, 37_000, "server"),
+    ProcessorPoint("Intel Xeon X5570", 2009, 46_900, "server"),
+    ProcessorPoint("AMD Opteron 6174", 2010, 105_600, "server"),
+    ProcessorPoint("Intel Xeon E5-2670", 2012, 166_400, "server"),
+)
+
+#: Figure 2(b) — mobile SoC CPU complexes (per-chip FP64 peak), plus the
+#: ARMv8 projection point the paper plots ("4-core ARMv8 @ 2GHz").
+MOBILE_PROCESSORS: tuple[ProcessorPoint, ...] = (
+    ProcessorPoint("NVIDIA Tegra 2", 2011, 2_000, "mobile"),
+    ProcessorPoint("NVIDIA Tegra 3", 2012, 5_200, "mobile"),
+    ProcessorPoint("Samsung Exynos 5250", 2012, 6_800, "mobile"),
+    ProcessorPoint("Samsung Exynos 5410", 2013, 13_600, "mobile"),
+    ProcessorPoint("NVIDIA Tegra 4", 2013, 13_600, "mobile"),
+    ProcessorPoint("4-core ARMv8 @ 2GHz", 2015, 32_000, "mobile"),
+)
+
+
+def share_series(
+    category: str,
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Figure 1 series for ``category`` in {"x86", "risc", "vector"}."""
+    idx = {"x86": 0, "risc": 1, "vector": 2}
+    try:
+        col = idx[category.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown category {category!r}; known: {sorted(idx)}"
+        ) from None
+    years = tuple(sorted(TOP500_SHARE))
+    return years, tuple(TOP500_SHARE[y][col] for y in years)
+
+
+def dominant_class(year: int) -> str:
+    """Which architecture class held the most TOP500 systems in ``year``."""
+    if year not in TOP500_SHARE:
+        raise KeyError(f"no data for {year}")
+    counts = TOP500_SHARE[year]
+    return ("x86", "risc", "vector")[counts.index(max(counts))]

@@ -1,0 +1,131 @@
+"""Exponential trend analysis — the regressions of Figures 2a/2b and the
+commodity-economics arithmetic of Section 1.
+
+The paper's argument: commodity microprocessors were ~10x slower than
+vector CPUs through the 1990s yet displaced them because they were ~30x
+cheaper; mobile SoCs are ~10x slower than server CPUs in 2013 but ~70x
+cheaper — and their performance trend line is steeper, so the gap is
+closing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.arch.catalog import (
+    ATOM_S1260_PRICE_USD,
+    TEGRA3_VOLUME_PRICE_USD,
+    XEON_E5_2670_PRICE_USD,
+)
+from repro.core.top500 import ProcessorPoint
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """A fitted ``mflops = a * growth^(year - year0)`` trend.
+
+    :param year0: reference year.
+    :param mflops_at_year0: trend value at the reference year.
+    :param growth_per_year: annual multiplicative growth.
+    :param r_squared: goodness of the log-linear fit.
+    """
+
+    year0: float
+    mflops_at_year0: float
+    growth_per_year: float
+    r_squared: float
+
+    def predict(self, year: float) -> float:
+        """Trend value (MFLOPS) at ``year``."""
+        return self.mflops_at_year0 * self.growth_per_year ** (
+            year - self.year0
+        )
+
+    @property
+    def doubling_time_years(self) -> float:
+        """Years for the trend to double."""
+        if self.growth_per_year <= 1.0:
+            return math.inf
+        return math.log(2.0) / math.log(self.growth_per_year)
+
+
+def fit_exponential(
+    points: Iterable[ProcessorPoint] | Sequence[tuple[float, float]],
+) -> ExponentialFit:
+    """Least-squares log-linear fit through (year, MFLOPS) points."""
+    pts = [
+        (p.year, p.peak_mflops) if isinstance(p, ProcessorPoint) else p
+        for p in points
+    ]
+    if len(pts) < 2:
+        raise ValueError("need at least two points to fit a trend")
+    years = np.array([y for y, _ in pts], dtype=float)
+    logs = np.log([m for _, m in pts])
+    slope, intercept = np.polyfit(years, logs, 1)
+    pred = slope * years + intercept
+    ss_res = float(np.sum((logs - pred) ** 2))
+    ss_tot = float(np.sum((logs - logs.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    year0 = float(years.mean())
+    return ExponentialFit(
+        year0=year0,
+        mflops_at_year0=float(np.exp(slope * year0 + intercept)),
+        growth_per_year=float(np.exp(slope)),
+        r_squared=r2,
+    )
+
+
+def gap_ratio(
+    fast: ExponentialFit, slow: ExponentialFit, year: float
+) -> float:
+    """How many times faster the ``fast`` trend is at ``year``."""
+    return fast.predict(year) / slow.predict(year)
+
+
+def crossover_year(
+    chaser: ExponentialFit, leader: ExponentialFit
+) -> float:
+    """Year at which the ``chaser`` trend catches the ``leader``.
+
+    Raises if the chaser grows no faster (no crossover ahead).
+    """
+    g_c = math.log(chaser.growth_per_year)
+    g_l = math.log(leader.growth_per_year)
+    if g_c <= g_l:
+        raise ValueError("chaser does not grow faster; no crossover")
+    # Solve chaser.predict(y) == leader.predict(y) in log space.
+    num = (
+        math.log(leader.mflops_at_year0)
+        - math.log(chaser.mflops_at_year0)
+        + g_c * chaser.year0
+        - g_l * leader.year0
+    )
+    return num / (g_c - g_l)
+
+
+def price_ratio_mobile_vs_hpc() -> float:
+    """Section 1 footnote 5: Xeon E5-2670 list price over the Tegra 3
+    volume price (~70x)."""
+    return XEON_E5_2670_PRICE_USD / TEGRA3_VOLUME_PRICE_USD
+
+
+def price_ratio_same_price_type() -> float:
+    """The "fairer" list-price comparison the paper offers: Xeon over
+    Intel Atom S1260 (~24x)."""
+    return XEON_E5_2670_PRICE_USD / ATOM_S1260_PRICE_USD
+
+
+def historical_cost_argument() -> dict[str, float]:
+    """The Section 1 economics in one structure: performance gaps and
+    price gaps for both transitions."""
+    return {
+        "vector_vs_micro_perf_gap_1990s": 10.0,  # "around ten times slower"
+        "vector_vs_micro_price_gap": 30.0,  # "30 times cheaper"
+        "server_vs_mobile_perf_gap_2013": 10.0,  # "still ten times slower"
+        "server_vs_mobile_price_gap": price_ratio_mobile_vs_hpc(),
+        "server_vs_atom_price_gap": price_ratio_same_price_type(),
+    }

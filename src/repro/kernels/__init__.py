@@ -1,0 +1,36 @@
+"""The 11-kernel micro-benchmark suite of Table 2, plus STREAM.
+
+Every kernel is implemented twice:
+
+* a **functional** NumPy implementation (:meth:`Kernel.run`) with an
+  independent reference (:meth:`Kernel.reference`) so correctness is
+  testable, and
+* an **operation profile** (:meth:`Kernel.profile`) — FLOPs, memory
+  traffic, instruction mix, access pattern, parallel fraction — consumed
+  by the simulated-timing model in :mod:`repro.timing`.
+
+The suite stresses the architectural axes named in Table 2 (data reuse,
+strided access, spatial locality, peak FP, reductions, barriers,
+irregular access, embarrassing parallelism, load imbalance).
+"""
+
+from repro.kernels.base import (
+    AccessPattern,
+    Kernel,
+    KernelCharacteristics,
+    OperationProfile,
+)
+from repro.kernels.registry import KERNELS, get_kernel, all_kernels
+from repro.kernels.stream import StreamBenchmark, StreamResult
+
+__all__ = [
+    "AccessPattern",
+    "Kernel",
+    "KernelCharacteristics",
+    "OperationProfile",
+    "KERNELS",
+    "get_kernel",
+    "all_kernels",
+    "StreamBenchmark",
+    "StreamResult",
+]

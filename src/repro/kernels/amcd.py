@@ -1,0 +1,105 @@
+"""``amcd`` — Markov Chain Monte Carlo (Table 2: "embarrassingly parallel:
+peak compute performance").
+
+Independent Metropolis chains sampling a standard normal target.  Chains
+never communicate, the state is a handful of registers, and the hot loop
+is exp/multiply/compare — the suite's pure compute-throughput probe.
+The accept/reject branch is data-dependent, which is why the profile
+carries a non-zero branch intensity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.isa import InstructionMix, OpClass
+from repro.kernels.base import (
+    AccessPattern,
+    Kernel,
+    KernelCharacteristics,
+    OperationProfile,
+)
+
+STEP = 0.8
+N_CHAINS = 64
+
+
+class MarkovChainMonteCarlo(Kernel):
+    tag = "amcd"
+    full_name = "Markov Chain Monte Carlo method"
+    properties = "Embarrassingly parallel: peak compute performance"
+
+    def default_size(self) -> int:
+        return 500_000  # total Metropolis steps across all chains
+
+    def make_input(self, size: int, seed: int = 0) -> dict:
+        steps = max(1, size // N_CHAINS)
+        rng = np.random.default_rng(seed)
+        return {
+            "proposals": rng.standard_normal((steps, N_CHAINS)) * STEP,
+            "uniforms": rng.random((steps, N_CHAINS)),
+            "x0": np.zeros(N_CHAINS),
+        }
+
+    def _chain(self, data: dict) -> tuple[np.ndarray, np.ndarray]:
+        x = data["x0"].copy()
+        acc = np.zeros(N_CHAINS)
+        second_moment = np.zeros(N_CHAINS)
+        for prop, u in zip(data["proposals"], data["uniforms"]):
+            cand = x + prop
+            # Metropolis ratio for a standard normal target.
+            log_alpha = 0.5 * (x * x - cand * cand)
+            take = np.log(u) < log_alpha
+            x = np.where(take, cand, x)
+            acc += take
+            second_moment += x * x
+        return second_moment / data["proposals"].shape[0], acc
+
+    def run(self, data: dict) -> tuple[np.ndarray, np.ndarray]:
+        return self._chain(data)
+
+    def reference(self, data: dict) -> tuple[np.ndarray, np.ndarray]:
+        # Scalar re-implementation, chain by chain.
+        steps = data["proposals"].shape[0]
+        m2 = np.zeros(N_CHAINS)
+        acc = np.zeros(N_CHAINS)
+        for c in range(N_CHAINS):
+            x = float(data["x0"][c])
+            for s in range(steps):
+                cand = x + float(data["proposals"][s, c])
+                log_alpha = 0.5 * (x * x - cand * cand)
+                if np.log(float(data["uniforms"][s, c])) < log_alpha:
+                    x = cand
+                    acc[c] += 1
+                m2[c] += x * x
+        return m2 / steps, acc
+
+    def verification_size(self) -> int:
+        return N_CHAINS * 50
+
+    def profile(self, size: int) -> OperationProfile:
+        n = float(size)  # total steps
+        return OperationProfile(
+            flops=14.0 * n,  # add, 2 squares, sub/scale, log, compare, acc
+            bytes_from_dram=16.0 * n,  # pre-drawn randoms stream in
+            bytes_touched=16.0 * n,
+            bytes_cache_traffic=16.0 * n,
+            working_set_bytes=8.0 * N_CHAINS * 4,
+            mix=InstructionMix(
+                {
+                    OpClass.FP_FMA: 3.0 * n,
+                    OpClass.FP_ADD: 3.0 * n,
+                    OpClass.FP_MUL: 4.0 * n,
+                    OpClass.FP_DIV: 0.05 * n,  # inside log approximation
+                    OpClass.LOAD: 2.0 * n,
+                    OpClass.INT_ALU: 1.0 * n,
+                    OpClass.BRANCH: 1.0 * n,
+                }
+            ),
+            pattern=AccessPattern.SEQUENTIAL,
+            characteristics=KernelCharacteristics(
+                simd_fraction=0.0,  # data-dependent branch defeats SIMD
+                branch_intensity=0.5,
+                parallel_fraction=1.0,  # embarrassingly parallel
+            ),
+        )

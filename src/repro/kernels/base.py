@@ -1,0 +1,176 @@
+"""Kernel abstraction: functional implementation + operation profile."""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.arch.isa import InstructionMix
+
+
+class AccessPattern(enum.Enum):
+    """Dominant memory-access pattern of a kernel.
+
+    The timing model maps each pattern to a bandwidth-derating factor
+    (sequential streams run at full effective bandwidth; random gathers
+    are latency-bound).
+    """
+
+    SEQUENTIAL = "sequential"
+    STRIDED = "strided"
+    BLOCKED = "blocked"  # tiled, cache-resident reuse
+    RANDOM = "random"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class KernelCharacteristics:
+    """Qualitative knobs that modulate achieved throughput per kernel.
+
+    :param simd_fraction: fraction of the FP work a vectorising compiler
+        exploits SIMD for (the paper's kernels ran "out of the box").
+    :param branch_intensity: 0 (straight-line) .. 1 (branch per element).
+    :param parallel_fraction: Amdahl parallel fraction for the OpenMP
+        version.
+    :param load_imbalance: multiplicative penalty on parallel time
+        (spvm's raison d'être in Table 2).
+    :param barriers_per_iteration: synchronisation points per iteration
+        (msort's raison d'être in Table 2).
+    """
+
+    simd_fraction: float = 0.0
+    branch_intensity: float = 0.0
+    parallel_fraction: float = 0.99
+    load_imbalance: float = 1.0
+    barriers_per_iteration: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("simd_fraction", "branch_intensity", "parallel_fraction"):
+            v = getattr(self, name)
+            if not (0.0 <= v <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.load_imbalance < 1.0:
+            raise ValueError("load_imbalance is a multiplier >= 1")
+
+
+@dataclass(frozen=True)
+class OperationProfile:
+    """Machine-facing description of one kernel *iteration*.
+
+    :param flops: floating-point operations per iteration.
+    :param bytes_from_dram: memory traffic that reaches DRAM when the
+        working set does *not* fit on chip (the streaming regime used by
+        STREAM-like runs and the oversized-input tests).
+    :param bytes_touched: total load/store traffic at the register
+        interface (before cache filtering).
+    :param bytes_cache_traffic: traffic that reaches the last-level
+        cache after L1 filtering — the memory roof for the suite's
+        cache-resident default sizes.  Defaults to ``bytes_touched``.
+    :param working_set_bytes: resident footprint.  The executor compares
+        it with the platform LLC to choose the cache or DRAM regime.
+    :param mix: dynamic instruction mix.
+    :param pattern: dominant access pattern.
+    :param characteristics: qualitative modifiers.
+    """
+
+    flops: float
+    bytes_from_dram: float
+    bytes_touched: float
+    working_set_bytes: float
+    mix: InstructionMix
+    pattern: AccessPattern
+    characteristics: KernelCharacteristics = field(
+        default_factory=KernelCharacteristics
+    )
+    bytes_cache_traffic: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_from_dram < 0:
+            raise ValueError("flops and bytes must be non-negative")
+        if self.bytes_from_dram > self.bytes_touched + 1e-9:
+            raise ValueError("DRAM traffic cannot exceed touched bytes")
+        if self.bytes_cache_traffic is not None and self.bytes_cache_traffic < 0:
+            raise ValueError("cache traffic must be non-negative")
+
+    @property
+    def cache_traffic(self) -> float:
+        """LLC-level traffic (``bytes_cache_traffic`` or the register
+        traffic when the kernel declared no L1 filtering)."""
+        return (
+            self.bytes_touched
+            if self.bytes_cache_traffic is None
+            else self.bytes_cache_traffic
+        )
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per DRAM byte (the roofline x-axis).  ``inf`` when the
+        kernel's working set never leaves cache."""
+        if self.bytes_from_dram == 0:
+            return float("inf")
+        return self.flops / self.bytes_from_dram
+
+
+class Kernel(abc.ABC):
+    """One micro-kernel of the Table 2 suite."""
+
+    #: Short tag used in the paper's Table 2 (e.g. ``"vecop"``).
+    tag: str = ""
+    #: Full name column of Table 2.
+    full_name: str = ""
+    #: Properties column of Table 2.
+    properties: str = ""
+
+    @abc.abstractmethod
+    def default_size(self) -> int:
+        """Problem size used for the platform evaluation (identical on
+        every platform, per Section 3.1)."""
+
+    @abc.abstractmethod
+    def make_input(self, size: int, seed: int = 0) -> Any:
+        """Deterministic input generator."""
+
+    @abc.abstractmethod
+    def run(self, data: Any) -> Any:
+        """Execute the kernel (vectorised NumPy implementation)."""
+
+    @abc.abstractmethod
+    def reference(self, data: Any) -> Any:
+        """Independent reference implementation used for verification."""
+
+    @abc.abstractmethod
+    def profile(self, size: int) -> OperationProfile:
+        """Operation profile for one iteration at ``size``."""
+
+    def verify(self, size: int | None = None, seed: int = 0) -> bool:
+        """Run both implementations and compare outputs."""
+        n = self.verification_size() if size is None else size
+        data = self.make_input(n, seed=seed)
+        got = self.run(data)
+        want = self.reference(data)
+        return _outputs_match(got, want)
+
+    def verification_size(self) -> int:
+        """A small size suitable for reference comparison in tests."""
+        return max(64, self.default_size() // 256)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Kernel {self.tag}>"
+
+
+def _outputs_match(got: Any, want: Any, rtol: float = 1e-9) -> bool:
+    if isinstance(got, tuple) and isinstance(want, tuple):
+        return len(got) == len(want) and all(
+            _outputs_match(g, w, rtol) for g, w in zip(got, want)
+        )
+    got_arr = np.asarray(got)
+    want_arr = np.asarray(want)
+    if got_arr.shape != want_arr.shape:
+        return False
+    if got_arr.dtype.kind in "iu" and want_arr.dtype.kind in "iu":
+        return bool(np.array_equal(got_arr, want_arr))
+    return bool(np.allclose(got_arr, want_arr, rtol=rtol, atol=1e-12))

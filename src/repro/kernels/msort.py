@@ -1,0 +1,90 @@
+"""``msort`` — generic merge sort (Table 2: "barrier operations").
+
+Bottom-up iterative merge sort over FP64 keys.  Every doubling pass is a
+parallel region ending in a barrier — ``log2(n)`` barriers per iteration,
+the synchronisation stress the suite includes it for.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.arch.isa import InstructionMix, OpClass
+from repro.kernels.base import (
+    AccessPattern,
+    Kernel,
+    KernelCharacteristics,
+    OperationProfile,
+)
+
+
+def _merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Stable two-way merge of two sorted arrays (vectorised)."""
+    n, m = a.shape[0], b.shape[0]
+    out = np.empty(n + m, dtype=a.dtype)
+    # Positions of b's elements among a's (stable: b after equal a).
+    pos_b = np.searchsorted(a, b, side="right") + np.arange(m)
+    mask = np.zeros(n + m, dtype=bool)
+    mask[pos_b] = True
+    out[mask] = b
+    out[~mask] = a
+    return out
+
+
+class MergeSort(Kernel):
+    tag = "msort"
+    full_name = "Generic merge sort"
+    properties = "Barrier operations"
+
+    def default_size(self) -> int:
+        return 40_000  # 640 KiB (keys + buffer): resident in every LLC
+
+    def make_input(self, size: int, seed: int = 0) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.random(size)
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        runs = [np.asarray([v]) for v in x] if x.shape[0] <= 64 else [
+            np.sort(c) for c in np.array_split(x, 64)
+        ]
+        # Bottom-up pairwise merging: one "parallel pass + barrier" per level.
+        while len(runs) > 1:
+            merged = [
+                _merge(runs[i], runs[i + 1])
+                if i + 1 < len(runs)
+                else runs[i]
+                for i in range(0, len(runs), 2)
+            ]
+            runs = merged
+        return runs[0]
+
+    def reference(self, x: np.ndarray) -> np.ndarray:
+        return np.sort(x, kind="mergesort")
+
+    def profile(self, size: int) -> OperationProfile:
+        n = float(size)
+        passes = math.ceil(math.log2(max(2, size)))
+        return OperationProfile(
+            flops=0.1 * n * passes,  # FP compares only
+            bytes_from_dram=16.0 * n * passes,  # read + write per pass
+            bytes_touched=16.0 * n * passes,
+            bytes_cache_traffic=16.0 * n * passes,
+            working_set_bytes=16.0 * n,
+            mix=InstructionMix(
+                {
+                    OpClass.LOAD: 2.0 * n * passes,
+                    OpClass.STORE: n * passes,
+                    OpClass.INT_ALU: 2.0 * n * passes,
+                    OpClass.BRANCH: n * passes,
+                }
+            ),
+            pattern=AccessPattern.SEQUENTIAL,
+            characteristics=KernelCharacteristics(
+                simd_fraction=0.1,
+                branch_intensity=0.5,
+                parallel_fraction=0.96,
+                barriers_per_iteration=passes,
+            ),
+        )

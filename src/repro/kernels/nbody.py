@@ -1,0 +1,93 @@
+"""``nbody`` — N-body calculation (Table 2: "irregular memory accesses").
+
+One all-pairs gravitational acceleration step with Plummer softening.
+The particle arrays fit in the shared L2, so the kernel is dominated by
+gathers and the divide/sqrt chain rather than DRAM bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.isa import InstructionMix, OpClass
+from repro.kernels.base import (
+    AccessPattern,
+    Kernel,
+    KernelCharacteristics,
+    OperationProfile,
+)
+
+SOFTENING = 1e-3
+
+
+class NBody(Kernel):
+    tag = "nbody"
+    full_name = "N-body calculation"
+    properties = "Irregular memory accesses"
+
+    def default_size(self) -> int:
+        return 2048  # 64 KiB of particle state: resident everywhere
+
+    def make_input(self, size: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        pos = rng.standard_normal((size, 3))
+        mass = rng.random(size) + 0.1
+        return pos, mass
+
+    def run(self, data: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        pos, mass = data
+        # Pairwise displacement tensor, computed in blocks to keep the
+        # temporary O(B*N) — the shape a tiled C implementation has.
+        n = pos.shape[0]
+        acc = np.zeros_like(pos)
+        block = min(512, n)
+        for i0 in range(0, n, block):
+            pi = pos[i0 : i0 + block]
+            d = pos[None, :, :] - pi[:, None, :]  # (B, N, 3)
+            r2 = np.einsum("ijk,ijk->ij", d, d) + SOFTENING**2
+            inv_r3 = r2**-1.5
+            acc[i0 : i0 + block] = np.einsum(
+                "ijk,ij,j->ik", d, inv_r3, mass
+            )
+        return acc
+
+    def reference(self, data: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        pos, mass = data
+        n = pos.shape[0]
+        acc = np.zeros_like(pos)
+        for i in range(n):
+            for j in range(n):
+                d = pos[j] - pos[i]
+                r2 = float(d @ d) + SOFTENING**2
+                acc[i] += mass[j] * d / r2**1.5
+        return acc
+
+    def verification_size(self) -> int:
+        return 48
+
+    def profile(self, size: int) -> OperationProfile:
+        n = float(size)
+        pairs = n * n
+        return OperationProfile(
+            flops=20.0 * pairs,  # 3 sub, 3 FMA dot, rsqrt chain, 3 FMA acc
+            bytes_from_dram=64.0 * n,  # arrays fit in L2; stream once
+            bytes_touched=32.0 * 8.0 * pairs / 8.0,
+            bytes_cache_traffic=8.0 * pairs,  # j-gathers spill past L1
+            working_set_bytes=32.0 * n,
+            mix=InstructionMix(
+                {
+                    OpClass.FP_FMA: 7.0 * pairs,
+                    OpClass.FP_ADD: 3.0 * pairs,
+                    OpClass.FP_MUL: 2.0 * pairs,
+                    OpClass.FP_DIV: 0.08 * pairs,  # rsqrt via div+nr steps
+                    OpClass.LOAD: 4.0 * pairs,
+                    OpClass.INT_ALU: 1.0 * pairs,
+                    OpClass.BRANCH: 0.15 * pairs,
+                }
+            ),
+            pattern=AccessPattern.RANDOM,
+            characteristics=KernelCharacteristics(
+                simd_fraction=0.5,
+                parallel_fraction=0.995,
+            ),
+        )

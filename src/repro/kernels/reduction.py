@@ -1,0 +1,80 @@
+"""``red`` — reduction (Table 2: "varying levels of parallelism (scalar
+sum)").
+
+A global FP64 sum.  The interesting architectural property is not the
+FLOP count (one add per element) but the shrinking parallelism of the
+combine tree, captured by the profile's parallel fraction and barrier.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.arch.isa import InstructionMix, OpClass
+from repro.kernels.base import (
+    AccessPattern,
+    Kernel,
+    KernelCharacteristics,
+    OperationProfile,
+)
+
+
+class Reduction(Kernel):
+    tag = "red"
+    full_name = "Reduction operation"
+    properties = "Varying levels of parallelism (scalar sum)"
+
+    def default_size(self) -> int:
+        return 100_000  # 800 KiB: resident in every LLC
+
+    def make_input(self, size: int, seed: int = 0) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.random(size)
+
+    def run(self, x: np.ndarray) -> float:
+        # Pairwise tree reduction (what np.sum does internally) written
+        # out explicitly to mirror the parallel combine structure.
+        a = x
+        while a.shape[0] > 1:
+            half = a.shape[0] // 2
+            tail = a[2 * half :]
+            a = a[:half] + a[half : 2 * half]
+            if tail.shape[0]:
+                a = np.concatenate([a, tail])
+        return float(a[0])
+
+    def reference(self, x: np.ndarray) -> float:
+        return float(math.fsum(x.tolist()))
+
+    def verify(self, size: int | None = None, seed: int = 0) -> bool:
+        n = self.verification_size() if size is None else size
+        data = self.make_input(n, seed=seed)
+        return math.isclose(
+            self.run(data), self.reference(data), rel_tol=1e-9
+        )
+
+    def profile(self, size: int) -> OperationProfile:
+        n = float(size)
+        return OperationProfile(
+            flops=n,
+            bytes_from_dram=8.0 * n,
+            bytes_touched=8.0 * n,
+            bytes_cache_traffic=8.0 * n,
+            working_set_bytes=8.0 * n,
+            mix=InstructionMix(
+                {
+                    OpClass.FP_ADD: n,
+                    OpClass.LOAD: n,
+                    OpClass.INT_ALU: 0.25 * n,
+                    OpClass.BRANCH: 0.06 * n,
+                }
+            ),
+            pattern=AccessPattern.SEQUENTIAL,
+            characteristics=KernelCharacteristics(
+                simd_fraction=0.85,
+                parallel_fraction=0.99,
+                barriers_per_iteration=1,
+            ),
+        )

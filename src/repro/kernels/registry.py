@@ -1,0 +1,61 @@
+"""Registry mapping Table 2 kernel tags to implementations."""
+
+from __future__ import annotations
+
+from repro.kernels.amcd import MarkovChainMonteCarlo
+from repro.kernels.base import Kernel
+from repro.kernels.conv2d import Convolution2D
+from repro.kernels.dmmm import DenseMatMul
+from repro.kernels.fft import FFT1D
+from repro.kernels.histogram import Histogram
+from repro.kernels.msort import MergeSort
+from repro.kernels.nbody import NBody
+from repro.kernels.reduction import Reduction
+from repro.kernels.spmv import SparseMatVec
+from repro.kernels.stencil3d import Stencil3D
+from repro.kernels.vecop import VecOp
+
+#: Table 2 order.
+KERNELS: dict[str, Kernel] = {
+    k.tag: k
+    for k in (
+        VecOp(),
+        DenseMatMul(),
+        Stencil3D(),
+        Convolution2D(),
+        FFT1D(),
+        Reduction(),
+        Histogram(),
+        MergeSort(),
+        NBody(),
+        MarkovChainMonteCarlo(),
+        SparseMatVec(),
+    )
+}
+
+
+def get_kernel(tag: str) -> Kernel:
+    """Look up a kernel by its Table 2 tag."""
+    try:
+        return KERNELS[tag]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {tag!r}; available: {sorted(KERNELS)}"
+        ) from None
+
+
+def all_kernels() -> list[Kernel]:
+    """The full suite in Table 2 order."""
+    return list(KERNELS.values())
+
+
+def table2_rows() -> list[dict[str, str]]:
+    """Rows of Table 2 (tag / full name / properties)."""
+    return [
+        {
+            "Kernel tag": k.tag,
+            "Full name": k.full_name,
+            "Properties": k.properties,
+        }
+        for k in KERNELS.values()
+    ]

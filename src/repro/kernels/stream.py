@@ -1,0 +1,101 @@
+"""STREAM memory-bandwidth benchmark (McCalpin), used for Figure 5.
+
+Implements the four canonical operations with their standard byte
+accounting (Copy/Scale 16 B per element, Add/Triad 24 B) and provides
+both a *functional* mode (actually moving NumPy data) and a *simulated*
+mode that reports the bandwidth a given platform sustains, using the
+memory-system model of :mod:`repro.arch.dram`.
+
+The "assumed" STREAM counting convention is used (as in the original
+benchmark): write-allocate traffic is not charged, matching how the paper
+reports its numbers against peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.soc import Platform
+
+#: Bytes moved per array element, canonical STREAM accounting.
+BYTES_PER_ELEMENT = {"Copy": 16.0, "Scale": 16.0, "Add": 24.0, "Triad": 24.0}
+
+#: FLOPs per element.
+FLOPS_PER_ELEMENT = {"Copy": 0.0, "Scale": 1.0, "Add": 1.0, "Triad": 2.0}
+
+OPERATIONS = ("Copy", "Scale", "Add", "Triad")
+
+#: Bandwidth derate of each operation relative to a pure read stream.
+#: Copy/Scale are 1R+1W, Add/Triad 2R+1W; writes cost slightly more on
+#: the weaker memory controllers (read-modify-write of partial lines).
+_OP_EFFICIENCY = {"Copy": 1.00, "Scale": 0.99, "Add": 0.96, "Triad": 0.96}
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Bandwidth (GB/s) for each operation at a core count."""
+
+    platform: str
+    cores: int
+    bandwidth_gbs: dict[str, float]
+
+    def best(self) -> float:
+        return max(self.bandwidth_gbs.values())
+
+    def triad(self) -> float:
+        return self.bandwidth_gbs["Triad"]
+
+
+class StreamBenchmark:
+    """STREAM over a platform model (simulated) or real arrays (functional)."""
+
+    def __init__(self, array_elements: int = 10_000_000) -> None:
+        if array_elements <= 0:
+            raise ValueError("array size must be positive")
+        self.array_elements = array_elements
+
+    # -- functional mode ----------------------------------------------------
+    def run_functional(self, seed: int = 0) -> dict[str, np.ndarray]:
+        """Actually execute the four operations on NumPy arrays (used by the
+        correctness tests and the pytest-benchmark harness)."""
+        rng = np.random.default_rng(seed)
+        n = self.array_elements
+        a = rng.random(n)
+        b = rng.random(n)
+        scalar = 3.0
+        out: dict[str, np.ndarray] = {}
+        out["Copy"] = a.copy()
+        out["Scale"] = scalar * a
+        out["Add"] = a + b
+        out["Triad"] = a + scalar * b
+        return out
+
+    # -- simulated mode -----------------------------------------------------
+    def simulate(self, platform: Platform, cores: int) -> StreamResult:
+        """Bandwidth the platform model sustains with ``cores`` active.
+
+        Single-core results are concurrency-limited (per-core MLP x line
+        / latency); multi-core results saturate at the calibrated fraction
+        of peak — reproducing both panels of Figure 5.
+        """
+        soc = platform.soc
+        if not (1 <= cores <= soc.n_cores):
+            raise ValueError(
+                f"cores must be in [1, {soc.n_cores}] for {platform.name}"
+            )
+        base = soc.memory.effective_bandwidth_gbs(cores, soc.core.mlp)
+        bw = {op: base * _OP_EFFICIENCY[op] for op in OPERATIONS}
+        return StreamResult(
+            platform=platform.name, cores=cores, bandwidth_gbs=bw
+        )
+
+    def simulate_all_cores(self, platform: Platform) -> StreamResult:
+        return self.simulate(platform, platform.soc.n_cores)
+
+    def efficiency_vs_peak(self, platform: Platform) -> float:
+        """Best multicore bandwidth over peak — the paper's Section 3.2
+        efficiency numbers (62% / 27% / 52% / 57%)."""
+        res = self.simulate_all_cores(platform)
+        return res.best() / platform.soc.memory.peak_bandwidth_gbs

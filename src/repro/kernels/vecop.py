@@ -1,0 +1,70 @@
+"""``vecop`` — vector operation (Table 2: "common operation in regular
+numerical codes").
+
+Computes the DAXPY-like update ``z = alpha * x + y`` over contiguous FP64
+vectors: two FLOPs and 24 bytes of streaming traffic per element, i.e. an
+arithmetic intensity of 1/12 — firmly memory-bound on every platform,
+which is exactly why it is in the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.isa import InstructionMix, OpClass
+from repro.kernels.base import (
+    AccessPattern,
+    Kernel,
+    KernelCharacteristics,
+    OperationProfile,
+)
+
+
+class VecOp(Kernel):
+    tag = "vecop"
+    full_name = "Vector operation"
+    properties = "Common operation in regular numerical codes"
+
+    ALPHA = 2.5
+
+    def default_size(self) -> int:
+        return 12_000  # 288 KiB working set: resident in every LLC
+
+    def make_input(self, size: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return rng.random(size), rng.random(size)
+
+    def run(self, data: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        x, y = data
+        out = np.empty_like(x)
+        np.multiply(x, self.ALPHA, out=out)
+        out += y
+        return out
+
+    def reference(self, data: tuple[np.ndarray, np.ndarray]) -> np.ndarray:
+        x, y = data
+        return np.array([self.ALPHA * xi + yi for xi, yi in zip(x, y)])
+
+    def profile(self, size: int) -> OperationProfile:
+        n = float(size)
+        return OperationProfile(
+            flops=2.0 * n,
+            bytes_from_dram=24.0 * n,  # read x, y; write z (streaming)
+            bytes_touched=24.0 * n,
+            bytes_cache_traffic=24.0 * n,  # no L1 reuse
+            working_set_bytes=24.0 * n,
+            mix=InstructionMix(
+                {
+                    OpClass.FP_FMA: n,
+                    OpClass.LOAD: 2.0 * n,
+                    OpClass.STORE: n,
+                    OpClass.INT_ALU: 0.25 * n,
+                    OpClass.BRANCH: 0.06 * n,
+                }
+            ),
+            pattern=AccessPattern.SEQUENTIAL,
+            characteristics=KernelCharacteristics(
+                simd_fraction=0.9,
+                parallel_fraction=0.998,
+            ),
+        )

@@ -1,0 +1,315 @@
+"""Point-to-point MPI simulation API.
+
+A :class:`MPIWorld` hosts ``n`` ranks, each a generator taking a
+:class:`RankContext`.  Ranks yield context operations::
+
+    def worker(ctx):
+        data = np.arange(10.0)
+        if ctx.rank == 0:
+            yield from ctx.send(1, data)
+        else:
+            msg = yield from ctx.recv(0)
+        yield ctx.compute(1e-3)          # one millisecond of work
+        yield ctx.compute_flops(2e6)     # or work in FLOPs
+
+Message cost: the sender is occupied for the stack's CPU occupancy,
+the payload arrives at the destination ``transfer_time`` later
+(latency + size/bandwidth + switch hops), and a receive completes when
+a matching message has arrived.  Payloads are real objects — NumPy
+arrays pass through unchanged, so distributed numerics (the HPL LU in
+:mod:`repro.apps.hpl`) compute true results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+import numpy as np
+
+from repro.sim.engine import Engine, Event
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class SyntheticPayload:
+    """A payload that is pure size — used by the application *models*
+    (PEPC/GROMACS/... comm skeletons) where the bytes matter but the
+    values do not."""
+
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Wire size of a payload object."""
+    if isinstance(obj, SyntheticPayload):
+        return obj.nbytes
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (int, float, complex, np.floating, np.integer)):
+        return 8
+    if isinstance(obj, (tuple, list)):
+        return sum(payload_nbytes(x) for x in obj) + 8
+    if obj is None:
+        return 0
+    return 64  # envelope estimate for small python objects
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    sent_at: float
+    received_at: float
+
+
+class UniformNetwork:
+    """The simplest network model: one protocol stack everywhere, no
+    topology (every pair one switch hop apart).  Good for two-node
+    benchmarks and unit tests; clusters use
+    :class:`repro.cluster.cluster.ClusterNetwork`."""
+
+    def __init__(self, stack, hop_latency_us: float = 0.0) -> None:
+        self.stack = stack
+        self.hop_latency_us = hop_latency_us
+
+    def transfer_time_s(self, src: int, dst: int, nbytes: int) -> float:
+        if src == dst:
+            return 1e-7  # self-send through shared memory
+        return self.stack.transfer_time_s(nbytes) + self.hop_latency_us * 1e-6
+
+    def sender_occupancy_s(self, src: int, dst: int, nbytes: int) -> float:
+        if src == dst:
+            return 0.0
+        return self.stack.cpu_occupancy_s(nbytes)
+
+
+@dataclass
+class RankStats:
+    """Accounting per rank."""
+
+    compute_s: float = 0.0
+    comm_wait_s: float = 0.0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+
+
+class RankContext:
+    """Per-rank handle passed to rank generators."""
+
+    def __init__(self, world: "MPIWorld", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.stats = RankStats()
+        self._mailbox: list[Message] = []
+        self._pending_recv: list[tuple[int, int, Event]] = []
+
+    # -- basics ------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    @property
+    def now(self) -> float:
+        return self.world.engine.now
+
+    def compute(self, seconds: float) -> Event:
+        """Occupy this rank with computation for ``seconds``."""
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        self.stats.compute_s += seconds
+        return self.world.engine.timeout(seconds)
+
+    def compute_flops(self, flops: float) -> Event:
+        """Computation expressed in FLOPs, at this rank's node speed."""
+        gflops = self.world.rank_gflops(self.rank)
+        return self.compute(flops / (gflops * 1e9))
+
+    # -- point-to-point ------------------------------------------------------
+    def send(self, dst: int, payload: Any, tag: int = 0) -> Generator:
+        """Blocking-ish send: returns once the sender CPU is free (the
+        wire transfer continues in the background)."""
+        ev = self.isend(dst, payload, tag)
+        yield ev
+        return ev.value
+
+    def isend(self, dst: int, payload: Any, tag: int = 0) -> Event:
+        """Start a send; the returned event fires when the sender's CPU
+        occupancy for this message ends."""
+        if not (0 <= dst < self.world.size):
+            raise ValueError(f"destination {dst} out of range")
+        nbytes = payload_nbytes(payload)
+        net = self.world.network
+        occupy = net.sender_occupancy_s(self.rank, dst, nbytes)
+        transfer = net.transfer_time_s(self.rank, dst, nbytes)
+        engine = self.world.engine
+        sent_at = engine.now
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += nbytes
+
+        def deliver(_ev: Event) -> None:
+            msg = Message(
+                src=self.rank,
+                dst=dst,
+                tag=tag,
+                payload=payload,
+                nbytes=nbytes,
+                sent_at=sent_at,
+                received_at=engine.now,
+            )
+            self.world.contexts[dst]._deliver(msg)
+
+        engine.timeout(transfer).callbacks.append(deliver)
+        return engine.timeout(occupy)
+
+    def _deliver(self, msg: Message) -> None:
+        for i, (src, tag, ev) in enumerate(self._pending_recv):
+            if (src in (ANY_SOURCE, msg.src)) and (tag in (ANY_TAG, msg.tag)):
+                del self._pending_recv[i]
+                ev.succeed(msg)
+                return
+        self._mailbox.append(msg)
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive; returns the :class:`Message`."""
+        ev = self.irecv(src, tag)
+        t0 = self.now
+        msg = yield ev
+        self.stats.comm_wait_s += self.now - t0
+        return msg
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        """Post a receive; the event fires with the matching Message."""
+        for i, msg in enumerate(self._mailbox):
+            if (src in (ANY_SOURCE, msg.src)) and (tag in (ANY_TAG, msg.tag)):
+                del self._mailbox[i]
+                ev = self.world.engine.event()
+                ev.succeed(msg)
+                return ev
+        ev = self.world.engine.event()
+        self._pending_recv.append((src, tag, ev))
+        return ev
+
+    def exchange(
+        self,
+        sends: list[tuple[int, Any, int]],
+        recvs: list[tuple[int, int]],
+    ) -> Generator:
+        """Post several sends and receives concurrently and wait for all
+        — the correct halo-exchange shape (pairwise ``sendrecv`` ordered
+        by neighbour index serialises into an O(p) dependency chain).
+
+        :param sends: ``(dst, payload, tag)`` triples.
+        :param recvs: ``(src, tag)`` pairs.
+        :returns: received messages, in ``recvs`` order.
+        """
+        send_evs = [self.isend(d, pl, t) for d, pl, t in sends]
+        recv_evs = [self.irecv(s, t) for s, t in recvs]
+        t0 = self.now
+        yield self.world.engine.all_of(send_evs + recv_evs)
+        self.stats.comm_wait_s += self.now - t0
+        return [ev.value for ev in recv_evs]
+
+    def sendrecv(
+        self,
+        dst: int,
+        payload: Any,
+        src: int = ANY_SOURCE,
+        send_tag: int = 0,
+        recv_tag: int = ANY_TAG,
+    ) -> Generator:
+        """Simultaneous send + receive (the halo-exchange primitive)."""
+        send_ev = self.isend(dst, payload, send_tag)
+        recv_ev = self.irecv(src, recv_tag)
+        t0 = self.now
+        both = self.world.engine.all_of([send_ev, recv_ev])
+        yield both
+        self.stats.comm_wait_s += self.now - t0
+        return recv_ev.value
+
+
+class MPIWorld:
+    """A set of simulated MPI ranks over a network model.
+
+    :param n_ranks: world size.
+    :param network: object with ``transfer_time_s(src, dst, nbytes)`` and
+        ``sender_occupancy_s(src, dst, nbytes)``.
+    :param rank_gflops: per-rank achieved GFLOPS (scalar or callable
+        ``rank -> GFLOPS``) used by :meth:`RankContext.compute_flops`.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        network: Any,
+        rank_gflops: float | Callable[[int], float] = 1.0,
+    ) -> None:
+        if n_ranks <= 0:
+            raise ValueError("need at least one rank")
+        self.size = n_ranks
+        self.network = network
+        self.engine = Engine()
+        self._rank_gflops = rank_gflops
+        self.contexts = [RankContext(self, r) for r in range(n_ranks)]
+
+    def rank_gflops(self, rank: int) -> float:
+        if callable(self._rank_gflops):
+            return float(self._rank_gflops(rank))
+        return float(self._rank_gflops)
+
+    def run(
+        self,
+        rank_fn: Callable[..., Generator],
+        *args: Any,
+        ranks: Iterable[int] | None = None,
+    ) -> "MPIRunResult":
+        """Launch ``rank_fn(ctx, *args)`` on every rank and run to
+        completion.  Returns makespan and per-rank results/stats."""
+        selected = range(self.size) if ranks is None else list(ranks)
+        procs = [
+            self.engine.process(
+                rank_fn(self.contexts[r], *args), name=f"rank{r}"
+            )
+            for r in selected
+        ]
+        self.engine.run()
+        unfinished = [p.name for p in procs if not p.done]
+        if unfinished:
+            raise RuntimeError(
+                f"deadlock: ranks never completed: {unfinished}"
+            )
+        return MPIRunResult(
+            makespan_s=self.engine.now,
+            results=[p.result for p in procs],
+            stats=[self.contexts[r].stats for r in selected],
+        )
+
+
+@dataclass
+class MPIRunResult:
+    """Outcome of one simulated MPI program."""
+
+    makespan_s: float
+    results: list[Any]
+    stats: list[RankStats] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.stats)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages_sent for s in self.stats)

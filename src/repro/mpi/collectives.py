@@ -1,0 +1,261 @@
+"""Collective operations built from point-to-point messages.
+
+The classical algorithms (also what MPICH2/OpenMPI — the stacks deployed
+on Tibidabo, Section 5 — use at these scales):
+
+* broadcast / reduce: binomial tree, ``ceil(log2 p)`` rounds;
+* allreduce / barrier: recursive doubling (with a fold-in pre/post phase
+  for non-power-of-two rank counts);
+* allgather: ring;
+* gather / scatter: linear to/from the root.
+
+Because each round is made of ordinary simulated messages, collective
+cost automatically reflects the protocol stack under test — e.g. a
+barrier over TCP/IP on Tegra 2 costs ~log2(p) x 100 µs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.mpi.api import RankContext
+
+_COLL_TAG_BASE = 1 << 20
+
+
+def _op_apply(op: Callable[[Any, Any], Any], a: Any, b: Any) -> Any:
+    return op(a, b)
+
+
+def bcast(ctx: RankContext, obj: Any, root: int = 0, tag: int = 0) -> Generator:
+    """Binomial-tree broadcast; every rank returns the object."""
+    size, rank = ctx.size, ctx.rank
+    vrank = (rank - root) % size  # virtual rank with root at 0
+    t = _COLL_TAG_BASE + tag
+    mask = 1
+    # A non-root rank receives in the round given by its highest set bit
+    # (in round `mask`, every rank with vrank < mask sends to vrank+mask).
+    if vrank != 0:
+        recv_mask = 1
+        while recv_mask * 2 <= vrank:
+            recv_mask <<= 1
+        src = (vrank - recv_mask + root) % size
+        msg = yield from ctx.recv(src, t)
+        obj = msg.payload
+        mask = recv_mask << 1
+    # Forward to children in the remaining rounds.
+    while mask < size:
+        if vrank < mask and vrank + mask < size:
+            dst = (vrank + mask + root) % size
+            yield from ctx.send(dst, obj, t)
+        mask <<= 1
+    return obj
+
+
+def reduce(
+    ctx: RankContext,
+    value: Any,
+    op: Callable[[Any, Any], Any] = np.add,
+    root: int = 0,
+    tag: int = 1,
+) -> Generator:
+    """Binomial-tree reduction; only the root returns the result."""
+    size, rank = ctx.size, ctx.rank
+    vrank = (rank - root) % size
+    t = _COLL_TAG_BASE + tag
+    acc = value
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dst = (vrank - mask + root) % size
+            yield from ctx.send(dst, acc, t)
+            return None
+        partner = vrank + mask
+        if partner < size:
+            msg = yield from ctx.recv((partner + root) % size, t)
+            acc = _op_apply(op, acc, msg.payload)
+        mask <<= 1
+    return acc
+
+
+def allreduce(
+    ctx: RankContext,
+    value: Any,
+    op: Callable[[Any, Any], Any] = np.add,
+    tag: int = 2,
+) -> Generator:
+    """Recursive-doubling allreduce; every rank returns the result.
+
+    Non-power-of-two worlds fold the surplus ranks into the largest
+    power-of-two block first and re-broadcast at the end (the standard
+    MPICH approach)."""
+    size, rank = ctx.size, ctx.rank
+    t = _COLL_TAG_BASE + tag
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+    acc = value
+
+    # Fold-in: ranks >= pof2 send their value to rank - rem ... actually
+    # the first `rem` ranks absorb the surplus ranks' values.
+    if rank >= pof2:
+        yield from ctx.send(rank - pof2, acc, t)
+        msg = yield from ctx.recv(rank - pof2, t + 1)
+        return msg.payload
+    if rank < rem:
+        msg = yield from ctx.recv(rank + pof2, t)
+        acc = _op_apply(op, acc, msg.payload)
+
+    # Recursive doubling among the power-of-two block.
+    mask = 1
+    while mask < pof2:
+        partner = rank ^ mask
+        send_ev = ctx.isend(partner, acc, t + 2)
+        msg = yield from ctx.recv(partner, t + 2)
+        yield send_ev
+        acc = _op_apply(op, acc, msg.payload)
+        mask <<= 1
+
+    # Fold-out: return results to the surplus ranks.
+    if rank < rem:
+        yield from ctx.send(rank + pof2, acc, t + 1)
+    return acc
+
+
+def barrier(ctx: RankContext, tag: int = 3) -> Generator:
+    """Dissemination barrier: ``ceil(log2 p)`` rounds of empty messages."""
+    size, rank = ctx.size, ctx.rank
+    if size == 1:
+        return None
+    t = _COLL_TAG_BASE + tag
+    step = 1
+    round_no = 0
+    while step < size:
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        send_ev = ctx.isend(dst, None, t + round_no)
+        yield from ctx.recv(src, t + round_no)
+        yield send_ev
+        step <<= 1
+        round_no += 1
+    return None
+
+
+def gather(
+    ctx: RankContext, value: Any, root: int = 0, tag: int = 4
+) -> Generator:
+    """Linear gather; the root returns the list ordered by rank."""
+    t = _COLL_TAG_BASE + tag
+    if ctx.rank != root:
+        yield from ctx.send(root, value, t)
+        return None
+    out: list[Any] = [None] * ctx.size
+    out[root] = value
+    for _ in range(ctx.size - 1):
+        msg = yield from ctx.recv(tag=t)
+        out[msg.src] = msg.payload
+    return out
+
+
+def scatter(
+    ctx: RankContext, values: list[Any] | None, root: int = 0, tag: int = 5
+) -> Generator:
+    """Linear scatter from the root; each rank returns its element."""
+    t = _COLL_TAG_BASE + tag
+    if ctx.rank == root:
+        if values is None or len(values) != ctx.size:
+            raise ValueError("root must supply one value per rank")
+        events = []
+        for dst in range(ctx.size):
+            if dst != root:
+                events.append(ctx.isend(dst, values[dst], t))
+        for ev in events:
+            yield ev
+        return values[root]
+    msg = yield from ctx.recv(root, t)
+    return msg.payload
+
+
+def allgather(ctx: RankContext, value: Any, tag: int = 6) -> Generator:
+    """Ring allgather: ``p - 1`` rounds of neighbour exchange."""
+    size, rank = ctx.size, ctx.rank
+    t = _COLL_TAG_BASE + tag
+    out: list[Any] = [None] * size
+    out[rank] = value
+    if size == 1:
+        return out
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carry_idx = rank
+    for _ in range(size - 1):
+        send_ev = ctx.isend(right, (carry_idx, out[carry_idx]), t)
+        msg = yield from ctx.recv(left, t)
+        yield send_ev
+        carry_idx, payload = msg.payload
+        out[carry_idx] = payload
+    return out
+
+
+def reduce_scatter(
+    ctx: RankContext,
+    values: list[Any],
+    op: Callable[[Any, Any], Any] = np.add,
+    tag: int = 7,
+) -> Generator:
+    """Reduce ``values`` (one entry per rank) element-wise across ranks,
+    scattering entry ``i`` to rank ``i``.  Implemented as reduce-to-root
+    + scatter (the small-message algorithm)."""
+    if len(values) != ctx.size:
+        raise ValueError("need one value per rank")
+    t = tag
+    reduced = yield from reduce(
+        ctx,
+        values,
+        op=lambda a, b: [_op_apply(op, x, y) for x, y in zip(a, b)],
+        tag=t,
+    )
+    mine = yield from scatter(
+        ctx, reduced if ctx.rank == 0 else None, root=0, tag=t + 1
+    )
+    return mine
+
+
+def scan(
+    ctx: RankContext,
+    value: Any,
+    op: Callable[[Any, Any], Any] = np.add,
+    tag: int = 9,
+) -> Generator:
+    """Inclusive prefix reduction: rank r returns op-fold of ranks 0..r
+    (linear pipeline, as MPICH uses at small scale)."""
+    t = _COLL_TAG_BASE + tag
+    acc = value
+    if ctx.rank > 0:
+        msg = yield from ctx.recv(ctx.rank - 1, t)
+        acc = _op_apply(op, msg.payload, value)
+    if ctx.rank + 1 < ctx.size:
+        yield from ctx.send(ctx.rank + 1, acc, t)
+    return acc
+
+
+def alltoall(ctx: RankContext, values: list[Any], tag: int = 11) -> Generator:
+    """Personalised all-to-all: rank r sends ``values[d]`` to rank d and
+    returns the list it received, ordered by source.  Pairwise-exchange
+    schedule (p-1 rounds, partner = rank XOR round where possible)."""
+    size, rank = ctx.size, ctx.rank
+    if len(values) != size:
+        raise ValueError("need one value per destination")
+    t = _COLL_TAG_BASE + tag
+    out: list[Any] = [None] * size
+    out[rank] = values[rank]
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        send_ev = ctx.isend(dst, values[dst], t + step)
+        msg = yield from ctx.recv(src, t + step)
+        yield send_ev
+        out[src] = msg.payload
+    return out

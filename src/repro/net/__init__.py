@@ -1,0 +1,42 @@
+"""Interconnect substrate: links, NIC attachments, protocol stacks,
+switches and topologies.
+
+The paper's Section 4.1 decomposes cluster communication cost into the
+Ethernet wire, the NIC attachment (PCIe on the SECO/Tegra boards, USB 3.0
+on Arndale — the USB software stack is why Exynos latency is *higher*
+despite the faster core), and the messaging software (TCP/IP vs the
+Open-MX direct Ethernet protocol).  Each of those is a model here, and
+:class:`~repro.net.protocol.ProtocolStack` composes them into per-message
+latency and per-byte cost — the quantities the MPI simulator charges.
+"""
+
+from repro.net.link import Link, GBE, FAST_ETHERNET, TEN_GBE, INFINIBAND_40G
+from repro.net.nic import NICAttachment, PCIE, USB3, ONBOARD
+from repro.net.protocol import (
+    Protocol,
+    ProtocolStack,
+    TCP_IP,
+    OPEN_MX,
+    CPU_PROTOCOL_SPEED,
+)
+from repro.net.switch import Switch
+from repro.net.topology import TreeTopology
+
+__all__ = [
+    "Link",
+    "GBE",
+    "FAST_ETHERNET",
+    "TEN_GBE",
+    "INFINIBAND_40G",
+    "NICAttachment",
+    "PCIE",
+    "USB3",
+    "ONBOARD",
+    "Protocol",
+    "ProtocolStack",
+    "TCP_IP",
+    "OPEN_MX",
+    "CPU_PROTOCOL_SPEED",
+    "Switch",
+    "TreeTopology",
+]

@@ -1,0 +1,101 @@
+"""Energy Efficient Ethernet (IEEE 802.3az) — the subject of the cited
+latency study [36] (Saravanan, Carpenter, Ramirez, ISPASS 2013).
+
+EEE lets a link enter a Low Power Idle (LPI) state between packets,
+saving most of the PHY power at the price of a wake-up latency on the
+next packet.  The cited study's finding — that tens of microseconds of
+added latency inflate HPC execution time by tens of percent — is where
+the paper's Section 4.1 penalty estimates come from.  This module models
+the trade-off: PHY energy saved as a function of link utilisation versus
+the latency added per message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.link import GBE, Link
+from repro.core.metrics import latency_penalty
+
+
+@dataclass(frozen=True)
+class EEELink:
+    """An 802.3az-capable link.
+
+    :param link: the underlying physical link.
+    :param phy_active_w: PHY power while transmitting/idle-active.
+    :param phy_lpi_w: PHY power in Low Power Idle.
+    :param wake_us: LPI -> active transition time charged to the first
+        packet after an idle period (16.5 µs for 1000BASE-T).
+    :param sleep_us: active -> LPI transition time (182 µs for
+        1000BASE-T; the link cannot save energy during it).
+    """
+
+    link: Link = GBE
+    phy_active_w: float = 0.5
+    phy_lpi_w: float = 0.05
+    wake_us: float = 16.5
+    sleep_us: float = 182.0
+
+    def __post_init__(self) -> None:
+        if self.phy_lpi_w > self.phy_active_w:
+            raise ValueError("LPI power cannot exceed active power")
+        if min(self.wake_us, self.sleep_us) < 0:
+            raise ValueError("transition times must be non-negative")
+
+    # -- energy ------------------------------------------------------------
+    def phy_power_w(self, utilisation: float) -> float:
+        """Average PHY power at a given link utilisation (fraction of
+        time carrying frames), assuming idle gaps long enough to sleep."""
+        if not (0.0 <= utilisation <= 1.0):
+            raise ValueError("utilisation must be in [0, 1]")
+        return (
+            utilisation * self.phy_active_w
+            + (1.0 - utilisation) * self.phy_lpi_w
+        )
+
+    def energy_saving_fraction(self, utilisation: float) -> float:
+        """PHY energy saved vs an always-active link."""
+        return 1.0 - self.phy_power_w(utilisation) / self.phy_active_w
+
+    # -- latency -----------------------------------------------------------
+    def added_latency_us(self, asleep: bool = True) -> float:
+        """Latency added to a message arriving at a sleeping link."""
+        return self.wake_us if asleep else 0.0
+
+    def execution_time_penalty(
+        self,
+        base_latency_us: float,
+        relative_cpu_speed: float = 1.0,
+        asleep: bool = True,
+    ) -> float:
+        """Extra application execution-time fraction caused by enabling
+        EEE, via the [36] latency-penalty model: the difference between
+        the penalty at (base + wake) latency and at base latency."""
+        if base_latency_us < 0:
+            raise ValueError("latency must be non-negative")
+        with_eee = latency_penalty(
+            base_latency_us + self.added_latency_us(asleep),
+            relative_cpu_speed,
+        )
+        without = latency_penalty(base_latency_us, relative_cpu_speed)
+        return with_eee - without
+
+    def worth_it(
+        self,
+        utilisation: float,
+        base_latency_us: float,
+        relative_cpu_speed: float = 1.0,
+    ) -> bool:
+        """Crude engineering check: does the PHY saving exceed the
+        compute-energy cost of running longer?  (Energy scales with
+        execution time at roughly constant cluster power, so the
+        break-even is saving_fraction_of_total > time_penalty.)  The PHY
+        is a tiny share of node power (~5%), so for HPC traffic patterns
+        this is almost always False — the cited study's conclusion."""
+        phy_share_of_node = 0.05
+        saving = self.energy_saving_fraction(utilisation) * phy_share_of_node
+        cost = self.execution_time_penalty(
+            base_latency_us, relative_cpu_speed
+        )
+        return saving > cost

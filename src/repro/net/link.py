@@ -1,0 +1,73 @@
+"""Physical link models.
+
+The paper's platforms expose 100 Mbit and 1 GbE Ethernet; Table 4
+additionally considers 10 GbE and 40 Gb InfiniBand as the balance points
+mobile SoCs cannot yet reach (no suitable I/O interfaces — Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Link:
+    """A full-duplex point-to-point link.
+
+    :param name: human-readable name.
+    :param bandwidth_gbps: raw signalling rate, Gbit/s.
+    :param efficiency: fraction of raw rate available to payload after
+        framing/preamble/IPG (Ethernet: ~94% at MTU 1500).
+    :param propagation_us: one-way propagation + PHY latency.
+    :param mtu_bytes: maximum transmission unit.
+    """
+
+    name: str
+    bandwidth_gbps: float
+    efficiency: float = 0.94
+    propagation_us: float = 1.0
+    mtu_bytes: int = 1500
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not (0.0 < self.efficiency <= 1.0):
+            raise ValueError("efficiency must be in (0, 1]")
+        if self.mtu_bytes <= 0:
+            raise ValueError("MTU must be positive")
+
+    @property
+    def payload_bandwidth_mbs(self) -> float:
+        """Achievable payload bandwidth in MB/s (the 1 GbE figure the
+        paper quotes as the 125 MB/s theoretical maximum uses raw rate;
+        we keep both)."""
+        return self.bandwidth_gbps * 1e3 / 8.0 * self.efficiency
+
+    @property
+    def raw_bandwidth_mbs(self) -> float:
+        return self.bandwidth_gbps * 1e3 / 8.0
+
+    def wire_ns_per_byte(self) -> float:
+        """Serialisation time per payload byte, ns."""
+        return 8.0 / self.bandwidth_gbps
+
+    def frame_time_us(self, nbytes: int | None = None) -> float:
+        """Serialisation time of one frame (default: full MTU), µs."""
+        n = self.mtu_bytes if nbytes is None else min(nbytes, self.mtu_bytes)
+        return n * self.wire_ns_per_byte() / 1e3
+
+
+#: 100 Mbit Ethernet — the Arndale's only on-board NIC, and the source of
+#: the NFS timeouts described in Section 6.2.
+FAST_ETHERNET = Link("100Mb Ethernet", 0.1, propagation_us=2.0)
+
+#: Gigabit Ethernet — Tibidabo's interconnect.
+GBE = Link("1GbE", 1.0)
+
+#: 10 GbE — what server-class SoCs (Calxeda EnergyCore, X-Gene) integrate.
+TEN_GBE = Link("10GbE", 10.0, propagation_us=0.5)
+
+#: 40 Gb QDR InfiniBand — the HPC-class fabric of Table 4.
+INFINIBAND_40G = Link(
+    "40Gb InfiniBand", 40.0, efficiency=0.96, propagation_us=0.2, mtu_bytes=4096
+)

@@ -1,0 +1,76 @@
+"""NIC attachment models: how the Ethernet controller reaches the SoC.
+
+On the SECO (Tegra) boards the 1 GbE NIC sits on PCIe; on Arndale it
+hangs off a USB 3.0 port, so every packet crosses the USB host stack.
+Section 4.1: "all network communication has to pass through the USB
+software stack and this yields higher latency" — the USB attachment's
+large software cost (which shrinks with CPU frequency) and hardware
+polling cost reproduce that, including the observation that raising the
+Exynos clock from 1.0 to 1.4 GHz cuts latency by ~10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NICAttachment:
+    """Cost model of the path between SoC and NIC.
+
+    Software terms are expressed at a 1 GHz reference clock on a
+    reference core (see ``CPU_PROTOCOL_SPEED`` in
+    :mod:`repro.net.protocol`) and scale inversely with the product of
+    clock and per-core protocol speed; hardware terms are fixed.
+
+    :param sw_overhead_us: per-message driver/stack CPU time (µs @1 GHz).
+    :param hw_overhead_us: fixed per-message controller latency (µs).
+    :param sw_ns_per_byte: per-byte CPU cost of moving payload across the
+        attachment (µs-scale for USB, ~0 for DMA-capable PCIe), ns @1 GHz.
+    :param stable: Section 6.1 — the Tegra PCIe interface "sometimes
+        stopped responding when used under heavy workloads"; the fault
+        injector uses this flag.
+    """
+
+    name: str
+    sw_overhead_us: float
+    hw_overhead_us: float
+    sw_ns_per_byte: float
+    stable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sw_overhead_us < 0 or self.hw_overhead_us < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.sw_ns_per_byte < 0:
+            raise ValueError("per-byte cost must be non-negative")
+
+
+#: PCIe-attached NIC (SECO Q7 / CARMA).  DMA keeps per-byte CPU cost nil;
+#: the Tegra PCIe root was unstable under load (Section 6.1).
+PCIE = NICAttachment(
+    "PCIe", sw_overhead_us=6.0, hw_overhead_us=7.6, sw_ns_per_byte=0.0,
+    stable=False,
+)
+
+#: USB 3.0-attached NIC (Arndale).  Every byte is shepherded by the USB
+#: host stack: large fixed polling latency and a real per-byte CPU cost.
+USB3 = NICAttachment(
+    "USB3.0", sw_overhead_us=18.0, hw_overhead_us=45.0, sw_ns_per_byte=7.2
+)
+
+#: Integrated/onboard controller (the laptop).
+ONBOARD = NICAttachment(
+    "onboard", sw_overhead_us=4.0, hw_overhead_us=4.0, sw_ns_per_byte=0.0
+)
+
+ATTACHMENTS = {"pcie": PCIE, "usb3": USB3, "onboard": ONBOARD}
+
+
+def attachment_for(name: str) -> NICAttachment:
+    """Look up an attachment by the BoardInfo key (``pcie``/``usb3``/...)."""
+    try:
+        return ATTACHMENTS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown NIC attachment {name!r}; known: {sorted(ATTACHMENTS)}"
+        ) from None

@@ -1,0 +1,224 @@
+"""Messaging protocol stacks: TCP/IP vs Open-MX.
+
+Open-MX (Goglin) is a user-space implementation of the Myrinet Express
+message-passing stack over plain Ethernet.  Relative to TCP/IP it
+
+* bypasses the kernel TCP/IP path (much smaller per-message CPU cost),
+* minimises memory copies (near-zero per-byte CPU cost), and
+* for messages of 32 KiB and above uses a rendezvous with memory pinning
+  for zero-copy sends / single-copy receives — at the price of one extra
+  control round-trip.
+
+Calibration (Figure 7, all one-way, 1 GbE):
+
+======================  ==========  ==========
+configuration           latency µs  bandwidth
+======================  ==========  ==========
+Tegra 2  TCP/IP @1GHz      ~100        65 MB/s
+Tegra 2  Open-MX @1GHz      ~65       117 MB/s
+Exynos 5 TCP/IP @1GHz      ~125        63 MB/s
+Exynos 5 Open-MX @1GHz      ~93        69 MB/s
+Exynos 5 @1.4 GHz        ~10% lower   75 MB/s (Open-MX)
+======================  ==========  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.link import GBE, Link
+from repro.net.nic import NICAttachment, PCIE
+
+#: Per-message protocol processing throughput of each core relative to
+#: the 1 GHz reference used by the software-cost constants.  (The A15
+#: retires the network stack faster per cycle than the A9.)
+CPU_PROTOCOL_SPEED: dict[str, float] = {
+    "Cortex-A9": 0.8,
+    "Cortex-A15": 1.3,
+    "Cortex-A15/ARMv8": 1.4,
+    "SandyBridge": 2.2,
+    "X-Gene/ARMv8": 1.8,
+    "Saltwell": 1.0,
+    "Nehalem": 1.8,
+}
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """A messaging software stack.
+
+    :param sw_overhead_us: per-message CPU cost at the 1 GHz reference
+        (sender + receiver sides combined into the one-way figure).
+    :param fixed_overhead_us: per-message cost independent of CPU clock
+        (interrupt coalescing timers, protocol state machines in the NIC).
+    :param sw_ns_per_byte: per-byte CPU cost at the reference clock —
+        dominated by memory copies and per-MTU packet processing.
+    :param copies: data copies on the send+receive path (documentation /
+        ablation knob; ``sw_ns_per_byte`` already reflects it).
+    :param rendezvous_bytes: messages at least this large use rendezvous
+        (None = never).  Open-MX: 32 KiB.
+    :param rendezvous_ns_per_byte: replacement per-byte CPU cost in
+        rendezvous mode (zero-copy send, single-copy receive).
+    """
+
+    name: str
+    sw_overhead_us: float
+    fixed_overhead_us: float
+    sw_ns_per_byte: float
+    copies: int
+    rendezvous_bytes: int | None = None
+    rendezvous_ns_per_byte: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.sw_overhead_us, self.fixed_overhead_us) < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.sw_ns_per_byte < 0 or self.rendezvous_ns_per_byte < 0:
+            raise ValueError("per-byte costs must be non-negative")
+        if self.copies < 0:
+            raise ValueError("copies must be non-negative")
+
+
+TCP_IP = Protocol(
+    name="TCP/IP",
+    sw_overhead_us=38.9,
+    fixed_overhead_us=35.25,
+    sw_ns_per_byte=5.9,
+    copies=2,
+)
+
+OPEN_MX = Protocol(
+    name="Open-MX",
+    sw_overhead_us=24.3,
+    fixed_overhead_us=14.45,
+    sw_ns_per_byte=0.44,
+    copies=1,
+    rendezvous_bytes=32 * 1024,
+    rendezvous_ns_per_byte=0.30,
+)
+
+PROTOCOLS = {"tcp": TCP_IP, "tcp/ip": TCP_IP, "open-mx": OPEN_MX, "openmx": OPEN_MX}
+
+
+class ProtocolStack:
+    """A complete per-message cost model: protocol + NIC attachment +
+    link + CPU operating point.
+
+    :param protocol: the messaging software.
+    :param attachment: how the NIC reaches the SoC.
+    :param link: the physical link.
+    :param core_name: micro-architecture key into ``CPU_PROTOCOL_SPEED``.
+    :param freq_ghz: CPU clock during communication.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        attachment: NICAttachment = PCIE,
+        link: Link = GBE,
+        core_name: str = "Cortex-A9",
+        freq_ghz: float = 1.0,
+    ) -> None:
+        if freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if core_name not in CPU_PROTOCOL_SPEED:
+            raise KeyError(
+                f"no protocol-speed calibration for {core_name!r}"
+            )
+        self.protocol = protocol
+        self.attachment = attachment
+        self.link = link
+        self.core_name = core_name
+        self.freq_ghz = freq_ghz
+
+    # ------------------------------------------------------------------
+    @property
+    def _cpu_scale(self) -> float:
+        """Divider applied to reference software costs."""
+        return CPU_PROTOCOL_SPEED[self.core_name] * self.freq_ghz
+
+    def software_latency_us(self) -> float:
+        """CPU-clock-dependent part of the per-message latency."""
+        return (
+            self.protocol.sw_overhead_us + self.attachment.sw_overhead_us
+        ) / self._cpu_scale
+
+    def hardware_latency_us(self) -> float:
+        """Clock-independent part of the per-message latency."""
+        return (
+            self.protocol.fixed_overhead_us
+            + self.attachment.hw_overhead_us
+            + self.link.propagation_us
+        )
+
+    def small_message_latency_us(self) -> float:
+        """One-way latency of a small (few-byte) message."""
+        return self.software_latency_us() + self.hardware_latency_us()
+
+    def ns_per_byte(self, nbytes: int) -> float:
+        """Marginal cost per payload byte for a message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        rdv = (
+            self.protocol.rendezvous_bytes is not None
+            and nbytes >= self.protocol.rendezvous_bytes
+        )
+        proto_byte = (
+            self.protocol.rendezvous_ns_per_byte
+            if rdv
+            else self.protocol.sw_ns_per_byte
+        )
+        sw = (proto_byte + self.attachment.sw_ns_per_byte) / self._cpu_scale
+        return self.link.wire_ns_per_byte() + sw
+
+    def one_way_latency_us(self, nbytes: int) -> float:
+        """One-way time for an ``nbytes`` message, µs."""
+        lat = self.small_message_latency_us() + nbytes * self.ns_per_byte(nbytes) / 1e3
+        rdv = (
+            self.protocol.rendezvous_bytes is not None
+            and nbytes >= self.protocol.rendezvous_bytes
+        )
+        if rdv:
+            # Rendezvous handshake: one extra control round trip.
+            lat += 2.0 * self.small_message_latency_us()
+        return lat
+
+    def transfer_time_s(self, nbytes: int) -> float:
+        """One-way time in seconds (the MPI simulator's unit)."""
+        return self.one_way_latency_us(nbytes) * 1e-6
+
+    def effective_bandwidth_mbs(self, nbytes: int) -> float:
+        """Payload bandwidth a message of ``nbytes`` achieves, MB/s."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        return nbytes / self.one_way_latency_us(nbytes)  # B/µs == MB/s
+
+    def asymptotic_bandwidth_mbs(self) -> float:
+        """Large-message bandwidth limit, MB/s."""
+        return 1e3 / self.ns_per_byte(1 << 24)
+
+    # ------------------------------------------------------------------
+    def cpu_occupancy_s(self, nbytes: int) -> float:
+        """Sender CPU time consumed per message (the overhead that
+        competes with computation; used by the overlap model)."""
+        rdv = (
+            self.protocol.rendezvous_bytes is not None
+            and nbytes >= self.protocol.rendezvous_bytes
+        )
+        proto_byte = (
+            self.protocol.rendezvous_ns_per_byte
+            if rdv
+            else self.protocol.sw_ns_per_byte
+        )
+        per_msg = self.software_latency_us() * 1e-6
+        per_byte = (
+            (proto_byte + self.attachment.sw_ns_per_byte)
+            / self._cpu_scale
+            * 1e-9
+        )
+        return per_msg + nbytes * per_byte
+
+    def describe(self) -> str:
+        return (
+            f"{self.protocol.name} over {self.link.name} via "
+            f"{self.attachment.name} on {self.core_name}@{self.freq_ghz}GHz"
+        )

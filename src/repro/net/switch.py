@@ -1,0 +1,67 @@
+"""Ethernet switch model.
+
+Tibidabo's network is "a hierarchical 1 GbE network built with 48-port
+1 GbE switches, giving a bisection bandwidth of 8 Gb/s and a maximum
+latency of three hops" (Section 4).  The model charges a fixed per-hop
+forwarding latency (cut-through for the calibration-relevant small
+messages; large transfers are pipelined so only one extra frame time per
+hop appears) plus an optional oversubscription factor on uplinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.link import GBE, Link
+
+
+@dataclass(frozen=True)
+class Switch:
+    """A fixed-latency, possibly oversubscribed Ethernet switch.
+
+    :param ports: downlink port count (48 for Tibidabo's switches).
+    :param hop_latency_us: forwarding latency per traversal.
+    :param uplink_ports: ports bonded into the uplink trunk towards the
+        core switch; defines the oversubscription ratio.
+    :param link: the port link technology.
+    """
+
+    name: str = "48-port 1GbE"
+    ports: int = 48
+    hop_latency_us: float = 3.0
+    uplink_ports: int = 4
+    link: Link = GBE
+
+    def __post_init__(self) -> None:
+        if self.ports <= 0 or self.uplink_ports <= 0:
+            raise ValueError("port counts must be positive")
+        if self.hop_latency_us < 0:
+            raise ValueError("hop latency must be non-negative")
+
+    @property
+    def oversubscription(self) -> float:
+        """Downlink:uplink bandwidth ratio (12:1 for 48 ports over a
+        4 x 1 GbE trunk)."""
+        return self.ports / self.uplink_ports
+
+    @property
+    def uplink_bandwidth_gbps(self) -> float:
+        return self.uplink_ports * self.link.bandwidth_gbps
+
+    def traversal_us(self, nbytes: int = 64) -> float:
+        """Extra one-way latency contributed by crossing this switch:
+        forwarding latency plus one (pipelined) frame serialisation."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.hop_latency_us + self.link.frame_time_us(
+            min(nbytes, self.link.mtu_bytes)
+        )
+
+    def uplink_share_mbs(self, concurrent_flows: int) -> float:
+        """Fair-share payload bandwidth (MB/s) per flow when
+        ``concurrent_flows`` cross the uplink trunk simultaneously."""
+        if concurrent_flows <= 0:
+            raise ValueError("need at least one flow")
+        total = self.uplink_bandwidth_gbps * 1e3 / 8.0 * self.link.efficiency
+        per_flow = total / concurrent_flows
+        return min(per_flow, self.link.payload_bandwidth_mbs)

@@ -1,0 +1,73 @@
+"""Cluster network topologies.
+
+:class:`TreeTopology` is the two-level leaf/core tree Tibidabo used:
+nodes attach to 48-port leaf switches whose uplinks meet at a core
+switch.  Crossing within a leaf costs one switch traversal; crossing
+between leaves costs three (leaf, core, leaf) — matching the paper's
+"maximum latency of three hops".  The bisection bandwidth of the
+192-node instance is 8 Gb/s, asserted by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.switch import Switch
+
+
+@dataclass(frozen=True)
+class TreeTopology:
+    """A two-level switched tree over ``n_nodes`` nodes.
+
+    :param n_nodes: number of compute nodes.
+    :param leaf: the leaf switch model (also used for the core).
+    """
+
+    n_nodes: int
+    leaf: Switch = field(default_factory=Switch)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("need at least one node")
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaf switch count (ceil division of nodes over ports)."""
+        return -(-self.n_nodes // self.leaf.ports)
+
+    def leaf_of(self, node: int) -> int:
+        """Index of the leaf switch a node attaches to."""
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} out of range [0, {self.n_nodes})")
+        return node // self.leaf.ports
+
+    def hops(self, src: int, dst: int) -> int:
+        """Switch traversals between two nodes (0 for loopback)."""
+        if src == dst:
+            return 0
+        if self.leaf_of(src) == self.leaf_of(dst):
+            return 1
+        return 3  # leaf -> core -> leaf
+
+    def max_hops(self) -> int:
+        """Worst-case hop count anywhere in the topology."""
+        return 1 if self.n_leaves == 1 else 3
+
+    def path_latency_us(self, src: int, dst: int, nbytes: int = 64) -> float:
+        """Extra one-way latency from switch traversals on the path."""
+        return self.hops(src, dst) * self.leaf.traversal_us(nbytes)
+
+    def bisection_bandwidth_gbps(self) -> float:
+        """Bandwidth across the worst even bisection of the network.
+
+        With a single leaf the bisection is through the switch fabric
+        itself (half the attached node links); with multiple leaves it is
+        the core-facing uplink trunks of half the leaves.
+        """
+        if self.n_leaves == 1:
+            return (self.n_nodes // 2) * self.leaf.link.bandwidth_gbps
+        return (self.n_leaves // 2) * self.leaf.uplink_bandwidth_gbps
+
+    def crosses_core(self, src: int, dst: int) -> bool:
+        """Whether the path uses the oversubscribed core uplinks."""
+        return self.leaf_of(src) != self.leaf_of(dst)

@@ -1,0 +1,12 @@
+"""Discrete-event simulation engine (processes as generators).
+
+A tiny SimPy-like kernel: :class:`~repro.sim.engine.Engine` maintains a
+time-ordered event heap; simulated processes are Python generators that
+``yield`` :class:`~repro.sim.engine.Event` objects and are resumed when
+those events fire.  The MPI simulator (:mod:`repro.mpi`) builds ranks,
+point-to-point messaging and collectives on top of it.
+"""
+
+from repro.sim.engine import Engine, Event, Interrupt, Process
+
+__all__ = ["Engine", "Event", "Process", "Interrupt"]

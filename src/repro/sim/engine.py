@@ -1,0 +1,213 @@
+"""A minimal deterministic discrete-event engine.
+
+Design:
+
+* :class:`Event` — a one-shot occurrence that fires at a scheduled time
+  (or when explicitly succeeded) and carries an optional value.
+* :class:`Process` — wraps a generator.  The generator yields events;
+  the process sleeps until the yielded event fires, then is resumed with
+  the event's value.  A process is itself awaitable (its completion is
+  an event), enabling fork/join structures.
+* :class:`Engine` — the event heap and clock.  Ties are broken by a
+  monotonically increasing sequence number, so runs are deterministic.
+
+The engine is single-threaded and allocation-light: a 192-rank MPI
+program with tens of thousands of messages simulates in well under a
+second, which is what the Figure 6 scalability sweeps need.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+
+class Interrupt(Exception):
+    """Raised inside a process that is interrupted while waiting."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event; processes wait on it by yielding it."""
+
+    __slots__ = ("engine", "triggered", "value", "_waiters", "callbacks")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+        self.callbacks: list[Callable[[Event], None]] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event immediately (at the current simulation time)."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for cb in self.callbacks:
+            cb(self)
+        for proc in self._waiters:
+            self.engine._ready(proc, value)
+        self._waiters.clear()
+        return self
+
+    def add_waiter(self, proc: "Process") -> None:
+        if self.triggered:
+            self.engine._ready(proc, self.value)
+        else:
+            self._waiters.append(proc)
+
+    def remove_waiter(self, proc: "Process") -> None:
+        if proc in self._waiters:
+            self._waiters.remove(proc)
+
+
+class Process:
+    """A running generator-based simulated process."""
+
+    __slots__ = ("engine", "gen", "name", "done", "result", "_completion", "_waiting_on")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
+        self.engine = engine
+        self.gen = gen
+        self.name = name or repr(gen)
+        self.done = False
+        self.result: Any = None
+        self._completion = Event(engine)
+        self._waiting_on: Event | None = None
+
+    @property
+    def completion(self) -> Event:
+        """Event fired (with the return value) when the process finishes."""
+        return self._completion
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.done:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.remove_waiter(self)
+            self._waiting_on = None
+        self.engine._schedule_throw(self, Interrupt(cause))
+
+    def _step(self, value: Any = None, exc: BaseException | None = None) -> None:
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            self._completion.succeed(stop.value)
+            return
+        if isinstance(target, Process):
+            target = target.completion
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {type(target).__name__}; "
+                "processes must yield Event or Process objects"
+            )
+        self._waiting_on = target
+        target.add_waiter(self)
+
+
+class Engine:
+    """The simulation clock and scheduler."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._active = 0  # live (not finished) processes
+
+    # -- low-level scheduling --------------------------------------------
+    def _push(self, time: float, fn: Callable[[], None]) -> None:
+        if time < self.now - 1e-15:
+            raise ValueError("cannot schedule in the past")
+        heapq.heappush(self._heap, (time, self._seq, fn))
+        self._seq += 1
+
+    def _ready(self, proc: Process, value: Any) -> None:
+        self._push(self.now, lambda: proc._step(value))
+
+    def _schedule_throw(self, proc: Process, exc: BaseException) -> None:
+        self._push(self.now, lambda: proc._step(exc=exc))
+
+    # -- public API --------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        ev = Event(self)
+        self._push(self.now + delay, lambda: ev.succeed(value))
+        return ev
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a simulated process (runs from now)."""
+        proc = Process(self, gen, name=name)
+        self._active += 1
+        proc.completion.callbacks.append(lambda _ev: self._finished())
+        self._push(self.now, lambda: proc._step(None))
+        return proc
+
+    def _finished(self) -> None:
+        self._active -= 1
+
+    def all_of(self, events: Iterable[Event | Process]) -> Event:
+        """An event that fires when every given event has fired."""
+        evs = [e.completion if isinstance(e, Process) else e for e in events]
+        joined = Event(self)
+        pending = sum(1 for e in evs if not e.triggered)
+        if pending == 0:
+            joined.succeed([e.value for e in evs])
+            return joined
+        state = {"pending": pending}
+
+        def on_fire(_ev: Event) -> None:
+            state["pending"] -= 1
+            if state["pending"] == 0:
+                joined.succeed([e.value for e in evs])
+
+        for e in evs:
+            if not e.triggered:
+                e.callbacks.append(on_fire)
+        return joined
+
+    def any_of(self, events: Iterable[Event | Process]) -> Event:
+        """An event that fires when the FIRST of the given events fires,
+        carrying that event's value.  Later firings are ignored."""
+        evs = [e.completion if isinstance(e, Process) else e for e in events]
+        joined = Event(self)
+        for e in evs:
+            if e.triggered:
+                joined.succeed(e.value)
+                return joined
+        def on_fire(ev: Event) -> None:
+            if not joined.triggered:
+                joined.succeed(ev.value)
+        for e in evs:
+            e.callbacks.append(on_fire)
+        return joined
+
+    def run(self, until: float | None = None) -> float:
+        """Execute events until the heap drains (or ``until`` is reached).
+        Returns the final simulation time."""
+        while self._heap:
+            time, _seq, fn = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            fn()
+        return self.now

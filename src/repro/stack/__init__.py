@@ -1,0 +1,38 @@
+"""The HPC software stack on ARM (Section 5 / Figure 8).
+
+Models the stack the paper deployed on its clusters — compilers,
+runtime libraries, scientific libraries, tools, scheduler, OS — with the
+platform-specific constraints the paper reports:
+
+* ARMv7 distributions default to **soft-float** calling conventions;
+  HPC deployment requires custom ``hardfp`` images (Section 6.2),
+* the experimental **CUDA** runtime exists only for the ``armel`` ABI,
+  "at the cost of a lower CPU performance",
+* the **OpenCL** stack for the Mali needs an old kernel without Exynos
+  thermal support, capping the clock at 1 GHz,
+* **ATLAS** auto-tuning requires the CPU frequency pinned to maximum.
+"""
+
+from repro.stack.components import (
+    Component,
+    ComponentKind,
+    Maturity,
+)
+from repro.stack.registry import STACK, component, figure8_layout
+from repro.stack.deployment import (
+    Deployment,
+    DeploymentError,
+    DeploymentReport,
+)
+
+__all__ = [
+    "Component",
+    "ComponentKind",
+    "Maturity",
+    "STACK",
+    "component",
+    "figure8_layout",
+    "Deployment",
+    "DeploymentError",
+    "DeploymentReport",
+]

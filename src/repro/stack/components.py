@@ -1,0 +1,63 @@
+"""Software-stack component model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ComponentKind(enum.Enum):
+    """Figure 8 layers."""
+
+    COMPILER = "compiler"
+    RUNTIME = "runtime library"
+    SCIENTIFIC_LIBRARY = "scientific library"
+    PERFORMANCE_TOOL = "performance analysis"
+    DEBUGGER = "debugger"
+    SCHEDULER = "cluster management"
+    OPERATING_SYSTEM = "operating system"
+
+
+class Maturity(enum.Enum):
+    """How production-ready a component was on ARM in 2013."""
+
+    PRODUCTION = "production"
+    NEEDS_PORT_WORK = "needs porting work"  # e.g. ATLAS source changes
+    EXPERIMENTAL = "experimental"  # CUDA/armel, OpenCL/Mali
+
+
+@dataclass(frozen=True)
+class Component:
+    """One element of the software stack.
+
+    :param requires: names of components that must be deployed first.
+    :param supported_isas: ISA names the component runs on.
+    :param maturity: production readiness on ARM (Section 5's theme).
+    :param forces_abi: ABI this component pins the whole deployment to
+        (the CUDA/armel situation), or ``None``.
+    :param caps_freq_ghz: frequency ceiling its kernel requirement
+        imposes (the OpenCL/Exynos thermal-support situation), or None.
+    :param needs_pinned_frequency: build-time requirement (ATLAS
+        auto-tuning).
+    :param source_patches_required: the paper had to modify sources
+        (ATLAS CPU-identification interface).
+    """
+
+    name: str
+    kind: ComponentKind
+    maturity: Maturity = Maturity.PRODUCTION
+    requires: tuple[str, ...] = ()
+    supported_isas: tuple[str, ...] = ("ARMv7", "ARMv8", "x86-64")
+    forces_abi: str | None = None
+    caps_freq_ghz: float | None = None
+    needs_pinned_frequency: bool = False
+    source_patches_required: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("component needs a name")
+        if self.caps_freq_ghz is not None and self.caps_freq_ghz <= 0:
+            raise ValueError("frequency cap must be positive")
+
+    def supports(self, isa_name: str) -> bool:
+        return isa_name in self.supported_isas

@@ -1,0 +1,185 @@
+"""Stack deployment: dependency resolution + platform constraints.
+
+``Deployment(platform).install(names)`` resolves dependencies into a
+topological install order, checks ISA support, and accumulates the
+constraints the chosen components impose — ABI (the CUDA/armel trap),
+frequency caps (the OpenCL kernel trap), and build-time requirements
+(ATLAS's pinned clock).  The report's ``effective_*`` properties plug
+straight into :class:`~repro.timing.executor.SimulatedExecutor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.soc import Platform
+from repro.stack.components import Component, Maturity
+from repro.stack.registry import STACK, component
+
+
+class DeploymentError(RuntimeError):
+    """A component cannot be deployed on this platform."""
+
+
+@dataclass
+class DeploymentReport:
+    """Outcome of resolving a component set on one platform."""
+
+    platform: str
+    install_order: list[str] = field(default_factory=list)
+    abi: str = "hardfp"
+    freq_cap_ghz: float | None = None
+    build_notes: list[str] = field(default_factory=list)
+    experimental: list[str] = field(default_factory=list)
+
+    def effective_max_freq_ghz(self, platform_fmax: float) -> float:
+        """Clock ceiling after stack constraints."""
+        if self.freq_cap_ghz is None:
+            return platform_fmax
+        return min(platform_fmax, self.freq_cap_ghz)
+
+    @property
+    def production_ready(self) -> bool:
+        """No experimental components in the deployment."""
+        return not self.experimental
+
+
+class Deployment:
+    """Resolves and validates a software stack on a platform."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+
+    # ------------------------------------------------------------------
+    def resolve(self, names: list[str]) -> list[str]:
+        """Topological install order (dependencies first) for ``names``
+        and everything they require.  Detects dependency cycles."""
+        order: list[str] = []
+        visiting: set[str] = set()
+        done: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in done:
+                return
+            if name in visiting:
+                raise DeploymentError(f"dependency cycle through {name!r}")
+            visiting.add(name)
+            for dep in component(name).requires:
+                visit(dep)
+            visiting.discard(name)
+            done.add(name)
+            order.append(name)
+
+        for name in names:
+            visit(name)
+        return order
+
+    def install(self, names: list[str]) -> DeploymentReport:
+        """Deploy components (and dependencies) onto the platform."""
+        isa = self.platform.soc.core.isa.name
+        order = self.resolve(names)
+        report = DeploymentReport(platform=self.platform.name)
+        for name in order:
+            c = component(name)
+            if not c.supports(isa):
+                raise DeploymentError(
+                    f"{name} does not support {isa} "
+                    f"(supports {', '.join(c.supported_isas)})"
+                )
+            self._apply(c, report)
+            report.install_order.append(name)
+        return report
+
+    def _apply(self, c: Component, report: DeploymentReport) -> None:
+        if c.maturity is Maturity.EXPERIMENTAL:
+            report.experimental.append(c.name)
+        if c.forces_abi is not None:
+            if report.abi != "hardfp" and report.abi != c.forces_abi:
+                raise DeploymentError(
+                    f"{c.name} forces ABI {c.forces_abi!r} but the "
+                    f"deployment is already pinned to {report.abi!r}"
+                )
+            report.abi = c.forces_abi
+            if c.forces_abi == "softfp":
+                report.build_notes.append(
+                    f"{c.name}: armel/soft-float filesystem — FP values "
+                    "pass through integer registers (Section 6.2 penalty)"
+                )
+        if c.caps_freq_ghz is not None:
+            cap = c.caps_freq_ghz
+            report.freq_cap_ghz = (
+                cap
+                if report.freq_cap_ghz is None
+                else min(report.freq_cap_ghz, cap)
+            )
+            report.build_notes.append(
+                f"{c.name}: kernel lacks thermal support — clock capped "
+                f"at {cap} GHz (Section 5)"
+            )
+        if c.needs_pinned_frequency:
+            report.build_notes.append(
+                f"{c.name}: auto-tuning requires the frequency pinned to "
+                "maximum during the build (Section 5)"
+            )
+        if c.source_patches_required:
+            report.build_notes.append(
+                f"{c.name}: required source modifications for the ARM "
+                "Linux processor-identification interface (Section 5)"
+            )
+
+    # ------------------------------------------------------------------
+    def hpc_baseline(self) -> DeploymentReport:
+        """The stack every Tibidabo node ran (Figure 8, no accelerators)."""
+        return self.install(
+            [
+                "slurm",
+                "mpich2",
+                "openmpi",
+                "open-mx",
+                "libgomp",
+                "mercurium",
+                "atlas",
+                "fftw",
+                "hdf5",
+                "paraver",
+                "papi",
+                "scalasca",
+                "allinea-ddt",
+            ]
+        )
+
+    def with_cuda(self) -> DeploymentReport:
+        """The CARMA configuration: experimental CUDA on armel."""
+        return self.install(["cuda-4.2", "openmpi"])
+
+    def with_opencl(self) -> DeploymentReport:
+        """The Arndale OpenCL configuration (old kernel, 1 GHz cap)."""
+        return self.install(["opencl-mali", "openmpi"])
+
+
+def stack_penalty_summary(platform: Platform) -> dict[str, float]:
+    """Quantify the Section 5 software-stack traps on one platform:
+    relative DGEMM-class throughput under each deployment choice."""
+    from repro.kernels.registry import get_kernel
+    from repro.timing.executor import SimulatedExecutor
+
+    k = get_kernel("dmmm")
+    dep = Deployment(platform)
+    fmax = platform.soc.max_freq_ghz
+
+    base = SimulatedExecutor(platform, abi="hardfp").time_kernel(k, fmax)
+    out = {"hardfp@fmax": 1.0}
+
+    cuda = dep.with_cuda() if platform.soc.core.isa.name == "ARMv7" else None
+    if cuda is not None:
+        t = SimulatedExecutor(platform, abi=cuda.abi).time_kernel(k, fmax)
+        out["cuda(armel)@fmax"] = base.time_s / t.time_s
+
+    ocl = (
+        dep.with_opencl() if platform.soc.core.isa.name == "ARMv7" else None
+    )
+    if ocl is not None:
+        f = ocl.effective_max_freq_ghz(fmax)
+        t = SimulatedExecutor(platform, abi=ocl.abi).time_kernel(k, f)
+        out["opencl-kernel@cap"] = base.time_s / t.time_s
+    return out

@@ -1,0 +1,91 @@
+"""The Figure 8 inventory: every component the paper deployed."""
+
+from __future__ import annotations
+
+from repro.stack.components import Component, ComponentKind, Maturity
+
+_K = ComponentKind
+_M = Maturity
+
+_COMPONENTS: tuple[Component, ...] = (
+    # -- operating system ---------------------------------------------------
+    Component(
+        "debian-armhf", _K.OPERATING_SYSTEM,
+        # Custom hardfp deployment; kernels rebuilt from vendor sources,
+        # non-preemptive scheduler, performance governor (Section 5).
+        maturity=_M.NEEDS_PORT_WORK,
+        supported_isas=("ARMv7", "ARMv8"),
+    ),
+    Component(
+        "debian-armel", _K.OPERATING_SYSTEM,
+        maturity=_M.PRODUCTION,
+        supported_isas=("ARMv7",),
+        forces_abi="softfp",  # soft-float ABI filesystem
+    ),
+    # -- compilers -----------------------------------------------------------
+    Component("gcc", _K.COMPILER, requires=("debian-armhf",)),
+    Component("gfortran", _K.COMPILER, requires=("gcc",)),
+    Component("g++", _K.COMPILER, requires=("gcc",)),
+    Component(
+        "mercurium", _K.COMPILER,  # the OmpSs source-to-source compiler
+        requires=("gcc", "nanos++"),
+    ),
+    # -- runtime libraries ----------------------------------------------------
+    Component("libgomp", _K.RUNTIME, requires=("gcc",)),
+    Component("nanos++", _K.RUNTIME, requires=("g++",)),
+    Component("mpich2", _K.RUNTIME, requires=("gcc",)),
+    Component("openmpi", _K.RUNTIME, requires=("gcc",)),
+    Component("open-mx", _K.RUNTIME, requires=("openmpi",)),
+    Component(
+        "cuda-4.2", _K.RUNTIME,
+        maturity=_M.EXPERIMENTAL,
+        requires=("debian-armel",),
+        supported_isas=("ARMv7",),
+        forces_abi="softfp",  # armel-only runtime, lower CPU performance
+    ),
+    Component(
+        "opencl-mali", _K.RUNTIME,
+        maturity=_M.EXPERIMENTAL,
+        requires=("debian-armhf",),
+        supported_isas=("ARMv7",),
+        caps_freq_ghz=1.0,  # old kernel lacks Exynos thermal support
+    ),
+    # -- scientific libraries --------------------------------------------------
+    Component(
+        "atlas", _K.SCIENTIFIC_LIBRARY,
+        maturity=_M.NEEDS_PORT_WORK,
+        requires=("gcc", "gfortran"),
+        needs_pinned_frequency=True,  # auto-tuning needs stable clocks
+        source_patches_required=True,  # ARM cpuinfo interface
+    ),
+    Component("fftw", _K.SCIENTIFIC_LIBRARY, requires=("gcc",)),
+    Component("hdf5", _K.SCIENTIFIC_LIBRARY, requires=("gcc",)),
+    # -- tools ------------------------------------------------------------------
+    Component("paraver", _K.PERFORMANCE_TOOL, requires=("g++",)),
+    Component("papi", _K.PERFORMANCE_TOOL, requires=("gcc",)),
+    Component("scalasca", _K.PERFORMANCE_TOOL, requires=("mpich2",)),
+    Component("allinea-ddt", _K.DEBUGGER, requires=("openmpi",)),
+    # -- scheduler ----------------------------------------------------------------
+    Component("slurm", _K.SCHEDULER, requires=("debian-armhf",)),
+)
+
+#: Name -> component.
+STACK: dict[str, Component] = {c.name: c for c in _COMPONENTS}
+
+
+def component(name: str) -> Component:
+    """Look up a stack component."""
+    try:
+        return STACK[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown component {name!r}; available: {sorted(STACK)}"
+        ) from None
+
+
+def figure8_layout() -> dict[str, list[str]]:
+    """The Figure 8 boxes: layer -> component names."""
+    out: dict[str, list[str]] = {}
+    for c in _COMPONENTS:
+        out.setdefault(c.kind.value, []).append(c.name)
+    return out

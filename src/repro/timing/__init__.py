@@ -1,0 +1,33 @@
+"""Simulated-time and energy-measurement substrate.
+
+Maps a kernel's operation profile onto a platform model to produce a
+simulated execution time (:mod:`repro.timing.executor`), and reproduces
+the paper's measurement procedure — a Yokogawa WT230 wall-power meter
+sampling at 10 Hz with 0.1% precision, integrating only over the parallel
+region (:mod:`repro.timing.measurement`).
+"""
+
+from repro.timing.roofline import Roofline
+from repro.timing.executor import SimulatedExecutor, SimulatedRun
+from repro.timing.measurement import (
+    EnergyMeasurement,
+    PowerMeter,
+    measure_kernel,
+)
+from repro.timing.calibration import (
+    PASSES_PER_ITERATION,
+    fp_efficiency,
+    pattern_bandwidth_factor,
+)
+
+__all__ = [
+    "Roofline",
+    "SimulatedExecutor",
+    "SimulatedRun",
+    "EnergyMeasurement",
+    "PowerMeter",
+    "measure_kernel",
+    "PASSES_PER_ITERATION",
+    "fp_efficiency",
+    "pattern_bandwidth_factor",
+]

@@ -1,0 +1,200 @@
+"""Simulated executor: kernel profile x platform model -> time.
+
+This is the heart of the single-SoC evaluation (Figures 3 and 4).  For a
+kernel iteration it computes
+
+* a **compute time** from the FP work and the calibrated achieved
+  fraction of peak (:func:`repro.timing.calibration.fp_efficiency`),
+  floored by the instruction-issue time of the full mix,
+* a **memory time** with two regimes: when the working set is resident in
+  the last-level cache (the suite's default sizes — the reason the paper
+  sees performance scale linearly with frequency), the roof is the
+  on-chip cache bandwidth, which scales with core frequency; when the
+  working set spills (STREAM-sized inputs), the roof is the DRAM model's
+  effective bandwidth, and
+* takes the max (roofline overlap), then adds Amdahl serial fraction,
+  load imbalance, and OpenMP barrier/fork-join overheads for the
+  multi-threaded case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.soc import Platform
+from repro.kernels.base import Kernel, OperationProfile
+from repro.timing import calibration
+from repro.timing.roofline import Roofline
+
+
+@dataclass(frozen=True)
+class SimulatedRun:
+    """Outcome of one simulated kernel iteration."""
+
+    kernel: str
+    platform: str
+    freq_ghz: float
+    cores: int
+    time_s: float
+    compute_time_s: float
+    memory_time_s: float
+    overhead_time_s: float
+    flops: float
+    bound: str  # "compute" | "memory"
+
+    @property
+    def achieved_gflops(self) -> float:
+        return self.flops / self.time_s / 1e9 if self.time_s > 0 else 0.0
+
+    @property
+    def memory_bw_utilisation(self) -> float:
+        """Fraction of the iteration spent waiting on memory — used as the
+        memory-activity factor by the power model."""
+        return min(1.0, self.memory_time_s / self.time_s) if self.time_s else 0.0
+
+
+class SimulatedExecutor:
+    """Times kernel iterations on one platform model.
+
+    :param platform: the platform under test.
+    :param abi: ``"hardfp"`` (the paper's custom images) or ``"softfp"``
+        (distribution default on ARMv7 — Section 6.2's penalty).
+    """
+
+    def __init__(self, platform: Platform, abi: str = "hardfp") -> None:
+        if abi not in ("hardfp", "softfp"):
+            raise ValueError("abi must be 'hardfp' or 'softfp'")
+        self.platform = platform
+        self.abi = abi
+
+    # ------------------------------------------------------------------
+    def _abi_penalty(self) -> float:
+        if self.abi == "hardfp":
+            return 1.0
+        isa = self.platform.soc.core.isa
+        # softfp only costs on ISAs whose default ABI is soft-float.
+        return isa.softfp_call_penalty() if not isa.hardfp_abi else 1.0
+
+    def is_resident(self, profile: OperationProfile) -> bool:
+        """Whether the working set fits the platform's last-level cache."""
+        return (
+            profile.working_set_bytes
+            <= self.platform.soc.last_level_cache_bytes()
+        )
+
+    def effective_bandwidth_gbs(
+        self, freq_ghz: float, cores: int, profile: OperationProfile
+    ) -> float:
+        """Pattern-derated memory-roof bandwidth for this kernel: on-chip
+        cache bandwidth when resident, DRAM bandwidth when streaming."""
+        soc = self.platform.soc
+        if self.is_resident(profile):
+            bw = soc.l2_bandwidth_gbs(freq_ghz, cores)
+            return bw * calibration.PATTERN_L2_FACTOR[profile.pattern]
+        bw = soc.memory.effective_bandwidth_gbs(cores, soc.core.mlp)
+        return bw * calibration.pattern_bandwidth_factor(profile.pattern)
+
+    def memory_time_s(
+        self, freq_ghz: float, cores: int, profile: OperationProfile
+    ) -> float:
+        """Memory component of one pass (seconds)."""
+        bw = self.effective_bandwidth_gbs(freq_ghz, cores, profile)
+        traffic = (
+            profile.cache_traffic
+            if self.is_resident(profile)
+            else profile.bytes_from_dram
+        )
+        return traffic / (bw * 1e9)
+
+    def roofline(self, freq_ghz: float, cores: int, profile: OperationProfile) -> Roofline:
+        """The roofline this kernel sees at this operating point."""
+        soc = self.platform.soc
+        eff = calibration.fp_efficiency(soc.core.name, profile.characteristics)
+        peak = soc.core.peak_gflops(freq_ghz) * cores * eff
+        return Roofline(
+            peak, self.effective_bandwidth_gbs(freq_ghz, cores, profile)
+        )
+
+    # ------------------------------------------------------------------
+    def time_kernel(
+        self,
+        kernel: Kernel,
+        freq_ghz: float,
+        cores: int = 1,
+        size: int | None = None,
+        passes: int | None = None,
+    ) -> SimulatedRun:
+        """Simulate one *iteration* (``passes`` internal sweeps) of a kernel.
+
+        ``passes`` defaults to the calibrated per-kernel count that makes
+        a Tegra 2 iteration last ~3 s (see ``calibration.py``).
+        """
+        soc = self.platform.soc
+        if freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if not (1 <= cores <= soc.n_cores):
+            raise ValueError(
+                f"cores must be in [1, {soc.n_cores}] for {self.platform.name}"
+            )
+        n = kernel.default_size() if size is None else size
+        reps = calibration.passes_for(kernel.tag) if passes is None else passes
+        profile = kernel.profile(n)
+        ch = profile.characteristics
+
+        # --- single-core compute time ---------------------------------
+        eff = calibration.fp_efficiency(soc.core.name, ch)
+        achieved_gflops_1 = soc.core.peak_gflops(freq_ghz) * eff
+        t_fp = profile.flops / (achieved_gflops_1 * 1e9)
+        # Issue floor: even FLOP-free work (msort) occupies issue slots.
+        issue_cycles = soc.core.issue_cycles(profile.mix)
+        t_issue = issue_cycles / (freq_ghz * 1e9)
+        t_comp1 = max(t_fp, t_issue) * self._abi_penalty()
+
+        # --- parallel compute time (Amdahl + imbalance) ----------------
+        pf = ch.parallel_fraction
+        if cores == 1:
+            t_comp = t_comp1
+        else:
+            t_comp = t_comp1 * (
+                (1.0 - pf) + pf * ch.load_imbalance / cores
+            )
+
+        # --- memory time ------------------------------------------------
+        t_mem = self.memory_time_s(freq_ghz, cores, profile)
+
+        # --- synchronisation overhead ----------------------------------
+        t_over = 0.0
+        if cores > 1:
+            per_barrier = (
+                calibration.BARRIER_US_PER_THREAD_AT_1GHZ * cores / freq_ghz
+            ) * 1e-6
+            t_over = (
+                ch.barriers_per_iteration * per_barrier
+                + calibration.FORK_JOIN_US_AT_1GHZ / freq_ghz * 1e-6
+            )
+
+        t_pass = max(t_comp, t_mem) + t_over
+        bound = "memory" if t_mem > t_comp else "compute"
+        return SimulatedRun(
+            kernel=kernel.tag,
+            platform=self.platform.name,
+            freq_ghz=freq_ghz,
+            cores=cores,
+            time_s=t_pass * reps,
+            compute_time_s=t_comp * reps,
+            memory_time_s=t_mem * reps,
+            overhead_time_s=t_over * reps,
+            flops=profile.flops * reps,
+            bound=bound,
+        )
+
+    def time_suite(
+        self,
+        kernels: list[Kernel],
+        freq_ghz: float,
+        cores: int = 1,
+    ) -> dict[str, SimulatedRun]:
+        """Time the whole suite; returns tag -> run."""
+        return {
+            k.tag: self.time_kernel(k, freq_ghz, cores=cores) for k in kernels
+        }

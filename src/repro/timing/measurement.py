@@ -1,0 +1,115 @@
+"""Power/energy measurement model — the Yokogawa WT230 procedure.
+
+The paper (Section 3.1) measures wall power with a Yokogawa WT230 power
+meter bridged between socket and device: 10 Hz sampling, 0.1% precision,
+integrating **only over the parallel region** of the application
+(initialisation/finalisation excluded, because NFS vs local disk would
+bias them).  :class:`PowerMeter` reproduces that procedure over a
+simulated power trace so that sampling error and short-run quantisation
+behave like the real instrument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.soc import Platform
+from repro.kernels.base import Kernel
+from repro.timing.executor import SimulatedExecutor, SimulatedRun
+
+
+@dataclass(frozen=True)
+class EnergyMeasurement:
+    """One metered run: energy over the measured (parallel) region."""
+
+    platform: str
+    kernel: str
+    duration_s: float
+    energy_j: float
+    mean_power_w: float
+    n_samples: int
+
+    def energy_per_iteration(self, iterations: int) -> float:
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        return self.energy_j / iterations
+
+    def efficiency_mflops_per_watt(self, total_flops: float) -> float:
+        """The Green500 metric for this run."""
+        if self.energy_j <= 0:
+            raise ValueError("no energy recorded")
+        return (total_flops / self.duration_s) / 1e6 / self.mean_power_w
+
+
+class PowerMeter:
+    """Model of the Yokogawa WT230 digital power meter.
+
+    :param sample_hz: sampling frequency (10 Hz for the WT230).
+    :param precision: relative 1-sigma measurement error (0.1%).
+    :param seed: RNG seed for reproducible noise.
+    """
+
+    def __init__(
+        self, sample_hz: float = 10.0, precision: float = 0.001, seed: int = 0
+    ) -> None:
+        if sample_hz <= 0:
+            raise ValueError("sample rate must be positive")
+        if precision < 0:
+            raise ValueError("precision must be non-negative")
+        self.sample_hz = sample_hz
+        self.precision = precision
+        self._rng = np.random.default_rng(seed)
+
+    def sample_trace(self, power_watts: float, duration_s: float) -> np.ndarray:
+        """Sampled power readings over a constant-power interval."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        n = max(1, int(round(duration_s * self.sample_hz)))
+        noise = self._rng.normal(0.0, self.precision, n)
+        return power_watts * (1.0 + noise)
+
+    def integrate(self, power_watts: float, duration_s: float) -> tuple[float, int]:
+        """Energy (J) over the interval as the meter reports it, plus the
+        sample count (trapezoidal over the sampled trace)."""
+        trace = self.sample_trace(power_watts, duration_s)
+        return float(trace.mean() * duration_s), trace.shape[0]
+
+
+def measure_kernel(
+    platform: Platform,
+    kernel: Kernel,
+    freq_ghz: float,
+    cores: int = 1,
+    iterations: int = 1,
+    meter: PowerMeter | None = None,
+    executor: SimulatedExecutor | None = None,
+) -> tuple[SimulatedRun, EnergyMeasurement]:
+    """Run the full measurement procedure for one kernel configuration.
+
+    Returns the simulated run and the metered energy over ``iterations``
+    iterations of the parallel region.
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    meter = meter or PowerMeter()
+    executor = executor or SimulatedExecutor(platform)
+    run = executor.time_kernel(kernel, freq_ghz, cores=cores)
+    power = platform.soc.power.platform_power(
+        freq_ghz,
+        active_cores=cores,
+        total_cores=platform.soc.n_cores,
+        mem_bw_utilisation=run.memory_bw_utilisation,
+    )
+    duration = run.time_s * iterations
+    energy, n_samples = meter.integrate(power, duration)
+    measurement = EnergyMeasurement(
+        platform=platform.name,
+        kernel=kernel.tag,
+        duration_s=duration,
+        energy_j=energy,
+        mean_power_w=energy / duration,
+        n_samples=n_samples,
+    )
+    return run, measurement

@@ -1,0 +1,114 @@
+"""Tests for figure/table renderers and the paper-vs-measured report."""
+
+import pytest
+
+from repro.analysis.figures import ascii_chart, render_figure
+from repro.analysis.report import build_comparisons, comparisons_markdown
+from repro.analysis.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.core.study import MobileSoCStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return MobileSoCStudy()
+
+
+class TestAsciiChart:
+    def test_markers_present(self):
+        txt = ascii_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}, title="T"
+        )
+        assert "T" in txt
+        assert "o" in txt and "x" in txt
+        assert "o=a" in txt and "x=b" in txt
+
+    def test_log_scale(self):
+        txt = ascii_chart({"s": [(1, 1), (2, 1000)]}, log_y=True)
+        assert "1e+03" in txt or "1000" in txt
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})
+
+
+class TestFigureRenderers:
+    def test_each_figure_renders(self, study):
+        for name, data in (
+            ("figure1", study.figure1()),
+            ("figure2a", study.figure2a()),
+            ("figure2b", study.figure2b()),
+            ("figure3", study.figure3()),
+            ("figure6", study.figure6(node_counts=(1, 4, 16))),
+            ("figure7", study.figure7()),
+        ):
+            txt = render_figure(name, data)
+            assert len(txt.splitlines()) > 5, name
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            render_figure("figure99", {})
+
+
+class TestTableRenderers:
+    def test_table1_platforms(self):
+        txt = render_table1()
+        for name in ("Tegra2", "Tegra3", "Exynos5250", "Corei7-2760QM"):
+            assert name in txt
+
+    def test_table2_kernels(self):
+        txt = render_table2()
+        for tag in ("vecop", "dmmm", "spvm"):
+            assert tag in txt
+
+    def test_table3_applications(self):
+        txt = render_table3()
+        for app in ("HPL", "PEPC", "HYDRO", "GROMACS", "SPECFEM3D"):
+            assert app in txt
+
+    def test_table4_values(self):
+        txt = render_table4()
+        assert "2.50" in txt  # Tegra2 @ InfiniBand
+        assert "0.07" in txt  # SNB @ InfiniBand
+
+
+class TestComparisonReport:
+    @pytest.fixture(scope="class")
+    def comparisons(self, study):
+        return build_comparisons(study)
+
+    def test_covers_every_artefact_class(self, comparisons):
+        artefacts = {c.artefact for c in comparisons}
+        assert {"Fig3", "Fig5", "Fig7", "Sec4", "Sec4.1", "Table4",
+                "Sec3.1.1", "Sec6.3"} <= artefacts
+
+    def test_at_least_forty_claims_encoded(self, comparisons):
+        assert len(comparisons) >= 40
+
+    def test_all_claims_within_25_percent(self, comparisons):
+        """The reproduction-quality gate: every numeric claim in the
+        paper text must reproduce within 25% (most are far closer)."""
+        bad = [c for c in comparisons if not c.within(0.25)]
+        assert not bad, [(c.quantity, c.paper_value, c.measured_value) for c in bad]
+
+    def test_majority_within_10_percent(self, comparisons):
+        close = [c for c in comparisons if c.within(0.10)]
+        assert len(close) >= len(comparisons) * 0.6
+
+    def test_markdown_rendering(self, comparisons):
+        md = comparisons_markdown(comparisons)
+        assert md.startswith("| artefact |")
+        assert md.count("\n") == len(comparisons) + 1
+
+
+class TestFigure5Renderer:
+    def test_figure5_renders_both_panels(self, study):
+        txt = render_figure("figure5", study.figure5())
+        assert "figure5(a)" in txt and "figure5(b)" in txt
+        assert len(txt.splitlines()) > 20

@@ -1,0 +1,36 @@
+"""Tests for the one-shot report writer."""
+
+import pytest
+
+from repro.analysis.full_report import build_full_report, write_full_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return build_full_report(quick=True)
+
+
+class TestFullReport:
+    def test_every_artefact_section_present(self, report_text):
+        for heading in (
+            "Table 1", "Table 2", "Table 3", "Table 4",
+            "Figure 1", "Figure 2a", "Figure 2b", "Figure 3",
+            "Figure 4", "Figure 5", "Figure 6", "Figure 7",
+            "Headline", "Energy-to-solution", "Green500",
+            "Paper vs measured",
+        ):
+            assert f"## {heading}" in report_text, heading
+
+    def test_key_numbers_present(self, report_text):
+        assert "2.50" in report_text  # Table 4 Tegra2/IB
+        assert "vecop" in report_text  # Table 2
+        assert "mflops_per_watt" in report_text
+
+    def test_comparison_table_included(self, report_text):
+        assert "| artefact | quantity |" in report_text
+        assert report_text.count("| Fig3 |") >= 6
+
+    def test_write_to_disk(self, tmp_path):
+        out = write_full_report(tmp_path / "report.md", quick=True)
+        assert out.exists()
+        assert out.read_text().startswith("# Reproduction report")

@@ -1,0 +1,118 @@
+"""Direct tests of the Application/ScalingStudy abstractions using stub
+applications (the real apps test these only indirectly)."""
+
+import pytest
+
+from repro.apps.base import Application, AppRunResult, ScalingStudy
+from repro.cluster.cluster import tibidabo
+
+
+class StrongStub(Application):
+    """t(n) = work / n + overhead * n — a strong-scaling toy."""
+
+    name = "StrongStub"
+    description = "toy"
+    scaling = "strong"
+
+    def __init__(self, work=96.0, overhead=0.0, min_n=1):
+        self.work = work
+        self.overhead = overhead
+        self._min = min_n
+
+    def min_nodes(self, cluster):
+        return self._min
+
+    def simulate(self, cluster, n_nodes, **_):
+        return AppRunResult(
+            app=self.name,
+            n_nodes=n_nodes,
+            time_s=self.work / n_nodes + self.overhead * n_nodes,
+            flops=self.work * 1e9,
+            steps=1,
+        )
+
+
+class WeakStub(Application):
+    """Work grows with n; per-node time constant plus a comm term."""
+
+    name = "WeakStub"
+    description = "toy"
+    scaling = "weak"
+
+    def min_nodes(self, cluster):
+        return 1
+
+    def simulate(self, cluster, n_nodes, **_):
+        return AppRunResult(
+            app=self.name,
+            n_nodes=n_nodes,
+            time_s=1.0 + 0.01 * n_nodes,
+            flops=n_nodes * 1e9,
+            steps=1,
+        )
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return tibidabo(96)
+
+
+class TestStrongScalingConventions:
+    def test_perfect_scaling_is_ideal(self, cluster):
+        study = ScalingStudy(StrongStub(), cluster, node_counts=(1, 2, 4, 8))
+        sp = study.run().speedups()
+        for n, s in sp.items():
+            assert s == pytest.approx(n)
+
+    def test_overhead_bends_the_curve(self, cluster):
+        study = ScalingStudy(
+            StrongStub(overhead=0.05), cluster, node_counts=(1, 8, 64)
+        )
+        eff = study.run().efficiencies()
+        assert eff[1] == pytest.approx(1.0)
+        assert eff[64] < eff[8] < 1.0
+
+    def test_anchor_convention_for_memory_limited_apps(self, cluster):
+        """Anchor = smallest runnable count, defined as linear — the
+        paper's PEPC treatment."""
+        study = ScalingStudy(
+            StrongStub(min_n=24), cluster, node_counts=(4, 8, 24, 48)
+        )
+        sp = study.run().speedups()
+        assert 4 not in sp and 8 not in sp
+        assert sp[24] == pytest.approx(24.0)
+        assert study.base_nodes == 24
+
+    def test_unrunnable_everywhere_raises(self, cluster):
+        study = ScalingStudy(
+            StrongStub(min_n=97), cluster, node_counts=(4, 96)
+        )
+        with pytest.raises(RuntimeError):
+            study.run()
+
+
+class TestWeakScalingConventions:
+    def test_rate_based_speedup(self, cluster):
+        """Weak speedup = base * rate_n / rate_base."""
+        study = ScalingStudy(WeakStub(), cluster, node_counts=(1, 4, 16))
+        sp = study.run().speedups()
+        assert sp[1] == pytest.approx(1.0)
+        # rate(n) = n / (1 + 0.01 n); speedup = rate(n)/rate(1).
+        expected_16 = (16 / 1.16) / (1 / 1.01)
+        assert sp[16] == pytest.approx(expected_16)
+
+    def test_weak_efficiency_below_one_with_comm(self, cluster):
+        study = ScalingStudy(WeakStub(), cluster, node_counts=(1, 96))
+        eff = study.run().efficiencies()
+        assert 0.5 < eff[96] < 1.0
+
+
+class TestAppRunResult:
+    def test_derived_quantities(self):
+        r = AppRunResult("x", 4, time_s=2.0, flops=8e9, steps=4)
+        assert r.gflops == pytest.approx(4.0)
+        assert r.time_per_step_s == pytest.approx(0.5)
+
+    def test_zero_time_guard(self):
+        r = AppRunResult("x", 1, time_s=0.0, flops=1.0, steps=0)
+        assert r.gflops == 0.0

@@ -1,0 +1,99 @@
+"""Functional physics kernels inside the applications."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.gromacs import lennard_jones, velocity_verlet
+from repro.apps.hydro import hydro_step
+
+
+class TestHydroStep:
+    def setup_state(self, n=16, seed=0):
+        rng = np.random.default_rng(seed)
+        rho = rng.random((n, n)) + 0.5
+        vel = rng.standard_normal((n, n, 2)) * 0.1
+        return rho, vel
+
+    def test_mass_conservation(self):
+        rho, vel = self.setup_state()
+        out, _ = hydro_step(rho, vel, dt=0.05)
+        assert out.sum() == pytest.approx(rho.sum())
+
+    def test_uniform_flow_translates(self):
+        n = 8
+        rho = np.zeros((n, n))
+        rho[2, 2] = 1.0
+        vel = np.zeros((n, n, 2))
+        vel[..., 0] = 1.0
+        out, _ = hydro_step(rho, vel, dt=1.0)
+        assert out[3, 2] == pytest.approx(1.0)
+        assert out[2, 2] == pytest.approx(0.0)
+
+    def test_zero_velocity_is_identity(self):
+        rho, _ = self.setup_state()
+        out, _ = hydro_step(rho, np.zeros(rho.shape + (2,)), dt=0.1)
+        np.testing.assert_allclose(out, rho)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_positivity_under_cfl(self, seed):
+        rho, vel = self.setup_state(seed=seed)
+        out, _ = hydro_step(rho, vel, dt=0.1)  # CFL ~ 0.1 * |v| << 1
+        assert (out > 0).all()
+
+    def test_validation(self):
+        rho, vel = self.setup_state()
+        with pytest.raises(ValueError):
+            hydro_step(rho, vel, dt=0)
+        with pytest.raises(ValueError):
+            hydro_step(rho, vel[..., :1], dt=0.1)
+
+
+class TestLennardJones:
+    def grid_positions(self, n=8):
+        # Slightly perturbed lattice: avoids singular overlaps.
+        rng = np.random.default_rng(0)
+        side = int(np.ceil(n ** (1 / 3)))
+        pts = []
+        for i in range(side):
+            for j in range(side):
+                for k in range(side):
+                    pts.append([i * 1.5, j * 1.5, k * 1.5])
+        pos = np.array(pts[:n], dtype=float)
+        return pos + rng.standard_normal(pos.shape) * 0.01
+
+    def test_forces_sum_to_zero(self):
+        _, forces = lennard_jones(self.grid_positions(12))
+        np.testing.assert_allclose(
+            forces.sum(axis=0), np.zeros(3), atol=1e-10
+        )
+
+    def test_equilibrium_distance(self):
+        """The LJ minimum sits at r = 2^(1/6) sigma: force vanishes."""
+        r0 = 2 ** (1 / 6)
+        pos = np.array([[0.0, 0, 0], [r0, 0, 0]])
+        _, forces = lennard_jones(pos)
+        assert abs(forces[0, 0]) < 1e-10
+
+    def test_repulsive_inside_attractive_outside(self):
+        near = np.array([[0.0, 0, 0], [0.9, 0, 0]])
+        far = np.array([[0.0, 0, 0], [1.5, 0, 0]])
+        _, f_near = lennard_jones(near)
+        _, f_far = lennard_jones(far)
+        assert f_near[0, 0] < 0  # pushed apart
+        assert f_far[0, 0] > 0  # pulled together
+
+    def test_energy_conservation_over_verlet_steps(self):
+        pos = self.grid_positions(8)
+        vel = np.zeros_like(pos)
+        e0 = None
+        for _ in range(20):
+            pos, vel, e = velocity_verlet(pos, vel, dt=1e-3)
+            e0 = e if e0 is None else e0
+        assert e == pytest.approx(e0, rel=1e-3)
+
+    def test_verlet_validation(self):
+        pos = self.grid_positions(4)
+        with pytest.raises(ValueError):
+            velocity_verlet(pos, np.zeros_like(pos), dt=0)

@@ -1,0 +1,175 @@
+"""HPL tests: functional distributed LU correctness + headline anchors."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hpl import HPL, HPLConfig, hpl_solve_from_factors
+from repro.cluster.cluster import tibidabo
+from repro.cluster.power import ClusterPowerModel
+
+
+class TestConfig:
+    def test_flop_count(self):
+        cfg = HPLConfig(n=1000, nb=100)
+        assert cfg.total_flops == pytest.approx(2e9 / 3 + 2e6)
+        assert cfg.n_panels == 10
+
+    def test_uneven_panels(self):
+        assert HPLConfig(n=100, nb=32).n_panels == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HPLConfig(n=0)
+        with pytest.raises(ValueError):
+            HPLConfig(n=10, nb=20)
+
+
+class TestFunctionalLU:
+    """The distributed factorisation must solve real systems."""
+
+    @pytest.mark.parametrize(
+        "p,n,nb",
+        [(1, 64, 16), (2, 96, 16), (3, 100, 16), (4, 128, 32), (8, 96, 8)],
+    )
+    def test_solves_linear_system(self, small_cluster, p, n, nb):
+        hpl = HPL()
+        a, lu, piv = hpl.factorise(small_cluster, p, n, nb=nb)
+        b = np.sin(np.arange(n))
+        x = hpl_solve_from_factors(lu, piv, b)
+        ref = np.linalg.solve(a, b)
+        assert np.max(np.abs(x - ref)) < 1e-6 * max(1.0, np.max(np.abs(ref)))
+
+    def test_rank_count_does_not_change_result(self, small_cluster):
+        hpl = HPL()
+        n, nb = 96, 16
+        b = np.arange(1.0, n + 1)
+        xs = []
+        for p in (1, 2, 4):
+            a, lu, piv = hpl.factorise(small_cluster, p, n, nb=nb)
+            xs.append(hpl_solve_from_factors(lu, piv, b))
+        np.testing.assert_allclose(xs[0], xs[1], rtol=1e-8)
+        np.testing.assert_allclose(xs[0], xs[2], rtol=1e-8)
+
+    def test_pivoting_used(self, small_cluster):
+        """Partial pivoting must actually swap rows on general input."""
+        _, _, piv = HPL().factorise(small_cluster, 2, 64, nb=16, seed=1)
+        assert any(int(r) != i for i, r in enumerate(piv))
+
+
+class TestWeakScaling:
+    def test_weak_n_grows_with_sqrt_nodes(self, cluster96):
+        hpl = HPL()
+        n1 = hpl.weak_n(cluster96, 1)
+        n4 = hpl.weak_n(cluster96, 4)
+        assert n4 == pytest.approx(2 * n1, rel=0.1)
+
+    def test_matrix_fits_memory(self, cluster96):
+        hpl = HPL()
+        for nodes in (1, 16, 96):
+            n = hpl.weak_n(cluster96, nodes)
+            assert 8 * n * n <= nodes * cluster96.nodes[0].usable_memory_bytes()
+
+
+class TestHeadline:
+    """Section 4: 97 GFLOPS on 96 nodes, 51% efficiency, 120 MFLOPS/W."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        cluster = tibidabo(96, open_mx=True)
+        hpl = HPL()
+        return cluster, hpl, hpl.simulate(cluster, 96)
+
+    def test_gflops(self, result):
+        _, _, run = result
+        assert run.gflops == pytest.approx(97.0, rel=0.10)
+
+    def test_efficiency(self, result):
+        cluster, hpl, run = result
+        assert hpl.efficiency(cluster, run) == pytest.approx(0.51, abs=0.05)
+
+    def test_mflops_per_watt(self, result):
+        cluster, _, run = result
+        mw = ClusterPowerModel().mflops_per_watt(cluster, run.gflops)
+        assert mw == pytest.approx(120.0, rel=0.10)
+
+    def test_openmx_beats_tcp_at_scale(self):
+        hpl = HPL()
+        tcp = hpl.simulate(tibidabo(32), 32)
+        omx = hpl.simulate(tibidabo(32, open_mx=True), 32)
+        assert omx.gflops > tcp.gflops
+
+    def test_comm_fraction_grows_with_nodes(self):
+        hpl = HPL()
+        c = tibidabo(32, open_mx=True)
+        small = hpl.simulate(c, 4)
+        large = hpl.simulate(c, 32)
+        assert large.comm_fraction > small.comm_fraction
+
+
+class TestLookahead:
+    """Section 6.3's latency-hiding ablation (depth-1 HPL lookahead)."""
+
+    def test_lookahead_never_slower(self):
+        hpl = HPL()
+        for omx in (False, True):
+            c = tibidabo(16, open_mx=omx)
+            blocking = hpl.simulate(c, 16)
+            overlap = hpl.simulate(c, 16, lookahead=True)
+            assert overlap.time_s <= blocking.time_s * 1.001
+
+    def test_lookahead_helps_slow_network_more(self):
+        hpl = HPL()
+        tcp_gain = (
+            hpl.simulate(tibidabo(32), 32).time_s
+            / hpl.simulate(tibidabo(32), 32, lookahead=True).time_s
+        )
+        omx_gain = (
+            hpl.simulate(tibidabo(32, open_mx=True), 32).time_s
+            / hpl.simulate(
+                tibidabo(32, open_mx=True), 32, lookahead=True
+            ).time_s
+        )
+        assert tcp_gain > omx_gain > 1.0
+
+    def test_lookahead_bounded_by_compute(self):
+        """Overlap cannot beat the pure-compute lower bound."""
+        hpl = HPL()
+        c = tibidabo(16, open_mx=True)
+        run = hpl.simulate(c, 16, lookahead=True)
+        compute_floor = run.flops / (
+            sum(n.achieved_gflops("dgemm") for n in c.nodes[:16]) * 1e9
+        )
+        assert run.time_s >= compute_floor * 0.999
+
+
+class TestProcessGrid:
+    """A6: the 2D block-cyclic layout vs the 1D model."""
+
+    def test_grid_shape_most_square(self):
+        from repro.apps.hpl import _grid_shape
+
+        assert _grid_shape(96) == (8, 12)
+        assert _grid_shape(64) == (8, 8)
+        assert _grid_shape(1) == (1, 1)
+        assert _grid_shape(7) == (1, 7)  # prime: degenerates to 1D
+
+    def test_2d_beats_1d_at_scale(self):
+        hpl = HPL()
+        c = tibidabo(48, open_mx=True)
+        one_d = hpl.simulate(c, 48)
+        two_d = hpl.simulate(c, 48, grid_2d=True)
+        assert two_d.gflops > one_d.gflops
+
+    def test_2d_equals_1d_on_one_node(self):
+        hpl = HPL()
+        c = tibidabo(4, open_mx=True)
+        a = hpl.simulate(c, 1)
+        b = hpl.simulate(c, 1, grid_2d=True)
+        assert b.gflops == pytest.approx(a.gflops, rel=0.15)
+
+    def test_2d_bounded_by_compute_ceiling(self):
+        hpl = HPL()
+        c = tibidabo(96, open_mx=True)
+        run = hpl.simulate(c, 96, grid_2d=True)
+        ceiling = sum(n.achieved_gflops("dgemm") for n in c.nodes)
+        assert run.gflops < ceiling

@@ -1,0 +1,135 @@
+"""Figure 6 shape tests: the strong/weak scalability of the five
+applications on Tibidabo."""
+
+import pytest
+
+from repro.apps import APPLICATIONS, ScalingStudy
+from repro.apps.base import AppRunResult
+
+
+@pytest.fixture(scope="module")
+def speedups(cluster96):
+    out = {}
+    for name, app in APPLICATIONS.items():
+        counts = tuple(
+            n
+            for n in (1, 2, 4, 8, 16, 24, 32, 48, 64, 96)
+            if n >= app.min_nodes(cluster96)
+        )
+        out[name] = ScalingStudy(
+            app, cluster96, node_counts=counts
+        ).run().speedups()
+    return out
+
+
+class TestMinimumNodeCounts:
+    def test_pepc_needs_24_nodes(self, cluster96):
+        """Section 4: 'PEPC with the reference input set requires at
+        least 24 nodes'."""
+        assert APPLICATIONS["PEPC"].min_nodes(cluster96) == 24
+
+    def test_gromacs_fits_two_nodes(self, cluster96):
+        """'GROMACS was executed using an input that fits in the memory
+        of two nodes'."""
+        assert APPLICATIONS["GROMACS"].min_nodes(cluster96) == 2
+
+    def test_specfem_fits_one_node(self, cluster96):
+        """'an input set that fits in the memory of a single node'."""
+        assert APPLICATIONS["SPECFEM3D"].min_nodes(cluster96) == 1
+
+    def test_hydro_fits_one_node(self, cluster96):
+        assert APPLICATIONS["HYDRO"].min_nodes(cluster96) == 1
+
+
+class TestFigure6Shapes:
+    def test_anchor_convention(self, speedups):
+        """The smallest runnable count is defined as linear (the
+        paper's convention for PEPC's 24-node anchor)."""
+        assert speedups["PEPC"][24] == pytest.approx(24.0)
+        assert speedups["GROMACS"][2] == pytest.approx(2.0)
+
+    def test_speedups_monotone(self, speedups):
+        for name, sp in speedups.items():
+            vals = [sp[n] for n in sorted(sp)]
+            assert all(b >= a * 0.98 for a, b in zip(vals, vals[1:])), name
+
+    def test_no_superlinear_speedup(self, speedups):
+        for name, sp in speedups.items():
+            for n, s in sp.items():
+                assert s <= n * 1.05, (name, n, s)
+
+    def test_specfem_scales_best(self, speedups):
+        """'SPECFEM3D shows good strong scaling'."""
+        assert speedups["SPECFEM3D"][96] / 96 >= 0.85
+
+    def test_hydro_loses_linearity_after_16(self, speedups):
+        """'HYDRO starts losing linear strong scalability after 16'."""
+        sp = speedups["HYDRO"]
+        assert sp[16] / 16 >= 0.85  # near-linear up to 16
+        assert sp[96] / 96 <= 0.70  # clearly bent by 96
+
+    def test_pepc_scales_poorly(self, speedups):
+        """'PEPC also shows relatively poor strong scalability'."""
+        sp = speedups["PEPC"]
+        eff_96 = sp[96] / (96 / 24 * 24)
+        assert eff_96 <= 0.75
+
+    def test_strong_scaling_ordering_at_96(self, speedups):
+        """SPECFEM3D best; HYDRO and PEPC clearly worse."""
+        eff = {
+            name: sp[96] / 96
+            for name, sp in speedups.items()
+            if 96 in sp and name != "HPL"
+        }
+        assert eff["SPECFEM3D"] == max(eff.values())
+        assert eff["HYDRO"] < eff["SPECFEM3D"]
+
+    def test_hpl_weak_scaling_is_good(self, speedups):
+        """'Tibidabo shows good weak scaling on HPL'."""
+        sp = speedups["HPL"]
+        assert sp[96] / 96 >= 0.5
+
+    def test_gromacs_improves_with_input_size(self, cluster96):
+        """'its scalability improves as the input size is increased'."""
+        app = APPLICATIONS["GROMACS"]
+        small = app.simulate(cluster96, 96)
+        big = app.simulate(cluster96, 96, n_atoms=4.0e6)
+        base_small = app.simulate(cluster96, 8)
+        base_big = app.simulate(cluster96, 8, n_atoms=4.0e6)
+        eff_small = base_small.time_s / small.time_s * 8 / 96
+        eff_big = base_big.time_s / big.time_s * 8 / 96
+        assert eff_big > eff_small
+
+
+class TestAppRunResults:
+    def test_gflops_and_steps(self, cluster96):
+        r = APPLICATIONS["HYDRO"].simulate(cluster96, 4)
+        assert r.gflops > 0
+        assert r.time_per_step_s == pytest.approx(r.time_s / r.steps)
+        assert 0 <= r.comm_fraction < 1
+
+    def test_comm_fraction_grows_with_ranks(self, cluster96):
+        app = APPLICATIONS["HYDRO"]
+        assert (
+            app.simulate(cluster96, 96).comm_fraction
+            > app.simulate(cluster96, 4).comm_fraction
+        )
+
+    def test_study_rejects_unrunnable_everything(self, cluster96):
+        study = ScalingStudy(
+            APPLICATIONS["PEPC"], cluster96, node_counts=(4, 8)
+        )
+        with pytest.raises(RuntimeError):
+            study.run()
+
+    def test_study_rejects_oversized_counts(self, cluster96):
+        study = ScalingStudy(
+            APPLICATIONS["HYDRO"], cluster96, node_counts=(128,)
+        )
+        with pytest.raises(ValueError):
+            study.run()
+
+    def test_table3_registry(self):
+        assert set(APPLICATIONS) == {
+            "HPL", "PEPC", "HYDRO", "GROMACS", "SPECFEM3D"
+        }

@@ -1,0 +1,185 @@
+"""Tests for the functional cache simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.cache import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    estimate_miss_ratio,
+    strided_trace,
+)
+
+
+def small_cache(size=1024, line=64, assoc=2, latency=2):
+    return Cache(CacheConfig("L1", size, line, assoc, latency))
+
+
+class TestCacheConfig:
+    def test_n_sets(self):
+        cfg = CacheConfig("L1", 32 * 1024, 64, 4, 4)
+        assert cfg.n_sets == 128
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size_bytes=0, line_bytes=64, associativity=2),
+            dict(size_bytes=1024, line_bytes=48, associativity=2),
+            dict(size_bytes=1024, line_bytes=64, associativity=0),
+            dict(size_bytes=1000, line_bytes=64, associativity=2),
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", latency_cycles=1, **kwargs)
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(32) is True  # same 64 B line
+
+    def test_different_lines_miss(self):
+        c = small_cache()
+        c.access(0)
+        assert c.access(64) is False
+
+    def test_lru_eviction_order(self):
+        # 2-way cache: three lines mapping to the same set evict the LRU.
+        c = small_cache(size=256, line=64, assoc=2)  # 2 sets
+        set_stride = 2 * 64  # same-set stride
+        a, b, d = 0, set_stride, 2 * set_stride
+        c.access(a)
+        c.access(b)
+        c.access(a)  # a is now MRU
+        c.access(d)  # evicts b (LRU)
+        assert c.contains(a)
+        assert not c.contains(b)
+        assert c.contains(d)
+
+    def test_writeback_only_for_dirty_victims(self):
+        c = small_cache(size=256, line=64, assoc=2)
+        stride = 128
+        c.access(0, write=True)
+        c.access(stride)
+        c.access(2 * stride)  # evicts the dirty line 0
+        assert c.writebacks == 1
+        c.access(3 * stride)  # evicts clean line `stride`
+        assert c.writebacks == 1
+
+    def test_flush_counts_dirty_lines(self):
+        c = small_cache()
+        c.access(0, write=True)
+        c.access(64, write=True)
+        c.access(128)
+        assert c.flush() == 2
+        assert c.resident_lines == 0
+
+    def test_miss_ratio(self):
+        c = small_cache()
+        for _ in range(2):
+            for addr in range(0, 512, 64):
+                c.access(addr)
+        assert c.miss_ratio == pytest.approx(0.5)
+
+    def test_reset_stats_keeps_contents(self):
+        c = small_cache()
+        c.access(0)
+        c.reset_stats()
+        assert c.accesses == 0
+        assert c.contains(0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_resident_lines_never_exceed_capacity(self, addrs):
+        c = small_cache(size=512, line=64, assoc=2)
+        for a in addrs:
+            c.access(a)
+        assert c.resident_lines <= 512 // 64
+        assert c.hits + c.misses == len(addrs)
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_fitting_working_set_fully_hits_second_pass(self, n_lines):
+        c = small_cache(size=1024, line=64, assoc=16)
+        addrs = [i * 64 for i in range(n_lines)]
+        for a in addrs:
+            c.access(a)
+        c.reset_stats()
+        for a in addrs:
+            assert c.access(a) is True
+
+
+class TestCacheHierarchy:
+    def levels(self):
+        return [
+            CacheConfig("L1", 1024, 64, 2, 2),
+            CacheConfig("L2", 8192, 64, 4, 10, shared=True),
+        ]
+
+    def test_first_hit_level_reported(self):
+        h = CacheHierarchy(self.levels(), dram_latency_cycles=100)
+        assert h.access(0) == "DRAM"
+        assert h.access(0) == "L1"
+
+    def test_l2_catches_l1_capacity_victims(self):
+        h = CacheHierarchy(self.levels(), dram_latency_cycles=100)
+        addrs = [i * 64 for i in range(32)]  # 2 KiB: exceeds L1, fits L2
+        for a in addrs:
+            h.access(a)
+        levels = {h.access(a) for a in addrs}
+        assert "DRAM" not in levels
+        assert "L2" in levels
+
+    def test_amat_between_l1_and_dram(self):
+        h = CacheHierarchy(self.levels(), dram_latency_cycles=100)
+        for _ in range(4):
+            for a in range(0, 1024, 64):
+                h.access(a)
+        amat = h.amat()
+        assert 2 <= amat <= 112
+
+    def test_amat_empty_is_l1_latency(self):
+        h = CacheHierarchy(self.levels(), dram_latency_cycles=100)
+        assert h.amat() == 2
+
+    def test_run_trace_and_stats(self):
+        h = CacheHierarchy(self.levels(), dram_latency_cycles=100)
+        stats = h.run_trace(strided_trace(64, 64))
+        l1_hits, l1_misses = stats.per_level["L1"]
+        assert l1_hits + l1_misses == 64
+        assert stats.dram_accesses > 0
+
+    def test_reset(self):
+        h = CacheHierarchy(self.levels(), dram_latency_cycles=100)
+        h.access(0)
+        h.reset()
+        assert h.dram_accesses == 0
+        assert h.access(0) == "DRAM"
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([], 100)
+
+
+class TestMissRatioEstimator:
+    def test_fitting_footprint_mostly_hits(self):
+        levels = [CacheConfig("L1", 4096, 64, 4, 2)]
+        r = estimate_miss_ratio(levels, footprint_bytes=2048, stride_bytes=64)
+        assert r <= 0.5  # second pass hits everywhere
+
+    def test_oversized_footprint_mostly_misses(self):
+        levels = [CacheConfig("L1", 1024, 64, 2, 2)]
+        r = estimate_miss_ratio(
+            levels, footprint_bytes=1 << 16, stride_bytes=64
+        )
+        assert r > 0.9
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            estimate_miss_ratio(
+                [CacheConfig("L1", 1024, 64, 2, 2)], 1024, 0
+            )

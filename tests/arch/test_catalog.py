@@ -1,0 +1,139 @@
+"""Tests pinning the catalog to Table 1 of the paper."""
+
+import pytest
+
+from repro.arch.catalog import (
+    ATOM_S1260_PRICE_USD,
+    TEGRA3_VOLUME_PRICE_USD,
+    XEON_E5_2670_PRICE_USD,
+    armv8_projection,
+    get_platform,
+)
+
+
+class TestTable1Peaks:
+    """Peak FP64 GFLOPS must equal the Table 1 row exactly."""
+
+    @pytest.mark.parametrize(
+        "name,peak",
+        [
+            ("Tegra2", 2.0),
+            ("Tegra3", 5.2),
+            ("Exynos5250", 6.8),
+            ("Corei7-2760QM", 76.8),
+        ],
+    )
+    def test_peak_gflops(self, name, peak):
+        assert get_platform(name).peak_gflops() == pytest.approx(peak)
+
+    @pytest.mark.parametrize(
+        "name,cores,threads",
+        [
+            ("Tegra2", 2, 2),
+            ("Tegra3", 4, 4),
+            ("Exynos5250", 2, 2),
+            ("Corei7-2760QM", 4, 8),
+        ],
+    )
+    def test_cores_and_threads(self, name, cores, threads):
+        soc = get_platform(name).soc
+        assert soc.n_cores == cores
+        assert soc.n_threads == threads
+
+    @pytest.mark.parametrize(
+        "name,channels,width,freq,peak_bw",
+        [
+            ("Tegra2", 1, 32, 333, 2.6),
+            ("Tegra3", 1, 32, 750, 5.86),
+            ("Exynos5250", 2, 32, 800, 12.8),
+            ("Corei7-2760QM", 2, 64, 800, 25.6),
+        ],
+    )
+    def test_memory_rows(self, name, channels, width, freq, peak_bw):
+        m = get_platform(name).soc.memory
+        assert m.channels == channels
+        assert m.width_bits == width
+        assert m.freq_mhz == freq
+        assert m.peak_bandwidth_gbs == pytest.approx(peak_bw)
+
+    def test_cache_hierarchies(self):
+        """Table 1: ARM SoCs 32K L1 / 1M shared L2; i7 has private 256K
+        L2 and a 6M shared L3."""
+        for name in ("Tegra2", "Tegra3", "Exynos5250"):
+            levels = get_platform(name).soc.cache_levels
+            assert len(levels) == 2
+            assert levels[0].size_bytes == 32 * 1024
+            assert levels[1].size_bytes == 1024 * 1024
+            assert levels[1].shared
+        i7 = get_platform("Corei7-2760QM").soc.cache_levels
+        assert len(i7) == 3
+        assert i7[1].size_bytes == 256 * 1024 and not i7[1].shared
+        assert i7[2].size_bytes == 6 * 1024 * 1024 and i7[2].shared
+
+
+class TestBoards:
+    def test_nic_attachments(self):
+        """Section 4.1: SECO boards attach the NIC via PCIe, the Arndale
+        via USB 3.0 — the root of the Exynos latency disadvantage."""
+        assert get_platform("Tegra2").board.nic_attachment == "pcie"
+        assert get_platform("Tegra3").board.nic_attachment == "pcie"
+        assert get_platform("Exynos5250").board.nic_attachment == "usb3"
+
+    def test_arndale_only_has_100mbit(self):
+        assert get_platform("Exynos5250").board.ethernet_interfaces == (
+            "100Mb",
+        )
+
+    def test_no_heatsinks_on_dev_kits(self):
+        """Section 6.1: no cooling infrastructure on developer kits."""
+        for name in ("Tegra2", "Tegra3", "Exynos5250"):
+            assert not get_platform(name).board.has_heatsink
+
+    def test_dev_kits_boot_from_nfs(self):
+        for name in ("Tegra2", "Tegra3", "Exynos5250"):
+            assert get_platform(name).board.root_filesystem == "nfs"
+        assert get_platform("Corei7-2760QM").board.root_filesystem == "disk"
+
+    def test_dram_sizes(self):
+        gib = 2**30
+        assert get_platform("Tegra2").board.dram_bytes == 1 * gib
+        assert get_platform("Corei7-2760QM").board.dram_bytes == 8 * gib
+
+
+class TestEconomics:
+    def test_price_points(self):
+        """Section 1 footnote 5."""
+        assert XEON_E5_2670_PRICE_USD == 1552.0
+        assert TEGRA3_VOLUME_PRICE_USD == 21.0
+        assert ATOM_S1260_PRICE_USD == 64.0
+
+    def test_tegra3_carries_its_price(self):
+        assert get_platform("Tegra3").unit_price_usd == 21.0
+
+
+class TestProjection:
+    def test_armv8_projection_peak(self):
+        """Figure 2b: 4-core ARMv8 @ 2 GHz = 32 GFLOPS."""
+        assert armv8_projection().peak_gflops() == pytest.approx(32.0)
+
+    def test_projection_reachable_by_name(self):
+        assert get_platform("armv8").peak_gflops() == pytest.approx(32.0)
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_platform("tegra2").name == "Tegra2"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_platform("Snapdragon")
+
+    def test_describe_has_table1_fields(self):
+        d = get_platform("Tegra2").describe()
+        for key in (
+            "Architecture",
+            "FP-64 GFLOPS",
+            "Peak bandwidth (GB/s)",
+            "Developer kit",
+        ):
+            assert key in d

@@ -1,0 +1,88 @@
+"""Tests for the per-core pipeline model."""
+
+import pytest
+
+from repro.arch.core_model import (
+    cortex_a9,
+    cortex_a15,
+    cortex_a15_armv8,
+    sandy_bridge,
+)
+from repro.arch.isa import InstructionMix, OpClass
+
+
+class TestPeakThroughput:
+    def test_a9_one_fma_every_two_cycles(self):
+        assert cortex_a9().fp64_flops_per_cycle == 1.0
+
+    def test_a15_pipelined_fma(self):
+        assert cortex_a15().fp64_flops_per_cycle == 2.0
+
+    def test_sandy_bridge_avx(self):
+        assert sandy_bridge().fp64_flops_per_cycle == 8.0
+
+    def test_armv8_doubles_a15(self):
+        """Section 3.1.2: same micro-architecture, ARMv8 FP64 NEON."""
+        assert (
+            cortex_a15_armv8().fp64_flops_per_cycle
+            == 2 * cortex_a15().fp64_flops_per_cycle
+        )
+
+    def test_peak_gflops_scales_with_frequency(self):
+        c = cortex_a15()
+        assert c.peak_gflops(1.7) == pytest.approx(3.4)
+
+    def test_peak_rejects_nonpositive_freq(self):
+        with pytest.raises(ValueError):
+            cortex_a9().peak_gflops(0.0)
+
+
+class TestMicroarchitectureOrdering:
+    def test_mlp_ordering(self):
+        """Cortex-A15 sustains more outstanding misses than A9 (the
+        paper's stated reason for the STREAM gap); SNB more still."""
+        assert cortex_a9().mlp < cortex_a15().mlp < sandy_bridge().mlp
+
+    def test_ilp_efficiency_ordering(self):
+        assert (
+            cortex_a9().ilp_efficiency()
+            < cortex_a15().ilp_efficiency()
+            <= sandy_bridge().ilp_efficiency()
+        )
+
+    def test_ilp_efficiency_bounded(self):
+        for core in (cortex_a9(), cortex_a15(), sandy_bridge()):
+            assert 0 < core.ilp_efficiency() <= 1.0
+
+    def test_smt_only_on_i7(self):
+        assert sandy_bridge().smt_threads == 2
+        assert cortex_a9().smt_threads == 1
+
+
+class TestIssueModel:
+    def test_empty_mix_is_free(self):
+        assert cortex_a9().issue_cycles(InstructionMix({})) == 0.0
+
+    def test_issue_bound(self):
+        # 100 integer ops on a 2-wide machine: at least 50 cycles.
+        mix = InstructionMix({OpClass.INT_ALU: 100})
+        assert cortex_a9().issue_cycles(mix) == pytest.approx(50.0)
+
+    def test_fp_bound_dominates_for_fma_streams(self):
+        mix = InstructionMix({OpClass.FP_FMA: 100})
+        # A9: 200 FLOPs at 1 FLOP/cycle = 200 cycles > 50 issue cycles.
+        assert cortex_a9().issue_cycles(mix) == pytest.approx(200.0)
+
+    def test_divides_serialise(self):
+        mix = InstructionMix({OpClass.FP_DIV: 10})
+        base = InstructionMix({OpClass.FP_ADD: 10})
+        assert cortex_a9().issue_cycles(mix) > cortex_a9().issue_cycles(base)
+
+    def test_wider_machine_issues_faster(self):
+        mix = InstructionMix({OpClass.INT_ALU: 120, OpClass.LOAD: 60})
+        assert sandy_bridge().issue_cycles(mix) < cortex_a9().issue_cycles(mix)
+
+    def test_dependent_fma_latency_bound(self):
+        c = cortex_a9()
+        assert c.dependent_fma_gflops(1.0) == pytest.approx(2.0 / 8.0)
+        assert c.dependent_fma_gflops(1.0) < c.peak_gflops(1.0)

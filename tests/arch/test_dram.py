@@ -1,0 +1,106 @@
+"""Tests for the memory-system model."""
+
+import pytest
+
+from repro.arch.dram import MemorySystem
+
+
+def mem(**over):
+    base = dict(
+        channels=1,
+        width_bits=32,
+        freq_mhz=333.0,
+        peak_bandwidth_gbs=2.6,
+        latency_ns=150.0,
+        stream_efficiency=0.62,
+    )
+    base.update(over)
+    return MemorySystem(**base)
+
+
+class TestPeaks:
+    def test_theoretical_peak_tegra2(self):
+        # 1 channel x 4 B x 2 (DDR) x 333 MHz = 2.66 GB/s (Table 1: 2.6).
+        assert mem().theoretical_peak_gbs() == pytest.approx(2.664, rel=1e-3)
+
+    def test_theoretical_peak_matches_table_within_10pct(self, platforms):
+        for p in platforms.values():
+            m = p.soc.memory
+            assert m.theoretical_peak_gbs() == pytest.approx(
+                m.peak_bandwidth_gbs, rel=0.11
+            )
+
+    def test_sustained_is_efficiency_fraction(self):
+        m = mem()
+        assert m.sustained_bandwidth_gbs() == pytest.approx(2.6 * 0.62)
+
+
+class TestConcurrencyLimit:
+    def test_littles_law(self):
+        m = mem()
+        # 2 outstanding 64 B lines / 150 ns.
+        assert m.per_core_bandwidth_gbs(2.0) == pytest.approx(
+            2 * 64 / 150.0
+        )
+
+    def test_single_core_below_sustained(self):
+        m = mem()
+        assert m.effective_bandwidth_gbs(1, 2.8) < m.sustained_bandwidth_gbs()
+
+    def test_many_cores_saturate(self):
+        m = mem()
+        assert m.effective_bandwidth_gbs(64, 2.8) == pytest.approx(
+            m.sustained_bandwidth_gbs()
+        )
+
+    def test_bandwidth_monotonic_in_cores(self):
+        m = mem()
+        bws = [m.effective_bandwidth_gbs(c, 2.8) for c in range(1, 8)]
+        assert all(b2 >= b1 for b1, b2 in zip(bws, bws[1:]))
+
+    def test_exynos_advantage_over_tegra(self, t2, exynos):
+        """Section 3.2: ~4.5x bandwidth improvement (multicore STREAM)."""
+        bw_t2 = t2.soc.memory.effective_bandwidth_gbs(2, t2.soc.core.mlp)
+        bw_ex = exynos.soc.memory.effective_bandwidth_gbs(
+            2, exynos.soc.core.mlp
+        )
+        assert 3.5 <= bw_ex / bw_t2 <= 5.0
+
+
+class TestLatency:
+    def test_latency_in_cycles_scales_with_frequency(self):
+        m = mem()
+        assert m.dram_latency_cycles(2.0) == 2 * m.dram_latency_cycles(1.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            mem().dram_latency_cycles(0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "over",
+        [
+            dict(channels=0),
+            dict(width_bits=0),
+            dict(stream_efficiency=0.0),
+            dict(stream_efficiency=1.2),
+            dict(latency_ns=0),
+        ],
+    )
+    def test_invalid_configs(self, over):
+        with pytest.raises(ValueError):
+            mem(**over)
+
+    def test_mlp_must_be_positive(self):
+        with pytest.raises(ValueError):
+            mem().per_core_bandwidth_gbs(0)
+
+    def test_cores_must_be_positive(self):
+        with pytest.raises(ValueError):
+            mem().effective_bandwidth_gbs(0, 2.0)
+
+    def test_no_ecc_on_mobile_parts(self, platforms):
+        """Section 6.3: no mobile memory controller supports ECC."""
+        for p in platforms.values():
+            assert p.soc.memory.ecc is False

@@ -1,0 +1,112 @@
+"""Tests for DVFS tables and governors."""
+
+import pytest
+
+from repro.arch.dvfs import (
+    DVFSTable,
+    Governor,
+    GovernorPolicy,
+    OperatingPoint,
+)
+
+
+def table():
+    return DVFSTable(
+        [
+            OperatingPoint(1.0, 1.1),
+            OperatingPoint(0.456, 0.825),
+            OperatingPoint(0.76, 0.925),
+        ]
+    )
+
+
+class TestDVFSTable:
+    def test_sorted_by_frequency(self):
+        t = table()
+        assert t.frequencies() == [0.456, 0.76, 1.0]
+        assert t.fmin == 0.456
+        assert t.fmax == 1.0
+
+    def test_voltage_at_picks_lowest_sufficient_point(self):
+        t = table()
+        assert t.voltage_at(0.5) == pytest.approx(0.925)
+        assert t.voltage_at(1.0) == pytest.approx(1.1)
+
+    def test_voltage_at_rejects_overclock(self):
+        with pytest.raises(ValueError):
+            table().voltage_at(1.5)
+
+    def test_nearest(self):
+        assert table().nearest(0.8).freq_ghz == pytest.approx(0.76)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            DVFSTable([])
+
+    def test_duplicate_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            DVFSTable([OperatingPoint(1.0, 1.0), OperatingPoint(1.0, 1.1)])
+
+    def test_operating_point_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(0, 1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(1.0, -0.1)
+
+
+class TestGovernor:
+    def test_performance_always_max(self):
+        """The paper's HPC tuning: default DVFS policy = performance."""
+        g = Governor(table(), GovernorPolicy.PERFORMANCE)
+        assert g.current.freq_ghz == 1.0
+        g.step(0.0)
+        assert g.current.freq_ghz == 1.0
+
+    def test_powersave_always_min(self):
+        g = Governor(table(), GovernorPolicy.POWERSAVE)
+        g.step(1.0)
+        assert g.current.freq_ghz == pytest.approx(0.456)
+
+    def test_ondemand_ramps_up_under_load(self):
+        g = Governor(table(), GovernorPolicy.ONDEMAND)
+        g.step(0.95)
+        assert g.current.freq_ghz == 1.0
+
+    def test_ondemand_steps_down_when_idle(self):
+        g = Governor(table(), GovernorPolicy.ONDEMAND)
+        g.step(0.95)
+        g.step(0.1)
+        assert g.current.freq_ghz < 1.0
+
+    def test_pin_for_atlas_autotuning(self):
+        """Section 5: ATLAS required the frequency pinned to maximum."""
+        g = Governor(table(), GovernorPolicy.ONDEMAND)
+        g.pin(1.0)
+        assert g.current.freq_ghz == 1.0
+        with pytest.raises(ValueError):
+            g.pin(0.9)  # not an operating point
+
+    def test_utilisation_validated(self):
+        g = Governor(table())
+        with pytest.raises(ValueError):
+            g.step(1.5)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            Governor(table(), up_threshold=0.0)
+
+
+class TestPlatformTables:
+    def test_max_frequencies_match_table1(self, platforms):
+        expected = {
+            "Tegra2": 1.0,
+            "Tegra3": 1.3,
+            "Exynos5250": 1.7,
+            "Corei7-2760QM": 2.4,
+        }
+        for name, plat in platforms.items():
+            assert plat.soc.dvfs.fmax == pytest.approx(expected[name])
+
+    def test_all_tables_have_a_sweep(self, platforms):
+        for plat in platforms.values():
+            assert len(plat.soc.dvfs.frequencies()) >= 4

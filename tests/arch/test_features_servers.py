@@ -1,0 +1,138 @@
+"""Tests for the HPC-readiness analysis and the Section 2 comparators."""
+
+import pytest
+
+from repro.arch.catalog import PLATFORMS, get_platform
+from repro.arch.features import (
+    Feature,
+    assess,
+    gap_report,
+    readiness_matrix,
+)
+from repro.arch.servers import (
+    SERVER_PLATFORMS,
+    atom_s1260,
+    calxeda_ecx1000,
+    keystone2,
+    nehalem_node,
+    xgene,
+)
+
+
+class TestMobileSoCGaps:
+    """Section 6.3: the limitations that keep mobile SoCs out of
+    production HPC."""
+
+    @pytest.mark.parametrize("name", ["Tegra2", "Tegra3", "Exynos5250"])
+    def test_mobile_socs_miss_everything(self, name):
+        a = assess(get_platform(name))
+        assert not a.ready
+        assert Feature.ECC_MEMORY in a.missing
+        assert Feature.FAST_INTERCONNECT_IO in a.missing
+        assert Feature.ADDRESS_64BIT in a.missing
+        assert Feature.SERVER_THERMAL_PACKAGE in a.missing
+
+    def test_tegra_scores_zero(self):
+        assert assess(get_platform("Tegra2")).readiness_score == 0.0
+
+    def test_gap_report_lists_each_missing_feature(self):
+        report = gap_report(get_platform("Tegra2"))
+        assert len(report) == len(Feature)
+        assert any("ECC" in line for line in report)
+
+    def test_thermal_override(self):
+        """Adding a heatsink fixes exactly one checklist item."""
+        base = assess(get_platform("Tegra2"))
+        cooled = assess(get_platform("Tegra2"), thermal_ok=True)
+        assert Feature.SERVER_THERMAL_PACKAGE in cooled.supported
+        assert len(cooled.missing) == len(base.missing) - 1
+
+
+class TestServerComparators:
+    def test_registry_contents(self):
+        assert set(SERVER_PLATFORMS) == {
+            "EnergyCore-ECX1000",
+            "X-Gene",
+            "Atom-S1260",
+            "KeyStone-II",
+            "Xeon-X5570",
+        }
+
+    def test_server_socs_have_ecc(self):
+        """The very feature Section 6.3 says mobile parts lack."""
+        for p in SERVER_PLATFORMS.values():
+            assert p.soc.memory.ecc, p.name
+
+    def test_server_socs_beat_mobile_on_readiness(self):
+        mobile_best = max(
+            assess(p).readiness_score
+            for n, p in PLATFORMS.items()
+            if n != "Corei7-2760QM"
+        )
+        for p in SERVER_PLATFORMS.values():
+            assert assess(p).readiness_score > mobile_best, p.name
+
+    def test_keystone_has_protocol_offload(self):
+        """Section 4.1: 'TI's KeyStone II already implement protocol
+        accelerators'."""
+        a = assess(keystone2())
+        assert Feature.PROTOCOL_OFFLOAD in a.supported
+        for other in (calxeda_ecx1000(), xgene(), atom_s1260()):
+            assert Feature.PROTOCOL_OFFLOAD in assess(other).missing
+
+    def test_xgene_is_64bit(self):
+        """Section 2: X-Gene is a server-class ARMv8 (64-bit) SoC."""
+        a = assess(xgene())
+        assert Feature.ADDRESS_64BIT in a.supported
+        assert Feature.ADDRESS_64BIT in assess(calxeda_ecx1000()).missing
+
+    def test_calxeda_10gbe(self):
+        assert calxeda_ecx1000().board.ethernet_interfaces == ("10GbE",) * 5
+
+    def test_atom_price_point(self):
+        """Footnote 5: $64 list."""
+        assert atom_s1260().unit_price_usd == 64.0
+
+    def test_nehalem_is_a_server_node(self):
+        p = nehalem_node()
+        assert p.peak_gflops() == pytest.approx(46.9, rel=0.02)
+        assert p.soc.memory.ecc
+
+    def test_matrix_structure(self):
+        matrix = readiness_matrix(
+            [get_platform("Tegra2"), keystone2()]
+        )
+        assert set(matrix) == {"Tegra2", "KeyStone-II"}
+        for row in matrix.values():
+            assert len(row) == len(Feature)
+
+
+class TestServerPlatformModels:
+    """The comparators must work through the whole stack, not just the
+    feature checklist."""
+
+    def test_kernels_time_on_every_server_platform(self):
+        from repro.kernels.registry import get_kernel
+        from repro.timing.executor import SimulatedExecutor
+
+        k = get_kernel("dmmm")
+        for p in SERVER_PLATFORMS.values():
+            run = SimulatedExecutor(p).time_kernel(k, 1.0)
+            assert run.time_s > 0, p.name
+
+    def test_xgene_outruns_exynos(self):
+        """ARMv8 FP64 NEON + more cores: the server SoC wins."""
+        from repro.kernels.registry import get_kernel
+        from repro.timing.executor import SimulatedExecutor
+
+        k = get_kernel("dmmm")
+        ex = SimulatedExecutor(get_platform("Exynos5250")).time_kernel(k, 1.7)
+        xg = SimulatedExecutor(xgene()).time_kernel(k, 2.4)
+        assert xg.time_s < ex.time_s
+
+    def test_protocol_stacks_build_for_server_cores(self):
+        from repro.net.protocol import TCP_IP, ProtocolStack
+
+        for p in SERVER_PLATFORMS.values():
+            s = ProtocolStack(TCP_IP, core_name=p.soc.core.name)
+            assert s.small_message_latency_us() > 0

@@ -1,0 +1,124 @@
+"""Tests for ISA descriptors and instruction mixes."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.isa import (
+    ARMV7,
+    ARMV8,
+    X86_64,
+    FLOPS_PER_OP,
+    InstructionMix,
+    OpClass,
+)
+
+
+class TestISADescriptors:
+    def test_armv7_is_32_bit(self):
+        assert ARMV7.address_bits == 32
+        assert ARMV7.max_process_memory_bytes == 4 * 2**30
+
+    def test_armv7_lpae_physical_space(self):
+        # Cortex-A15 LPAE: 40-bit physical addressing (Section 6.3).
+        assert ARMV7.physical_address_bits == 40
+        assert ARMV7.max_physical_memory_bytes == 2**40
+
+    def test_armv8_expands_address_space(self):
+        assert ARMV8.address_bits > ARMV7.address_bits
+
+    def test_armv7_has_no_fp64_simd(self):
+        assert ARMV7.simd_fp64_lanes == 0
+
+    def test_armv8_makes_fp64_simd_compulsory(self):
+        assert ARMV8.simd_fp64_lanes == 2
+        assert not ARMV8.fp64_optional
+
+    def test_x86_avx_is_four_wide(self):
+        assert X86_64.simd_fp64_lanes == 4
+
+    def test_softfp_penalty_only_on_softfp_default_abis(self):
+        assert ARMV7.softfp_call_penalty() > 1.0
+        assert ARMV8.softfp_call_penalty() == 1.0
+        assert X86_64.softfp_call_penalty() == 1.0
+
+
+class TestInstructionMix:
+    def test_total_and_flops(self):
+        mix = InstructionMix(
+            {OpClass.FP_FMA: 10, OpClass.LOAD: 20, OpClass.FP_ADD: 5}
+        )
+        assert mix.total() == 35
+        assert mix.flops() == 2 * 10 + 5
+
+    def test_fma_counts_two_flops(self):
+        assert FLOPS_PER_OP[OpClass.FP_FMA] == 2.0
+
+    def test_empty_mix(self):
+        mix = InstructionMix({})
+        assert mix.total() == 0
+        assert mix.flops() == 0
+        assert mix.fraction(OpClass.LOAD) == 0.0
+        assert mix.normalised().total() == 0
+
+    def test_fraction(self):
+        mix = InstructionMix({OpClass.LOAD: 3, OpClass.STORE: 1})
+        assert mix.fraction(OpClass.LOAD) == pytest.approx(0.75)
+
+    def test_normalised_sums_to_one(self):
+        mix = InstructionMix({OpClass.LOAD: 3, OpClass.FP_MUL: 9})
+        assert sum(mix.normalised().counts.values()) == pytest.approx(1.0)
+
+    def test_scaled(self):
+        mix = InstructionMix({OpClass.LOAD: 4}).scaled(2.5)
+        assert mix.counts[OpClass.LOAD] == 10
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            InstructionMix({OpClass.LOAD: 1}).scaled(-1)
+
+    def test_merged(self):
+        a = InstructionMix({OpClass.LOAD: 1, OpClass.FP_ADD: 2})
+        b = InstructionMix({OpClass.LOAD: 3, OpClass.BRANCH: 1})
+        m = a.merged(b)
+        assert m.counts[OpClass.LOAD] == 4
+        assert m.counts[OpClass.FP_ADD] == 2
+        assert m.counts[OpClass.BRANCH] == 1
+
+    def test_memory_ops(self):
+        mix = InstructionMix({OpClass.LOAD: 5, OpClass.STORE: 3})
+        assert mix.memory_ops() == 8
+
+    def test_arithmetic_intensity(self):
+        mix = InstructionMix({OpClass.FP_FMA: 8, OpClass.LOAD: 2})
+        # 16 FLOPs over 16 bytes.
+        assert mix.arithmetic_intensity() == pytest.approx(1.0)
+
+    def test_intensity_infinite_without_memory(self):
+        mix = InstructionMix({OpClass.FP_ADD: 5})
+        assert math.isinf(mix.arithmetic_intensity())
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(list(OpClass)),
+            st.floats(min_value=0, max_value=1e9),
+            max_size=len(OpClass),
+        )
+    )
+    def test_normalised_is_idempotent(self, counts):
+        mix = InstructionMix(counts)
+        n1 = mix.normalised()
+        n2 = n1.normalised()
+        for op in n1.counts:
+            assert n1.counts[op] == pytest.approx(
+                n2.counts.get(op, 0.0), abs=1e-12
+            )
+
+    @given(st.floats(min_value=0.1, max_value=100.0))
+    def test_scaling_preserves_fractions(self, factor):
+        mix = InstructionMix({OpClass.LOAD: 2, OpClass.FP_ADD: 6})
+        scaled = mix.scaled(factor)
+        assert scaled.fraction(OpClass.LOAD) == pytest.approx(
+            mix.fraction(OpClass.LOAD)
+        )

@@ -1,0 +1,75 @@
+"""Tests for the SoC/Platform aggregates."""
+
+import pytest
+
+from repro.arch.catalog import get_platform
+
+
+class TestSoC:
+    def test_peak_defaults_to_max_frequency(self, t2):
+        assert t2.soc.peak_gflops() == t2.soc.peak_gflops(1.0)
+
+    def test_llc_shared_flags(self, t2, i7):
+        assert t2.soc.llc_shared  # shared 1M L2
+        assert i7.soc.llc_shared  # shared 6M L3
+
+    def test_last_level_cache_bytes(self, t2, i7):
+        assert t2.soc.last_level_cache_bytes() == 1024 * 1024
+        assert i7.soc.last_level_cache_bytes() == 6 * 1024 * 1024
+
+    def test_build_cache_hierarchy(self, t2):
+        h = t2.soc.build_cache_hierarchy()
+        assert [c.config.name for c in h.levels] == ["L1D", "L2"]
+        assert h.dram_latency_cycles > 0
+
+
+class TestL2Bandwidth:
+    def test_scales_with_frequency(self, t2):
+        assert t2.soc.l2_bandwidth_gbs(1.0) == pytest.approx(
+            2 * t2.soc.l2_bandwidth_gbs(0.5)
+        )
+
+    def test_shared_l2_saturates(self, t3):
+        """The 4-core Tegra 3 shares one L2: aggregate bandwidth must cap
+        below 4x the single-core figure."""
+        one = t3.soc.l2_bandwidth_gbs(1.0, 1)
+        four = t3.soc.l2_bandwidth_gbs(1.0, 4)
+        assert 1.0 < four / one <= 2.5
+
+    def test_private_l2_scales_linearly(self, i7):
+        one = i7.soc.l2_bandwidth_gbs(1.0, 1)
+        four = i7.soc.l2_bandwidth_gbs(1.0, 4)
+        assert four / one == pytest.approx(4.0)
+
+    def test_validates_inputs(self, t2):
+        with pytest.raises(ValueError):
+            t2.soc.l2_bandwidth_gbs(0.0, 1)
+        with pytest.raises(ValueError):
+            t2.soc.l2_bandwidth_gbs(1.0, 99)
+
+
+class TestGPUExclusion:
+    def test_tegra_gpus_not_programmable(self, t2, t3):
+        """Section 3: ULP GeForce is graphics-only."""
+        assert not t2.soc.gpu.programmable
+        assert not t3.soc.gpu.programmable
+
+    def test_mali_programmable_but_unusable(self, exynos):
+        """Mali-T604 supports OpenCL but had no optimised driver."""
+        gpu = exynos.soc.gpu
+        assert gpu.programmable
+        assert gpu.api == "OpenCL"
+        assert not gpu.usable_for_compute
+
+    def test_no_platform_contributes_gpu_compute(self, platforms):
+        """The evaluation excludes every GPU (Section 3 / Table 4)."""
+        for p in platforms.values():
+            assert p.soc.gpu is None or not p.soc.gpu.usable_for_compute
+
+
+class TestValidation:
+    def test_subzero_cores_rejected(self, t2):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(t2.soc, n_cores=0)

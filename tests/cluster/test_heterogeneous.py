@@ -1,0 +1,87 @@
+"""Tests for the heterogeneous-cluster study ([25]'s proposal)."""
+
+import pytest
+
+from repro.arch.catalog import get_platform
+from repro.arch.servers import nehalem_node
+from repro.cluster.heterogeneous import (
+    HeterogeneousCluster,
+    NodeGroup,
+    best_mix_under_power_cap,
+)
+
+
+def tegra_group(count=32):
+    return NodeGroup(get_platform("Tegra2"), count, 1.0, node_watts=6.3)
+
+
+def xeon_group(count=2):
+    return NodeGroup(nehalem_node(), count, 2.93, node_watts=330.0)
+
+
+@pytest.fixture
+def mixed():
+    return HeterogeneousCluster([tegra_group(32), xeon_group(2)])
+
+
+class TestPartitioning:
+    def test_static_partition_gated_by_slow_nodes(self, mixed):
+        """[25]'s homogeneity problem: an unweighted split of work loses
+        most of the fast nodes' capacity."""
+        eff = mixed.static_efficiency()
+        assert eff < 0.5
+
+    def test_weighted_partition_recovers_aggregate(self, mixed):
+        flops = 1e12
+        t = mixed.weighted_partition_time_s(flops)
+        assert t == pytest.approx(
+            flops / (mixed.total_gflops() * 1e9)
+        )
+        assert t < mixed.static_partition_time_s(flops)
+
+    def test_homogeneous_cluster_has_no_static_penalty(self):
+        homo = HeterogeneousCluster([tegra_group(16)])
+        assert homo.static_efficiency() == pytest.approx(1.0)
+
+    def test_counts(self, mixed):
+        assert mixed.n_nodes == 34
+        assert mixed.total_watts() == pytest.approx(32 * 6.3 + 2 * 330.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousCluster([])
+        with pytest.raises(ValueError):
+            NodeGroup(get_platform("Tegra2"), 0, 1.0, 6.3)
+        with pytest.raises(KeyError):
+            tegra_group().group_gflops("unknown-workload")
+
+
+class TestPowerCapMix:
+    def test_arm_nodes_win_under_tight_caps(self):
+        """Per-watt the Tegra nodes are better (the paper's premise), so
+        a throughput-maximising mix under a power cap is ARM-heavy."""
+        best = best_mix_under_power_cap(
+            fast=xeon_group(1), slow=tegra_group(1), power_cap_w=700.0
+        )
+        assert best["n_slow"] > best["n_fast"] * 10
+
+    def test_per_watt_ordering(self):
+        arm = HeterogeneousCluster([tegra_group(16)])
+        x86 = HeterogeneousCluster([xeon_group(2)])
+        assert arm.gflops_per_watt() > x86.gflops_per_watt()
+
+    def test_cap_respected(self):
+        cap = 1000.0
+        best = best_mix_under_power_cap(
+            xeon_group(1), tegra_group(1), power_cap_w=cap
+        )
+        used = best["n_fast"] * 330.0 + best["n_slow"] * 6.3
+        assert used <= cap
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            best_mix_under_power_cap(
+                xeon_group(1), tegra_group(1), power_cap_w=0
+            )
+        with pytest.raises(ValueError):
+            HeterogeneousCluster([tegra_group()]).static_partition_time_s(0)

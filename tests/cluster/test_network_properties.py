@@ -1,0 +1,63 @@
+"""Property-based invariants of the cluster network model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import tibidabo
+
+
+@pytest.fixture(scope="module")
+def net96():
+    return tibidabo(96).network()
+
+
+@given(
+    src=st.integers(0, 95),
+    dst=st.integers(0, 95),
+    nbytes=st.integers(0, 1 << 22),
+)
+@settings(max_examples=80, deadline=None)
+def test_transfer_time_positive_and_symmetric(src, dst, nbytes):
+    net = tibidabo(96).network()
+    t_ab = net.transfer_time_s(src, dst, nbytes)
+    t_ba = net.transfer_time_s(dst, src, nbytes)
+    assert t_ab > 0
+    # Homogeneous nodes: the path cost is symmetric.
+    assert t_ab == pytest.approx(t_ba, rel=1e-12)
+
+
+@given(
+    src=st.integers(0, 95),
+    dst=st.integers(0, 95),
+    a=st.integers(0, 1 << 20),
+    b=st.integers(0, 1 << 20),
+)
+@settings(max_examples=60, deadline=None)
+def test_transfer_time_monotone_in_size(src, dst, a, b):
+    net = tibidabo(96).network()
+    small, big = sorted((a, b))
+    assert net.transfer_time_s(src, dst, small) <= (
+        net.transfer_time_s(src, dst, big) + 1e-15
+    )
+
+
+@given(
+    intra=st.integers(1, 47),
+    inter=st.integers(48, 95),
+    nbytes=st.integers(0, 1 << 16),
+)
+@settings(max_examples=60, deadline=None)
+def test_cross_leaf_never_cheaper(intra, inter, nbytes):
+    net = tibidabo(96).network()
+    assert net.transfer_time_s(0, inter, nbytes) >= net.transfer_time_s(
+        0, intra, nbytes
+    )
+
+
+@given(nodes=st.integers(1, 96))
+@settings(max_examples=30, deadline=None)
+def test_subclusters_are_self_consistent(nodes):
+    c = tibidabo(96).subcluster(nodes)
+    assert c.n_nodes == nodes
+    assert c.topology.n_nodes == nodes
+    assert c.peak_gflops() == pytest.approx(2.0 * nodes)

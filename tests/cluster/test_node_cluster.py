@@ -1,0 +1,162 @@
+"""Tests for cluster nodes and the Tibidabo builder."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster, build_cluster, tibidabo
+from repro.cluster.node import ClusterNode
+from repro.net.protocol import OPEN_MX, TCP_IP
+
+
+class TestClusterNode:
+    def node(self, t2):
+        return ClusterNode(0, t2, 1.0)
+
+    def test_peak_gflops(self, t2):
+        assert self.node(t2).peak_gflops() == pytest.approx(2.0)
+
+    def test_achieved_below_peak(self, t2):
+        n = self.node(t2)
+        for wl in ("dgemm", "stencil", "particle", "spectral"):
+            assert 0 < n.achieved_gflops(wl) < n.peak_gflops()
+
+    def test_dgemm_best_achieved(self, t2):
+        """ATLAS DGEMM is the best-optimised phase."""
+        n = self.node(t2)
+        assert n.achieved_gflops("dgemm") == max(
+            n.achieved_gflops(w)
+            for w in ("dgemm", "stencil", "particle", "spectral")
+        )
+
+    def test_unknown_workload(self, t2):
+        with pytest.raises(KeyError):
+            self.node(t2).achieved_gflops("raytracing")
+
+    def test_usable_memory_reserves_for_os(self, t2):
+        n = self.node(t2)
+        assert n.usable_memory_bytes() < n.memory_bytes
+        assert n.usable_memory_bytes(0.0) == n.memory_bytes
+
+    def test_nic_from_board(self, t2, exynos):
+        assert ClusterNode(0, t2, 1.0).nic.name == "PCIe"
+        assert ClusterNode(0, exynos, 1.0).nic.name == "USB3.0"
+
+    def test_validation(self, t2):
+        with pytest.raises(ValueError):
+            ClusterNode(-1, t2, 1.0)
+        with pytest.raises(ValueError):
+            ClusterNode(0, t2, 0.0)
+        with pytest.raises(ValueError):
+            ClusterNode(0, t2, 1.0, ranks_per_node=3)
+
+
+class TestTibidabo:
+    def test_full_cluster(self):
+        c = tibidabo()
+        assert c.n_nodes == 192
+        assert c.peak_gflops() == pytest.approx(384.0)
+        assert c.topology.n_leaves == 4
+
+    def test_nodes_are_tegra2_at_1ghz(self):
+        c = tibidabo(4)
+        for node in c.nodes:
+            assert node.platform.name == "Tegra2"
+            assert node.freq_ghz == 1.0
+
+    def test_open_mx_option(self):
+        assert tibidabo(4, open_mx=True).protocol is OPEN_MX
+        assert tibidabo(4).protocol is TCP_IP
+
+    def test_size_cap(self):
+        with pytest.raises(ValueError):
+            tibidabo(200)
+        with pytest.raises(ValueError):
+            tibidabo(0)
+
+    def test_subcluster(self):
+        c = tibidabo(96)
+        sub = c.subcluster(16)
+        assert sub.n_nodes == 16
+        assert sub.topology.n_nodes == 16
+        with pytest.raises(ValueError):
+            c.subcluster(97)
+
+
+class TestClusterNetwork:
+    def test_cross_leaf_slower_than_intra(self):
+        net = tibidabo(96).network()
+        near = net.transfer_time_s(0, 1, 1024)
+        far = net.transfer_time_s(0, 50, 1024)
+        assert far > near
+
+    def test_self_transfer_is_cheap(self):
+        net = tibidabo(4).network()
+        assert net.transfer_time_s(2, 2, 1 << 20) < 1e-6
+
+    def test_contention_penalises_cross_leaf_only(self):
+        base = tibidabo(96).network(contention_factor=1.0)
+        cont = tibidabo(96).network(contention_factor=3.0)
+        nbytes = 1 << 20
+        assert cont.transfer_time_s(0, 50, nbytes) > base.transfer_time_s(
+            0, 50, nbytes
+        )
+        assert cont.transfer_time_s(0, 1, nbytes) == pytest.approx(
+            base.transfer_time_s(0, 1, nbytes)
+        )
+
+    def test_contention_validated(self):
+        with pytest.raises(ValueError):
+            tibidabo(4).network(contention_factor=0.5)
+
+    def test_make_world_rank_speeds(self):
+        c = tibidabo(4)
+        w = c.make_world(workload="dgemm")
+        assert w.rank_gflops(0) == pytest.approx(
+            c.nodes[0].achieved_gflops("dgemm")
+        )
+
+    def test_make_world_validates(self):
+        with pytest.raises(ValueError):
+            tibidabo(4).make_world(n_ranks=5)
+
+
+class TestGenericBuilder:
+    def test_exynos_cluster(self):
+        c = build_cluster("arndale-wall", 8, platform="Exynos5250")
+        assert c.nodes[0].platform.name == "Exynos5250"
+        assert c.nodes[0].freq_ghz == pytest.approx(1.7)
+
+    def test_cluster_validation(self):
+        with pytest.raises(ValueError):
+            Cluster("empty", [], None)
+
+
+class TestDegradedCluster:
+    def test_boot_failures_shrink_the_machine(self):
+        from repro.cluster.cluster import degraded_tibidabo
+        from repro.cluster.reliability import PCIeFaultInjector
+
+        inj = PCIeFaultInjector(p_boot_failure=0.05, seed=11)
+        cluster, lost = degraded_tibidabo(96, injector=inj)
+        assert cluster.n_nodes + lost == 96
+        assert lost > 0
+
+    def test_healthy_injector_keeps_everything(self):
+        from repro.cluster.cluster import degraded_tibidabo
+        from repro.cluster.reliability import PCIeFaultInjector
+
+        inj = PCIeFaultInjector(p_boot_failure=0.0, seed=0)
+        cluster, lost = degraded_tibidabo(48, injector=inj)
+        assert (cluster.n_nodes, lost) == (48, 0)
+
+    def test_hpl_still_runs_degraded(self):
+        from repro.apps.hpl import HPL
+        from repro.cluster.cluster import degraded_tibidabo
+        from repro.cluster.reliability import PCIeFaultInjector
+
+        inj = PCIeFaultInjector(p_boot_failure=0.04, seed=5)
+        cluster, lost = degraded_tibidabo(32, injector=inj)
+        run = HPL().simulate(cluster, cluster.n_nodes)
+        assert run.gflops > 0
+        # Losing nodes costs roughly proportional throughput.
+        full = HPL().simulate(degraded_tibidabo(32, injector=PCIeFaultInjector(0.0))[0], 32)
+        assert run.gflops <= full.gflops

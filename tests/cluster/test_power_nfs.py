@@ -1,0 +1,118 @@
+"""Tests for cluster power (Green500) and the NFS model."""
+
+import pytest
+
+from repro.cluster.cluster import tibidabo
+from repro.cluster.nfs import NFSModel
+from repro.cluster.power import GREEN500_REFERENCES, ClusterPowerModel
+from repro.net.link import FAST_ETHERNET, GBE
+
+
+class TestClusterPower:
+    def test_headline_green500_number(self, cluster96):
+        """Section 4: 97 GFLOPS at 120 MFLOPS/W."""
+        pm = ClusterPowerModel()
+        assert pm.mflops_per_watt(cluster96, 97.0) == pytest.approx(
+            120.0, rel=0.08
+        )
+
+    def test_node_power_plausible(self, cluster96):
+        """A Q7 module under load draws single-digit watts."""
+        pm = ClusterPowerModel()
+        assert 4.0 <= pm.node_power_watts(cluster96) <= 10.0
+
+    def test_switch_count(self):
+        pm = ClusterPowerModel()
+        assert pm.n_switches(tibidabo(8)) == 1  # one leaf, no core
+        assert pm.n_switches(tibidabo(96)) == 3  # two leaves + core
+        assert pm.n_switches(tibidabo(192)) == 5
+
+    def test_power_grows_with_nodes(self):
+        pm = ClusterPowerModel()
+        assert pm.total_power_watts(tibidabo(96)) > pm.total_power_watts(
+            tibidabo(48)
+        )
+
+    def test_psu_losses_increase_wall_power(self, cluster96):
+        lossy = ClusterPowerModel(psu_efficiency=0.85)
+        ideal = ClusterPowerModel(psu_efficiency=1.0)
+        assert lossy.total_power_watts(cluster96) > ideal.total_power_watts(
+            cluster96
+        )
+
+    def test_gaps_to_green500_leaders(self, cluster96):
+        """'nineteen times lower than BlueGene/Q, almost 27 times lower
+        than the number one GPU-accelerated system'."""
+        pm = ClusterPowerModel()
+        measured = pm.mflops_per_watt(cluster96, 97.0)
+        assert pm.gap_to("BlueGene/Q (best homogeneous)", measured) == (
+            pytest.approx(19.0, rel=0.15)
+        )
+        assert pm.gap_to("Eurotech Eurora (K20 GPU, #1)", measured) == (
+            pytest.approx(27.0, rel=0.15)
+        )
+
+    def test_reference_table_present(self):
+        assert "Tibidabo (paper)" in GREEN500_REFERENCES
+
+    def test_validation(self, cluster96):
+        with pytest.raises(ValueError):
+            ClusterPowerModel(psu_efficiency=0)
+        with pytest.raises(ValueError):
+            ClusterPowerModel().mflops_per_watt(cluster96, -1)
+        with pytest.raises(ValueError):
+            ClusterPowerModel().node_power_watts(cluster96, active_cores=9)
+
+
+class TestNFS:
+    def test_client_link_caps_throughput(self):
+        """Section 6.2: NFS rides the 100 Mbit interface."""
+        nfs = NFSModel()
+        assert nfs.per_client_mbs(1) == pytest.approx(
+            FAST_ETHERNET.payload_bandwidth_mbs
+        )
+
+    def test_server_fair_share_at_scale(self):
+        nfs = NFSModel()
+        assert nfs.per_client_mbs(96) < nfs.per_client_mbs(8)
+
+    def test_large_parallel_phase_times_out(self):
+        """The Section 6.2 failure: parallel I/O from many nodes trips
+        the RPC deadline."""
+        nfs = NFSModel()
+        assert nfs.times_out(96, 100e6)
+        assert not nfs.times_out(2, 1e6)
+
+    def test_serialisation_mitigates_timeouts(self):
+        """The paper's fix: serialise the parallel I/O.  Each client's
+        individual transfer then fits the deadline (throughput is full
+        client-link speed rather than a starved fair share)."""
+        nfs = NFSModel()
+        per_client_serial = nfs.serialized_phase_time_s(96, 100e6) / 96
+        assert per_client_serial < nfs.rpc_timeout_s
+        assert nfs.parallel_phase_time_s(96, 100e6) > nfs.rpc_timeout_s
+
+    def test_max_parallel_clients_monotone_in_volume(self):
+        nfs = NFSModel()
+        assert nfs.max_parallel_clients(10e6) >= nfs.max_parallel_clients(
+            100e6
+        )
+
+    def test_max_clients_limits_node_count(self):
+        """'in some cases this limited the maximum number of nodes'."""
+        nfs = NFSModel()
+        assert nfs.max_parallel_clients(100e6) < 96
+
+    def test_gbe_server_helps(self):
+        slow = NFSModel(server_link=FAST_ETHERNET)
+        fast = NFSModel(server_link=GBE)
+        assert fast.per_client_mbs(48) > slow.per_client_mbs(48)
+
+    def test_validation(self):
+        nfs = NFSModel()
+        with pytest.raises(ValueError):
+            nfs.per_client_mbs(0)
+        with pytest.raises(ValueError):
+            nfs.parallel_phase_time_s(4, -1)
+        with pytest.raises(ValueError):
+            NFSModel(rpc_timeout_s=0)

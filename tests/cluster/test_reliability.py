@@ -1,0 +1,166 @@
+"""Tests for the Section 6 reliability models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.reliability import (
+    DramErrorModel,
+    PCIeFaultInjector,
+    ThermalModel,
+)
+
+
+class TestDramErrors:
+    def test_paper_headline_thirty_percent(self):
+        """Section 6.3: 1,500 nodes x 2 DIMMs -> ~30% daily error
+        probability (using the low end of the 4-20% study range)."""
+        m = DramErrorModel(annual_dimm_error_rate=0.045)
+        p = m.system_daily_error_probability(1500, 2)
+        assert p == pytest.approx(0.30, abs=0.04)
+
+    def test_range_of_study(self):
+        low = DramErrorModel(0.04).system_daily_error_probability(1500, 2)
+        high = DramErrorModel(0.20).system_daily_error_probability(1500, 2)
+        assert low < high
+        assert 0.2 < low < 0.4
+        assert high > 0.8
+
+    def test_daily_probability_consistent_with_annual(self):
+        m = DramErrorModel(0.08)
+        p_day = m.daily_dimm_error_probability()
+        assert 1 - (1 - p_day) ** 365 == pytest.approx(0.08, rel=1e-9)
+
+    def test_mean_days_between_errors(self):
+        m = DramErrorModel(0.045)
+        assert m.mean_days_between_errors(1500, 2) == pytest.approx(
+            1 / m.system_daily_error_probability(1500, 2)
+        )
+
+    def test_ecc_absorbs_errors(self):
+        m = DramErrorModel(0.10)
+        assert m.job_failure_probability(100, 24.0, ecc=True) == 0.0
+        assert m.job_failure_probability(100, 24.0, ecc=False) > 0.0
+
+    def test_failure_grows_with_scale_and_duration(self):
+        m = DramErrorModel(0.10)
+        assert m.job_failure_probability(200, 24.0) > (
+            m.job_failure_probability(100, 24.0)
+        )
+        assert m.job_failure_probability(100, 48.0) > (
+            m.job_failure_probability(100, 24.0)
+        )
+
+    @given(st.floats(min_value=0.01, max_value=0.5),
+           st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=40, deadline=None)
+    def test_probabilities_stay_in_unit_interval(self, annual, nodes):
+        m = DramErrorModel(annual)
+        assert 0 < m.system_daily_error_probability(nodes) < 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramErrorModel(0.0)
+        with pytest.raises(ValueError):
+            DramErrorModel(0.1).system_daily_error_probability(0)
+        with pytest.raises(ValueError):
+            DramErrorModel(0.1).job_failure_probability(10, 0)
+
+
+class TestThermal:
+    def test_fanless_board_overheats_at_load(self):
+        """Section 6.1: sustained max-frequency load destabilises the
+        heatsink-less boards (Tegra 2 under load: ~5-8 W)."""
+        tm = ThermalModel()
+        assert tm.becomes_unstable(6.0)
+        assert math.isfinite(tm.time_to_instability_s(6.0))
+
+    def test_idle_board_is_safe(self):
+        tm = ThermalModel()
+        assert not tm.becomes_unstable(2.0)
+        assert tm.time_to_instability_s(2.0) == math.inf
+
+    def test_temperature_monotone_in_time_and_power(self):
+        tm = ThermalModel()
+        assert tm.temperature_c(6.0, 60) < tm.temperature_c(6.0, 600)
+        assert tm.temperature_c(4.0, 300) < tm.temperature_c(8.0, 300)
+
+    def test_approaches_steady_state(self):
+        tm = ThermalModel()
+        assert tm.temperature_c(6.0, 1e6) == pytest.approx(
+            tm.steady_state_c(6.0), rel=1e-6
+        )
+
+    def test_time_to_instability_decreasing_in_power(self):
+        tm = ThermalModel()
+        assert tm.time_to_instability_s(8.0) < tm.time_to_instability_s(6.0)
+
+    def test_max_sustainable_power(self):
+        """The thermal budget a production package must honour."""
+        tm = ThermalModel()
+        p = tm.max_sustainable_power_w()
+        assert not tm.becomes_unstable(p * 0.999)
+        assert tm.becomes_unstable(p * 1.001)
+
+    def test_heatsink_raises_budget(self):
+        bare = ThermalModel(r_c_per_w=14.0)
+        sinked = ThermalModel(r_c_per_w=4.0)
+        assert (
+            sinked.max_sustainable_power_w() > bare.max_sustainable_power_w()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalModel(r_c_per_w=0)
+        with pytest.raises(ValueError):
+            ThermalModel(t_unstable=20.0, t_ambient=30.0)
+        with pytest.raises(ValueError):
+            ThermalModel().temperature_c(-1.0, 10)
+
+
+class TestPCIeFaults:
+    def test_deterministic_given_seed(self):
+        a = PCIeFaultInjector(seed=7).boot_nodes(100)
+        b = PCIeFaultInjector(seed=7).boot_nodes(100)
+        assert (a == b).all()
+
+    def test_some_boot_failures_at_scale(self):
+        """Section 6.1: 'sometimes the PCIe interface failed to
+        initialize during boot'."""
+        inj = PCIeFaultInjector(p_boot_failure=0.02, seed=0)
+        ok = inj.boot_nodes(1000)
+        assert 0 < (~ok).sum() < 100
+
+    def test_analytic_survival(self):
+        inj = PCIeFaultInjector(mtbf_hours_under_load=200.0)
+        assert inj.expected_job_survival(1, 200.0) == pytest.approx(
+            math.exp(-1)
+        )
+        assert inj.expected_job_survival(192, 24.0) < 0.0001e5  # < 1
+
+    def test_survival_decreases_with_scale(self):
+        inj = PCIeFaultInjector()
+        assert inj.expected_job_survival(192, 10.0) < (
+            inj.expected_job_survival(16, 10.0)
+        )
+
+    def test_empirical_matches_analytic_roughly(self):
+        inj = PCIeFaultInjector(mtbf_hours_under_load=50.0, seed=3)
+        survived = sum(
+            inj.job_survives(8, 2.0) for _ in range(300)
+        )
+        expected = PCIeFaultInjector(
+            mtbf_hours_under_load=50.0
+        ).expected_job_survival(8, 2.0)
+        assert survived / 300 == pytest.approx(expected, abs=0.08)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCIeFaultInjector(p_boot_failure=1.0)
+        with pytest.raises(ValueError):
+            PCIeFaultInjector(mtbf_hours_under_load=0)
+        with pytest.raises(ValueError):
+            PCIeFaultInjector().boot_nodes(0)
+        with pytest.raises(ValueError):
+            PCIeFaultInjector().job_survives(4, 0)

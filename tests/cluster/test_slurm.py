@@ -1,0 +1,131 @@
+"""Tests for the SLURM-like scheduler, including property-based
+no-oversubscription checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.slurm import Job, SlurmScheduler
+
+
+def schedule(n_nodes, specs):
+    s = SlurmScheduler(n_nodes)
+    for name, nodes, dur, sub in specs:
+        s.submit(Job(name, nodes, dur, submit_s=sub))
+    return s, s.schedule()
+
+
+class TestBasicScheduling:
+    def test_single_job_starts_at_submit(self):
+        _, jobs = schedule(4, [("a", 2, 10.0, 5.0)])
+        assert jobs[0].start_s == 5.0
+        assert jobs[0].end_s == 15.0
+        assert jobs[0].wait_s == 0.0
+
+    def test_fifo_for_conflicting_jobs(self):
+        _, jobs = schedule(4, [("a", 4, 10.0, 0.0), ("b", 4, 5.0, 0.0)])
+        assert jobs[0].start_s == 0.0
+        assert jobs[1].start_s == 10.0
+
+    def test_parallel_when_capacity_allows(self):
+        _, jobs = schedule(8, [("a", 4, 10.0, 0.0), ("b", 4, 10.0, 0.0)])
+        assert jobs[0].start_s == jobs[1].start_s == 0.0
+
+    def test_backfill_small_job(self):
+        """A small job slips into the gap without delaying the queue."""
+        s, jobs = schedule(
+            8,
+            [
+                ("big", 8, 100.0, 0.0),
+                ("wide", 8, 50.0, 0.0),
+                ("tiny", 2, 10.0, 0.0),
+            ],
+        )
+        by_name = {j.name: j for j in jobs}
+        assert by_name["wide"].start_s == 100.0
+        # tiny cannot fit alongside big (8 nodes busy), so it backfills
+        # after... in this schedule every node is busy until 150.
+        assert by_name["tiny"].start_s >= 100.0
+
+    def test_backfill_uses_idle_nodes(self):
+        s, jobs = schedule(
+            8,
+            [
+                ("half", 4, 100.0, 0.0),
+                ("wide", 8, 50.0, 0.0),
+                ("tiny", 4, 10.0, 0.0),
+            ],
+        )
+        by_name = {j.name: j for j in jobs}
+        # 4 nodes are idle while `half` runs; tiny fits there and ends
+        # before `wide`'s reserved start at t=100.
+        assert by_name["tiny"].start_s == 0.0
+        assert by_name["wide"].start_s == 100.0
+
+    def test_oversized_job_rejected(self):
+        s = SlurmScheduler(4)
+        with pytest.raises(ValueError):
+            s.submit(Job("huge", 8, 10.0))
+
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            Job("bad", 0, 10.0)
+        with pytest.raises(ValueError):
+            Job("bad", 1, 0.0)
+        with pytest.raises(ValueError):
+            Job("bad", 1, 1.0, submit_s=-1)
+        with pytest.raises(ValueError):
+            SlurmScheduler(0)
+
+
+class TestMetrics:
+    def test_makespan(self):
+        s, _ = schedule(4, [("a", 4, 10.0, 0.0), ("b", 4, 5.0, 0.0)])
+        assert s.makespan_s() == 15.0
+
+    def test_utilisation_bounds(self):
+        s, _ = schedule(
+            8, [("a", 4, 10.0, 0.0), ("b", 8, 5.0, 0.0), ("c", 1, 2.0, 3.0)]
+        )
+        assert 0.0 < s.utilisation() <= 1.0
+
+    def test_empty_scheduler(self):
+        s = SlurmScheduler(4)
+        assert s.makespan_s() == 0.0
+        assert s.utilisation() == 0.0
+
+
+@st.composite
+def job_specs(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    return [
+        (
+            f"j{i}",
+            draw(st.integers(min_value=1, max_value=8)),
+            draw(st.floats(min_value=0.5, max_value=50.0)),
+            draw(st.floats(min_value=0.0, max_value=20.0)),
+        )
+        for i in range(n)
+    ]
+
+
+class TestInvariants:
+    @given(job_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_never_oversubscribed_and_never_early(self, specs):
+        s, jobs = schedule(8, specs)
+        # No job starts before submission.
+        for j in jobs:
+            assert j.start_s >= j.submit_s
+        # At every start boundary, concurrent usage fits the cluster.
+        for t in sorted({j.start_s for j in jobs}):
+            used = sum(
+                j.n_nodes for j in jobs if j.start_s <= t < j.end_s
+            )
+            assert used <= 8
+
+    @given(job_specs())
+    @settings(max_examples=30, deadline=None)
+    def test_all_jobs_scheduled_exactly_once(self, specs):
+        s, jobs = schedule(8, specs)
+        assert len(jobs) == len(specs)
+        assert all(j.start_s is not None for j in jobs)

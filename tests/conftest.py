@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.catalog import (
+    PLATFORMS,
+    core_i7_2760qm,
+    exynos5250,
+    tegra2,
+    tegra3,
+)
+from repro.cluster.cluster import tibidabo
+from repro.kernels.registry import all_kernels
+
+
+@pytest.fixture(scope="session")
+def platforms():
+    """The four Table 1 platforms, keyed by name."""
+    return dict(PLATFORMS)
+
+
+@pytest.fixture(scope="session")
+def t2():
+    return tegra2()
+
+
+@pytest.fixture(scope="session")
+def t3():
+    return tegra3()
+
+
+@pytest.fixture(scope="session")
+def exynos():
+    return exynos5250()
+
+
+@pytest.fixture(scope="session")
+def i7():
+    return core_i7_2760qm()
+
+
+@pytest.fixture(scope="session")
+def kernels():
+    """The 11-kernel suite in Table 2 order."""
+    return all_kernels()
+
+
+@pytest.fixture(scope="session")
+def small_cluster():
+    """An 8-node Tibidabo slice (cheap for functional MPI tests)."""
+    return tibidabo(8)
+
+
+@pytest.fixture(scope="session")
+def cluster96():
+    """The 96-node slice used for the Figure 6 / headline artefacts."""
+    return tibidabo(96)

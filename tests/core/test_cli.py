@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import ARTEFACTS, main, run_artefact
+from repro.core.study import MobileSoCStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return MobileSoCStudy()
+
+
+FAST_ARTEFACTS = [
+    "table1", "table2", "table3", "table4",
+    "fig1", "fig2a", "fig2b", "fig5", "fig7",
+    "headline", "features", "stack",
+]
+
+
+class TestArtefacts:
+    @pytest.mark.parametrize("name", FAST_ARTEFACTS)
+    def test_artefact_renders(self, name, study, capsys):
+        run_artefact(name, study)
+        out = capsys.readouterr().out
+        assert len(out.strip()) > 20, name
+
+    def test_table4_content(self, study, capsys):
+        run_artefact("table4", study)
+        out = capsys.readouterr().out
+        assert "2.50" in out and "0.07" in out
+
+    def test_features_content(self, study, capsys):
+        run_artefact("features", study)
+        out = capsys.readouterr().out
+        assert "Tegra2" in out and "KeyStone-II" in out
+
+    def test_unknown_artefact(self, study):
+        with pytest.raises(SystemExit):
+            run_artefact("figure99", study)
+
+
+class TestMain:
+    def test_single_artefact(self, capsys):
+        assert main(["table2"]) == 0
+        assert "vecop" in capsys.readouterr().out
+
+    def test_multiple_deduplicated(self, capsys):
+        assert main(["table1", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Table 1: platforms") == 1
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_artefact_list_is_complete(self):
+        assert "headline" in ARTEFACTS
+        assert "compare" in ARTEFACTS

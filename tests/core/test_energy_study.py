@@ -1,0 +1,61 @@
+"""Tests for the [13] energy-to-solution reproduction."""
+
+import pytest
+
+from repro.core.energy_study import (
+    EnergyToSolutionResult,
+    energy_to_solution,
+    pde_solver_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def specfem():
+    return energy_to_solution("SPECFEM3D", arm_nodes=96, x86_nodes=16)
+
+
+class TestPaperClaim:
+    """[13]: 'while Tibidabo had a 4 times increase in simulation time,
+    it achieved up to 3 times lower energy-to-solution'."""
+
+    def test_arm_is_several_times_slower(self, specfem):
+        assert 3.0 <= specfem.time_ratio <= 5.0
+
+    def test_arm_uses_less_energy(self, specfem):
+        assert 2.0 <= specfem.energy_ratio <= 3.5
+
+    def test_campaign_direction_consistent(self):
+        for name, r in pde_solver_campaign().items():
+            assert r.time_ratio > 1.0, name  # ARM always slower
+            assert r.energy_ratio > 1.0, name  # ARM always cheaper
+
+    def test_power_asymmetry(self, specfem):
+        """The whole effect comes from the ~10x power gap."""
+        assert specfem.x86_power_w / specfem.arm_power_w > 5.0
+
+
+class TestMechanics:
+    def test_energy_identity(self, specfem):
+        assert specfem.arm_energy_j == pytest.approx(
+            specfem.arm_time_s * specfem.arm_power_w
+        )
+
+    def test_result_fields(self, specfem):
+        assert specfem.app == "SPECFEM3D"
+        assert specfem.arm_nodes == 96
+        assert specfem.x86_nodes == 16
+
+    def test_infrastructure_factor_shifts_energy_only(self):
+        lean = energy_to_solution("HYDRO", 96, 16, infrastructure_factor=1.0)
+        heavy = energy_to_solution("HYDRO", 96, 16, infrastructure_factor=2.0)
+        assert heavy.time_ratio == pytest.approx(lean.time_ratio)
+        assert heavy.energy_ratio > lean.energy_ratio
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            energy_to_solution(infrastructure_factor=0.5)
+
+    def test_result_dataclass_math(self):
+        r = EnergyToSolutionResult("x", 4, 2, 40.0, 10.0, 100.0, 1000.0)
+        assert r.time_ratio == 4.0
+        assert r.energy_ratio == pytest.approx(10000.0 / 4000.0)

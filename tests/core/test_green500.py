@@ -1,0 +1,76 @@
+"""Tests for Green500 list positioning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.green500 import (
+    JUNE_2013,
+    NOV_2007,
+    megaproto_claim,
+    rank_june_2013,
+    rank_november_2007,
+    tibidabo_positioning,
+)
+
+
+class TestAnchors:
+    @pytest.mark.parametrize("anchors", [NOV_2007, JUNE_2013])
+    def test_anchors_monotone(self, anchors):
+        ranks = [r for r, _ in anchors]
+        effs = [e for _, e in anchors]
+        assert ranks == sorted(ranks)
+        assert effs == sorted(effs, reverse=True)
+
+    def test_anchor_points_exact(self):
+        assert rank_november_2007(357.2) == 1
+        assert rank_november_2007(86.6) == 70
+        assert rank_june_2013(3208.8) == 1
+
+
+class TestPaperClaims:
+    def test_megaproto_ranks_45_to_70(self):
+        """Section 2, footnote 7: MegaProto's 100 MFLOPS/W 'would have
+        ranked between 45 and 70 in the first edition of the Green500'."""
+        rank, holds = megaproto_claim()
+        assert holds
+        assert 45 <= rank <= 70
+
+    def test_tibidabo_mid_table_in_2013(self):
+        """120 MFLOPS/W in June 2013: the commodity-x86-cluster band
+        (the paper: 'competitive with AMD Opteron 6174 and Intel Xeon
+        E5660-based clusters')."""
+        pos = tibidabo_positioning(120.0)
+        assert 350 <= pos["estimated_rank"] <= 470
+        assert pos["gap_to_best"] == pytest.approx(26.7, rel=0.02)
+
+    def test_greenest_2007_would_be_midfield_2013(self):
+        """Six years of Green500 inflation: the 2007 #1 efficiency ranks
+        in the middle of the 2013 list."""
+        rank_2013 = rank_june_2013(NOV_2007[0][1])
+        assert 150 <= rank_2013 <= 350
+
+
+class TestInterpolation:
+    @given(st.floats(min_value=4.0, max_value=3000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_rank_within_list_bounds(self, eff):
+        for fn in (rank_november_2007, rank_june_2013):
+            r = fn(eff)
+            assert 1.0 <= r <= 500.0
+
+    @given(
+        a=st.floats(min_value=4.0, max_value=3000.0),
+        b=st.floats(min_value=4.0, max_value=3000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_better_efficiency_never_ranks_worse(self, a, b):
+        lo, hi = sorted((a, b))
+        assert rank_june_2013(hi) <= rank_june_2013(lo) + 1e-9
+
+    def test_clamping(self):
+        assert rank_june_2013(1e6) == 1.0
+        assert rank_june_2013(0.1) == 500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rank_june_2013(0.0)

@@ -1,0 +1,107 @@
+"""Tests for metrics: Table 4 values and the latency-penalty model."""
+
+import pytest
+
+from repro.arch.catalog import get_platform
+from repro.core import metrics
+from repro.net.link import GBE, INFINIBAND_40G, TEN_GBE
+
+
+class TestBasicMetrics:
+    def test_speedup(self):
+        assert metrics.speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            metrics.speedup(0, 1)
+
+    def test_parallel_efficiency(self):
+        assert metrics.parallel_efficiency(48.0, 96) == 0.5
+        with pytest.raises(ValueError):
+            metrics.parallel_efficiency(1.0, 0)
+
+    def test_energy(self):
+        assert metrics.energy_to_solution_j(8.0, 3.0) == 24.0
+        with pytest.raises(ValueError):
+            metrics.energy_to_solution_j(-1, 1)
+
+    def test_mflops_per_watt(self):
+        assert metrics.mflops_per_watt(97.0, 808.0) == pytest.approx(120.05, abs=0.01)
+        with pytest.raises(ValueError):
+            metrics.mflops_per_watt(1.0, 0)
+
+
+class TestTable4:
+    """Network bytes/FLOPS — the published table, to two decimals."""
+
+    PAPER = {
+        "Tegra2": (0.06, 0.63, 2.50),
+        "Tegra3": (0.02, 0.24, 0.96),
+        "Exynos5250": (0.02, 0.18, 0.74),
+        "Corei7-2760QM": (0.00, 0.02, 0.07),
+    }
+
+    @pytest.mark.parametrize("platform", sorted(PAPER))
+    def test_rows_match_paper(self, platform):
+        p = get_platform(platform)
+        for link, paper in zip(
+            (GBE, TEN_GBE, INFINIBAND_40G), self.PAPER[platform]
+        ):
+            measured = round(metrics.bytes_per_flop(p, link), 2)
+            assert measured == pytest.approx(paper, abs=0.011), link.name
+
+    def test_mobile_balance_matches_hpc_box(self):
+        """The paper's point: a 1 GbE mobile SoC has a bytes/FLOPS ratio
+        close to a Sandy Bridge with InfiniBand."""
+        tegra3_gbe = metrics.bytes_per_flop(get_platform("Tegra3"), GBE)
+        snb_ib = metrics.bytes_per_flop(
+            get_platform("Corei7-2760QM"), INFINIBAND_40G
+        )
+        assert tegra3_gbe == pytest.approx(snb_ib, rel=1.0)  # same order
+
+    def test_full_table_structure(self):
+        table = metrics.bytes_per_flop_table(
+            [get_platform("Tegra2"), get_platform("Tegra3")]
+        )
+        assert set(table) == {"Tegra2", "Tegra3"}
+        assert set(table["Tegra2"]) == {"1GbE", "10GbE", "40Gb InfiniBand"}
+
+
+class TestLatencyPenalty:
+    """Section 4.1 / Saravanan et al.: 100 µs -> +90%, 65 µs -> +60% on
+    Sandy Bridge; ~50% / ~40% on Arndale-class nodes."""
+
+    def test_snb_anchors(self):
+        assert metrics.latency_penalty(100.0) == pytest.approx(0.90, abs=0.02)
+        assert metrics.latency_penalty(65.0) == pytest.approx(0.60, abs=0.03)
+
+    def test_arndale_estimates(self):
+        assert metrics.latency_penalty(100.0, 0.5) == pytest.approx(
+            0.50, abs=0.08
+        )
+        assert metrics.latency_penalty(65.0, 0.5) == pytest.approx(
+            0.40, abs=0.06
+        )
+
+    def test_zero_latency_zero_penalty(self):
+        assert metrics.latency_penalty(0.0) == 0.0
+
+    def test_monotone_in_latency(self):
+        pens = [metrics.latency_penalty(x) for x in (10, 50, 100, 200)]
+        assert all(b > a for a, b in zip(pens, pens[1:]))
+
+    def test_slower_cpu_hides_latency(self):
+        assert metrics.latency_penalty(100.0, 0.5) < metrics.latency_penalty(
+            100.0, 1.0
+        )
+
+    def test_penalised_time(self):
+        assert metrics.penalised_time(10.0, 100.0) == pytest.approx(
+            19.0, abs=0.3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            metrics.latency_penalty(-1)
+        with pytest.raises(ValueError):
+            metrics.latency_penalty(1, 0)
+        with pytest.raises(ValueError):
+            metrics.penalised_time(-1, 10)

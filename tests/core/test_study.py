@@ -1,0 +1,141 @@
+"""Tests for the study orchestrator and the results helpers."""
+
+import pytest
+
+from repro.core.results import Comparison, StudyReport, SweepPoint, render_table
+from repro.core.study import MobileSoCStudy
+
+
+@pytest.fixture(scope="module")
+def study():
+    return MobileSoCStudy()
+
+
+class TestFigureData:
+    def test_figure1_series(self, study):
+        f1 = study.figure1()
+        assert set(f1) == {"x86", "risc", "vector"}
+        years, counts = f1["x86"]
+        assert len(years) == len(counts) == 21
+
+    def test_figure2_gaps(self, study):
+        assert 5 <= study.figure2a()["gap_1995"] <= 15
+        f2b = study.figure2b()
+        assert f2b["gap_2013"] > 5
+        assert f2b["crossover_year"] > 2013
+        assert f2b["price_ratio"] == pytest.approx(1552 / 21)
+
+    def test_table1_rows(self, study):
+        rows = study.table1()
+        assert len(rows) == 4
+        assert {r["SoC"] for r in rows} == {
+            "Tegra2", "Tegra3", "Exynos5250", "Corei7-2760QM"
+        }
+
+    def test_table2_rows(self, study):
+        assert len(study.table2()) == 11
+
+    def test_figure3_baseline_is_unity(self, study):
+        f3 = study.figure3()
+        t2_at_1ghz = [p for p in f3["Tegra2"] if p["freq_ghz"] == 1.0][0]
+        assert t2_at_1ghz["speedup"] == pytest.approx(1.0)
+        assert t2_at_1ghz["energy_norm"] == pytest.approx(1.0, abs=0.02)
+
+    def test_figure3_performance_rises_with_frequency(self, study):
+        f3 = study.figure3()
+        for plat, pts in f3.items():
+            sp = [p["speedup"] for p in pts]
+            assert sp == sorted(sp), plat
+
+    def test_figure3_energy_falls_with_frequency(self, study):
+        """The paper's headline energy observation."""
+        f3 = study.figure3()
+        for plat, pts in f3.items():
+            e = [p["energy_norm"] for p in pts]
+            assert all(b < a for a, b in zip(e, e[1:])), plat
+
+    def test_figure4_multicore_beats_serial(self, study):
+        f3 = study.figure3()
+        f4 = study.figure4()
+        for plat in f3:
+            assert f4[plat][-1]["speedup"] > f3[plat][-1]["speedup"]
+
+    def test_figure5_structure(self, study):
+        f5 = study.figure5()
+        for plat, d in f5.items():
+            assert set(d["single"]) == {"Copy", "Scale", "Add", "Triad"}
+            assert 0 < d["efficiency_vs_peak"] <= 1
+
+    def test_figure7_configs(self, study):
+        f7 = study.figure7()
+        assert len(f7) == 6
+        for label, d in f7.items():
+            assert d["small_message_latency_us"] > 0
+            assert max(d["bandwidth_mbs"].values()) <= 125.0
+
+    def test_speedup_vs_baseline_identity(self, study):
+        assert study.speedup_vs_baseline("Tegra2", 1.0) == pytest.approx(1.0)
+
+    def test_headline(self, study):
+        head = study.headline_hpl()
+        assert head["gflops"] == pytest.approx(97.0, rel=0.1)
+        assert head["efficiency"] == pytest.approx(0.51, abs=0.05)
+        assert head["mflops_per_watt"] == pytest.approx(120.0, rel=0.1)
+
+    def test_armv8_outlook(self, study):
+        out = study.armv8_outlook()
+        assert out["per_core_per_ghz_ratio"] == pytest.approx(2.0)
+        assert out["armv8_peak_gflops"] == pytest.approx(32.0)
+
+
+class TestResults:
+    def test_render_table_alignment(self):
+        txt = render_table(["a", "bbbb"], [[1, 2.5], ["xx", 3.14159]])
+        lines = txt.splitlines()
+        assert len({len(l) for l in lines if l}) == 1  # aligned
+        assert "3.14" in txt
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_comparison_ratio_and_within(self):
+        c = Comparison("F", "q", 100.0, 104.0)
+        assert c.ratio == pytest.approx(1.04)
+        assert c.within(0.05)
+        assert not c.within(0.03)
+
+    def test_comparison_zero_paper_value(self):
+        assert Comparison("F", "q", 0.0, 0.0).ratio == 1.0
+
+    def test_study_report(self):
+        r = StudyReport()
+        r.add_comparison(Comparison("F", "q", 1.0, 1.1))
+        assert "1.10" in r.comparison_table()
+
+    def test_sweep_point(self):
+        p = SweepPoint("Tegra2", 1.0, 1, 1.0, 1.0)
+        assert p.platform == "Tegra2"
+
+
+class TestPerKernelBreakdown:
+    def test_tegra3_gain_concentrates_in_memory_kernels(self, study):
+        """Section 3.1.1: 'Tegra 3 has an improved memory controller
+        which brings a performance increase in memory-intensive
+        micro-kernels' — the per-kernel view proves the attribution."""
+        from repro.kernels.registry import get_kernel
+        from repro.timing.executor import SimulatedExecutor
+
+        sp = study.per_kernel_speedups("Tegra3", 1.0)
+        ex = SimulatedExecutor(study.platforms["Tegra2"])
+        bounds = {
+            tag: ex.time_kernel(get_kernel(tag), 1.0).bound for tag in sp
+        }
+        mem = [s for tag, s in sp.items() if bounds[tag] == "memory"]
+        comp = [s for tag, s in sp.items() if bounds[tag] == "compute"]
+        assert min(mem) > max(comp)  # every memory kernel gains more
+        assert all(abs(s - 1.0) < 0.01 for s in comp)  # same A9 core
+
+    def test_i7_gains_everywhere(self, study):
+        sp = study.per_kernel_speedups("Corei7-2760QM", 2.4)
+        assert all(s > 1.5 for s in sp.values())

@@ -1,0 +1,126 @@
+"""Tests for the TOP500 datasets and trend analysis (Figures 1, 2)."""
+
+import math
+
+import pytest
+
+from repro.core import top500, trends
+
+
+class TestTop500Share:
+    def test_all_years_present(self):
+        assert set(top500.TOP500_SHARE) == set(range(1993, 2014))
+
+    def test_totals_bounded_by_500(self):
+        for counts in top500.TOP500_SHARE.values():
+            assert sum(counts) <= 500
+            assert all(c >= 0 for c in counts)
+
+    def test_figure1_narrative(self):
+        """Vector dominated 1993; RISC peaked late-90s; x86 dominates
+        2013."""
+        assert top500.dominant_class(1993) == "vector"
+        assert top500.dominant_class(1999) == "risc"
+        assert top500.dominant_class(2013) == "x86"
+
+    def test_x86_monotonically_rises(self):
+        years, counts = top500.share_series("x86")
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+    def test_vector_monotonically_falls(self):
+        _, counts = top500.share_series("vector")
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+    def test_unknown_category(self):
+        with pytest.raises(KeyError):
+            top500.share_series("quantum")
+        with pytest.raises(KeyError):
+            top500.dominant_class(1980)
+
+
+class TestProcessorDatasets:
+    def test_families_consistent(self):
+        for pts, family in (
+            (top500.VECTOR_PROCESSORS, "vector"),
+            (top500.MICRO_PROCESSORS, "micro"),
+            (top500.SERVER_PROCESSORS, "server"),
+            (top500.MOBILE_PROCESSORS, "mobile"),
+        ):
+            assert all(p.family == family for p in pts)
+            assert len(pts) >= 5
+
+    def test_mobile_points_match_table1(self):
+        by_name = {p.name: p for p in top500.MOBILE_PROCESSORS}
+        assert by_name["NVIDIA Tegra 2"].peak_mflops == 2_000
+        assert by_name["Samsung Exynos 5250"].peak_mflops == 6_800
+        assert by_name["4-core ARMv8 @ 2GHz"].peak_mflops == 32_000
+
+
+class TestExponentialFits:
+    def test_exact_recovery_of_synthetic_trend(self):
+        pts = [(2000 + i, 100.0 * 1.5**i) for i in range(10)]
+        fit = trends.fit_exponential(pts)
+        assert fit.growth_per_year == pytest.approx(1.5, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(2005) == pytest.approx(100.0 * 1.5**5)
+
+    def test_doubling_time(self):
+        pts = [(0.0, 1.0), (1.0, 2.0), (2.0, 4.0)]
+        fit = trends.fit_exponential(pts)
+        assert fit.doubling_time_years == pytest.approx(1.0)
+
+    def test_flat_trend_never_doubles(self):
+        fit = trends.fit_exponential([(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)])
+        assert math.isinf(fit.doubling_time_years)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            trends.fit_exponential([(2000.0, 1.0)])
+
+    def test_gap_and_crossover(self):
+        slow = trends.fit_exponential([(0.0, 100.0), (10.0, 100.0 * 2**10)])
+        fast = trends.fit_exponential([(0.0, 1.0), (10.0, 4.0**10)])
+        # fast starts 100x behind but doubles twice as often.
+        year = trends.crossover_year(fast, slow)
+        assert trends.gap_ratio(slow, fast, 0.0) == pytest.approx(100.0)
+        assert slow.predict(year) == pytest.approx(fast.predict(year), rel=1e-6)
+
+    def test_no_crossover_when_chaser_slower(self):
+        fast = trends.fit_exponential([(0.0, 1.0), (1.0, 4.0)])
+        slow = trends.fit_exponential([(0.0, 1.0), (1.0, 2.0)])
+        with pytest.raises(ValueError):
+            trends.crossover_year(slow, fast)
+
+
+class TestPaperTrends:
+    def test_vector_micro_gap_was_about_ten_x(self):
+        """Section 1: micros were 'around ten times slower' ~1990-2000."""
+        vec = trends.fit_exponential(top500.VECTOR_PROCESSORS)
+        mic = trends.fit_exponential(top500.MICRO_PROCESSORS)
+        assert 5.0 <= trends.gap_ratio(vec, mic, 1995.0) <= 15.0
+
+    def test_mobile_trend_steeper_than_server(self):
+        """Figure 2b: the mobile regression is the steeper one."""
+        srv = trends.fit_exponential(top500.SERVER_PROCESSORS)
+        mob = trends.fit_exponential(top500.MOBILE_PROCESSORS)
+        assert mob.growth_per_year > srv.growth_per_year
+
+    def test_mobile_catches_server_in_the_future(self):
+        srv = trends.fit_exponential(top500.SERVER_PROCESSORS)
+        mob = trends.fit_exponential(top500.MOBILE_PROCESSORS)
+        year = trends.crossover_year(mob, srv)
+        assert 2014 < year < 2035
+
+    def test_price_ratios(self):
+        """Footnote 5: ~70x (Tegra 3) and ~24x (Atom S1260)."""
+        assert trends.price_ratio_mobile_vs_hpc() == pytest.approx(
+            1552 / 21
+        )
+        assert trends.price_ratio_same_price_type() == pytest.approx(
+            1552 / 64
+        )
+
+    def test_cost_argument_structure(self):
+        arg = trends.historical_cost_argument()
+        assert arg["vector_vs_micro_price_gap"] == 30.0
+        assert arg["server_vs_mobile_price_gap"] > 70.0

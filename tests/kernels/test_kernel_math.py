@@ -1,0 +1,152 @@
+"""Deeper functional tests of individual kernels (beyond reference
+comparison): mathematical invariants and property-based checks."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.fft import FFT1D, _bit_reverse_permutation
+from repro.kernels.histogram import Histogram
+from repro.kernels.msort import MergeSort, _merge
+from repro.kernels.nbody import NBody
+from repro.kernels.reduction import Reduction
+from repro.kernels.spmv import SparseMatVec
+from repro.kernels.vecop import VecOp
+from repro.kernels.dmmm import DenseMatMul
+
+
+class TestFFT:
+    @pytest.mark.parametrize("n", [2, 4, 64, 1024])
+    def test_matches_numpy(self, n):
+        k = FFT1D()
+        x = k.make_input(n, seed=3)
+        np.testing.assert_allclose(k.run(x), np.fft.fft(x), atol=1e-9)
+
+    def test_bit_reverse_is_an_involution(self):
+        perm = _bit_reverse_permutation(256)
+        idx = np.arange(256)
+        assert np.array_equal(perm[perm], idx)
+
+    def test_parseval(self):
+        k = FFT1D()
+        x = k.make_input(512, seed=1)
+        X = k.run(x)
+        assert np.sum(np.abs(x) ** 2) == pytest.approx(
+            np.sum(np.abs(X) ** 2) / 512
+        )
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            FFT1D().make_input(100)
+
+
+class TestMergeSort:
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_sorts_any_input(self, values):
+        x = np.asarray(values, dtype=np.float64)
+        if x.size == 0:
+            return
+        out = MergeSort().run(x)
+        np.testing.assert_array_equal(out, np.sort(x))
+
+    def test_merge_two_sorted_arrays(self):
+        a = np.array([1.0, 3.0, 5.0])
+        b = np.array([2.0, 3.0, 6.0])
+        np.testing.assert_array_equal(
+            _merge(a, b), np.array([1.0, 2.0, 3.0, 3.0, 5.0, 6.0])
+        )
+
+    def test_merge_empty(self):
+        a = np.array([1.0])
+        out = _merge(a, np.array([]))
+        np.testing.assert_array_equal(out, a)
+
+
+class TestReduction:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=500))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_fsum(self, values):
+        x = np.asarray(values)
+        assert MergeSort  # keep import alive
+        assert Reduction().run(x) == pytest.approx(
+            math.fsum(values), rel=1e-9, abs=1e-9
+        )
+
+    def test_pairwise_tree_handles_odd_sizes(self):
+        x = np.arange(7.0)
+        assert Reduction().run(x) == pytest.approx(21.0)
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self):
+        k = Histogram()
+        x = k.make_input(10_000, seed=2)
+        assert int(k.run(x).sum()) == 10_000
+
+    @given(st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_numpy_histogram(self, n):
+        k = Histogram()
+        x = k.make_input(n, seed=5)
+        np.testing.assert_array_equal(k.run(x), k.reference(x))
+
+
+class TestNBody:
+    def test_momentum_conservation(self):
+        """Newton's third law: sum of m_i * a_i vanishes."""
+        k = NBody()
+        pos, mass = k.make_input(64, seed=4)
+        acc = k.run((pos, mass))
+        total = (mass[:, None] * acc).sum(axis=0)
+        assert np.linalg.norm(total) < 1e-8 * np.abs(
+            mass[:, None] * acc
+        ).sum()
+
+    def test_two_body_attraction(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        mass = np.array([1.0, 1.0])
+        acc = NBody().run((pos, mass))
+        assert acc[0, 0] > 0  # pulled towards +x
+        assert acc[1, 0] < 0
+        assert acc[0, 0] == pytest.approx(-acc[1, 0])
+
+
+class TestSpMV:
+    def test_imbalance_factor_exceeds_one(self):
+        """The power-law degrees create measurable static imbalance —
+        the Table 2 property the kernel exists for."""
+        k = SparseMatVec()
+        data = k.make_input(2000, seed=0)
+        assert k.imbalance_factor(data, n_threads=4) > 1.02
+
+    def test_indptr_monotonic(self):
+        data = SparseMatVec().make_input(500, seed=1)
+        assert (np.diff(data["indptr"]) >= 1).all()
+
+    @given(st.integers(min_value=8, max_value=400))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_scipy(self, rows):
+        k = SparseMatVec()
+        data = k.make_input(rows, seed=rows)
+        np.testing.assert_allclose(k.run(data), k.reference(data), rtol=1e-9)
+
+
+class TestVecOpAndMatMul:
+    @given(st.integers(min_value=1, max_value=3000))
+    @settings(max_examples=20, deadline=None)
+    def test_vecop_any_size(self, n):
+        k = VecOp()
+        x, y = k.make_input(n, seed=n)
+        np.testing.assert_allclose(k.run((x, y)), k.ALPHA * x + y)
+
+    @pytest.mark.parametrize("n", [1, 31, 96, 130])
+    def test_dmmm_odd_sizes(self, n):
+        """Blocked matmul handles sizes that are not block multiples."""
+        k = DenseMatMul()
+        a, b = k.make_input(n, seed=n)
+        np.testing.assert_allclose(k.run((a, b)), a @ b, rtol=1e-10)

@@ -1,0 +1,146 @@
+"""Operation-profile invariants across the suite."""
+
+import pytest
+
+from repro.kernels.base import AccessPattern, KernelCharacteristics, OperationProfile
+from repro.kernels.registry import KERNELS
+from repro.arch.isa import InstructionMix, OpClass
+
+
+@pytest.mark.parametrize("tag", sorted(KERNELS))
+class TestProfileInvariants:
+    def profile(self, tag):
+        k = KERNELS[tag]
+        return k.profile(k.default_size())
+
+    def test_nonnegative_work(self, tag):
+        p = self.profile(tag)
+        assert p.flops >= 0
+        assert p.bytes_from_dram >= 0
+        assert p.bytes_touched > 0
+        assert p.working_set_bytes > 0
+
+    def test_dram_traffic_bounded_by_touched(self, tag):
+        p = self.profile(tag)
+        assert p.bytes_from_dram <= p.bytes_touched + 1e-9
+
+    def test_mix_is_nonempty(self, tag):
+        assert self.profile(tag).mix.total() > 0
+
+    def test_mix_memory_ops_consistent_with_traffic(self, tag):
+        """A kernel that touches bytes must issue loads/stores."""
+        p = self.profile(tag)
+        assert p.mix.memory_ops() > 0
+
+    def test_working_set_resident_on_every_llc(self, tag):
+        """The suite uses identical sizes on every platform (Section
+        3.1); the sizes are chosen cache-resident — the reason measured
+        performance scales linearly with CPU frequency."""
+        p = self.profile(tag)
+        assert p.working_set_bytes <= 1024 * 1024  # smallest LLC (ARM L2)
+
+    def test_profile_scales_with_size(self, tag):
+        k = KERNELS[tag]
+        small = k.profile(max(8, k.default_size() // 2))
+        big = k.profile(k.default_size())
+        assert big.flops > small.flops
+        assert big.bytes_touched > small.bytes_touched
+
+    def test_characteristics_valid(self, tag):
+        ch = self.profile(tag).characteristics
+        assert 0 <= ch.parallel_fraction <= 1
+        assert ch.load_imbalance >= 1.0
+        assert ch.barriers_per_iteration >= 0
+
+
+class TestSpecificProfiles:
+    def test_vecop_is_low_intensity(self):
+        p = KERNELS["vecop"].profile(10_000)
+        assert p.arithmetic_intensity < 0.2
+
+    def test_dmmm_is_high_intensity(self):
+        """Table 2: data reuse and compute performance."""
+        p = KERNELS["dmmm"].profile(160)
+        assert p.arithmetic_intensity > 5.0
+
+    def test_amcd_embarrassingly_parallel(self):
+        """Table 2: embarrassingly parallel."""
+        ch = KERNELS["amcd"].profile(10_000).characteristics
+        assert ch.parallel_fraction == 1.0
+
+    def test_spvm_declares_imbalance(self):
+        """Table 2: load imbalance."""
+        ch = KERNELS["spvm"].profile(1000).characteristics
+        assert ch.load_imbalance > 1.05
+
+    def test_msort_declares_barriers(self):
+        """Table 2: barrier operations."""
+        ch = KERNELS["msort"].profile(40_000).characteristics
+        assert ch.barriers_per_iteration >= 10
+
+    def test_stencil_is_strided(self):
+        assert KERNELS["3dstc"].profile(36).pattern is AccessPattern.STRIDED
+
+    def test_nbody_is_random_access(self):
+        """Table 2: irregular memory accesses."""
+        assert KERNELS["nbody"].profile(2048).pattern is AccessPattern.RANDOM
+
+    def test_fft_stage_count(self):
+        p = KERNELS["fft"].profile(1 << 10)
+        # 5 n log2 n FLOPs.
+        assert p.flops == pytest.approx(5 * 1024 * 10)
+
+
+class TestOperationProfileValidation:
+    def _mix(self):
+        return InstructionMix({OpClass.LOAD: 1})
+
+    def test_dram_exceeding_touched_rejected(self):
+        with pytest.raises(ValueError):
+            OperationProfile(
+                flops=1,
+                bytes_from_dram=100,
+                bytes_touched=10,
+                working_set_bytes=10,
+                mix=self._mix(),
+                pattern=AccessPattern.SEQUENTIAL,
+            )
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            OperationProfile(
+                flops=-1,
+                bytes_from_dram=0,
+                bytes_touched=1,
+                working_set_bytes=1,
+                mix=self._mix(),
+                pattern=AccessPattern.SEQUENTIAL,
+            )
+
+    def test_cache_traffic_defaults_to_touched(self):
+        p = OperationProfile(
+            flops=1,
+            bytes_from_dram=8,
+            bytes_touched=16,
+            working_set_bytes=16,
+            mix=self._mix(),
+            pattern=AccessPattern.SEQUENTIAL,
+        )
+        assert p.cache_traffic == 16
+
+    def test_infinite_intensity_for_cached_kernels(self):
+        p = OperationProfile(
+            flops=100,
+            bytes_from_dram=0,
+            bytes_touched=16,
+            working_set_bytes=16,
+            mix=self._mix(),
+            pattern=AccessPattern.BLOCKED,
+        )
+        assert p.arithmetic_intensity == float("inf")
+
+    def test_characteristics_validation(self):
+        with pytest.raises(ValueError):
+            KernelCharacteristics(simd_fraction=1.5)
+        with pytest.raises(ValueError):
+            KernelCharacteristics(load_imbalance=0.5)

@@ -1,0 +1,74 @@
+"""Tests for the STREAM benchmark model (Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.stream import (
+    BYTES_PER_ELEMENT,
+    OPERATIONS,
+    StreamBenchmark,
+)
+
+
+class TestFunctionalStream:
+    def test_operations_compute_correctly(self):
+        bench = StreamBenchmark(array_elements=1000)
+        rng = np.random.default_rng(0)
+        a = rng.random(1000)
+        b = rng.random(1000)
+        out = bench.run_functional(seed=0)
+        np.testing.assert_allclose(out["Copy"], a)
+        np.testing.assert_allclose(out["Scale"], 3.0 * a)
+        np.testing.assert_allclose(out["Add"], a + b)
+        np.testing.assert_allclose(out["Triad"], a + 3.0 * b)
+
+    def test_byte_accounting(self):
+        assert BYTES_PER_ELEMENT["Copy"] == 16
+        assert BYTES_PER_ELEMENT["Triad"] == 24
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            StreamBenchmark(0)
+
+
+class TestSimulatedStream:
+    def test_figure5_efficiencies(self, platforms):
+        """Section 3.2: 62% / 27% / 52% / 57% of peak."""
+        bench = StreamBenchmark()
+        expected = {
+            "Tegra2": 0.62,
+            "Tegra3": 0.27,
+            "Exynos5250": 0.52,
+            "Corei7-2760QM": 0.57,
+        }
+        for name, eff in expected.items():
+            measured = bench.efficiency_vs_peak(platforms[name])
+            assert measured == pytest.approx(eff, rel=0.02), name
+
+    def test_exynos_multicore_advantage(self, platforms):
+        """Section 3.2: ~4.5x improvement between Tegra and Exynos."""
+        bench = StreamBenchmark()
+        t2 = bench.simulate_all_cores(platforms["Tegra2"]).best()
+        ex = bench.simulate_all_cores(platforms["Exynos5250"]).best()
+        assert 3.5 <= ex / t2 <= 5.0
+
+    def test_multicore_at_least_single(self, platforms):
+        bench = StreamBenchmark()
+        for p in platforms.values():
+            single = bench.simulate(p, 1).best()
+            multi = bench.simulate_all_cores(p).best()
+            assert multi >= single * 0.999
+
+    def test_all_four_operations_reported(self, t2):
+        res = StreamBenchmark().simulate(t2, 1)
+        assert set(res.bandwidth_gbs) == set(OPERATIONS)
+
+    def test_triad_not_above_copy(self, t2):
+        res = StreamBenchmark().simulate(t2, 1)
+        assert res.bandwidth_gbs["Triad"] <= res.bandwidth_gbs["Copy"]
+
+    def test_core_count_validated(self, t2):
+        with pytest.raises(ValueError):
+            StreamBenchmark().simulate(t2, 0)
+        with pytest.raises(ValueError):
+            StreamBenchmark().simulate(t2, 3)

@@ -1,0 +1,88 @@
+"""Tests for the IMB-style ping-pong benchmark (Figure 7 harness)."""
+
+import pytest
+
+from repro.mpi.benchmarks import (
+    BANDWIDTH_SIZES,
+    LATENCY_SIZES,
+    bandwidth_curve,
+    latency_curve,
+    ping_pong,
+)
+from repro.net.nic import PCIE, USB3
+from repro.net.protocol import OPEN_MX, TCP_IP, ProtocolStack
+
+
+def stack(proto=TCP_IP, att=PCIE, core="Cortex-A9", freq=1.0):
+    return ProtocolStack(proto, att, core_name=core, freq_ghz=freq)
+
+
+class TestPingPong:
+    def test_zero_byte_latency_equals_stack_latency(self):
+        s = stack()
+        r = ping_pong(s, 0, repetitions=4)
+        assert r.latency_us == pytest.approx(
+            s.small_message_latency_us(), rel=0.01
+        )
+
+    def test_repetitions_average_out(self):
+        s = stack()
+        r1 = ping_pong(s, 64, repetitions=1)
+        r10 = ping_pong(s, 64, repetitions=10)
+        assert r1.half_round_trip_us == pytest.approx(
+            r10.half_round_trip_us, rel=0.01
+        )
+
+    def test_bandwidth_definition(self):
+        s = stack()
+        r = ping_pong(s, 1 << 20)
+        assert r.bandwidth_mbs == pytest.approx(
+            (1 << 20) / r.half_round_trip_us
+        )
+
+    def test_zero_bytes_zero_bandwidth(self):
+        assert ping_pong(stack(), 0).bandwidth_mbs == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ping_pong(stack(), -1)
+        with pytest.raises(ValueError):
+            ping_pong(stack(), 8, repetitions=0)
+
+
+class TestCurves:
+    def test_latency_panel_flat_for_small_messages(self):
+        """Figure 7(a)-(c): latency is essentially constant over 0-64 B."""
+        curve = latency_curve(stack())
+        values = list(curve.values())
+        assert max(values) / min(values) < 1.05
+
+    def test_bandwidth_panel_monotone_then_saturating(self):
+        """Figure 7(d)-(f): bandwidth rises with message size and
+        approaches the large-message limit."""
+        s = stack(OPEN_MX)
+        curve = bandwidth_curve(s)
+        sizes = sorted(curve)
+        values = [curve[x] for x in sizes]
+        assert values[0] < 1.0  # tiny messages are latency-dominated
+        assert values[-1] == pytest.approx(
+            s.effective_bandwidth_mbs(sizes[-1]), rel=0.02
+        )
+
+    def test_figure7_crossing(self):
+        """Open-MX beats TCP at every size on the same hardware."""
+        tcp = bandwidth_curve(stack(TCP_IP), sizes=(1 << 10, 1 << 16, 1 << 22))
+        omx = bandwidth_curve(stack(OPEN_MX), sizes=(1 << 10, 1 << 16, 1 << 22))
+        for size in tcp:
+            assert omx[size] > tcp[size]
+
+    def test_usb_bandwidth_below_pcie(self):
+        """Figure 7: 'Due to the overheads in the USB software stack,
+        Exynos 5 shows smaller bandwidth than Tegra 2' with Open-MX."""
+        pcie = ping_pong(stack(OPEN_MX, PCIE, "Cortex-A9"), 1 << 22)
+        usb = ping_pong(stack(OPEN_MX, USB3, "Cortex-A15"), 1 << 22)
+        assert usb.bandwidth_mbs < pcie.bandwidth_mbs
+
+    def test_default_size_grids(self):
+        assert 0 in LATENCY_SIZES and 64 in LATENCY_SIZES
+        assert max(BANDWIDTH_SIZES) == 1 << 24

@@ -1,0 +1,108 @@
+"""Property-based collective correctness under adversarial timing.
+
+Collectives must produce correct results regardless of when ranks
+arrive (skewed compute), what sizes the payloads have, and which rank
+is root — the orderings the deterministic unit tests cannot cover."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.api import MPIWorld, UniformNetwork
+from repro.mpi.collectives import allgather, allreduce, bcast, reduce
+from repro.net.protocol import OPEN_MX, TCP_IP, ProtocolStack
+
+
+def world(n, proto=TCP_IP):
+    stack = ProtocolStack(proto, core_name="Cortex-A9", freq_ghz=1.0)
+    return MPIWorld(n, UniformNetwork(stack))
+
+
+@given(
+    n=st.integers(min_value=1, max_value=12),
+    skews=st.lists(
+        st.floats(min_value=0.0, max_value=0.01), min_size=12, max_size=12
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_allreduce_correct_under_arrival_skew(n, skews):
+    def prog(ctx):
+        yield ctx.compute(skews[ctx.rank])  # arrive at random times
+        total = yield from allreduce(ctx, float(2 ** ctx.rank))
+        return total
+
+    res = world(n).run(prog)
+    expected = float(2**n - 1)
+    assert all(r == expected for r in res.results)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    root=st.integers(min_value=0, max_value=9),
+    nbytes=st.integers(min_value=0, max_value=1 << 16),
+)
+@settings(max_examples=40, deadline=None)
+def test_bcast_payload_intact_any_root_any_size(n, root, nbytes):
+    root = root % n
+    payload = np.arange(max(1, nbytes // 8), dtype=np.float64)
+
+    def prog(ctx):
+        obj = payload if ctx.rank == root else None
+        got = yield from bcast(ctx, obj, root=root)
+        return got
+
+    res = world(n).run(prog)
+    for got in res.results:
+        np.testing.assert_array_equal(got, payload)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    root=st.integers(min_value=0, max_value=9),
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6), min_size=10, max_size=10
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_reduce_matches_serial_fold(n, root, values):
+    root = root % n
+
+    def prog(ctx):
+        return (
+            yield from reduce(
+                ctx, values[ctx.rank], op=lambda a, b: a + b, root=root
+            )
+        )
+
+    res = world(n).run(prog)
+    got = res.results[root]
+    assert got == pytest.approx(sum(values[:n]), rel=1e-9, abs=1e-9)
+    for r, out in enumerate(res.results):
+        if r != root:
+            assert out is None
+
+
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    proto=st.sampled_from([TCP_IP, OPEN_MX]),
+)
+@settings(max_examples=30, deadline=None)
+def test_allgather_is_a_permutation_proof(n, proto):
+    def prog(ctx):
+        return (yield from allgather(ctx, (ctx.rank, ctx.rank**2)))
+
+    res = world(n, proto).run(prog)
+    expected = [(i, i**2) for i in range(n)]
+    assert all(r == expected for r in res.results)
+
+
+@given(n=st.integers(min_value=2, max_value=12))
+@settings(max_examples=20, deadline=None)
+def test_makespan_deterministic(n):
+    def prog(ctx):
+        v = yield from allreduce(ctx, 1.0)
+        return v
+
+    a = world(n).run(prog).makespan_s
+    b = world(n).run(prog).makespan_s
+    assert a == b

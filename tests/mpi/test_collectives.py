@@ -1,0 +1,146 @@
+"""Collective-operation correctness and cost-shape tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mpi.api import MPIWorld, UniformNetwork
+from repro.mpi.collectives import (
+    allgather,
+    allreduce,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+)
+from repro.net.nic import PCIE
+from repro.net.protocol import TCP_IP, ProtocolStack
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 12, 16, 17]
+
+
+def world(n):
+    stack = ProtocolStack(TCP_IP, PCIE, core_name="Cortex-A9", freq_ghz=1.0)
+    return MPIWorld(n, UniformNetwork(stack))
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestCorrectness:
+    def test_allreduce_sum(self, n):
+        def prog(ctx):
+            return (yield from allreduce(ctx, float(ctx.rank + 1)))
+
+        res = world(n).run(prog)
+        assert all(r == n * (n + 1) / 2 for r in res.results)
+
+    def test_allreduce_min(self, n):
+        def prog(ctx):
+            return (yield from allreduce(ctx, float(ctx.rank + 3), op=min))
+
+        res = world(n).run(prog)
+        assert all(r == 3.0 for r in res.results)
+
+    def test_allreduce_arrays(self, n):
+        def prog(ctx):
+            v = np.full(4, float(ctx.rank))
+            return (yield from allreduce(ctx, v))
+
+        res = world(n).run(prog)
+        expected = np.full(4, sum(range(n)), dtype=float)
+        for r in res.results:
+            np.testing.assert_array_equal(r, expected)
+
+    def test_bcast_every_root(self, n):
+        for root in {0, n // 2, n - 1}:
+            def prog(ctx, root=root):
+                obj = {"data": 99} if ctx.rank == root else None
+                return (yield from bcast(ctx, obj, root=root))
+
+            res = world(n).run(prog)
+            assert all(r == {"data": 99} for r in res.results)
+
+    def test_reduce_root_only(self, n):
+        def prog(ctx):
+            return (yield from reduce(ctx, ctx.rank, op=lambda a, b: a + b))
+
+        res = world(n).run(prog)
+        assert res.results[0] == n * (n - 1) // 2
+        assert all(r is None for r in res.results[1:])
+
+    def test_gather(self, n):
+        def prog(ctx):
+            return (yield from gather(ctx, ctx.rank * 2))
+
+        res = world(n).run(prog)
+        assert res.results[0] == [2 * i for i in range(n)]
+
+    def test_scatter(self, n):
+        def prog(ctx):
+            vals = [f"item{i}" for i in range(ctx.size)]
+            return (
+                yield from scatter(
+                    ctx, vals if ctx.rank == 0 else None, root=0
+                )
+            )
+
+        res = world(n).run(prog)
+        assert res.results == [f"item{i}" for i in range(n)]
+
+    def test_allgather(self, n):
+        def prog(ctx):
+            return (yield from allgather(ctx, ctx.rank ** 2))
+
+        res = world(n).run(prog)
+        expected = [i**2 for i in range(n)]
+        assert all(r == expected for r in res.results)
+
+    def test_barrier_synchronises(self, n):
+        def prog(ctx):
+            # Stagger arrival; after the barrier everyone's clock must be
+            # at least the latest arrival time.
+            yield ctx.compute(0.01 * (ctx.rank + 1))
+            yield from barrier(ctx)
+            return ctx.now
+
+        res = world(n).run(prog)
+        latest_arrival = 0.01 * n
+        assert all(t >= latest_arrival - 1e-12 for t in res.results)
+
+
+class TestCostShapes:
+    def _barrier_time(self, n):
+        def prog(ctx):
+            yield from barrier(ctx)
+            return ctx.now
+
+        return world(n).run(prog).makespan_s
+
+    def test_barrier_scales_logarithmically(self):
+        """A dissemination barrier costs ceil(log2 p) rounds."""
+        t8 = self._barrier_time(8)
+        t64 = self._barrier_time(64)
+        assert t64 / t8 == pytest.approx(math.log2(64) / math.log2(8), rel=0.35)
+
+    def test_bcast_cheaper_than_allgather_for_large_worlds(self):
+        payload = b"z" * 4096
+
+        def b_prog(ctx):
+            yield from bcast(ctx, payload if ctx.rank == 0 else None)
+            return None
+
+        def ag_prog(ctx):
+            yield from allgather(ctx, payload)
+            return None
+
+        t_b = world(32).run(b_prog).makespan_s
+        t_ag = world(32).run(ag_prog).makespan_s
+        assert t_b < t_ag
+
+    def test_scatter_validates_length(self):
+        def prog(ctx):
+            return (yield from scatter(ctx, [1], root=0))
+
+        with pytest.raises(ValueError):
+            world(3).run(prog)

@@ -1,0 +1,134 @@
+"""Tests for reduce_scatter / scan / alltoall and the extra IMB
+benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (
+    MPIWorld,
+    UniformNetwork,
+    alltoall,
+    reduce_scatter,
+    scan,
+)
+from repro.mpi.benchmarks import (
+    allreduce_benchmark,
+    exchange_benchmark,
+    ping_pong,
+    sendrecv_benchmark,
+)
+from repro.net.protocol import TCP_IP, ProtocolStack
+
+SIZES = [1, 2, 3, 5, 8, 13]
+
+
+def world(n):
+    stack = ProtocolStack(TCP_IP, core_name="Cortex-A9", freq_ghz=1.0)
+    return MPIWorld(n, UniformNetwork(stack))
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestExtraCollectives:
+    def test_reduce_scatter(self, n):
+        def prog(ctx):
+            vals = [float(ctx.rank * 10 + d) for d in range(ctx.size)]
+            return (yield from reduce_scatter(ctx, vals))
+
+        res = world(n).run(prog)
+        for r, got in enumerate(res.results):
+            expected = sum(src * 10 + r for src in range(n))
+            assert got == expected, (n, r)
+
+    def test_scan_inclusive_prefix(self, n):
+        def prog(ctx):
+            return (yield from scan(ctx, ctx.rank + 1))
+
+        res = world(n).run(prog)
+        for r, got in enumerate(res.results):
+            assert got == sum(range(1, r + 2)), (n, r)
+
+    def test_scan_noncommutative_order(self, n):
+        def prog(ctx):
+            return (
+                yield from scan(ctx, str(ctx.rank), op=lambda a, b: a + b)
+            )
+
+        res = world(n).run(prog)
+        for r, got in enumerate(res.results):
+            assert got == "".join(str(i) for i in range(r + 1))
+
+    def test_alltoall_personalised(self, n):
+        def prog(ctx):
+            return (
+                yield from alltoall(
+                    ctx, [f"{ctx.rank}->{d}" for d in range(ctx.size)]
+                )
+            )
+
+        res = world(n).run(prog)
+        for r, got in enumerate(res.results):
+            assert got == [f"{s}->{r}" for s in range(n)], (n, r)
+
+    def test_alltoall_arrays(self, n):
+        def prog(ctx):
+            vals = [np.full(3, ctx.rank * ctx.size + d) for d in range(ctx.size)]
+            return (yield from alltoall(ctx, vals))
+
+        res = world(n).run(prog)
+        for r, got in enumerate(res.results):
+            for s, arr in enumerate(got):
+                np.testing.assert_array_equal(arr, np.full(3, s * n + r))
+
+
+class TestValidationErrors:
+    def test_reduce_scatter_needs_one_per_rank(self):
+        def prog(ctx):
+            return (yield from reduce_scatter(ctx, [1.0]))
+
+        with pytest.raises(ValueError):
+            world(3).run(prog)
+
+    def test_alltoall_needs_one_per_destination(self):
+        def prog(ctx):
+            return (yield from alltoall(ctx, [1.0]))
+
+        with pytest.raises(ValueError):
+            world(3).run(prog)
+
+
+class TestIMBExtras:
+    def stack(self):
+        return ProtocolStack(TCP_IP, core_name="Cortex-A9", freq_ghz=1.0)
+
+    def test_sendrecv_matches_single_latency(self):
+        """The ring shift is fully concurrent: per-iteration time is one
+        message latency, independent of ring size."""
+        s = self.stack()
+        t8 = sendrecv_benchmark(s, 8, 8)
+        t32 = sendrecv_benchmark(s, 32, 8)
+        assert t8 == pytest.approx(s.one_way_latency_us(8), rel=0.05)
+        assert t32 == pytest.approx(t8, rel=0.05)
+
+    def test_exchange_at_least_sendrecv(self):
+        s = self.stack()
+        assert exchange_benchmark(s, 8, 1024) >= sendrecv_benchmark(
+            s, 8, 1024
+        ) * 0.99
+
+    def test_allreduce_grows_with_ranks(self):
+        s = self.stack()
+        t4 = allreduce_benchmark(s, 4)
+        t32 = allreduce_benchmark(s, 32)
+        assert t32 > t4
+        # Recursive doubling: ~log2 growth, not linear.
+        assert t32 / t4 < 8
+
+    def test_pingpong_consistency(self):
+        s = self.stack()
+        assert allreduce_benchmark(s, 2) >= ping_pong(s, 8).latency_us - 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sendrecv_benchmark(self.stack(), 1, 8)
+        with pytest.raises(ValueError):
+            exchange_benchmark(self.stack(), 1, 8)

@@ -1,0 +1,169 @@
+"""Tests for the trace capture/analysis facility."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.api import SyntheticPayload
+from repro.mpi.collectives import allreduce
+from repro.mpi.tracing import MessageRecord, TraceAnalysis, traced_world
+from repro.mpi.api import UniformNetwork
+from repro.net.protocol import TCP_IP, ProtocolStack
+
+
+def network():
+    return UniformNetwork(
+        ProtocolStack(TCP_IP, core_name="Cortex-A9", freq_ghz=1.0)
+    )
+
+
+class TestTraceCapture:
+    def test_every_message_recorded(self):
+        world, tracer = traced_world(4, network())
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                for d in (1, 2, 3):
+                    yield from ctx.send(d, SyntheticPayload(100 * d))
+                return None
+            yield from ctx.recv(0)
+            return None
+
+        world.run(prog)
+        assert len(tracer.records) == 3
+        assert {r.dst for r in tracer.records} == {1, 2, 3}
+        assert {r.nbytes for r in tracer.records} == {100, 200, 300}
+
+    def test_flight_times_positive(self):
+        world, tracer = traced_world(2, network())
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, b"x" * 64)
+                return None
+            yield from ctx.recv(0)
+            return None
+
+        world.run(prog)
+        assert tracer.records[0].flight_time_s > 0
+
+    def test_collectives_are_traced(self):
+        world, tracer = traced_world(8, network())
+
+        def prog(ctx):
+            return (yield from allreduce(ctx, 1.0))
+
+        world.run(prog)
+        assert len(tracer.records) > 8  # log2 rounds x ranks
+
+
+class TestAnalysis:
+    def run_ring(self, n=4, nbytes=256, rounds=3):
+        world, tracer = traced_world(n, network())
+
+        def prog(ctx):
+            right = (ctx.rank + 1) % ctx.size
+            left = (ctx.rank - 1) % ctx.size
+            for _ in range(rounds):
+                yield from ctx.exchange(
+                    [(right, SyntheticPayload(nbytes), 1)], [(left, 1)]
+                )
+            return None
+
+        world.run(prog)
+        return tracer.analysis(n)
+
+    def test_comm_matrix(self):
+        a = self.run_ring(n=4, nbytes=256, rounds=3)
+        m = a.comm_matrix_bytes()
+        assert m.shape == (4, 4)
+        assert m[0, 1] == 3 * 256
+        assert m[0, 2] == 0
+        assert a.total_bytes() == 4 * 3 * 256
+
+    def test_message_counts(self):
+        a = self.run_ring(n=4, rounds=2)
+        counts = a.message_count_matrix()
+        assert counts.sum() == 8
+
+    def test_median_flight_time_near_stack_latency(self):
+        a = self.run_ring(nbytes=8)
+        stack = ProtocolStack(TCP_IP, core_name="Cortex-A9")
+        assert a.median_flight_time_s() == pytest.approx(
+            stack.transfer_time_s(8), rel=0.05
+        )
+
+    def test_clean_run_has_no_stalls(self):
+        a = self.run_ring()
+        assert a.stalls() == []
+        assert a.late_senders() == {}
+
+    def test_injected_timeout_is_detected(self):
+        """The paper's use case: a stalled transfer stands out against
+        the trace's normal flight times."""
+        a = self.run_ring(n=4, nbytes=256, rounds=5)
+        slow = MessageRecord(0, 1, 9, 256, 10.0, 10.0 + 60.0)  # 60 s stall
+        analysis = TraceAnalysis(a.records + [slow], 4)
+        stalls = analysis.stalls()
+        assert len(stalls) == 1
+        assert stalls[0].tag == 9
+        assert analysis.late_senders() == {0: 1}
+
+    def test_summary_renders(self):
+        a = self.run_ring()
+        s = a.summary()
+        assert "messages" in s and "stalls" in s
+
+    def test_empty_trace(self):
+        a = TraceAnalysis([], 2)
+        assert a.stalls() == []
+        with pytest.raises(ValueError):
+            a.median_flight_time_s()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceAnalysis([], 0)
+        with pytest.raises(ValueError):
+            TraceAnalysis([], 2).stalls(factor=1.0)
+
+
+class TestTracingOverClusterNetwork:
+    def test_tracer_wraps_cluster_network(self):
+        """The tracer must be a drop-in for the Tibidabo network model,
+        preserving its timing while recording messages."""
+        from repro.cluster.cluster import tibidabo
+
+        cluster = tibidabo(8)
+        world, tracer = traced_world(8, cluster.network())
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                for d in range(1, ctx.size):
+                    yield from ctx.send(d, SyntheticPayload(4096))
+                return None
+            msg = yield from ctx.recv(0)
+            return msg.received_at - msg.sent_at
+
+        res = world.run(prog)
+        assert len(tracer.records) == 7
+        # Timing passthrough: flight time equals the cluster model's.
+        expected = cluster.network().transfer_time_s(0, 1, 4096)
+        assert res.results[1] == pytest.approx(expected, rel=1e-9)
+
+    def test_cross_leaf_messages_visibly_slower_in_trace(self):
+        from repro.cluster.cluster import tibidabo
+
+        cluster = tibidabo(96)
+        world, tracer = traced_world(96, cluster.network())
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, SyntheticPayload(64))    # same leaf
+                yield from ctx.send(50, SyntheticPayload(64))   # cross leaf
+                return None
+            if ctx.rank in (1, 50):
+                yield from ctx.recv(0)
+            return None
+
+        world.run(prog)
+        by_dst = {r.dst: r.flight_time_s for r in tracer.records}
+        assert by_dst[50] > by_dst[1]

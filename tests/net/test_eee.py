@@ -1,0 +1,56 @@
+"""Tests for the Energy Efficient Ethernet model ([36])."""
+
+import pytest
+
+from repro.net.eee import EEELink
+
+
+class TestEnergy:
+    def test_idle_link_saves_most_phy_power(self):
+        eee = EEELink()
+        assert eee.energy_saving_fraction(0.0) == pytest.approx(0.9)
+
+    def test_busy_link_saves_nothing(self):
+        assert EEELink().energy_saving_fraction(1.0) == pytest.approx(0.0)
+
+    def test_saving_monotone_in_idleness(self):
+        eee = EEELink()
+        savings = [eee.energy_saving_fraction(u) for u in (0.0, 0.3, 0.7, 1.0)]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_utilisation_validated(self):
+        with pytest.raises(ValueError):
+            EEELink().phy_power_w(1.5)
+
+
+class TestLatencyCost:
+    def test_wakeup_adds_execution_time(self):
+        eee = EEELink()
+        penalty = eee.execution_time_penalty(base_latency_us=65.0)
+        assert penalty > 0.05  # wake-up on every message hurts
+
+    def test_awake_link_costs_nothing(self):
+        eee = EEELink()
+        assert eee.execution_time_penalty(65.0, asleep=False) == 0.0
+
+    def test_slower_nodes_hide_the_wakeup(self):
+        eee = EEELink()
+        snb = eee.execution_time_penalty(65.0, relative_cpu_speed=1.0)
+        arndale = eee.execution_time_penalty(65.0, relative_cpu_speed=0.5)
+        assert arndale < snb
+
+    def test_hpc_verdict_is_negative(self):
+        """The [36] conclusion: for latency-sensitive HPC traffic the
+        PHY saving does not pay for the execution-time cost."""
+        eee = EEELink()
+        assert not eee.worth_it(
+            utilisation=0.2, base_latency_us=65.0, relative_cpu_speed=1.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EEELink(phy_lpi_w=1.0, phy_active_w=0.5)
+        with pytest.raises(ValueError):
+            EEELink(wake_us=-1)
+        with pytest.raises(ValueError):
+            EEELink().execution_time_penalty(-1)

@@ -1,0 +1,47 @@
+"""Tests for physical link models."""
+
+import pytest
+
+from repro.net.link import FAST_ETHERNET, GBE, INFINIBAND_40G, TEN_GBE, Link
+
+
+class TestStandardLinks:
+    def test_gbe_raw_rate_is_125_mbs(self):
+        """Section 4.1: 'the maximum bandwidth that can be achieved on
+        the 1GbE link is 125 MB/s'."""
+        assert GBE.raw_bandwidth_mbs == pytest.approx(125.0)
+
+    def test_payload_below_raw(self):
+        for link in (FAST_ETHERNET, GBE, TEN_GBE, INFINIBAND_40G):
+            assert link.payload_bandwidth_mbs < link.raw_bandwidth_mbs
+
+    def test_ordering(self):
+        rates = [
+            FAST_ETHERNET.bandwidth_gbps,
+            GBE.bandwidth_gbps,
+            TEN_GBE.bandwidth_gbps,
+            INFINIBAND_40G.bandwidth_gbps,
+        ]
+        assert rates == sorted(rates)
+
+    def test_wire_time_per_byte(self):
+        assert GBE.wire_ns_per_byte() == pytest.approx(8.0)
+        assert TEN_GBE.wire_ns_per_byte() == pytest.approx(0.8)
+
+    def test_frame_time(self):
+        # 1500 B at 8 ns/B = 12 µs.
+        assert GBE.frame_time_us() == pytest.approx(12.0)
+        assert GBE.frame_time_us(150) == pytest.approx(1.2)
+
+    def test_frame_time_capped_at_mtu(self):
+        assert GBE.frame_time_us(1 << 20) == GBE.frame_time_us(1500)
+
+
+class TestValidation:
+    def test_invalid_links(self):
+        with pytest.raises(ValueError):
+            Link("bad", 0.0)
+        with pytest.raises(ValueError):
+            Link("bad", 1.0, efficiency=0.0)
+        with pytest.raises(ValueError):
+            Link("bad", 1.0, mtu_bytes=0)

@@ -1,0 +1,165 @@
+"""Tests pinning the protocol stacks to Figure 7."""
+
+import pytest
+
+from repro.net.link import GBE, TEN_GBE
+from repro.net.nic import ONBOARD, PCIE, USB3, attachment_for
+from repro.net.protocol import (
+    CPU_PROTOCOL_SPEED,
+    OPEN_MX,
+    TCP_IP,
+    Protocol,
+    ProtocolStack,
+)
+
+
+def stack(proto=TCP_IP, att=PCIE, core="Cortex-A9", freq=1.0):
+    return ProtocolStack(proto, att, core_name=core, freq_ghz=freq)
+
+
+class TestFigure7Latency:
+    """Small-message one-way latencies (±12%)."""
+
+    @pytest.mark.parametrize(
+        "proto,att,core,freq,paper_us",
+        [
+            (TCP_IP, PCIE, "Cortex-A9", 1.0, 100.0),
+            (OPEN_MX, PCIE, "Cortex-A9", 1.0, 65.0),
+            (TCP_IP, USB3, "Cortex-A15", 1.0, 125.0),
+            (OPEN_MX, USB3, "Cortex-A15", 1.0, 93.0),
+        ],
+    )
+    def test_latency_calibration(self, proto, att, core, freq, paper_us):
+        s = stack(proto, att, core, freq)
+        assert s.small_message_latency_us() == pytest.approx(
+            paper_us, rel=0.12
+        )
+
+    def test_exynos_frequency_cuts_latency_ten_percent(self):
+        """Section 4.1: raising Exynos from 1.0 to 1.4 GHz reduces
+        latency ~10% — most of the cost is hardware/USB."""
+        lat_1_0 = stack(TCP_IP, USB3, "Cortex-A15", 1.0).small_message_latency_us()
+        lat_1_4 = stack(TCP_IP, USB3, "Cortex-A15", 1.4).small_message_latency_us()
+        assert (lat_1_0 - lat_1_4) / lat_1_0 == pytest.approx(0.10, abs=0.03)
+
+    def test_openmx_always_beats_tcp(self):
+        for att, core in ((PCIE, "Cortex-A9"), (USB3, "Cortex-A15")):
+            assert (
+                stack(OPEN_MX, att, core).small_message_latency_us()
+                < stack(TCP_IP, att, core).small_message_latency_us()
+            )
+
+    def test_usb_attachment_penalty(self):
+        """Exynos latency higher than Tegra despite the faster core —
+        everything crosses the USB stack."""
+        assert (
+            stack(TCP_IP, USB3, "Cortex-A15").small_message_latency_us()
+            > stack(TCP_IP, PCIE, "Cortex-A9").small_message_latency_us()
+        )
+
+
+class TestFigure7Bandwidth:
+    """Large-message effective bandwidth (±20%)."""
+
+    @pytest.mark.parametrize(
+        "proto,att,core,freq,paper_mbs",
+        [
+            (TCP_IP, PCIE, "Cortex-A9", 1.0, 65.0),
+            (OPEN_MX, PCIE, "Cortex-A9", 1.0, 117.0),
+            (TCP_IP, USB3, "Cortex-A15", 1.0, 63.0),
+            (OPEN_MX, USB3, "Cortex-A15", 1.0, 69.0),
+            (OPEN_MX, USB3, "Cortex-A15", 1.4, 75.0),
+        ],
+    )
+    def test_bandwidth_calibration(self, proto, att, core, freq, paper_mbs):
+        s = stack(proto, att, core, freq)
+        assert s.effective_bandwidth_mbs(1 << 22) == pytest.approx(
+            paper_mbs, rel=0.20
+        )
+
+    def test_openmx_reaches_93_percent_of_wire(self):
+        """Section 4.1: Open-MX on Tegra 2 hits 117 MB/s = 93% of the
+        125 MB/s theoretical maximum."""
+        s = stack(OPEN_MX, PCIE, "Cortex-A9", 1.0)
+        frac = s.effective_bandwidth_mbs(1 << 24) / GBE.raw_bandwidth_mbs
+        assert frac == pytest.approx(0.93, abs=0.05)
+
+    def test_tcp_wastes_forty_percent(self):
+        """'utilizing less than 60% of the available bandwidth'."""
+        s = stack(TCP_IP, PCIE, "Cortex-A9", 1.0)
+        frac = s.effective_bandwidth_mbs(1 << 24) / GBE.raw_bandwidth_mbs
+        assert frac < 0.60
+
+    def test_bandwidth_grows_with_message_size(self):
+        s = stack()
+        sizes = [1 << i for i in range(4, 24, 4)]
+        bws = [s.effective_bandwidth_mbs(n) for n in sizes]
+        assert all(b2 > b1 for b1, b2 in zip(bws, bws[1:]))
+
+    def test_asymptotic_bandwidth_below_link(self):
+        for proto in (TCP_IP, OPEN_MX):
+            for att in (PCIE, USB3, ONBOARD):
+                for core in CPU_PROTOCOL_SPEED:
+                    s = ProtocolStack(proto, att, core_name=core)
+                    assert (
+                        s.asymptotic_bandwidth_mbs() <= GBE.raw_bandwidth_mbs
+                    )
+
+
+class TestRendezvous:
+    def test_threshold_is_32k(self):
+        assert OPEN_MX.rendezvous_bytes == 32 * 1024
+
+    def test_latency_jump_at_threshold(self):
+        s = stack(OPEN_MX, PCIE, "Cortex-A9")
+        below = s.one_way_latency_us(OPEN_MX.rendezvous_bytes - 256)
+        above = s.one_way_latency_us(OPEN_MX.rendezvous_bytes)
+        assert above > below  # extra control round-trip
+
+    def test_rendezvous_lowers_per_byte_cost(self):
+        s = stack(OPEN_MX, PCIE, "Cortex-A9")
+        assert s.ns_per_byte(1 << 20) < s.ns_per_byte(1 << 10)
+
+    def test_tcp_never_rendezvous(self):
+        assert TCP_IP.rendezvous_bytes is None
+        s = stack(TCP_IP, PCIE, "Cortex-A9")
+        assert s.ns_per_byte(1 << 20) == s.ns_per_byte(16)
+
+
+class TestStackMechanics:
+    def test_cpu_occupancy_below_latency(self):
+        s = stack()
+        assert s.cpu_occupancy_s(1024) <= s.one_way_latency_us(1024) * 1e-6
+
+    def test_faster_core_less_software_time(self):
+        slow = stack(core="Cortex-A9").software_latency_us()
+        fast = stack(core="SandyBridge").software_latency_us()
+        assert fast < slow
+
+    def test_ten_gbe_shifts_the_roof(self):
+        s1 = ProtocolStack(OPEN_MX, PCIE, link=GBE, core_name="SandyBridge")
+        s10 = ProtocolStack(OPEN_MX, PCIE, link=TEN_GBE, core_name="SandyBridge")
+        assert (
+            s10.asymptotic_bandwidth_mbs() > 4 * s1.asymptotic_bandwidth_mbs()
+        )
+
+    def test_describe(self):
+        assert "Open-MX" in stack(OPEN_MX).describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stack(freq=0)
+        with pytest.raises(KeyError):
+            ProtocolStack(TCP_IP, PCIE, core_name="Itanium")
+        with pytest.raises(ValueError):
+            stack().one_way_latency_us(-1)
+        with pytest.raises(ValueError):
+            stack().effective_bandwidth_mbs(0)
+        with pytest.raises(ValueError):
+            Protocol("bad", -1, 0, 0, 0)
+
+    def test_attachment_lookup(self):
+        assert attachment_for("pcie") is PCIE
+        assert attachment_for("USB3") is USB3
+        with pytest.raises(KeyError):
+            attachment_for("thunderbolt")

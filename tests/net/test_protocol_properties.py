@@ -1,0 +1,84 @@
+"""Property-based invariants of the protocol stacks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.link import FAST_ETHERNET, GBE, INFINIBAND_40G, TEN_GBE
+from repro.net.nic import ONBOARD, PCIE, USB3
+from repro.net.protocol import (
+    CPU_PROTOCOL_SPEED,
+    OPEN_MX,
+    TCP_IP,
+    ProtocolStack,
+)
+
+stacks = st.builds(
+    ProtocolStack,
+    protocol=st.sampled_from([TCP_IP, OPEN_MX]),
+    attachment=st.sampled_from([PCIE, USB3, ONBOARD]),
+    link=st.sampled_from([FAST_ETHERNET, GBE, TEN_GBE, INFINIBAND_40G]),
+    core_name=st.sampled_from(sorted(CPU_PROTOCOL_SPEED)),
+    freq_ghz=st.floats(min_value=0.3, max_value=3.5),
+)
+
+
+@given(stack=stacks, a=st.integers(0, 1 << 22), b=st.integers(0, 1 << 22))
+@settings(max_examples=80, deadline=None)
+def test_latency_monotone_in_size(stack, a, b):
+    small, big = sorted((a, b))
+    assert stack.one_way_latency_us(small) <= (
+        stack.one_way_latency_us(big) + 1e-9
+    )
+
+
+@given(stack=stacks, size=st.integers(1, 1 << 24))
+@settings(max_examples=80, deadline=None)
+def test_bandwidth_never_exceeds_wire(stack, size):
+    assert (
+        stack.effective_bandwidth_mbs(size)
+        <= stack.link.raw_bandwidth_mbs + 1e-9
+    )
+
+
+@given(stack=stacks, size=st.integers(0, 1 << 24))
+@settings(max_examples=60, deadline=None)
+def test_latency_bounded_below_by_hardware(stack, size):
+    assert stack.one_way_latency_us(size) >= stack.hardware_latency_us()
+
+
+@given(stack=stacks, size=st.integers(0, 1 << 20))
+@settings(max_examples=60, deadline=None)
+def test_occupancy_never_exceeds_latency(stack, size):
+    assert (
+        stack.cpu_occupancy_s(size)
+        <= stack.one_way_latency_us(size) * 1e-6 + 1e-12
+    )
+
+
+@given(
+    stack=stacks,
+    size=st.integers(0, 1 << 20),
+    boost=st.floats(min_value=1.05, max_value=3.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_faster_cpu_never_hurts(stack, size, boost):
+    faster = ProtocolStack(
+        stack.protocol,
+        stack.attachment,
+        link=stack.link,
+        core_name=stack.core_name,
+        freq_ghz=stack.freq_ghz * boost,
+    )
+    assert faster.one_way_latency_us(size) <= (
+        stack.one_way_latency_us(size) + 1e-9
+    )
+
+
+@given(size=st.integers(1, 1 << 24))
+@settings(max_examples=60, deadline=None)
+def test_openmx_dominates_tcp_everywhere(size):
+    """On identical hardware Open-MX is never slower than TCP/IP, at any
+    message size (the Figure 7 ordering as a universal property)."""
+    tcp = ProtocolStack(TCP_IP, PCIE, core_name="Cortex-A9")
+    omx = ProtocolStack(OPEN_MX, PCIE, core_name="Cortex-A9")
+    assert omx.one_way_latency_us(size) <= tcp.one_way_latency_us(size)

@@ -1,0 +1,101 @@
+"""Tests for switches and the Tibidabo tree topology."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.switch import Switch
+from repro.net.topology import TreeTopology
+
+
+class TestSwitch:
+    def test_oversubscription_twelve_to_one(self):
+        assert Switch().oversubscription == pytest.approx(12.0)
+
+    def test_uplink_bandwidth(self):
+        assert Switch().uplink_bandwidth_gbps == pytest.approx(4.0)
+
+    def test_traversal_latency(self):
+        sw = Switch()
+        assert sw.traversal_us(64) == pytest.approx(3.0 + 64 * 8e-3)
+
+    def test_traversal_capped_at_mtu(self):
+        sw = Switch()
+        assert sw.traversal_us(1 << 20) == sw.traversal_us(1500)
+
+    def test_uplink_fair_share(self):
+        sw = Switch()
+        assert sw.uplink_share_mbs(1) == pytest.approx(
+            sw.link.payload_bandwidth_mbs
+        )
+        assert sw.uplink_share_mbs(48) < sw.uplink_share_mbs(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Switch(ports=0)
+        with pytest.raises(ValueError):
+            Switch().uplink_share_mbs(0)
+        with pytest.raises(ValueError):
+            Switch().traversal_us(-1)
+
+
+class TestTibidaboTopology:
+    """Section 4: 192 nodes, 48-port switches, 8 Gb/s bisection,
+    maximum three hops."""
+
+    def test_leaf_count(self):
+        assert TreeTopology(192).n_leaves == 4
+
+    def test_bisection_bandwidth_8gbps(self):
+        assert TreeTopology(192).bisection_bandwidth_gbps() == pytest.approx(
+            8.0
+        )
+
+    def test_max_three_hops(self):
+        assert TreeTopology(192).max_hops() == 3
+
+    def test_hop_values(self):
+        t = TreeTopology(192)
+        assert t.hops(0, 0) == 0
+        assert t.hops(0, 1) == 1  # same leaf
+        assert t.hops(0, 47) == 1
+        assert t.hops(0, 48) == 3  # across the core
+        assert t.hops(0, 191) == 3
+
+    def test_single_leaf_cluster(self):
+        t = TreeTopology(8)
+        assert t.n_leaves == 1
+        assert t.max_hops() == 1
+        assert t.hops(0, 7) == 1
+        assert t.bisection_bandwidth_gbps() == pytest.approx(4.0)
+
+    def test_path_latency_scales_with_hops(self):
+        t = TreeTopology(192)
+        assert t.path_latency_us(0, 48) == pytest.approx(
+            3 * t.path_latency_us(0, 1)
+        )
+
+    def test_crosses_core(self):
+        t = TreeTopology(192)
+        assert not t.crosses_core(0, 47)
+        assert t.crosses_core(0, 48)
+
+    @given(
+        st.integers(min_value=2, max_value=192),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hops_symmetric_and_bounded(self, n, data):
+        t = TreeTopology(n)
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=n - 1))
+        assert t.hops(a, b) == t.hops(b, a)
+        assert t.hops(a, b) in (0, 1, 3)
+        assert t.hops(a, b) <= t.max_hops()
+
+    def test_node_out_of_range(self):
+        with pytest.raises(ValueError):
+            TreeTopology(10).hops(0, 10)
+
+    def test_needs_nodes(self):
+        with pytest.raises(ValueError):
+            TreeTopology(0)

@@ -1,0 +1,230 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, Interrupt
+
+
+class TestEvents:
+    def test_timeout_ordering(self):
+        eng = Engine()
+        log = []
+
+        def proc(name, delay):
+            yield eng.timeout(delay)
+            log.append((name, eng.now))
+
+        eng.process(proc("b", 2.0))
+        eng.process(proc("a", 1.0))
+        eng.run()
+        assert log == [("a", 1.0), ("b", 2.0)]
+
+    def test_ties_resolve_in_schedule_order(self):
+        eng = Engine()
+        log = []
+
+        def proc(name):
+            yield eng.timeout(1.0)
+            log.append(name)
+
+        for name in "abc":
+            eng.process(proc(name))
+        eng.run()
+        assert log == ["a", "b", "c"]
+
+    def test_event_value_passthrough(self):
+        eng = Engine()
+        out = {}
+
+        def proc():
+            v = yield eng.timeout(0.5, value="payload")
+            out["v"] = v
+
+        eng.process(proc())
+        eng.run()
+        assert out["v"] == "payload"
+
+    def test_event_cannot_fire_twice(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+
+    def test_waiting_on_triggered_event_resumes_immediately(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed("done")
+        out = {}
+
+        def proc():
+            out["v"] = yield ev
+
+        eng.process(proc())
+        eng.run()
+        assert out["v"] == "done"
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().timeout(-1)
+
+
+class TestProcesses:
+    def test_return_value_on_completion(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+            return 42
+
+        p = eng.process(proc())
+        eng.run()
+        assert p.done
+        assert p.result == 42
+
+    def test_waiting_on_another_process(self):
+        eng = Engine()
+
+        def child():
+            yield eng.timeout(2.0)
+            return "child-result"
+
+        def parent():
+            c = eng.process(child())
+            v = yield c
+            return v
+
+        p = eng.process(parent())
+        eng.run()
+        assert p.result == "child-result"
+
+    def test_all_of_join(self):
+        eng = Engine()
+
+        def child(d):
+            yield eng.timeout(d)
+            return d
+
+        def parent():
+            kids = [eng.process(child(d)) for d in (3.0, 1.0, 2.0)]
+            vals = yield eng.all_of(kids)
+            return vals
+
+        p = eng.process(parent())
+        eng.run()
+        assert p.result == [3.0, 1.0, 2.0]
+        assert eng.now == 3.0
+
+    def test_all_of_already_triggered(self):
+        eng = Engine()
+        evs = [eng.event() for _ in range(2)]
+        for i, e in enumerate(evs):
+            e.succeed(i)
+        joined = eng.all_of(evs)
+        assert joined.triggered
+        assert joined.value == [0, 1]
+
+    def test_yielding_garbage_raises(self):
+        eng = Engine()
+
+        def proc():
+            yield "not-an-event"
+
+        eng.process(proc())
+        with pytest.raises(TypeError):
+            eng.run()
+
+    def test_interrupt(self):
+        eng = Engine()
+        caught = {}
+
+        def sleeper():
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt as exc:
+                caught["cause"] = exc.cause
+                return "interrupted"
+
+        def killer(target):
+            yield eng.timeout(1.0)
+            target.interrupt("stop")
+
+        p = eng.process(sleeper())
+        eng.process(killer(p))
+        eng.run()
+        assert caught["cause"] == "stop"
+        assert p.result == "interrupted"
+        # The process finished at t=1 even though its abandoned timer
+        # still fires later (timers are not cancelled, as in SimPy).
+        assert p.done
+
+
+class TestRunControl:
+    def test_run_until(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            for _ in range(5):
+                yield eng.timeout(1.0)
+                log.append(eng.now)
+
+        eng.process(proc())
+        eng.run(until=2.5)
+        assert log == [1.0, 2.0]
+        assert eng.now == 2.5
+        eng.run()
+        assert log == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_determinism(self):
+        def build():
+            eng = Engine()
+            order = []
+
+            def proc(name, delays):
+                for d in delays:
+                    yield eng.timeout(d)
+                    order.append((name, eng.now))
+
+            eng.process(proc("x", [0.5, 0.5, 1.0]))
+            eng.process(proc("y", [1.0, 0.5]))
+            eng.run()
+            return order
+
+        assert build() == build()
+
+
+class TestAnyOf:
+    def test_first_event_wins(self):
+        eng = Engine()
+
+        def child(d):
+            yield eng.timeout(d)
+            return d
+
+        def parent():
+            kids = [eng.process(child(d)) for d in (3.0, 1.0, 2.0)]
+            first = yield eng.any_of(kids)
+            return first, eng.now
+
+        p = eng.process(parent())
+        eng.run()
+        assert p.result[0] == 1.0
+        # Parent resumed at the first completion even though the run
+        # continues to drain the remaining timers.
+        assert p.result[1] == 1.0
+
+    def test_already_triggered(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed("early")
+        joined = eng.any_of([ev, eng.event()])
+        assert joined.triggered and joined.value == "early"
+
+    def test_later_firings_ignored(self):
+        eng = Engine()
+        a, b = eng.event(), eng.event()
+        joined = eng.any_of([a, b])
+        a.succeed(1)
+        b.succeed(2)
+        assert joined.value == 1

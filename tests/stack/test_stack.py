@@ -1,0 +1,155 @@
+"""Tests for the Section 5 software-stack model."""
+
+import pytest
+
+from repro.arch.catalog import get_platform
+from repro.stack import (
+    Component,
+    ComponentKind,
+    Deployment,
+    DeploymentError,
+    Maturity,
+    STACK,
+    component,
+    figure8_layout,
+)
+from repro.stack.deployment import stack_penalty_summary
+
+
+class TestRegistry:
+    def test_figure8_layers_present(self):
+        layout = figure8_layout()
+        assert set(layout) == {k.value for k in ComponentKind}
+
+    def test_paper_components_present(self):
+        """Every box of Figure 8."""
+        for name in (
+            "mercurium", "gcc", "gfortran", "g++", "atlas", "fftw",
+            "hdf5", "allinea-ddt", "paraver", "papi", "scalasca",
+            "nanos++", "mpich2", "openmpi", "slurm",
+        ):
+            assert name in STACK, name
+
+    def test_lookup(self):
+        assert component("atlas").kind is ComponentKind.SCIENTIFIC_LIBRARY
+        with pytest.raises(KeyError):
+            component("icc")
+
+    def test_atlas_constraints(self):
+        """Section 5: ATLAS needed source patches and a pinned clock."""
+        atlas = component("atlas")
+        assert atlas.needs_pinned_frequency
+        assert atlas.source_patches_required
+        assert atlas.maturity is Maturity.NEEDS_PORT_WORK
+
+    def test_cuda_is_armel_experimental(self):
+        cuda = component("cuda-4.2")
+        assert cuda.maturity is Maturity.EXPERIMENTAL
+        assert cuda.forces_abi == "softfp"
+        assert cuda.supported_isas == ("ARMv7",)
+
+    def test_opencl_caps_frequency(self):
+        assert component("opencl-mali").caps_freq_ghz == 1.0
+
+    def test_component_validation(self):
+        with pytest.raises(ValueError):
+            Component("", ComponentKind.COMPILER)
+        with pytest.raises(ValueError):
+            Component("x", ComponentKind.COMPILER, caps_freq_ghz=0)
+
+
+class TestDependencyResolution:
+    def test_dependencies_precede_dependents(self, t2):
+        dep = Deployment(t2)
+        order = dep.resolve(["mercurium"])
+        assert order.index("gcc") < order.index("mercurium")
+        assert order.index("nanos++") < order.index("mercurium")
+        assert order.index("g++") < order.index("nanos++")
+
+    def test_no_duplicates(self, t2):
+        order = Deployment(t2).resolve(["mpich2", "openmpi", "open-mx"])
+        assert len(order) == len(set(order))
+
+    def test_cycle_detection(self, t2, monkeypatch):
+        import repro.stack.registry as reg
+
+        a = Component("cyc-a", ComponentKind.RUNTIME, requires=("cyc-b",))
+        b = Component("cyc-b", ComponentKind.RUNTIME, requires=("cyc-a",))
+        monkeypatch.setitem(reg.STACK, "cyc-a", a)
+        monkeypatch.setitem(reg.STACK, "cyc-b", b)
+        with pytest.raises(DeploymentError, match="cycle"):
+            Deployment(t2).resolve(["cyc-a"])
+
+
+class TestPlatformConstraints:
+    def test_hpc_baseline_is_production_hardfp(self, t2):
+        report = Deployment(t2).hpc_baseline()
+        assert report.abi == "hardfp"
+        assert report.production_ready
+        assert "slurm" in report.install_order
+        assert any("atlas" in note for note in report.build_notes)
+
+    def test_cuda_forces_softfp(self, t3):
+        """The CARMA configuration: armel filesystem, lower CPU perf."""
+        report = Deployment(t3).with_cuda()
+        assert report.abi == "softfp"
+        assert "cuda-4.2" in report.experimental
+        assert not report.production_ready
+
+    def test_opencl_caps_exynos_clock(self, exynos):
+        """Section 5: the old kernel cannot clock the chip above 1 GHz."""
+        report = Deployment(exynos).with_opencl()
+        assert report.effective_max_freq_ghz(1.7) == 1.0
+        assert report.effective_max_freq_ghz(0.8) == 0.8
+
+    def test_arm_only_components_rejected_on_x86(self, i7):
+        with pytest.raises(DeploymentError, match="does not support"):
+            Deployment(i7).with_cuda()
+
+    def test_x86_runs_the_generic_stack(self, i7):
+        # gcc/openmpi/etc are cross-ISA, but the armhf OS is not.
+        with pytest.raises(DeploymentError):
+            Deployment(i7).install(["slurm"])  # requires debian-armhf
+
+
+class TestQuantifiedPenalties:
+    def test_cuda_abi_costs_cpu_performance(self, exynos):
+        """'deployed a Debian/armel filesystem ... at the cost of a
+        lower CPU performance' — measurable through the executor."""
+        out = stack_penalty_summary(exynos)
+        assert out["cuda(armel)@fmax"] < 0.95
+
+    def test_opencl_kernel_costs_more_on_fast_chips(self, exynos, t3):
+        """The 1 GHz cap hurts the 1.7 GHz Exynos more than the 1.3 GHz
+        Tegra 3."""
+        ex = stack_penalty_summary(exynos)["opencl-kernel@cap"]
+        t3p = stack_penalty_summary(t3)["opencl-kernel@cap"]
+        assert ex < t3p < 1.0
+
+
+class TestResolutionProperties:
+    def test_resolution_idempotent(self, t2):
+        from repro.stack.registry import STACK
+
+        dep = Deployment(t2)
+        arm_ok = [
+            n for n, c in STACK.items() if c.supports("ARMv7")
+        ]
+        once = dep.resolve(arm_ok)
+        twice = dep.resolve(once)
+        assert once == twice
+
+    def test_any_subset_resolves_validly(self, t2):
+        """Every dependency precedes its dependent, for random subsets."""
+        import itertools
+
+        from repro.stack.registry import STACK, component
+
+        dep = Deployment(t2)
+        names = sorted(n for n, c in STACK.items() if c.supports("ARMv7"))
+        for subset in itertools.combinations(names, 3):
+            order = dep.resolve(list(subset))
+            pos = {n: i for i, n in enumerate(order)}
+            for n in order:
+                for req in component(n).requires:
+                    assert pos[req] < pos[n], (n, req)

@@ -1,0 +1,105 @@
+"""Tests for the calibration tables."""
+
+import pytest
+
+from repro.kernels.base import AccessPattern, KernelCharacteristics
+from repro.kernels.registry import KERNELS
+from repro.timing import calibration
+
+
+class TestFPEfficiency:
+    def test_bounded(self):
+        for uarch in calibration.FP_EFFICIENCY_BASE:
+            for simd in (0.0, 0.5, 1.0):
+                for br in (0.0, 0.5, 1.0):
+                    eff = calibration.fp_efficiency(
+                        uarch,
+                        KernelCharacteristics(
+                            simd_fraction=simd, branch_intensity=br
+                        ),
+                    )
+                    assert 0.0 < eff <= 1.0
+
+    def test_achieved_ladder_at_scalar_code(self):
+        """Achieved FLOPs/cycle (base x peak) must reproduce the paper's
+        single-core ladder: A9 < A15 < SNB, with A15 ~1.3x A9 and SNB
+        ~2x A15."""
+        peaks = {"Cortex-A9": 1.0, "Cortex-A15": 2.0, "SandyBridge": 8.0}
+        ach = {
+            u: calibration.FP_EFFICIENCY_BASE[u] * peaks[u] for u in peaks
+        }
+        assert ach["Cortex-A15"] / ach["Cortex-A9"] == pytest.approx(
+            1.31, abs=0.05
+        )
+        assert ach["SandyBridge"] / ach["Cortex-A15"] == pytest.approx(
+            2.0, abs=0.1
+        )
+
+    def test_wider_machines_achieve_smaller_fraction(self):
+        b = calibration.FP_EFFICIENCY_BASE
+        assert b["SandyBridge"] < b["Cortex-A15"] < b["Cortex-A9"]
+
+    def test_simd_helps_avx_most(self):
+        ch = KernelCharacteristics(simd_fraction=1.0)
+        gain = {
+            u: calibration.fp_efficiency(u, ch)
+            / calibration.fp_efficiency(u, KernelCharacteristics())
+            for u in calibration.FP_EFFICIENCY_BASE
+        }
+        assert gain["Cortex-A9"] == pytest.approx(1.0)  # no FP64 NEON
+        assert gain["SandyBridge"] > gain["Cortex-A15"]
+
+    def test_branches_hurt_a9_most(self):
+        ch = KernelCharacteristics(branch_intensity=1.0)
+        loss = {
+            u: calibration.fp_efficiency(u, KernelCharacteristics())
+            / calibration.fp_efficiency(u, ch)
+            for u in ("Cortex-A9", "SandyBridge")
+        }
+        assert loss["Cortex-A9"] > loss["SandyBridge"]
+
+    def test_unknown_uarch_raises(self):
+        with pytest.raises(KeyError):
+            calibration.fp_efficiency("Bonnell", KernelCharacteristics())
+
+
+class TestPatternFactors:
+    def test_all_patterns_covered(self):
+        for table in (
+            calibration.PATTERN_BANDWIDTH_FACTOR,
+            calibration.PATTERN_L2_FACTOR,
+        ):
+            assert set(table) == set(AccessPattern)
+            for v in table.values():
+                assert 0.0 < v <= 1.0
+
+    def test_sequential_is_best(self):
+        for table in (
+            calibration.PATTERN_BANDWIDTH_FACTOR,
+            calibration.PATTERN_L2_FACTOR,
+        ):
+            assert table[AccessPattern.SEQUENTIAL] == max(table.values())
+
+    def test_random_is_worst(self):
+        assert calibration.PATTERN_BANDWIDTH_FACTOR[
+            AccessPattern.RANDOM
+        ] == min(calibration.PATTERN_BANDWIDTH_FACTOR.values())
+
+    def test_caches_tolerate_strides_better_than_dram(self):
+        for pat in (AccessPattern.STRIDED, AccessPattern.RANDOM):
+            assert (
+                calibration.PATTERN_L2_FACTOR[pat]
+                >= calibration.PATTERN_BANDWIDTH_FACTOR[pat]
+            )
+
+
+class TestPasses:
+    def test_every_kernel_calibrated(self):
+        assert set(calibration.PASSES_PER_ITERATION) == set(KERNELS)
+
+    def test_passes_positive(self):
+        for v in calibration.PASSES_PER_ITERATION.values():
+            assert isinstance(v, int) and v > 0
+
+    def test_unknown_kernel_defaults_to_one(self):
+        assert calibration.passes_for("nonexistent") == 1

@@ -1,0 +1,83 @@
+"""Property-based invariants of the simulated executor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.catalog import PLATFORMS
+from repro.kernels.registry import KERNELS
+from repro.timing.executor import SimulatedExecutor
+
+PLATFORM_NAMES = sorted(PLATFORMS)
+KERNEL_TAGS = sorted(KERNELS)
+
+
+@given(
+    plat=st.sampled_from(PLATFORM_NAMES),
+    tag=st.sampled_from(KERNEL_TAGS),
+    freq=st.floats(min_value=0.3, max_value=3.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_time_positive_and_finite(plat, tag, freq):
+    run = SimulatedExecutor(PLATFORMS[plat]).time_kernel(KERNELS[tag], freq)
+    assert 0 < run.time_s < 1e6
+    assert run.compute_time_s >= 0 and run.memory_time_s >= 0
+    assert run.time_s >= max(run.compute_time_s, run.memory_time_s) * 0.999
+
+
+@given(
+    plat=st.sampled_from(PLATFORM_NAMES),
+    tag=st.sampled_from(KERNEL_TAGS),
+    f1=st.floats(min_value=0.3, max_value=1.5),
+    factor=st.floats(min_value=1.1, max_value=2.5),
+)
+@settings(max_examples=60, deadline=None)
+def test_more_frequency_never_slower(plat, tag, f1, factor):
+    ex = SimulatedExecutor(PLATFORMS[plat])
+    k = KERNELS[tag]
+    assert ex.time_kernel(k, f1 * factor).time_s <= (
+        ex.time_kernel(k, f1).time_s * 1.0001
+    )
+
+
+@given(
+    plat=st.sampled_from(PLATFORM_NAMES),
+    tag=st.sampled_from(KERNEL_TAGS),
+)
+@settings(max_examples=40, deadline=None)
+def test_multicore_never_slower_than_serial(plat, tag):
+    p = PLATFORMS[plat]
+    ex = SimulatedExecutor(p)
+    k = KERNELS[tag]
+    t1 = ex.time_kernel(k, 1.0, cores=1).time_s
+    tn = ex.time_kernel(k, 1.0, cores=p.soc.n_cores).time_s
+    assert tn <= t1 * 1.0001
+
+
+@given(
+    tag=st.sampled_from(KERNEL_TAGS),
+    passes=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=30, deadline=None)
+def test_passes_scale_time_linearly(tag, passes):
+    ex = SimulatedExecutor(PLATFORMS["Tegra2"])
+    k = KERNELS[tag]
+    one = ex.time_kernel(k, 1.0, passes=1).time_s
+    many = ex.time_kernel(k, 1.0, passes=passes).time_s
+    assert many == pytest.approx(one * passes, rel=1e-9)
+
+
+@given(
+    plat=st.sampled_from(PLATFORM_NAMES),
+    tag=st.sampled_from(KERNEL_TAGS),
+    size_factor=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_bigger_problems_take_longer(plat, tag, size_factor):
+    ex = SimulatedExecutor(PLATFORMS[plat])
+    k = KERNELS[tag]
+    base_size = max(8, k.default_size() // 4)
+    t_small = ex.time_kernel(k, 1.0, size=base_size, passes=1).time_s
+    t_big = ex.time_kernel(
+        k, 1.0, size=base_size * (size_factor + 1), passes=1
+    ).time_s
+    assert t_big > t_small

@@ -1,0 +1,152 @@
+"""Tests for the power-meter measurement model (the WT230 procedure)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.registry import all_kernels, get_kernel
+from repro.timing.measurement import (
+    EnergyMeasurement,
+    PowerMeter,
+    measure_kernel,
+)
+
+
+class TestPowerMeter:
+    def test_sampling_rate(self):
+        meter = PowerMeter(sample_hz=10.0)
+        trace = meter.sample_trace(8.0, 3.0)
+        assert trace.shape[0] == 30
+
+    def test_precision_noise_scale(self):
+        meter = PowerMeter(precision=0.001, seed=1)
+        trace = meter.sample_trace(100.0, 1000.0)
+        assert np.std(trace) == pytest.approx(0.1, rel=0.2)
+
+    def test_energy_close_to_p_times_t(self):
+        meter = PowerMeter(seed=0)
+        energy, n = meter.integrate(8.0, 3.0)
+        assert energy == pytest.approx(24.0, rel=0.005)
+        assert n == 30
+
+    def test_short_runs_have_few_samples(self):
+        """A 0.05 s region yields a single sample — why the paper runs
+        enough iterations 'to get an accurate energy consumption'."""
+        meter = PowerMeter()
+        _, n = meter.integrate(8.0, 0.05)
+        assert n == 1
+
+    def test_deterministic_given_seed(self):
+        a = PowerMeter(seed=42).integrate(10.0, 5.0)
+        b = PowerMeter(seed=42).integrate(10.0, 5.0)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerMeter(sample_hz=0)
+        with pytest.raises(ValueError):
+            PowerMeter().sample_trace(8.0, 0)
+
+
+class TestEnergyAnchors:
+    """Absolute energies per iteration, Section 3.1.1 (±15%)."""
+
+    @pytest.mark.parametrize(
+        "platform,paper_joules",
+        [
+            ("Tegra2", 23.93),
+            ("Tegra3", 19.62),
+            ("Exynos5250", 16.95),
+            ("Corei7-2760QM", 28.57),
+        ],
+    )
+    def test_energy_per_iteration(self, platforms, platform, paper_joules):
+        meter = PowerMeter(seed=0)
+        energies = [
+            measure_kernel(platforms[platform], k, 1.0, meter=meter)[1].energy_j
+            for k in all_kernels()
+        ]
+        assert float(np.mean(energies)) == pytest.approx(
+            paper_joules, rel=0.15
+        )
+
+    def test_arm_ordering(self, platforms):
+        """Exynos < Tegra3 < Tegra2 < i7 in energy to solution."""
+        meter = PowerMeter(seed=0)
+
+        def mean_energy(name):
+            return float(
+                np.mean(
+                    [
+                        measure_kernel(platforms[name], k, 1.0, meter=meter)[
+                            1
+                        ].energy_j
+                        for k in all_kernels()
+                    ]
+                )
+            )
+
+        e = {n: mean_energy(n) for n in platforms}
+        assert (
+            e["Exynos5250"] < e["Tegra3"] < e["Tegra2"] < e["Corei7-2760QM"]
+        )
+
+    def test_multicore_reduces_energy(self, platforms):
+        """Section 3.1.2: the OpenMP versions improve energy on every
+        platform; Tegra 2 by ~1.7x."""
+        meter = PowerMeter(seed=0)
+        for name, p in platforms.items():
+            n = p.soc.n_cores
+            serial = np.mean(
+                [
+                    measure_kernel(p, k, 1.0, cores=1, meter=meter)[1].energy_j
+                    for k in all_kernels()
+                ]
+            )
+            multi = np.mean(
+                [
+                    measure_kernel(p, k, 1.0, cores=n, meter=meter)[1].energy_j
+                    for k in all_kernels()
+                ]
+            )
+            assert multi < serial, name
+        t2 = platforms["Tegra2"]
+        gain = np.mean(
+            [
+                measure_kernel(t2, k, 1.0, cores=1, meter=meter)[1].energy_j
+                for k in all_kernels()
+            ]
+        ) / np.mean(
+            [
+                measure_kernel(t2, k, 1.0, cores=2, meter=meter)[1].energy_j
+                for k in all_kernels()
+            ]
+        )
+        assert gain == pytest.approx(1.7, abs=0.2)
+
+    def test_energy_improves_with_frequency(self, t2):
+        """Figure 3b: per-iteration energy falls as frequency rises
+        (board power dominates)."""
+        meter = PowerMeter(seed=0)
+        k = get_kernel("dmmm")
+        energies = [
+            measure_kernel(t2, k, f, meter=meter)[1].energy_j
+            for f in t2.soc.dvfs.frequencies()
+        ]
+        assert all(b < a for a, b in zip(energies, energies[1:]))
+
+
+class TestEnergyMeasurement:
+    def test_per_iteration(self):
+        m = EnergyMeasurement("p", "k", 10.0, 50.0, 5.0, 100)
+        assert m.energy_per_iteration(5) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            m.energy_per_iteration(0)
+
+    def test_green500_metric(self):
+        # 1 GFLOP in 1 s at 5 W = 200 MFLOPS/W.
+        m = EnergyMeasurement("p", "k", 1.0, 5.0, 5.0, 10)
+        assert m.efficiency_mflops_per_watt(1e9) == pytest.approx(200.0)
+
+    def test_measure_kernel_validates_iterations(self, t2):
+        with pytest.raises(ValueError):
+            measure_kernel(t2, get_kernel("vecop"), 1.0, iterations=0)

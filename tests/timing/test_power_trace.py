@@ -1,0 +1,106 @@
+"""Tests for phase-resolved power traces."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APPLICATIONS
+from repro.cluster.cluster import tibidabo
+from repro.kernels.registry import get_kernel
+from repro.timing.executor import SimulatedExecutor
+from repro.timing.measurement import PowerMeter
+from repro.timing.power_trace import (
+    Phase,
+    PowerTrace,
+    app_power_trace,
+    initialisation_bias,
+    meter_trace,
+)
+
+
+def simple_trace():
+    return (
+        PowerTrace()
+        .add("init", 2.0, 4.0, measured=False)
+        .add("compute", 6.0, 8.0)
+        .add("comm", 2.0, 7.0)
+    )
+
+
+class TestPowerTrace:
+    def test_durations(self):
+        t = simple_trace()
+        assert t.total_duration_s == 10.0
+        assert t.measured_duration_s == 8.0
+
+    def test_true_energy(self):
+        t = simple_trace()
+        assert t.true_energy_j() == pytest.approx(6 * 8 + 2 * 7)
+        assert t.true_energy_j(measured_only=False) == pytest.approx(
+            8 + 48 + 14
+        )
+
+    def test_mean_power(self):
+        t = simple_trace()
+        assert t.mean_power_w() == pytest.approx(62.0 / 8.0)
+
+    def test_sampling_reproduces_levels(self):
+        t = simple_trace()
+        samples = t.sample(sample_hz=10.0)
+        assert samples.shape[0] == 100
+        assert set(np.unique(samples)) == {4.0, 8.0, 7.0}
+        assert samples[0] == 4.0
+        assert samples[50] == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Phase("p", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Phase("p", 1.0, -1.0)
+        with pytest.raises(ValueError):
+            PowerTrace().mean_power_w()
+        with pytest.raises(ValueError):
+            simple_trace().sample(0)
+
+
+class TestMeteredIntegration:
+    def test_meter_close_to_truth(self):
+        t = simple_trace()
+        energy = meter_trace(t, PowerMeter(seed=1))
+        assert energy == pytest.approx(t.true_energy_j(), rel=0.02)
+
+    def test_unmeasured_phases_excluded(self):
+        t = simple_trace()
+        with_init = meter_trace(t, PowerMeter(seed=1), measured_only=False)
+        without = meter_trace(t, PowerMeter(seed=1), measured_only=True)
+        assert with_init > without
+
+    def test_initialisation_bias(self):
+        t = simple_trace()
+        # Including init adds 8 J on top of 62 J -> ~12.9%.
+        assert initialisation_bias(t) == pytest.approx(8.0 / 62.0)
+
+
+class TestAppTraces:
+    def test_kernel_run_trace(self, t2):
+        run = SimulatedExecutor(t2).time_kernel(get_kernel("dmmm"), 1.0)
+        trace = app_power_trace(t2, run, 1.0, active_cores=1)
+        assert trace.total_duration_s == pytest.approx(run.time_s)
+        assert trace.true_energy_j() > 0
+
+    def test_app_run_trace_has_comm_phase(self, cluster96):
+        run = APPLICATIONS["HYDRO"].simulate(cluster96, 32)
+        t2 = cluster96.nodes[0].platform
+        trace = app_power_trace(t2, run, 1.0, active_cores=2)
+        names = [p.name for p in trace.phases]
+        assert "compute" in names and "communication" in names
+        comm = next(p for p in trace.phases if p.name == "communication")
+        comp = next(p for p in trace.phases if p.name == "compute")
+        assert comm.power_w < comp.power_w
+
+    def test_nfs_init_phase_excluded_like_the_paper(self, t2):
+        """Section 3.1: initialisation (NFS-biased) excluded from the
+        energy figures; the bias of including it is positive."""
+        run = SimulatedExecutor(t2).time_kernel(get_kernel("fft"), 1.0)
+        trace = app_power_trace(t2, run, 1.0, 1, init_s=5.0)
+        assert trace.phases[0].measured is False
+        assert initialisation_bias(trace) > 0

@@ -1,0 +1,50 @@
+"""Tests for the roofline model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timing.roofline import Roofline
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        r = Roofline(peak_gflops=10.0, bandwidth_gbs=2.0)
+        assert r.ridge_intensity == pytest.approx(5.0)
+
+    def test_memory_bound_below_ridge(self):
+        r = Roofline(10.0, 2.0)
+        assert r.is_memory_bound(1.0)
+        assert not r.is_memory_bound(10.0)
+
+    def test_attainable_capped_at_peak(self):
+        r = Roofline(10.0, 2.0)
+        assert r.attainable_gflops(100.0) == 10.0
+
+    def test_attainable_linear_below_ridge(self):
+        r = Roofline(10.0, 2.0)
+        assert r.attainable_gflops(1.0) == pytest.approx(2.0)
+        assert r.attainable_gflops(2.5) == pytest.approx(5.0)
+
+    def test_time_is_max_of_both(self):
+        r = Roofline(1.0, 1.0)  # 1 GFLOP/s, 1 GB/s
+        assert r.time_seconds(2e9, 1e9) == pytest.approx(2.0)
+        assert r.time_seconds(1e9, 3e9) == pytest.approx(3.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1e3),
+        st.floats(min_value=0.01, max_value=1e3),
+        st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_attainable_never_exceeds_either_roof(self, peak, bw, intensity):
+        r = Roofline(peak, bw)
+        a = r.attainable_gflops(intensity)
+        assert a <= peak + 1e-9
+        assert a <= bw * intensity + 1e-9 or intensity == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Roofline(0, 1)
+        with pytest.raises(ValueError):
+            Roofline(1, 1).attainable_gflops(-1)
+        with pytest.raises(ValueError):
+            Roofline(1, 1).time_seconds(-1, 0)
