@@ -13,6 +13,11 @@ from repro.analysis.tables import (
     render_table4,
 )
 from repro.analysis.report import build_comparisons, comparisons_markdown
+from repro.analysis.trace_report import (
+    makespan_s,
+    rank_breakdown,
+    render_rank_breakdown,
+)
 
 __all__ = [
     "ascii_chart",
@@ -23,4 +28,7 @@ __all__ = [
     "render_table4",
     "build_comparisons",
     "comparisons_markdown",
+    "makespan_s",
+    "rank_breakdown",
+    "render_rank_breakdown",
 ]

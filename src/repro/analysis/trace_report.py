@@ -1,0 +1,86 @@
+"""Per-rank compute/comm/wait attribution from a recorded span trace.
+
+The deliverable of the ARM-HPC characterisation literature (and of the
+paper's own Paraver sessions) is a table answering *where did each
+rank's time go*: computing, occupying the CPU with protocol processing
+(``comm``), or blocked waiting for data (``wait``).  This module turns
+a :class:`~repro.obs.recorder.TraceRecorder` into exactly that table —
+the same numbers Perfetto would show when the Chrome trace is loaded,
+but as text for terminals, tests and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import render_table
+from repro.obs.recorder import TraceRecorder
+
+#: Span categories attributed per rank; ``net`` (wire transfers) is
+#: listed separately because it overlaps compute on the receiver side.
+PHASES = ("compute", "comm", "wait")
+
+
+def makespan_s(rec: TraceRecorder) -> float:
+    """Last simulated timestamp anywhere in the trace."""
+    stamps = [s.t1 for s in rec.spans]
+    stamps += [i.t for i in rec.instants]
+    stamps += [c.t for c in rec.counters]
+    return max(stamps, default=0.0)
+
+
+def rank_breakdown(rec: TraceRecorder) -> dict[int, dict[str, float]]:
+    """``rank -> {compute, comm, wait, net} -> seconds`` (sorted)."""
+    out: dict[int, dict[str, float]] = {}
+    for s in rec.spans:
+        row = out.setdefault(
+            s.rank, {c: 0.0 for c in PHASES + ("net",)}
+        )
+        if s.cat in row:
+            row[s.cat] += s.duration_s
+    return dict(sorted(out.items()))
+
+
+def render_rank_breakdown(rec: TraceRecorder) -> str:
+    """The per-rank time-attribution table, plus a totals row."""
+    span = makespan_s(rec)
+    breakdown = rank_breakdown(rec)
+    if not breakdown:
+        return "(no rank spans recorded)"
+
+    def pct(x: float) -> str:
+        return f"{100.0 * x / span:5.1f}%" if span > 0 else "-"
+
+    headers = [
+        "rank", "compute s", "comm s", "wait s", "net s",
+        "compute", "wait",
+    ]
+    rows = []
+    for rank, d in breakdown.items():
+        rows.append(
+            [
+                rank,
+                f"{d['compute']:.6f}",
+                f"{d['comm']:.6f}",
+                f"{d['wait']:.6f}",
+                f"{d['net']:.6f}",
+                pct(d["compute"]),
+                pct(d["wait"]),
+            ]
+        )
+    total = {
+        c: sum(d[c] for d in breakdown.values())
+        for c in PHASES + ("net",)
+    }
+    n = len(breakdown)
+    rows.append(
+        [
+            "all",
+            f"{total['compute']:.6f}",
+            f"{total['comm']:.6f}",
+            f"{total['wait']:.6f}",
+            f"{total['net']:.6f}",
+            pct(total["compute"] / n),
+            pct(total["wait"] / n),
+        ]
+    )
+    table = render_table(headers, rows)
+    return f"makespan: {span:.6f} s over {n} ranks\n{table}"

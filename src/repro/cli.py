@@ -13,6 +13,12 @@ Usage::
     python -m repro energy            # the [13] energy-to-solution study
     python -m repro compare           # all paper-vs-measured claims
     python -m repro all               # everything above
+
+Observability (see :mod:`repro.obs`)::
+
+    python -m repro trace hpl                    # per-rank table + hash
+    python -m repro trace pingpong --out pp.json # Chrome trace for Perfetto
+    python -m repro trace imb --check --runs 3   # replay-determinism check
 """
 
 from __future__ import annotations
@@ -142,9 +148,15 @@ def run_artefact(name: str, study=None) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate artefacts of the SC'13 mobile-SoC study.",
+        epilog="For structured tracing/replay checks: python -m repro trace -h",
     )
     parser.add_argument(
         "artefacts",

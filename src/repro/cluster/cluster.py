@@ -200,9 +200,18 @@ def degraded_tibidabo(
     """
     from repro.cluster.reliability import PCIeFaultInjector
 
+    from repro.obs.recorder import current as _obs_current
+
     inj = injector or PCIeFaultInjector(seed=seed)
     healthy = inj.boot_nodes(n_nodes)
     survivors = int(healthy.sum())
     if survivors == 0:
         raise RuntimeError("no node survived boot")
+    rec = _obs_current()
+    if rec is not None:
+        for i, ok in enumerate(healthy):
+            rec.instant(
+                "node.up" if ok else "node.down", "cluster", 0.0, node=i
+            )
+        rec.bump("cluster.nodes_lost", n_nodes - survivors)
     return tibidabo(survivors, open_mx=open_mx), n_nodes - survivors

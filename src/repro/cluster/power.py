@@ -78,6 +78,24 @@ class ClusterPowerModel:
         )
         return dc / self.psu_efficiency
 
+    def sample(
+        self,
+        cluster: Cluster,
+        t_s: float,
+        active_cores: int | None = None,
+    ) -> float:
+        """One wall-power sample at simulated time ``t_s``, recorded as
+        a ``cluster.power_w`` counter when tracing is enabled (the
+        observability layer's stand-in for the paper's Yokogawa meter
+        readings).  Returns the sampled watts either way."""
+        from repro.obs.recorder import current as _obs_current
+
+        watts = self.total_power_watts(cluster, active_cores)
+        rec = _obs_current()
+        if rec is not None:
+            rec.counter("cluster.power_w", t_s, watts)
+        return watts
+
     def mflops_per_watt(
         self,
         cluster: Cluster,

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.recorder import current as _obs_current
+
 
 @dataclass(frozen=True)
 class DramErrorModel:
@@ -171,15 +173,26 @@ class PCIeFaultInjector:
         """Boolean array: which of ``n_nodes`` came up with working PCIe."""
         if n_nodes <= 0:
             raise ValueError("need at least one node")
-        return self._rng.random(n_nodes) >= self.p_boot_failure
+        healthy = self._rng.random(n_nodes) >= self.p_boot_failure
+        rec = _obs_current()
+        if rec is not None:
+            rec.bump("cluster.boot_attempts", n_nodes)
+            for i in np.flatnonzero(~healthy):
+                rec.instant("pcie.boot_failure", "cluster", 0.0, node=int(i))
+        return healthy
 
     def hang_times_s(self, n_nodes: int) -> np.ndarray:
         """Exponential time-to-hang (seconds) per node under load."""
         if n_nodes <= 0:
             raise ValueError("need at least one node")
-        return self._rng.exponential(
+        times = self._rng.exponential(
             self.mtbf_hours_under_load * 3600.0, n_nodes
         )
+        rec = _obs_current()
+        if rec is not None:
+            for i, t in enumerate(times):
+                rec.instant("pcie.hang", "cluster", float(t), node=i)
+        return times
 
     def job_survives(self, n_nodes: int, job_hours: float) -> bool:
         """Whether a job of ``job_hours`` on ``n_nodes`` sees no hang."""

@@ -29,6 +29,10 @@ import numpy as np
 
 from repro.sim.engine import Engine, Event
 
+# Per-rank spans (compute / comm / wait / net) flow into the unified
+# observability layer; the engine caches the active recorder at world
+# construction, so a disabled recorder costs one attribute check per op.
+
 ANY_SOURCE = -1
 ANY_TAG = -1
 
@@ -131,7 +135,14 @@ class RankContext:
         if seconds < 0:
             raise ValueError("compute time must be non-negative")
         self.stats.compute_s += seconds
-        return self.world.engine.timeout(seconds)
+        engine = self.world.engine
+        rec = engine._rec
+        if rec is not None:
+            rec.span(
+                "compute", "compute", engine.now, engine.now + seconds,
+                rank=self.rank,
+            )
+        return engine.timeout(seconds)
 
     def compute_flops(self, flops: float) -> Event:
         """Computation expressed in FLOPs, at this rank's node speed."""
@@ -159,6 +170,20 @@ class RankContext:
         sent_at = engine.now
         self.stats.messages_sent += 1
         self.stats.bytes_sent += nbytes
+        rec = engine._rec
+        if rec is not None:
+            rec.span(
+                f"send->{dst}", "comm", sent_at, sent_at + occupy,
+                rank=self.rank, dst=dst, bytes=nbytes, tag=tag,
+            )
+            rec.span(
+                f"xfer {self.rank}->{dst}", "net", sent_at,
+                sent_at + transfer, rank=self.rank, dst=dst, bytes=nbytes,
+            )
+            rec.counter(
+                "mpi.bytes_sent", sent_at, self.stats.bytes_sent,
+                rank=self.rank,
+            )
 
         def deliver(_ev: Event) -> None:
             msg = Message(
@@ -170,6 +195,11 @@ class RankContext:
                 sent_at=sent_at,
                 received_at=engine.now,
             )
+            if rec is not None:
+                rec.instant(
+                    "deliver", "net", engine.now,
+                    rank=dst, src=self.rank, bytes=nbytes, tag=tag,
+                )
             self.world.contexts[dst]._deliver(msg)
 
         engine.timeout(transfer).callbacks.append(deliver)
@@ -189,6 +219,12 @@ class RankContext:
         t0 = self.now
         msg = yield ev
         self.stats.comm_wait_s += self.now - t0
+        rec = self.world.engine._rec
+        if rec is not None:
+            rec.span(
+                f"recv<-{msg.src}", "wait", t0, self.now,
+                rank=self.rank, src=msg.src, bytes=msg.nbytes, tag=msg.tag,
+            )
         return msg
 
     def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
@@ -221,6 +257,12 @@ class RankContext:
         t0 = self.now
         yield self.world.engine.all_of(send_evs + recv_evs)
         self.stats.comm_wait_s += self.now - t0
+        rec = self.world.engine._rec
+        if rec is not None:
+            rec.span(
+                "exchange", "wait", t0, self.now,
+                rank=self.rank, sends=len(sends), recvs=len(recvs),
+            )
         return [ev.value for ev in recv_evs]
 
     def sendrecv(
@@ -238,6 +280,9 @@ class RankContext:
         both = self.world.engine.all_of([send_ev, recv_ev])
         yield both
         self.stats.comm_wait_s += self.now - t0
+        rec = self.world.engine._rec
+        if rec is not None:
+            rec.span("sendrecv", "wait", t0, self.now, rank=self.rank, dst=dst)
         return recv_ev.value
 
 

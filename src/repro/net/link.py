@@ -56,6 +56,20 @@ class Link:
         n = self.mtu_bytes if nbytes is None else min(nbytes, self.mtu_bytes)
         return n * self.wire_ns_per_byte() / 1e3
 
+    def frames_for(self, nbytes: int) -> int:
+        """Frames needed to carry an ``nbytes`` payload (>= 1 — even a
+        zero-byte MPI message occupies one frame on the wire).  The
+        observability layer aggregates this into the ``link.frames``
+        total alongside the byte counters."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return max(1, -(-nbytes // self.mtu_bytes))
+
+    def wire_time_s(self, nbytes: int) -> float:
+        """Pure serialisation time of a payload at the raw signalling
+        rate, seconds (the floor any protocol stack builds on)."""
+        return nbytes * self.wire_ns_per_byte() * 1e-9
+
 
 #: 100 Mbit Ethernet — the Arndale's only on-board NIC, and the source of
 #: the NFS timeouts described in Section 6.2.

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.net.link import GBE, Link
 from repro.net.nic import NICAttachment, PCIE
+from repro.obs.recorder import current as _obs_current
 
 #: Per-message protocol processing throughput of each core relative to
 #: the 1 GHz reference used by the software-cost constants.  (The A15
@@ -183,7 +184,22 @@ class ProtocolStack:
         return lat
 
     def transfer_time_s(self, nbytes: int) -> float:
-        """One-way time in seconds (the MPI simulator's unit)."""
+        """One-way time in seconds (the MPI simulator's unit).
+
+        This is the entry point the network models price every MPI
+        message through, so it is where the wire-level observability
+        totals accumulate (messages, payload bytes, frames, rendezvous
+        round-trips)."""
+        rec = _obs_current()
+        if rec is not None:
+            rec.bump("net.messages")
+            rec.bump("net.bytes", nbytes)
+            rec.bump("net.frames", self.link.frames_for(nbytes))
+            if (
+                self.protocol.rendezvous_bytes is not None
+                and nbytes >= self.protocol.rendezvous_bytes
+            ):
+                rec.bump("net.rendezvous")
         return self.one_way_latency_us(nbytes) * 1e-6
 
     def effective_bandwidth_mbs(self, nbytes: int) -> float:

@@ -1,0 +1,72 @@
+"""``python -m repro trace`` — record a scenario, export, verify.
+
+Examples::
+
+    python -m repro trace hpl                         # summary + hash
+    python -m repro trace pingpong --out pp.json      # open in Perfetto
+    python -m repro trace reliability --check --runs 3
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.obs.export import trace_hash, write_chrome_trace
+from repro.obs.replay import SCENARIOS, check_determinism, record_scenario
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Record a structured trace of a simulated scenario; export "
+            "Chrome trace-event JSON (Perfetto), print the per-rank "
+            "compute/comm/wait table, and/or verify replay determinism."
+        ),
+    )
+    parser.add_argument(
+        "scenario",
+        choices=sorted(SCENARIOS),
+        help="which workload to trace",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument(
+        "--out", metavar="FILE", help="write Chrome trace JSON to FILE"
+    )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the per-rank compute/comm/wait table",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="replay from the same seed and verify trace-hash equality",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=2, help="replays for --check (>= 2)"
+    )
+    args = parser.parse_args(argv)
+    if args.check and args.runs < 2:
+        parser.error("--runs must be >= 2 for a determinism check")
+
+    rec = record_scenario(args.scenario, args.seed)
+    print(
+        f"scenario {args.scenario!r} seed {args.seed}: {len(rec)} records, "
+        f"trace hash {trace_hash(rec)}"
+    )
+    if args.out:
+        path = write_chrome_trace(rec, args.out)
+        print(f"chrome trace written to {path} — open in ui.perfetto.dev")
+    if args.summary or not (args.out or args.check):
+        from repro.analysis.trace_report import render_rank_breakdown
+
+        print(render_rank_breakdown(rec))
+    if args.check:
+        report = check_determinism(args.scenario, args.seed, runs=args.runs)
+        if report.deterministic:
+            print(f"deterministic across {args.runs} runs: OK")
+        else:
+            print(f"DETERMINISM VIOLATION: {report.hashes}")
+            return 1
+    return 0

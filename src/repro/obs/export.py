@@ -1,0 +1,144 @@
+"""Trace exporters: Chrome trace-event JSON, canonical text, hash.
+
+Two consumers with different needs:
+
+* **Humans** load the Chrome trace-event JSON in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing`` and see one track
+  per rank with compute/comm/wait spans, plus counters.
+* **The replay harness** hashes the *canonical* serialisation: a line
+  per record, in recording order, with floats rendered by ``repr``
+  (shortest round-trip — stable across runs and platforms) and memory
+  addresses scrubbed.  Same seed ⇒ byte-identical canonical text ⇒
+  equal SHA-256.  Recorder metadata is deliberately excluded from the
+  hash so that determinism claims rest on *behaviour*, not on labels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from typing import Any
+
+from repro.obs.recorder import TraceRecorder
+
+#: CPython object reprs embed heap addresses (e.g. an unnamed process
+#: falls back to ``repr(generator)``); they vary run to run and must
+#: never reach the canonical form.
+_ADDR = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def _scrub(text: str) -> str:
+    return _ADDR.sub("0xADDR", text)
+
+
+def _args_json(args: tuple[tuple[str, Any], ...]) -> str:
+    return json.dumps(dict(args), sort_keys=True, default=str)
+
+
+# ---------------------------------------------------------------------------
+# Canonical form + hash (the determinism oracle)
+# ---------------------------------------------------------------------------
+
+def canonical_lines(rec: TraceRecorder) -> list[str]:
+    """One line per record, in recording order, then sorted totals."""
+    lines: list[str] = []
+    for s in rec.spans:
+        lines.append(
+            f"S|{s.rank}|{s.cat}|{_scrub(s.name)}|{s.t0!r}|{s.t1!r}|"
+            f"{_scrub(_args_json(s.args))}"
+        )
+    for i in rec.instants:
+        lines.append(
+            f"I|{i.rank}|{i.cat}|{_scrub(i.name)}|{i.t!r}|"
+            f"{_scrub(_args_json(i.args))}"
+        )
+    for c in rec.counters:
+        lines.append(f"C|{c.rank}|{c.name}|{c.t!r}|{c.value!r}")
+    for name in sorted(rec.totals):
+        lines.append(f"T|{name}|{rec.totals[name]!r}")
+    return lines
+
+
+def canonical_text(rec: TraceRecorder) -> str:
+    return "\n".join(canonical_lines(rec)) + "\n"
+
+
+def trace_hash(rec: TraceRecorder) -> str:
+    """SHA-256 of the canonical serialisation."""
+    return hashlib.sha256(canonical_text(rec).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event JSON (Perfetto / chrome://tracing)
+# ---------------------------------------------------------------------------
+
+def to_chrome_trace(rec: TraceRecorder) -> dict[str, Any]:
+    """The Trace Event Format dict (``ts``/``dur`` in microseconds).
+
+    Ranks map to ``tid`` so Perfetto shows one horizontal track per
+    rank; counters use the ``C`` phase and render as area charts.
+    """
+    events: list[dict[str, Any]] = []
+    for rank in rec.ranks():
+        events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": rank,
+                "name": "thread_name",
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    for s in rec.spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": s.rank,
+                "name": s.name,
+                "cat": s.cat,
+                "ts": s.t0 * 1e6,
+                "dur": s.duration_s * 1e6,
+                "args": dict(s.args),
+            }
+        )
+    for i in rec.instants:
+        events.append(
+            {
+                "ph": "i",
+                "pid": 0,
+                "tid": i.rank,
+                "name": i.name,
+                "cat": i.cat,
+                "ts": i.t * 1e6,
+                "s": "t",
+                "args": dict(i.args),
+            }
+        )
+    for c in rec.counters:
+        events.append(
+            {
+                "ph": "C",
+                "pid": 0,
+                "tid": c.rank,
+                "name": c.name,
+                "ts": c.t * 1e6,
+                "args": {"value": c.value},
+            }
+        )
+    other = {k: str(v) for k, v in rec.meta.items()}
+    if rec.totals:
+        other["totals"] = json.dumps(rec.totals, sort_keys=True)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(rec: TraceRecorder, path: str) -> str:
+    """Write the Chrome trace JSON to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(rec), fh, indent=None, sort_keys=True)
+    return path

@@ -1,0 +1,180 @@
+"""The trace recorder and the global recording switch.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  Instrumented sites hold a
+   reference to the active recorder (or ``None``) and guard every
+   emission with a single ``is None`` check; nothing is formatted,
+   allocated or looked up on the fast path.
+2. **Determinism-friendly.**  Records carry *simulated* time only —
+   never wall-clock time, PIDs, or ``id()``-derived values — so that
+   two runs from the same seed serialise byte-identically.
+3. **One model for every layer.**  The engine, the MPI ranks, the
+   network cost models and the cluster reliability/power models all
+   speak spans/instants/counters/totals; exporters and the replay
+   harness consume the one stream.
+
+The record vocabulary:
+
+=========  =============================================================
+span       a named interval ``[t0, t1]`` on a rank (``compute``,
+           ``comm`` = sender CPU occupancy, ``wait`` = blocked in a
+           receive/exchange, ``net`` = wire transfer)
+instant    a point event (message delivery, engine fire, node down)
+counter    a timestamped numeric sample (cluster power draw)
+total      a timeless aggregate (bytes priced by the protocol stack) —
+           for models that have no clock of their own
+=========  =============================================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """A named interval of simulated time on one rank."""
+
+    name: str
+    cat: str
+    rank: int
+    t0: float
+    t1: float
+    args: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class InstantRecord:
+    """A point event in simulated time."""
+
+    name: str
+    cat: str
+    rank: int
+    t: float
+    args: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class CounterRecord:
+    """One timestamped sample of a numeric series."""
+
+    name: str
+    t: float
+    value: float
+    rank: int = 0
+
+
+class TraceRecorder:
+    """An in-memory trace sink.
+
+    Recording order is preserved — it *is* part of the canonical trace,
+    so the hash also certifies the engine's execution order, not just
+    the final timings.
+    """
+
+    __slots__ = ("spans", "instants", "counters", "totals", "meta")
+
+    def __init__(self, **meta: Any) -> None:
+        self.spans: list[SpanRecord] = []
+        self.instants: list[InstantRecord] = []
+        self.counters: list[CounterRecord] = []
+        self.totals: dict[str, float] = {}
+        self.meta: dict[str, Any] = dict(meta)
+
+    # -- emission ----------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        cat: str,
+        t0: float,
+        t1: float,
+        rank: int = 0,
+        **args: Any,
+    ) -> None:
+        if t1 < t0:
+            raise ValueError(f"span {name!r} ends before it starts")
+        self.spans.append(
+            SpanRecord(name, cat, rank, t0, t1, tuple(sorted(args.items())))
+        )
+
+    def instant(
+        self, name: str, cat: str, t: float, rank: int = 0, **args: Any
+    ) -> None:
+        self.instants.append(
+            InstantRecord(name, cat, rank, t, tuple(sorted(args.items())))
+        )
+
+    def counter(
+        self, name: str, t: float, value: float, rank: int = 0
+    ) -> None:
+        self.counters.append(CounterRecord(name, t, float(value), rank))
+
+    def bump(self, name: str, value: float = 1.0) -> None:
+        """Add to a timeless aggregate (for clockless cost models)."""
+        self.totals[name] = self.totals.get(name, 0.0) + value
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants) + len(self.counters)
+
+    def ranks(self) -> list[int]:
+        """Sorted rank ids that appear anywhere in the trace."""
+        seen = {s.rank for s in self.spans}
+        seen.update(i.rank for i in self.instants)
+        seen.update(c.rank for c in self.counters)
+        return sorted(seen)
+
+    def spans_by_cat(self, cat: str) -> list[SpanRecord]:
+        return [s for s in self.spans if s.cat == cat]
+
+
+# ---------------------------------------------------------------------------
+# The global switch.  A single module-level slot: instrumented objects
+# capture it at construction time (engines) or read it per high-level
+# operation (MPI calls, cost models).
+# ---------------------------------------------------------------------------
+
+_current: TraceRecorder | None = None
+
+
+def current() -> TraceRecorder | None:
+    """The active recorder, or ``None`` when tracing is disabled."""
+    return _current
+
+
+def enable(recorder: TraceRecorder | None = None, **meta: Any) -> TraceRecorder:
+    """Switch tracing on (idempotent if a recorder is passed back in).
+
+    Engines constructed while tracing is enabled are instrumented for
+    their whole lifetime; engines constructed before are not touched.
+    """
+    global _current
+    _current = recorder if recorder is not None else TraceRecorder(**meta)
+    return _current
+
+
+def disable() -> TraceRecorder | None:
+    """Switch tracing off; returns the recorder that was active."""
+    global _current
+    rec, _current = _current, None
+    return rec
+
+
+@contextmanager
+def recording(
+    recorder: TraceRecorder | None = None, **meta: Any
+) -> Iterator[TraceRecorder]:
+    """``with recording() as rec: ...`` — enable for the block only."""
+    prev = _current
+    rec = enable(recorder, **meta)
+    try:
+        yield rec
+    finally:
+        enable(prev) if prev is not None else disable()

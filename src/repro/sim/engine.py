@@ -21,6 +21,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable
 
+from repro.obs.recorder import current as _obs_current
+
 
 class Interrupt(Exception):
     """Raised inside a process that is interrupted while waiting."""
@@ -43,16 +45,21 @@ class Event:
         self.callbacks: list[Callable[[Event], None]] = []
 
     def succeed(self, value: Any = None) -> "Event":
-        """Fire the event immediately (at the current simulation time)."""
+        """Fire the event immediately (at the current simulation time).
+
+        Callback and waiter lists are dropped once run, so a fired event
+        holds no references into joins or processes that outlive it.
+        """
         if self.triggered:
             raise RuntimeError("event already triggered")
         self.triggered = True
         self.value = value
-        for cb in self.callbacks:
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
             cb(self)
-        for proc in self._waiters:
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
             self.engine._ready(proc, value)
-        self._waiters.clear()
         return self
 
     def add_waiter(self, proc: "Process") -> None:
@@ -62,8 +69,23 @@ class Event:
             self._waiters.append(proc)
 
     def remove_waiter(self, proc: "Process") -> None:
-        if proc in self._waiters:
+        """Withdraw a waiting process (used by :meth:`Process.interrupt`).
+
+        O(n) in the number of waiters on this event — a linear scan.
+        Fine at the simulator's fan-ins (an event rarely has more than a
+        handful of waiters; the heavy fan-in constructs ``all_of`` /
+        ``any_of`` use callbacks, not waiters).  If interrupt-heavy
+        workloads ever wait thousands of processes on one event, replace
+        the list with an ordered dict keyed by process.
+        """
+        try:
             self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    def remove_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Remove every occurrence of ``cb`` (O(n) in callback count)."""
+        self.callbacks = [c for c in self.callbacks if c is not cb]
 
 
 class Process:
@@ -95,6 +117,9 @@ class Process:
         self.engine._schedule_throw(self, Interrupt(cause))
 
     def _step(self, value: Any = None, exc: BaseException | None = None) -> None:
+        rec = self.engine._rec
+        if rec is not None:
+            rec.instant(f"step:{self.name}", "engine", self.engine.now)
         self._waiting_on = None
         try:
             if exc is not None:
@@ -118,18 +143,27 @@ class Process:
 
 
 class Engine:
-    """The simulation clock and scheduler."""
+    """The simulation clock and scheduler.
+
+    An engine constructed while :func:`repro.obs.recorder.enable` is in
+    effect captures the active recorder for its lifetime and emits
+    schedule/fire/step events into it; otherwise ``_rec`` is ``None``
+    and every hook reduces to one ``is None`` check.
+    """
 
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._active = 0  # live (not finished) processes
+        self._rec = _obs_current()
 
     # -- low-level scheduling --------------------------------------------
     def _push(self, time: float, fn: Callable[[], None]) -> None:
         if time < self.now - 1e-15:
             raise ValueError("cannot schedule in the past")
+        if self._rec is not None:
+            self._rec.bump("engine.scheduled")
         heapq.heappush(self._heap, (time, self._seq, fn))
         self._seq += 1
 
@@ -185,16 +219,30 @@ class Engine:
 
     def any_of(self, events: Iterable[Event | Process]) -> Event:
         """An event that fires when the FIRST of the given events fires,
-        carrying that event's value.  Later firings are ignored."""
+        carrying that event's value.  Later firings are ignored.
+
+        On first fire the join callback is removed from every *losing*
+        event, so long-lived losers (e.g. a 100 s watchdog timeout that
+        lost to a fast receive) do not pin the joined event — and
+        everything reachable from it — until they eventually fire.
+        Removal is O(total callbacks across the losers), paid once.
+        """
         evs = [e.completion if isinstance(e, Process) else e for e in events]
         joined = Event(self)
         for e in evs:
             if e.triggered:
                 joined.succeed(e.value)
                 return joined
+
         def on_fire(ev: Event) -> None:
             if not joined.triggered:
                 joined.succeed(ev.value)
+                for other in evs:
+                    # The winner's lists were already dropped by its
+                    # succeed(); duplicates of a loser are all removed.
+                    if other is not ev and not other.triggered:
+                        other.remove_callback(on_fire)
+
         for e in evs:
             e.callbacks.append(on_fire)
         return joined
@@ -202,6 +250,8 @@ class Engine:
     def run(self, until: float | None = None) -> float:
         """Execute events until the heap drains (or ``until`` is reached).
         Returns the final simulation time."""
+        if self._rec is not None:
+            return self._run_traced(until)
         while self._heap:
             time, _seq, fn = self._heap[0]
             if until is not None and time > until:
@@ -209,5 +259,20 @@ class Engine:
                 return self.now
             heapq.heappop(self._heap)
             self.now = time
+            fn()
+        return self.now
+
+    def _run_traced(self, until: float | None) -> float:
+        """The :meth:`run` loop with a fire instant per dispatched event
+        — kept separate so the untraced loop stays branch-free."""
+        rec = self._rec
+        while self._heap:
+            time, seq, fn = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            rec.instant("fire", "engine", time, seq=seq)
             fn()
         return self.now

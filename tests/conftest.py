@@ -15,6 +15,22 @@ from repro.cluster.cluster import tibidabo
 from repro.kernels.registry import all_kernels
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace files under tests/data/ instead "
+        "of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """Whether ``--update-goldens`` was passed to this pytest run."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(scope="session")
 def platforms():
     """The four Table 1 platforms, keyed by name."""

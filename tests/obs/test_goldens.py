@@ -1,0 +1,53 @@
+"""Golden-trace regression tests.
+
+The canonical traces of two reference scenarios — the 4-rank ping-pong
+and an 8-node HPL strong-scaling point — are checked into
+``tests/data/``.  Any change to engine scheduling, MPI timing, protocol
+pricing, or the trace format itself shows up here as a diff against the
+golden file.  When a change is *intended*, regenerate with::
+
+    pytest tests/obs/test_goldens.py --update-goldens
+"""
+
+import pathlib
+
+import pytest
+
+from repro.obs.replay import scenario_canonical_text
+
+DATA = pathlib.Path(__file__).resolve().parent.parent / "data"
+
+#: scenario name -> (golden file, seed)
+GOLDENS = {
+    "pingpong": ("pingpong4.trace", 0),
+    "hpl": ("hpl8.trace", 0),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(GOLDENS))
+def test_golden_trace(scenario, update_goldens):
+    fname, seed = GOLDENS[scenario]
+    path = DATA / fname
+    text = scenario_canonical_text(scenario, seed=seed)
+    if update_goldens:
+        DATA.mkdir(exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"golden {fname} updated")
+    assert path.exists(), (
+        f"golden {fname} missing — run pytest with --update-goldens"
+    )
+    golden = path.read_text()
+    assert text == golden, (
+        f"canonical trace for {scenario!r} diverged from {fname}; if the "
+        "timing/trace change is intentional, rerun with --update-goldens"
+    )
+
+
+def test_goldens_are_nontrivial():
+    for fname, _seed in GOLDENS.values():
+        path = DATA / fname
+        assert path.exists()
+        lines = path.read_text().splitlines()
+        assert len(lines) > 50
+        # Every line is a well-formed canonical record.
+        assert all(line[0] in "SICT" and "|" in line for line in lines)

@@ -1,0 +1,214 @@
+"""Edge-case tests for the event engine: ordering of zero-delay
+timeouts vs. readied waiters, interrupts mid-wait, degenerate
+``all_of``/``any_of`` inputs, and past-scheduling rejection."""
+
+import pytest
+
+from repro.sim.engine import Engine, Interrupt
+
+
+class TestTimeoutZeroOrdering:
+    def test_timeout_zero_fires_before_later_ready(self):
+        """A timeout(0) pushed before an event's waiters are readied
+        keeps its FIFO position: heap ties break by sequence number, and
+        ``_ready`` pushes at the *current* sequence, not ahead of it."""
+        eng = Engine()
+        log = []
+        ev = eng.event()
+
+        def waiter():
+            yield ev
+            log.append("waiter")
+
+        def driver():
+            t0 = eng.timeout(0.0)  # scheduled first ...
+            ev.succeed()  # ... then the waiter is readied
+            yield t0
+            log.append("driver")
+
+        eng.process(waiter())
+        eng.process(driver())
+        eng.run()
+        # waiter's _ready was pushed after t0's succeed but before the
+        # driver's own resume; all at t=0, strictly in push order.
+        assert log == ["waiter", "driver"]
+        assert eng.now == 0.0
+
+    def test_ready_before_timeout_zero_keeps_order(self):
+        """Symmetric case: succeed first, then create the timeout(0) —
+        the readied waiter must now run first."""
+        eng = Engine()
+        log = []
+        ev = eng.event()
+
+        def waiter():
+            yield ev
+            log.append("waiter")
+
+        def driver():
+            ev.succeed()
+            yield eng.timeout(0.0)
+            log.append("driver")
+
+        eng.process(waiter())
+        eng.process(driver())
+        eng.run()
+        assert log == ["waiter", "driver"]
+
+
+class TestInterruptWhileWaiting:
+    def test_interrupted_waiter_not_resumed_when_event_fires(self):
+        """The interrupt withdraws the process from the event's waiter
+        list; the event firing later must not step the process again."""
+        eng = Engine()
+        ev = eng.event()
+        resumes = []
+
+        def sleeper():
+            try:
+                yield ev
+                resumes.append("value")
+            except Interrupt:
+                resumes.append("interrupt")
+                # Keep living past the interrupt so a double resume
+                # would be observable as a second append.
+                yield eng.timeout(5.0)
+                resumes.append("woke")
+
+        def driver(target):
+            yield eng.timeout(1.0)
+            target.interrupt("bail")
+            yield eng.timeout(1.0)
+            ev.succeed("late")  # fires after the interrupt
+
+        p = eng.process(sleeper())
+        eng.process(driver(p))
+        eng.run()
+        assert resumes == ["interrupt", "woke"]
+        assert p.done
+
+    def test_interrupt_while_waiting_on_timeout(self):
+        eng = Engine()
+
+        def sleeper():
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt as exc:
+                return ("stopped", exc.cause, eng.now)
+
+        def killer(target):
+            yield eng.timeout(2.0)
+            target.interrupt("now")
+
+        p = eng.process(sleeper())
+        eng.process(killer(p))
+        eng.run()
+        assert p.result == ("stopped", "now", 2.0)
+
+    def test_interrupt_done_process_is_noop(self):
+        eng = Engine()
+
+        def quick():
+            yield eng.timeout(0.5)
+            return "ok"
+
+        p = eng.process(quick())
+        eng.run()
+        p.interrupt("too late")
+        eng.run()
+        assert p.result == "ok"
+
+
+class TestJoinEdges:
+    def test_all_of_mixed_triggered_and_pending(self):
+        eng = Engine()
+        done = eng.event()
+        done.succeed("early")
+        pending = eng.event()
+        joined = eng.all_of([done, pending])
+        assert not joined.triggered
+        pending.succeed("late")
+        assert joined.triggered
+        assert joined.value == ["early", "late"]
+
+    def test_all_of_duplicate_events(self):
+        eng = Engine()
+        ev = eng.event()
+        joined = eng.all_of([ev, ev, ev])
+        ev.succeed(7)
+        assert joined.triggered
+        assert joined.value == [7, 7, 7]
+
+    def test_all_of_empty(self):
+        eng = Engine()
+        joined = eng.all_of([])
+        assert joined.triggered
+        assert joined.value == []
+
+    def test_any_of_duplicate_events(self):
+        eng = Engine()
+        ev = eng.event()
+        joined = eng.any_of([ev, ev])
+        ev.succeed(3)
+        assert joined.triggered
+        assert joined.value == 3
+
+    def test_any_of_mixed_triggered_first_wins(self):
+        eng = Engine()
+        fresh = eng.event()
+        done = eng.event()
+        done.succeed("winner")
+        joined = eng.any_of([fresh, done])
+        assert joined.triggered
+        assert joined.value == "winner"
+        # No callback was ever installed on the still-pending event.
+        assert fresh.callbacks == []
+
+    def test_any_of_losers_release_the_join(self):
+        """The leak fix: once the first event fires, the losing events
+        must no longer hold a callback referencing the joined event."""
+        eng = Engine()
+        fast = eng.event()
+        slow_a, slow_b = eng.event(), eng.event()
+        joined = eng.any_of([fast, slow_a, slow_b])
+        assert len(slow_a.callbacks) == 1
+        fast.succeed("won")
+        assert joined.value == "won"
+        assert slow_a.callbacks == []
+        assert slow_b.callbacks == []
+        assert fast.callbacks == []  # fired events drop their lists too
+        # Losers firing later is harmless.
+        slow_a.succeed("late")
+        slow_b.succeed("later")
+        assert joined.value == "won"
+
+    def test_any_of_duplicate_losers_fully_removed(self):
+        eng = Engine()
+        fast = eng.event()
+        slow = eng.event()
+        joined = eng.any_of([fast, slow, slow])
+        fast.succeed(1)
+        assert slow.callbacks == []
+        slow.succeed(2)
+        assert joined.value == 1
+
+
+class TestPastScheduling:
+    def test_push_in_the_past_rejected(self):
+        eng = Engine()
+        eng.timeout(2.0)
+        eng.run()
+        assert eng.now == 2.0
+        with pytest.raises(ValueError, match="past"):
+            eng._push(1.0, lambda: None)
+
+    def test_push_at_now_allowed(self):
+        eng = Engine()
+        eng.timeout(1.0)
+        eng.run()
+        eng._push(eng.now, lambda: None)  # "now" is never "the past"
+        eng.run()
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().timeout(-0.1)
