@@ -221,6 +221,28 @@ def _functional_rank(ctx: RankContext, cfg: HPLConfig, seed: int) -> Generator:
     return lu, np.array(pivots)
 
 
+def rank_program(
+    functional: bool = False,
+    lookahead: bool = False,
+    grid_2d: bool = False,
+):
+    """The raw rank generator for a given HPL mode — the hook used by
+    harnesses that drive the ranks themselves rather than through
+    :meth:`HPL.simulate` (the fault-tolerant
+    :class:`~repro.fault.runner.ResilientRunner` in particular).
+
+    Call as ``world.run(rank_program(...), cfg[, seed])`` — functional
+    mode takes ``(cfg, seed)``, the model modes take ``(cfg,)``.
+    """
+    if functional:
+        return _functional_rank
+    if grid_2d:
+        return _model_rank_2d
+    if lookahead:
+        return _model_rank_lookahead
+    return _model_rank
+
+
 def hpl_solve_from_factors(
     lu: np.ndarray, pivots: np.ndarray, b: np.ndarray
 ) -> np.ndarray:

@@ -19,6 +19,11 @@ Observability (see :mod:`repro.obs`)::
     python -m repro trace hpl                    # per-rank table + hash
     python -m repro trace pingpong --out pp.json # Chrome trace for Perfetto
     python -m repro trace imb --check --runs 3   # replay-determinism check
+
+Fault tolerance (see :mod:`repro.fault`)::
+
+    python -m repro faults                       # HPL-under-faults campaign
+    python -m repro faults --shrink --mtbf-x 2 1 # shrink-to-survivors sweep
 """
 
 from __future__ import annotations
@@ -153,6 +158,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "faults":
+        from repro.fault.cli import faults_main
+
+        return faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate artefacts of the SC'13 mobile-SoC study.",

@@ -127,6 +127,29 @@ class Cluster:
             rank_gflops=lambda r: gflops[r],
         )
 
+    def without_nodes(self, dead: "set[int] | list[int]") -> "Cluster":
+        """The cluster rebuilt from the survivors of ``dead`` (by
+        node_id) — the shrink-and-rerun path after a mid-job crash,
+        mirroring what :func:`degraded_tibidabo` does at boot time.
+        Survivors are re-indexed contiguously (MPI ranks are dense)."""
+        import dataclasses
+
+        dead_set = set(dead)
+        survivors = [n for n in self.nodes if n.node_id not in dead_set]
+        if not survivors:
+            raise RuntimeError("no node survived")
+        renumbered = [
+            dataclasses.replace(node, node_id=i)
+            for i, node in enumerate(survivors)
+        ]
+        return Cluster(
+            name=f"{self.name}-{len(dead_set)}",
+            nodes=renumbered,
+            topology=TreeTopology(len(renumbered), self.topology.leaf),
+            protocol=self.protocol,
+            link=self.link,
+        )
+
     def subcluster(self, n_nodes: int) -> "Cluster":
         """The first ``n_nodes`` nodes (used by the scalability sweeps)."""
         if not (1 <= n_nodes <= self.n_nodes):

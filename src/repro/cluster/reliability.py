@@ -167,13 +167,19 @@ class PCIeFaultInjector:
             raise ValueError("MTBF must be positive")
         self.p_boot_failure = p_boot_failure
         self.mtbf_hours_under_load = mtbf_hours_under_load
-        self._rng = np.random.default_rng(seed)
+        # Independent streams per fault class: drawing boot outcomes
+        # must never perturb the hang times (and vice versa), so that
+        # enabling one injection site cannot silently reshuffle the
+        # faults another test depends on.
+        boot_ss, hang_ss = np.random.SeedSequence(seed).spawn(2)
+        self._boot_rng = np.random.default_rng(boot_ss)
+        self._hang_rng = np.random.default_rng(hang_ss)
 
     def boot_nodes(self, n_nodes: int) -> np.ndarray:
         """Boolean array: which of ``n_nodes`` came up with working PCIe."""
         if n_nodes <= 0:
             raise ValueError("need at least one node")
-        healthy = self._rng.random(n_nodes) >= self.p_boot_failure
+        healthy = self._boot_rng.random(n_nodes) >= self.p_boot_failure
         rec = _obs_current()
         if rec is not None:
             rec.bump("cluster.boot_attempts", n_nodes)
@@ -185,7 +191,7 @@ class PCIeFaultInjector:
         """Exponential time-to-hang (seconds) per node under load."""
         if n_nodes <= 0:
             raise ValueError("need at least one node")
-        times = self._rng.exponential(
+        times = self._hang_rng.exponential(
             self.mtbf_hours_under_load * 3600.0, n_nodes
         )
         rec = _obs_current()

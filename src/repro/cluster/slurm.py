@@ -109,6 +109,71 @@ class SlurmScheduler:
         self.queue = []
         return sorted(self.scheduled, key=lambda j: j.job_id)
 
+    def drain(self, t: float, n_drained: int) -> tuple[list[Job], list[Job]]:
+        """Drain ``n_drained`` nodes at time ``t`` (node failure / admin
+        drain) and requeue the displaced work.
+
+        Semantics, oldest-first like SLURM's own node-failure path:
+
+        * Jobs already *finished* by ``t`` are untouched.
+        * Jobs *running* at ``t`` are kept on the shrunken pool in job-id
+          order while they still fit; the rest are killed and requeued
+          from ``t``.
+        * Jobs scheduled to start *after* ``t`` lose their reservation
+          and are requeued (the pool changed under them).
+        * Requeued jobs that no longer fit the shrunken pool at all are
+          dropped and returned separately.
+
+        Returns ``(requeued, dropped)``.  Call :meth:`schedule` to place
+        the requeued jobs on the survivors.
+        """
+        if t < 0:
+            raise ValueError("drain time must be non-negative")
+        if not (0 < n_drained < self.n_nodes):
+            raise ValueError(
+                f"can drain 1..{self.n_nodes - 1} of {self.n_nodes} nodes"
+            )
+        self.n_nodes -= n_drained
+        finished, running, future = [], [], []
+        for job in self.scheduled:
+            if job.end_s is not None and job.end_s <= t:
+                finished.append(job)
+            elif job.start_s is not None and job.start_s <= t:
+                running.append(job)
+            else:
+                future.append(job)
+        running.sort(key=lambda j: j.job_id)
+        kept, displaced = [], []
+        used = 0
+        for job in running:
+            if used + job.n_nodes <= self.n_nodes:
+                kept.append(job)
+                used += job.n_nodes
+            else:
+                displaced.append(job)
+        requeued, dropped = [], []
+        for job in displaced + future:
+            job.start_s = None
+            job.submit_s = max(job.submit_s, t)
+            if job.n_nodes > self.n_nodes:
+                dropped.append(job)
+            else:
+                requeued.append(job)
+        self.scheduled = finished + kept
+        self.queue.extend(requeued)
+        from repro.obs.recorder import current as _obs_current
+
+        rec = _obs_current()
+        if rec is not None:
+            rec.instant(
+                "slurm.drain", "fault", t,
+                drained=n_drained, requeued=len(requeued),
+                dropped=len(dropped),
+            )
+            rec.bump("slurm.nodes_drained", n_drained)
+            rec.bump("slurm.jobs_requeued", len(requeued))
+        return requeued, dropped
+
     def makespan_s(self) -> float:
         """Completion time of the last scheduled job."""
         ends = [j.end_s for j in self.scheduled if j.end_s is not None]

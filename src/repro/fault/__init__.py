@@ -1,0 +1,50 @@
+"""Live fault injection and fault-tolerant execution.
+
+The public surface of the resilience subsystem:
+
+* :class:`FaultPlan` / :class:`FaultEvent` — seeded fault timelines
+  drawn from the Section-6 reliability models.
+* :class:`FaultyNetwork` — link outages with TCP-style retry/backoff.
+* :class:`CheckpointPolicy` + :func:`daly_interval_s` /
+  :func:`system_mtbf_s` — checkpoint/restart arithmetic.
+* :class:`ResilientRunner` — run an MPI app to completion under a
+  plan, rolling back to checkpoints and optionally shrinking onto the
+  survivors.
+
+The failure exceptions themselves (:class:`SimFailure`,
+:class:`RankFailure`, :class:`RecvTimeout`, :class:`DeadlockError`)
+live with the layers that raise them; re-exported here for
+convenience.
+"""
+
+from repro.fault.checkpoint import (
+    CheckpointPolicy,
+    daly_interval_s,
+    system_mtbf_s,
+)
+from repro.fault.network import FaultyNetwork
+from repro.fault.plan import CRASH_KINDS, FaultEvent, FaultPlan
+from repro.fault.runner import (
+    AttemptRecord,
+    ResilientRunner,
+    ResilientRunResult,
+)
+from repro.mpi.api import DeadlockError, RankFailure, RecvTimeout
+from repro.sim.engine import SimFailure
+
+__all__ = [
+    "CRASH_KINDS",
+    "AttemptRecord",
+    "CheckpointPolicy",
+    "DeadlockError",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyNetwork",
+    "RankFailure",
+    "RecvTimeout",
+    "ResilientRunner",
+    "ResilientRunResult",
+    "SimFailure",
+    "daly_interval_s",
+    "system_mtbf_s",
+]

@@ -1,0 +1,85 @@
+"""Checkpoint/restart policy — Daly's optimal-interval arithmetic.
+
+For a job with system MTBF ``M`` and per-checkpoint cost ``delta``,
+Daly's first-order optimum for the checkpoint interval is
+``tau* = sqrt(2 delta M) - delta`` (valid for ``delta << M``; we clamp
+to ``>= delta`` so a pathological MTBF never yields a non-positive
+interval).  The system MTBF is composed from the paper's Section 6
+failure sources: no-ECC DRAM errors (every one a potential crash) and
+the flaky Tegra PCIe root complex.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def daly_interval_s(mtbf_s: float, checkpoint_cost_s: float) -> float:
+    """Daly's first-order optimal checkpoint interval."""
+    if mtbf_s <= 0:
+        raise ValueError("MTBF must be positive")
+    if checkpoint_cost_s <= 0:
+        raise ValueError("checkpoint cost must be positive")
+    tau = math.sqrt(2.0 * checkpoint_cost_s * mtbf_s) - checkpoint_cost_s
+    return max(tau, checkpoint_cost_s)
+
+
+def system_mtbf_s(
+    n_nodes: int,
+    dram=None,
+    pcie=None,
+    dimms_per_node: int = 2,
+) -> float:
+    """Compose a system MTBF from the Section-6 failure models.
+
+    Failure rates add: ``rate = n_dimms * dram_rate + n_nodes / pcie_mtbf``.
+    """
+    if n_nodes <= 0:
+        raise ValueError("need at least one node")
+    rate_per_s = 0.0
+    if dram is not None:
+        p_day = dram.daily_dimm_error_probability()
+        rate_per_s += (
+            -math.log(1.0 - p_day) / 86400.0 * n_nodes * dimms_per_node
+        )
+    if pcie is not None:
+        rate_per_s += n_nodes / (pcie.mtbf_hours_under_load * 3600.0)
+    if rate_per_s <= 0.0:
+        return math.inf
+    return 1.0 / rate_per_s
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """App-level checkpointing parameters.
+
+    :param checkpoint_cost_s: wall time one checkpoint costs (flush the
+        factor panels over the cluster's NFS — not cheap on 100 Mbit).
+    :param restart_cost_s: wall time to detect the failure, reload the
+        last checkpoint and relaunch.
+    :param interval_s: fixed checkpoint interval; ``None`` selects the
+        Daly optimum for the MTBF passed to :meth:`interval_for`.
+    """
+
+    checkpoint_cost_s: float
+    restart_cost_s: float
+    interval_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_cost_s < 0 or self.restart_cost_s < 0:
+            raise ValueError("costs must be non-negative")
+        if self.interval_s is not None and self.interval_s <= 0:
+            raise ValueError("interval must be positive")
+
+    def interval_for(self, mtbf_s: float | None = None) -> float:
+        """The interval to run with: fixed if set, else Daly-optimal."""
+        if self.interval_s is not None:
+            return self.interval_s
+        if mtbf_s is None or not math.isfinite(mtbf_s):
+            raise ValueError(
+                "no fixed interval and no finite MTBF to derive one from"
+            )
+        if self.checkpoint_cost_s == 0.0:
+            raise ValueError("Daly interval needs a positive checkpoint cost")
+        return daly_interval_s(mtbf_s, self.checkpoint_cost_s)

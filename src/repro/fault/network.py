@@ -1,0 +1,109 @@
+"""A network wrapper that perturbs message timing per a fault plan.
+
+:class:`FaultyNetwork` decorates any network model (``UniformNetwork``,
+``ClusterNetwork``) with the transient-failure behaviour of Section 6:
+while a link outage from the :class:`~repro.fault.plan.FaultPlan`
+covers the send time, the sender behaves like TCP under loss — it
+retransmits on an exponentially backed-off retransmission timer (RTO
+doubling, as in RFC 6298) until a retransmission lands after the outage
+lifts.  The message is therefore *delayed*, never silently reordered,
+and the retry cost is a deterministic function of (send time, plan) —
+byte-identical traces per seed.
+
+Messages to a *crashed* node are priced normally (the sender cannot
+know) and dropped at delivery by the dead :class:`RankContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.fault.plan import FaultPlan
+from repro.obs.recorder import current as _obs_current
+
+
+class FaultyNetwork:
+    """Wrap ``inner`` with plan-driven link faults.
+
+    :param inner: the healthy network model (delegated to for pricing).
+    :param plan: the fault schedule, on the job's wall-clock axis.
+    :param wall_offset_s: added to engine time to map *this attempt's*
+        simulation clock onto the plan's wall-clock axis (a restarted
+        attempt replays earlier app time while the wall has moved on).
+    :param rto_s: initial retransmission timeout.
+    :param rto_backoff: RTO multiplier per retry (TCP doubles).
+    :param max_retries: retransmissions before the sender gives up and
+        waits out the outage with one final RTO (keeps the delay finite
+        and the connection alive, like a patient TCP stack).
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        plan: FaultPlan,
+        *,
+        wall_offset_s: float = 0.0,
+        rto_s: float = 0.2,
+        rto_backoff: float = 2.0,
+        max_retries: int = 8,
+    ) -> None:
+        if rto_s <= 0 or rto_backoff < 1.0:
+            raise ValueError("RTO must be positive and backoff >= 1")
+        if max_retries < 1:
+            raise ValueError("need at least one retry")
+        self.inner = inner
+        self.plan = plan
+        self.wall_offset_s = wall_offset_s
+        self.rto_s = rto_s
+        self.rto_backoff = rto_backoff
+        self.max_retries = max_retries
+        self._engine = None
+
+    def attach(self, engine: Any) -> "FaultyNetwork":
+        """Bind to the attempt's engine so link-state lookups use the
+        current simulated time."""
+        self._engine = engine
+        return self
+
+    # -- the network protocol the MPI world speaks -------------------------
+    def transfer_time_s(self, src: int, dst: int, nbytes: int) -> float:
+        base = self.inner.transfer_time_s(src, dst, nbytes)
+        if src == dst or not self.plan.events:
+            return base
+        now = (self._engine.now if self._engine is not None else 0.0)
+        wall = now + self.wall_offset_s
+        end = self.plan.outage_end(src, dst, wall)
+        if end is None:
+            return base
+        return base + self._retry_penalty_s(src, dst, wall, end)
+
+    def sender_occupancy_s(self, src: int, dst: int, nbytes: int) -> float:
+        return self.inner.sender_occupancy_s(src, dst, nbytes)
+
+    def __getattr__(self, name: str) -> Any:
+        # Everything else (stack_of, topology, ...) is the inner model's.
+        return getattr(self.inner, name)
+
+    # -- retry cost --------------------------------------------------------
+    def _retry_penalty_s(
+        self, src: int, dst: int, wall: float, outage_end: float
+    ) -> float:
+        """Cumulative backoff until a retransmission clears the outage."""
+        waited = 0.0
+        rto = self.rto_s
+        retries = 0
+        while wall + waited < outage_end and retries < self.max_retries:
+            waited += rto
+            rto *= self.rto_backoff
+            retries += 1
+        if wall + waited < outage_end:
+            # Give-up point: idle out the rest of the outage + final RTO.
+            waited = (outage_end - wall) + rto
+        rec = _obs_current()
+        if rec is not None:
+            rec.bump("net.retransmissions", retries)
+            rec.instant(
+                "net.link_retry", "fault", wall,
+                src=src, dst=dst, retries=retries, delay_s=waited,
+            )
+        return waited

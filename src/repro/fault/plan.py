@@ -1,0 +1,242 @@
+"""Seeded fault plans — Section 6's failure modes as a timeline.
+
+A :class:`FaultPlan` is an immutable, seed-deterministic list of
+:class:`FaultEvent` records on the *wall-clock* axis of a job:
+
+* ``pcie_hang`` — the flaky Tegra PCIe root complex stops responding
+  under load (exponential, :class:`~repro.cluster.reliability.PCIeFaultInjector`
+  MTBF); the node just dies, post-mortem impossible.
+* ``dram_error`` — a no-ECC memory error lands in the job (rate from
+  :class:`~repro.cluster.reliability.DramErrorModel`); on a mobile SoC
+  every one is a potential crash, so the model crashes the node.
+* ``thermal_shutdown`` — sustained load drives a heatsink-less board
+  past ``t_unstable`` (:class:`~repro.cluster.reliability.ThermalModel`
+  + the node power draw); a small per-node spread models board-to-board
+  variation so a hot cluster degrades instead of collapsing at once.
+* ``link_loss`` — a transient NIC/switch outage on one node; messages
+  touching that node during the outage pay TCP-retransmission-style
+  retry/backoff cost in :class:`~repro.fault.network.FaultyNetwork`.
+
+Every stochastic class draws from its own child of one
+``numpy.random.SeedSequence``, so adding a fault class (or disabling
+one) never perturbs the streams of the others — the same discipline
+:class:`PCIeFaultInjector` uses for its per-method streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Fault kinds that kill the node outright.
+CRASH_KINDS = frozenset({"pcie_hang", "dram_error", "thermal_shutdown"})
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault on the job's wall-clock axis."""
+
+    time_s: float
+    node: int
+    kind: str
+    duration_s: float = 0.0  # outage length for ``link_loss``
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0 or self.duration_s < 0:
+            raise ValueError("fault times must be non-negative")
+        if self.node < 0:
+            raise ValueError("node must be non-negative")
+        if self.kind not in CRASH_KINDS and self.kind != "link_loss":
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    @property
+    def is_crash(self) -> bool:
+        return self.kind in CRASH_KINDS
+
+
+class FaultPlan:
+    """A sorted, immutable schedule of faults for one job."""
+
+    def __init__(self, events: Iterable[FaultEvent], n_nodes: int,
+                 horizon_s: float, seed: int = 0) -> None:
+        if n_nodes <= 0:
+            raise ValueError("need at least one node")
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        self.events: tuple[FaultEvent, ...] = tuple(sorted(events))
+        self.n_nodes = n_nodes
+        self.horizon_s = horizon_s
+        self.seed = seed
+        for ev in self.events:
+            if ev.node >= n_nodes:
+                raise ValueError(
+                    f"fault on node {ev.node} but plan has {n_nodes} nodes"
+                )
+        #: earliest crash per node (a node dies once).
+        self._crash_by_node: dict[int, FaultEvent] = {}
+        for ev in self.events:
+            if ev.is_crash and ev.node not in self._crash_by_node:
+                self._crash_by_node[ev.node] = ev
+        self._outages_by_node: dict[int, list[tuple[float, float]]] = {}
+        for ev in self.events:
+            if ev.kind == "link_loss":
+                self._outages_by_node.setdefault(ev.node, []).append(
+                    (ev.time_s, ev.time_s + ev.duration_s)
+                )
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def node_crashes(self) -> list[FaultEvent]:
+        """Earliest crash per node, in time order."""
+        return sorted(self._crash_by_node.values())
+
+    def first_crash_after(
+        self, t: float, alive: Sequence[int] | None = None
+    ) -> FaultEvent | None:
+        """The next node crash strictly after wall time ``t`` (restricted
+        to ``alive`` nodes if given)."""
+        for ev in self.node_crashes:
+            if ev.time_s <= t:
+                continue
+            if alive is not None and ev.node not in alive:
+                continue
+            return ev
+        return None
+
+    def outage_end(self, src: int, dst: int, t: float) -> float | None:
+        """If the ``src``-``dst`` path is down at wall time ``t`` (either
+        endpoint in a link outage), the time the last covering outage
+        lifts; otherwise ``None``."""
+        end: float | None = None
+        for node in (src, dst):
+            for t0, t1 in self._outages_by_node.get(node, ()):
+                if t0 <= t < t1 and (end is None or t1 > end):
+                    end = t1
+        return end
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        crashes = len(self.node_crashes)
+        outages = sum(len(v) for v in self._outages_by_node.values())
+        return (
+            f"FaultPlan(n_nodes={self.n_nodes}, horizon={self.horizon_s}s, "
+            f"seed={self.seed}: {crashes} crashes, {outages} link outages)"
+        )
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def none(cls, n_nodes: int, horizon_s: float) -> "FaultPlan":
+        """The fault-free plan (baseline runs)."""
+        return cls((), n_nodes, horizon_s)
+
+    @classmethod
+    def generate(
+        cls,
+        n_nodes: int,
+        horizon_s: float,
+        seed: int = 0,
+        *,
+        pcie=None,
+        dram=None,
+        dimms_per_node: int = 2,
+        thermal=None,
+        node_power_w: float | Sequence[float] | None = None,
+        link_loss_rate_hz: float = 0.0,
+        link_outage_s: float = 0.05,
+        crash_mtbf_s: float | None = None,
+        crash_kind: str = "pcie_hang",
+        extra: Iterable[FaultEvent] = (),
+    ) -> "FaultPlan":
+        """Draw a plan from the Section-6 reliability models.
+
+        :param pcie: a :class:`PCIeFaultInjector`; its load-hang MTBF
+            yields exponential per-node crash times (drawn here from the
+            plan's own stream so plan generation never advances the
+            injector's streams).
+        :param dram: a :class:`DramErrorModel`; without ECC each error
+            is a crash, at the model's per-DIMM-hour rate.
+        :param thermal: a :class:`ThermalModel`, paired with
+            ``node_power_w`` (scalar or per-node): nodes whose sustained
+            power crosses the instability threshold shut down around
+            ``time_to_instability_s`` (±10% per-node spread).
+        :param link_loss_rate_hz: per-node rate of transient link
+            outages, each lasting ~Exp(``link_outage_s``).
+        :param crash_mtbf_s: generic per-node crash MTBF in seconds —
+            the accelerated-fault-rate knob for campaigns that sweep
+            failure rate directly rather than through a hardware model.
+        :param crash_kind: the kind recorded for those generic crashes.
+        :param extra: hand-placed events (e.g. a scripted mid-run crash).
+        """
+        root = np.random.SeedSequence(seed)
+        pcie_ss, dram_ss, thermal_ss, link_ss, crash_ss = root.spawn(5)
+        events: list[FaultEvent] = list(extra)
+
+        if crash_mtbf_s is not None:
+            if crash_mtbf_s <= 0:
+                raise ValueError("crash MTBF must be positive")
+            rng = np.random.default_rng(crash_ss)
+            times = rng.exponential(crash_mtbf_s, n_nodes)
+            events += [
+                FaultEvent(float(t), i, crash_kind)
+                for i, t in enumerate(times) if t < horizon_s
+            ]
+
+        if pcie is not None:
+            rng = np.random.default_rng(pcie_ss)
+            times = rng.exponential(
+                pcie.mtbf_hours_under_load * 3600.0, n_nodes
+            )
+            events += [
+                FaultEvent(float(t), i, "pcie_hang")
+                for i, t in enumerate(times) if t < horizon_s
+            ]
+
+        if dram is not None:
+            rng = np.random.default_rng(dram_ss)
+            import math
+
+            p_day = dram.daily_dimm_error_probability()
+            rate_per_s = (
+                -math.log(1.0 - p_day) / 86400.0 * dimms_per_node
+            )
+            times = rng.exponential(1.0 / rate_per_s, n_nodes)
+            events += [
+                FaultEvent(float(t), i, "dram_error")
+                for i, t in enumerate(times) if t < horizon_s
+            ]
+
+        if thermal is not None:
+            if node_power_w is None:
+                raise ValueError("thermal faults need node_power_w")
+            rng = np.random.default_rng(thermal_ss)
+            powers = (
+                [float(node_power_w)] * n_nodes
+                if np.isscalar(node_power_w)
+                else [float(p) for p in node_power_w]
+            )
+            if len(powers) != n_nodes:
+                raise ValueError("node_power_w length must match n_nodes")
+            spread = rng.uniform(0.9, 1.1, n_nodes)
+            for i, p in enumerate(powers):
+                t = thermal.time_to_instability_s(p) * spread[i]
+                if np.isfinite(t) and t < horizon_s:
+                    events.append(FaultEvent(float(t), i, "thermal_shutdown"))
+
+        if link_loss_rate_hz > 0.0:
+            rng = np.random.default_rng(link_ss)
+            for node in range(n_nodes):
+                n_out = rng.poisson(link_loss_rate_hz * horizon_s)
+                if n_out == 0:
+                    continue
+                starts = np.sort(rng.uniform(0.0, horizon_s, n_out))
+                durs = rng.exponential(link_outage_s, n_out)
+                events += [
+                    FaultEvent(float(t), node, "link_loss", float(d))
+                    for t, d in zip(starts, durs)
+                ]
+
+        return cls(events, n_nodes, horizon_s, seed=seed)

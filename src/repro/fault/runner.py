@@ -1,0 +1,292 @@
+"""Fault-tolerant execution: run an MPI app to completion under faults.
+
+The :class:`ResilientRunner` is the detect → time out → roll back →
+restart → (optionally) shrink loop that a Tibidabo-class machine needs
+to finish anything at scale, built live on the simulator:
+
+1. Each *attempt* runs the real rank program on a fresh
+   :class:`~repro.mpi.api.MPIWorld` whose network is wrapped in a
+   :class:`~repro.fault.network.FaultyNetwork` and whose fault daemon
+   kills the next crash victim at the planned time via
+   :meth:`MPIWorld.kill_rank` — the crash surfaces as a live
+   :class:`~repro.mpi.api.RankFailure` inside the run, not as a
+   post-hoc analytic adjustment.
+2. On failure the runner rolls back to the last checkpoint (checkpoints
+   sit at multiples of the policy interval along the attempt's work
+   axis), charges the lost work, the checkpoint I/O and the restart
+   cost to the wall clock, and relaunches.  Restarting *replays* the
+   deterministic simulation up to the checkpoint to rebuild rank state
+   — the replayed span is not charged (a real restart loads it from
+   disk, which is what ``restart_cost_s`` prices).
+3. With ``shrink=True`` the next attempt runs on the survivors
+   (:meth:`Cluster.without_nodes`), preserving the completed work
+   fraction across the size change.
+
+Accounting note: crashes are mapped onto the attempt's work axis as
+``progress + (crash_wall - wall)``; checkpoint/restart overhead windows
+are assumed crash-free (they are short relative to the compute
+segments).  Every fault and recovery action emits obs instants/totals,
+so a seeded run yields a byte-identical fault trace.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.cluster.cluster import Cluster
+from repro.fault.checkpoint import CheckpointPolicy
+from repro.fault.network import FaultyNetwork
+from repro.fault.plan import FaultPlan
+from repro.mpi.api import MPIRunResult, MPIWorld, RankFailure
+from repro.obs.recorder import current as _obs_current
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One launch of the app (ending in completion or a crash)."""
+
+    n_ranks: int
+    start_wall_s: float
+    end_wall_s: float
+    progress_before_s: float
+    progress_after_s: float
+    crashed_node: int | None = None
+    cause: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.crashed_node is None
+
+
+@dataclass
+class ResilientRunResult:
+    """Outcome and overhead breakdown of a fault-tolerant run."""
+
+    wall_s: float
+    fault_free_s: float
+    interval_s: float
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    crashes: int = 0
+    checkpoints: int = 0
+    lost_work_s: float = 0.0
+    checkpoint_overhead_s: float = 0.0
+    restart_overhead_s: float = 0.0
+    n_nodes_start: int = 0
+    n_nodes_final: int = 0
+    energy_j: float | None = None
+    fault_free_energy_j: float | None = None
+    mpi_result: MPIRunResult | None = None
+
+    @property
+    def overhead_s(self) -> float:
+        return self.wall_s - self.fault_free_s
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Wall-clock overhead vs. the fault-free run."""
+        return self.wall_s / self.fault_free_s - 1.0
+
+    @property
+    def energy_ratio(self) -> float | None:
+        if not self.energy_j or not self.fault_free_energy_j:
+            return None
+        return self.energy_j / self.fault_free_energy_j
+
+
+class ResilientRunner:
+    """Run rank programs on ``cluster`` to completion under ``plan``.
+
+    :param cluster: the full (pre-fault) machine.
+    :param plan: the fault schedule (wall-clock axis, node ids are the
+        cluster's node ids).
+    :param policy: checkpoint/restart parameters.
+    :param shrink: continue on the survivors after a crash instead of
+        rebooting the failed node onto a spare.
+    :param workload: achieved-GFLOPS class for the worlds built.
+    :param mtbf_s: system MTBF handed to the policy when it has no
+        fixed interval (Daly-optimal mode).
+    :param power_model: optional :class:`ClusterPowerModel` for
+        energy-to-solution accounting (integrated per wall segment at
+        the segment's cluster size).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        plan: FaultPlan,
+        policy: CheckpointPolicy,
+        *,
+        shrink: bool = False,
+        workload: str = "dgemm",
+        mtbf_s: float | None = None,
+        power_model: Any = None,
+        net_kwargs: dict | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        self.policy = policy
+        self.shrink = shrink
+        self.workload = workload
+        self.interval_s = policy.interval_for(mtbf_s)
+        self.power_model = power_model
+        self.net_kwargs = dict(net_kwargs or {})
+
+    # ------------------------------------------------------------------
+    def _make_world(self, cluster: Cluster) -> MPIWorld:
+        return cluster.make_world(workload=self.workload)
+
+    def _power_w(self, cluster: Cluster) -> float:
+        if self.power_model is None:
+            return 0.0
+        return self.power_model.total_power_watts(cluster)
+
+    @staticmethod
+    def _fault_daemon(
+        world: MPIWorld, rank: int, at_s: float, cause: str
+    ) -> Generator:
+        yield world.engine.timeout(at_s)
+        world.kill_rank(rank, cause=cause)
+
+    def run(
+        self, rank_fn: Callable[..., Generator], *args: Any
+    ) -> ResilientRunResult:
+        """Drive ``rank_fn`` to completion, surviving the plan's faults."""
+        tau = self.interval_s
+        ckpt_cost = self.policy.checkpoint_cost_s
+        restart_cost = self.policy.restart_cost_s
+        rec = _obs_current()
+
+        # Fault-free baseline: wall-clock and energy yardstick.
+        baseline = self._make_world(self.cluster).run(rank_fn, *args)
+        fault_free_s = baseline.makespan_s
+
+        out = ResilientRunResult(
+            wall_s=0.0,
+            fault_free_s=fault_free_s,
+            interval_s=tau,
+            n_nodes_start=self.cluster.n_nodes,
+            energy_j=0.0 if self.power_model is not None else None,
+            fault_free_energy_j=(
+                fault_free_s * self._power_w(self.cluster)
+                if self.power_model is not None
+                else None
+            ),
+        )
+
+        cluster = self.cluster
+        alive = [n.node_id for n in self.cluster.nodes]
+        dead: set[int] = set()
+        progress = 0.0  # checkpointed position on the attempt work axis
+        total_s = fault_free_s  # length of that axis (current cluster)
+        wall = 0.0
+
+        while True:
+            crash = self.plan.first_crash_after(wall, alive=alive)
+            world = self._make_world(cluster)
+            world.network = FaultyNetwork(
+                world.network, self.plan, wall_offset_s=wall - progress,
+                **self.net_kwargs,
+            ).attach(world.engine)
+            if crash is not None:
+                # Map the wall-clock crash onto this attempt's work axis;
+                # a crash "due" during an overhead window lands at the
+                # resume point (the node is dead before we get going).
+                at = max(progress, progress + (crash.time_s - wall))
+                victim = alive.index(crash.node)
+                world.spawn_daemon(
+                    self._fault_daemon(world, victim, at, crash.kind),
+                    name=f"faultd:{crash.kind}@{crash.node}",
+                )
+            try:
+                result = world.run(rank_fn, *args)
+            except RankFailure:
+                x_c = world.engine.now
+                executed = max(0.0, x_c - progress)
+                ckpt = max(progress, math.floor(x_c / tau) * tau)
+                n_ckpts = max(
+                    0, math.floor(x_c / tau) - math.floor(progress / tau)
+                )
+                seg = executed + n_ckpts * ckpt_cost + restart_cost
+                if out.energy_j is not None:
+                    out.energy_j += seg * self._power_w(cluster)
+                out.attempts.append(
+                    AttemptRecord(
+                        n_ranks=world.size,
+                        start_wall_s=wall,
+                        end_wall_s=wall + seg,
+                        progress_before_s=progress,
+                        progress_after_s=ckpt,
+                        crashed_node=crash.node,
+                        cause=crash.kind,
+                    )
+                )
+                wall += seg
+                out.crashes += 1
+                out.checkpoints += n_ckpts
+                out.lost_work_s += x_c - ckpt
+                out.checkpoint_overhead_s += n_ckpts * ckpt_cost
+                out.restart_overhead_s += restart_cost
+                dead.add(crash.node)
+                if rec is not None:
+                    rec.instant(
+                        "fault.crash", "fault", wall,
+                        node=crash.node, kind=crash.kind,
+                    )
+                    rec.instant(
+                        "fault.rollback", "fault", wall,
+                        lost_s=x_c - ckpt, to_checkpoint_s=ckpt,
+                    )
+                    rec.bump("fault.crashes")
+                    rec.bump("fault.lost_work_s", x_c - ckpt)
+                if self.shrink:
+                    frac = min(1.0, ckpt / total_s) if total_s > 0 else 0.0
+                    alive = [n for n in alive if n != crash.node]
+                    if not alive:
+                        raise RuntimeError("no node survived the fault plan")
+                    cluster = self.cluster.without_nodes(dead)
+                    # Re-anchor progress on the shrunken machine's axis:
+                    # the completed *fraction* of the job carries over.
+                    shrunk = self._make_world(cluster).run(rank_fn, *args)
+                    total_s = shrunk.makespan_s
+                    progress = frac * total_s
+                    if rec is not None:
+                        rec.instant(
+                            "fault.shrink", "fault", wall,
+                            survivors=len(alive),
+                        )
+                else:
+                    progress = ckpt
+                continue
+            # Success: charge the uncheckpointed tail (plus the periodic
+            # checkpoints a live system would still have taken).
+            makespan = result.makespan_s
+            n_ckpts = max(
+                0, math.floor(makespan / tau) - math.floor(progress / tau)
+            )
+            seg = (makespan - progress) + n_ckpts * ckpt_cost
+            if out.energy_j is not None:
+                out.energy_j += seg * self._power_w(cluster)
+            out.attempts.append(
+                AttemptRecord(
+                    n_ranks=world.size,
+                    start_wall_s=wall,
+                    end_wall_s=wall + seg,
+                    progress_before_s=progress,
+                    progress_after_s=makespan,
+                )
+            )
+            wall += seg
+            out.checkpoints += n_ckpts
+            out.checkpoint_overhead_s += n_ckpts * ckpt_cost
+            out.wall_s = wall
+            out.n_nodes_final = cluster.n_nodes
+            out.mpi_result = result
+            if rec is not None:
+                rec.instant(
+                    "fault.completed", "fault", wall,
+                    attempts=len(out.attempts), crashes=out.crashes,
+                )
+                rec.bump("fault.checkpoints", out.checkpoints)
+            return out

@@ -27,7 +27,7 @@ from typing import Any, Callable, Generator, Iterable
 
 import numpy as np
 
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import Engine, Event, SimFailure
 
 # Per-rank spans (compute / comm / wait / net) flow into the unified
 # observability layer; the engine caches the active recorder at world
@@ -35,6 +35,70 @@ from repro.sim.engine import Engine, Event
 
 ANY_SOURCE = -1
 ANY_TAG = -1
+
+
+class RankFailure(SimFailure):
+    """A rank died (node crash, PCIe hang, thermal shutdown).
+
+    Raised inside the dying rank's generator, and thrown into any peer
+    blocked on a receive posted against that specific source — the MPI
+    analogue of a ULFM process-failure notification.  Catchable; an
+    uncaught ``RankFailure`` is contained per-process and re-raised by
+    :meth:`MPIWorld.run` so a resilient runner can roll back and retry.
+    """
+
+    def __init__(self, rank: int, cause: Any = None) -> None:
+        super().__init__(f"rank {rank} failed" + (f" ({cause})" if cause else ""))
+        self.rank = rank
+        self.cause = cause
+
+
+class RecvTimeout(SimFailure):
+    """A ``recv(timeout=...)`` expired before a matching message
+    arrived — the failure-detection primitive for peers that die
+    silently (the Tegra PCIe hang leaves no other signal)."""
+
+    def __init__(self, rank: int, src: int, tag: int, timeout_s: float) -> None:
+        super().__init__(
+            f"rank {rank}: recv(src={src}, tag={tag}) timed out "
+            f"after {timeout_s} s"
+        )
+        self.rank = rank
+        self.src = src
+        self.tag = tag
+        self.timeout_s = timeout_s
+
+
+class DeadlockError(RuntimeError):
+    """The engine drained with ranks still blocked.
+
+    Carries a structured diagnostic instead of a bare message: for each
+    stuck rank, the pending receives it posted (``(src, tag)`` pairs,
+    ``-1`` = wildcard) and a summary of the unmatched messages sitting
+    in its mailbox (``(src, tag, nbytes)`` triples).
+    """
+
+    def __init__(
+        self,
+        unfinished: list[str],
+        pending: dict[int, list[tuple[int, int]]],
+        mailboxes: dict[int, list[tuple[int, int, int]]],
+    ) -> None:
+        self.unfinished = unfinished
+        self.pending = pending
+        self.mailboxes = mailboxes
+        lines = [f"deadlock: ranks never completed: {unfinished}"]
+        for rank in sorted(pending):
+            lines.append(
+                f"  rank {rank}: pending recv (src, tag): {pending[rank]}"
+            )
+            box = mailboxes.get(rank, [])
+            if box:
+                lines.append(
+                    f"  rank {rank}: unmatched mailbox "
+                    f"(src, tag, nbytes): {box}"
+                )
+        super().__init__("\n".join(lines))
 
 
 @dataclass(frozen=True)
@@ -118,6 +182,7 @@ class RankContext:
         self.world = world
         self.rank = rank
         self.stats = RankStats()
+        self.failed = False
         self._mailbox: list[Message] = []
         self._pending_recv: list[tuple[int, int, Event]] = []
 
@@ -206,6 +271,8 @@ class RankContext:
         return engine.timeout(occupy)
 
     def _deliver(self, msg: Message) -> None:
+        if self.failed:
+            return  # a crashed node receives nothing; the bytes are lost
         for i, (src, tag, ev) in enumerate(self._pending_recv):
             if (src in (ANY_SOURCE, msg.src)) and (tag in (ANY_TAG, msg.tag)):
                 del self._pending_recv[i]
@@ -213,11 +280,39 @@ class RankContext:
                 return
         self._mailbox.append(msg)
 
-    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
-        """Blocking receive; returns the :class:`Message`."""
+    def recv(
+        self,
+        src: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> Generator:
+        """Blocking receive; returns the :class:`Message`.
+
+        With ``timeout`` the wait is bounded: if no matching message has
+        arrived after ``timeout`` simulated seconds the posted receive
+        is withdrawn and :class:`RecvTimeout` is raised.  A matching
+        message arriving later simply lands in the mailbox for a retry.
+        """
         ev = self.irecv(src, tag)
         t0 = self.now
-        msg = yield ev
+        if timeout is None or ev.triggered:
+            msg = yield ev
+        else:
+            if timeout < 0:
+                raise ValueError("timeout must be non-negative")
+            engine = self.world.engine
+            yield engine.any_of([ev, engine.timeout(timeout)])
+            if not ev.triggered:
+                self._cancel_recv(ev)
+                self.stats.comm_wait_s += self.now - t0
+                rec = engine._rec
+                if rec is not None:
+                    rec.instant(
+                        "recv.timeout", "wait", self.now,
+                        rank=self.rank, src=src, tag=tag,
+                    )
+                raise RecvTimeout(self.rank, src, tag, timeout)
+            msg = ev.value
         self.stats.comm_wait_s += self.now - t0
         rec = self.world.engine._rec
         if rec is not None:
@@ -228,7 +323,12 @@ class RankContext:
         return msg
 
     def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
-        """Post a receive; the event fires with the matching Message."""
+        """Post a receive; the event fires with the matching Message.
+
+        A receive posted against a *specific* source that is already
+        dead fails immediately with :class:`RankFailure` — waiting for a
+        crashed node to speak again would deadlock the survivor.
+        """
         for i, msg in enumerate(self._mailbox):
             if (src in (ANY_SOURCE, msg.src)) and (tag in (ANY_TAG, msg.tag)):
                 del self._mailbox[i]
@@ -236,8 +336,18 @@ class RankContext:
                 ev.succeed(msg)
                 return ev
         ev = self.world.engine.event()
+        if self.world._any_failed and src >= 0 and self.world.contexts[src].failed:
+            ev.fail(RankFailure(src, "peer recv"))
+            return ev
         self._pending_recv.append((src, tag, ev))
         return ev
+
+    def _cancel_recv(self, ev: Event) -> None:
+        """Withdraw a posted receive (timeout expiry, rank death)."""
+        for i, (_src, _tag, pending) in enumerate(self._pending_recv):
+            if pending is ev:
+                del self._pending_recv[i]
+                return
 
     def exchange(
         self,
@@ -309,11 +419,60 @@ class MPIWorld:
         self.engine = Engine()
         self._rank_gflops = rank_gflops
         self.contexts = [RankContext(self, r) for r in range(n_ranks)]
+        self._any_failed = False
+        self._procs: dict[int, "Any"] = {}
+        self._daemons: list[Any] = []
 
     def rank_gflops(self, rank: int) -> float:
         if callable(self._rank_gflops):
             return float(self._rank_gflops(rank))
         return float(self._rank_gflops)
+
+    def spawn_daemon(self, gen: Generator, name: str = "daemon") -> Any:
+        """Start a background process (e.g. a fault injector) that is
+        *not* a rank: the run stops when every rank finishes, even if
+        the daemon still has timers pending — a crash scheduled after
+        job completion must not stretch the makespan."""
+        proc = self.engine.process(gen, name=name)
+        self._daemons.append(proc)
+        return proc
+
+    def kill_rank(self, rank: int, cause: Any = None) -> None:
+        """Crash ``rank`` at the current simulated time.
+
+        The dying rank has :class:`RankFailure` thrown into it, its
+        posted receives are withdrawn, and every *peer* blocked on a
+        receive from this specific rank fails immediately (wildcard
+        receives keep waiting — another sender may still match; they
+        surface via ``recv(timeout=...)`` instead).
+        """
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} out of range")
+        ctx = self.contexts[rank]
+        if ctx.failed:
+            return
+        ctx.failed = True
+        self._any_failed = True
+        ctx._pending_recv.clear()
+        rec = self.engine._rec
+        if rec is not None:
+            rec.instant(
+                "rank.failed", "fault", self.engine.now,
+                rank=rank, cause=str(cause) if cause is not None else "",
+            )
+            rec.bump("fault.rank_failures")
+        proc = self._procs.get(rank)
+        if proc is not None:
+            proc.throw(RankFailure(rank, cause))
+        for other in self.contexts:
+            if other is ctx or other.failed:
+                continue
+            doomed = [
+                ev for src, _tag, ev in other._pending_recv if src == rank
+            ]
+            for ev in doomed:
+                other._cancel_recv(ev)
+                ev.fail(RankFailure(rank, cause))
 
     def run(
         self,
@@ -322,7 +481,13 @@ class MPIWorld:
         ranks: Iterable[int] | None = None,
     ) -> "MPIRunResult":
         """Launch ``rank_fn(ctx, *args)`` on every rank and run to
-        completion.  Returns makespan and per-rank results/stats."""
+        completion.  Returns makespan and per-rank results/stats.
+
+        Failure semantics: a rank dying of a :class:`SimFailure`
+        (``RankFailure``, ``RecvTimeout``, ...) re-raises that failure
+        here — catchable by a resilient runner.  Ranks stuck forever
+        with no failure raise a structured :class:`DeadlockError`.
+        """
         selected = range(self.size) if ranks is None else list(ranks)
         procs = [
             self.engine.process(
@@ -330,11 +495,45 @@ class MPIWorld:
             )
             for r in selected
         ]
-        self.engine.run()
+        self._procs = dict(zip(selected, procs))
+        if self._daemons:
+            # Run until every rank *settles* (finishes or fails) so that
+            # survivors observe a crash — cascade, catch RankFailure, or
+            # hit their recv timeouts — but a daemon's still-pending
+            # timers (a crash scheduled after the job would end) cannot
+            # stretch the makespan.  all_of is unusable here: it fails
+            # fast on the first rank death, freezing the clock before
+            # peers process their failure notifications.
+            settle = self.engine.event()
+            state = {"left": len(procs)}
+
+            def _one_settled(_ev: Event) -> None:
+                state["left"] -= 1
+                if state["left"] == 0:
+                    settle.succeed()
+
+            for proc in procs:
+                proc.completion.callbacks.append(_one_settled)
+            self.engine.run_until(settle)
+        else:
+            self.engine.run()
+        for proc in procs:
+            if proc.failure is not None:
+                raise proc.failure
         unfinished = [p.name for p in procs if not p.done]
         if unfinished:
-            raise RuntimeError(
-                f"deadlock: ranks never completed: {unfinished}"
+            raise DeadlockError(
+                unfinished,
+                pending={
+                    r: [(src, tag) for src, tag, _ev in
+                        self.contexts[r]._pending_recv]
+                    for r, p in zip(selected, procs) if not p.done
+                },
+                mailboxes={
+                    r: [(m.src, m.tag, m.nbytes) for m in
+                        self.contexts[r]._mailbox]
+                    for r, p in zip(selected, procs) if not p.done
+                },
             )
         return MPIRunResult(
             makespan_s=self.engine.now,

@@ -19,6 +19,8 @@ Scenarios cover the three layers the paper's results rest on:
 ``hpl``        model-mode HPL (1D block LU) on an 8-node Tibidabo slice
 ``reliability`` PCIe fault injection, degraded-cluster rebuild, hangs,
                and a wall-power sample
+``faults``     HPL under live faults: mid-run node crash + link outages,
+               survived via checkpoint/restart (:mod:`repro.fault`)
 =============  ==========================================================
 
 Every scenario is a pure function of its integer seed, so *different*
@@ -111,11 +113,47 @@ def _scenario_reliability(seed: int) -> None:
     ClusterPowerModel().sample(cluster, 0.0)
 
 
+def _scenario_faults(seed: int) -> None:
+    """Live fault injection: model-mode HPL on 8 Tibidabo nodes with a
+    scripted mid-run node crash plus seed-drawn crashes and link
+    outages, survived via checkpoint/restart.  Exercises the whole
+    injector path: kill_rank, rollback/restart accounting, and the
+    TCP-style link-retry pricing — all of it must replay
+    byte-identically from one seed."""
+    from repro.apps.hpl import HPLConfig, rank_program
+    from repro.cluster.cluster import tibidabo
+    from repro.fault import (
+        CheckpointPolicy,
+        FaultEvent,
+        FaultPlan,
+        ResilientRunner,
+    )
+
+    cluster = tibidabo(8)
+    cfg = HPLConfig(n=512 + 128 * (seed % 2), nb=128)
+    plan = FaultPlan.generate(
+        8,
+        horizon_s=2.0,
+        seed=seed,
+        crash_mtbf_s=4.0,  # seconds: accelerated so seeds vary the mix
+        link_loss_rate_hz=2.0,
+        link_outage_s=0.01,
+        extra=[FaultEvent(0.04, 3, "pcie_hang")],  # guaranteed mid-run
+    )
+    policy = CheckpointPolicy(
+        checkpoint_cost_s=0.004, restart_cost_s=0.008, interval_s=0.025
+    )
+    ResilientRunner(
+        cluster, plan, policy, net_kwargs={"rto_s": 0.005}
+    ).run(rank_program(), cfg)
+
+
 SCENARIOS: dict[str, Callable[[int], None]] = {
     "pingpong": _scenario_pingpong,
     "imb": _scenario_imb,
     "hpl": _scenario_hpl,
     "reliability": _scenario_reliability,
+    "faults": _scenario_faults,
 }
 
 

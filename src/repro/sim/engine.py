@@ -32,15 +32,33 @@ class Interrupt(Exception):
         self.cause = cause
 
 
-class Event:
-    """A one-shot event; processes wait on it by yielding it."""
+class SimFailure(Exception):
+    """Base class for *modelled* failures (a crashed peer, a receive
+    timeout, an injected fault).
 
-    __slots__ = ("engine", "triggered", "value", "_waiters", "callbacks")
+    A process that dies of a ``SimFailure`` is contained: the process is
+    marked failed and its completion event fails, but the engine keeps
+    running — the failure propagates along wait edges instead of tearing
+    down the whole simulation.  Any other exception escaping a process
+    is a programming error and still aborts the run loudly.
+    """
+
+
+class Event:
+    """A one-shot event; processes wait on it by yielding it.
+
+    An event either *succeeds* (fires with a value) or *fails* (fires
+    with an exception that is thrown into every waiter).  ``triggered``
+    covers both; ``failed`` is the exception or ``None``.
+    """
+
+    __slots__ = ("engine", "triggered", "value", "failed", "_waiters", "callbacks")
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
         self.triggered = False
         self.value: Any = None
+        self.failed: BaseException | None = None
         self._waiters: list[Process] = []
         self.callbacks: list[Callable[[Event], None]] = []
 
@@ -62,9 +80,28 @@ class Event:
             self.engine._ready(proc, value)
         return self
 
+    def fail(self, exc: BaseException) -> "Event":
+        """Fire the event as *failed*: every waiter has ``exc`` thrown
+        into it at the current simulation time, and join callbacks see
+        ``self.failed`` set.  Used to surface rank deaths to peers."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.failed = exc
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.engine._schedule_throw(proc, exc)
+        return self
+
     def add_waiter(self, proc: "Process") -> None:
         if self.triggered:
-            self.engine._ready(proc, self.value)
+            if self.failed is not None:
+                self.engine._schedule_throw(proc, self.failed)
+            else:
+                self.engine._ready(proc, self.value)
         else:
             self._waiters.append(proc)
 
@@ -91,7 +128,10 @@ class Event:
 class Process:
     """A running generator-based simulated process."""
 
-    __slots__ = ("engine", "gen", "name", "done", "result", "_completion", "_waiting_on")
+    __slots__ = (
+        "engine", "gen", "name", "done", "result", "failure",
+        "_completion", "_waiting_on",
+    )
 
     def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
         self.engine = engine
@@ -99,6 +139,7 @@ class Process:
         self.name = name or repr(gen)
         self.done = False
         self.result: Any = None
+        self.failure: SimFailure | None = None
         self._completion = Event(engine)
         self._waiting_on: Event | None = None
 
@@ -109,12 +150,18 @@ class Process:
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
+        self.throw(Interrupt(cause))
+
+    def throw(self, exc: BaseException) -> None:
+        """Throw an arbitrary exception into the process at the current
+        time (the cancellation primitive fault injection kills ranks
+        with).  A no-op on finished processes."""
         if self.done:
             return
         if self._waiting_on is not None:
             self._waiting_on.remove_waiter(self)
             self._waiting_on = None
-        self.engine._schedule_throw(self, Interrupt(cause))
+        self.engine._schedule_throw(self, exc)
 
     def _step(self, value: Any = None, exc: BaseException | None = None) -> None:
         rec = self.engine._rec
@@ -130,6 +177,14 @@ class Process:
             self.done = True
             self.result = stop.value
             self._completion.succeed(stop.value)
+            return
+        except SimFailure as failure:
+            # A modelled fault killed the process: contain it.  The
+            # failed completion event propagates the failure to joiners
+            # (e.g. a rank waiting on a spawned panel pipeline).
+            self.done = True
+            self.failure = failure
+            self._completion.fail(failure)
             return
         if isinstance(target, Process):
             target = target.completion
@@ -198,16 +253,30 @@ class Engine:
         self._active -= 1
 
     def all_of(self, events: Iterable[Event | Process]) -> Event:
-        """An event that fires when every given event has fired."""
+        """An event that fires when every given event has fired.
+
+        If any constituent *fails*, the join fails immediately with the
+        same exception — a rank waiting on a batch of sends/receives
+        learns of a dead peer at failure time, not at drain time.
+        """
         evs = [e.completion if isinstance(e, Process) else e for e in events]
         joined = Event(self)
+        for e in evs:
+            if e.failed is not None:
+                joined.fail(e.failed)
+                return joined
         pending = sum(1 for e in evs if not e.triggered)
         if pending == 0:
             joined.succeed([e.value for e in evs])
             return joined
         state = {"pending": pending}
 
-        def on_fire(_ev: Event) -> None:
+        def on_fire(ev: Event) -> None:
+            if joined.triggered:
+                return
+            if ev.failed is not None:
+                joined.fail(ev.failed)
+                return
             state["pending"] -= 1
             if state["pending"] == 0:
                 joined.succeed([e.value for e in evs])
@@ -231,12 +300,18 @@ class Engine:
         joined = Event(self)
         for e in evs:
             if e.triggered:
-                joined.succeed(e.value)
+                if e.failed is not None:
+                    joined.fail(e.failed)
+                else:
+                    joined.succeed(e.value)
                 return joined
 
         def on_fire(ev: Event) -> None:
             if not joined.triggered:
-                joined.succeed(ev.value)
+                if ev.failed is not None:
+                    joined.fail(ev.failed)
+                else:
+                    joined.succeed(ev.value)
                 for other in evs:
                     # The winner's lists were already dropped by its
                     # succeed(); duplicates of a loser are all removed.
@@ -259,6 +334,22 @@ class Engine:
                 return self.now
             heapq.heappop(self._heap)
             self.now = time
+            fn()
+        return self.now
+
+    def run_until(self, event: Event) -> float:
+        """Execute events until ``event`` triggers (succeeds or fails)
+        or the heap drains.  Unfired heap entries — in-flight transfers,
+        a fault daemon's future crash timer — are abandoned, which is
+        exactly what a fault-tolerant runner wants: the clock stops when
+        the job completes (or dies), not when the last watchdog expires.
+        """
+        rec = self._rec
+        while self._heap and not event.triggered:
+            time, seq, fn = heapq.heappop(self._heap)
+            self.now = time
+            if rec is not None:
+                rec.instant("fire", "engine", time, seq=seq)
             fn()
         return self.now
 

@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -164,3 +165,36 @@ class TestPCIeFaults:
             PCIeFaultInjector().boot_nodes(0)
         with pytest.raises(ValueError):
             PCIeFaultInjector().job_survives(4, 0)
+
+
+class TestRngStreamIndependence:
+    """Boot-failure and hang-time draws come from independently spawned
+    SeedSequence streams: consuming one class of faults must not shift
+    the other (the fault-plan generator relies on this)."""
+
+    def test_boot_draws_do_not_perturb_hang_times(self):
+        clean = PCIeFaultInjector(seed=11).hang_times_s(64)
+        mixed = PCIeFaultInjector(seed=11)
+        mixed.boot_nodes(500)  # interleave draws from the boot stream
+        mixed.boot_nodes(500)
+        np.testing.assert_array_equal(mixed.hang_times_s(64), clean)
+
+    def test_hang_draws_do_not_perturb_boot_outcomes(self):
+        clean = PCIeFaultInjector(p_boot_failure=0.05, seed=11).boot_nodes(500)
+        mixed = PCIeFaultInjector(p_boot_failure=0.05, seed=11)
+        mixed.hang_times_s(64)
+        assert (mixed.boot_nodes(500) == clean).all()
+
+    def test_survival_statistic_unbiased_after_stream_split(self):
+        """job_survives (hang stream) must still track the analytic
+        expectation over many independently seeded injectors."""
+        expected = PCIeFaultInjector(
+            mtbf_hours_under_load=50.0
+        ).expected_job_survival(8, 2.0)
+        survived = sum(
+            PCIeFaultInjector(
+                mtbf_hours_under_load=50.0, seed=s
+            ).job_survives(8, 2.0)
+            for s in range(400)
+        )
+        assert survived / 400 == pytest.approx(expected, abs=0.07)

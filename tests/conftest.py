@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import importlib.util
+import signal
+
 import pytest
 
 from repro.arch.catalog import (
@@ -29,6 +32,28 @@ def pytest_addoption(parser):
 def update_goldens(request):
     """Whether ``--update-goldens`` was passed to this pytest run."""
     return request.config.getoption("--update-goldens")
+
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    @pytest.fixture(autouse=True)
+    def _fallback_test_timeout():
+        """Poor-man's per-test timeout when pytest-timeout isn't
+        installed (CI installs it; bare containers may not).  A hung
+        fault-injection test would otherwise stall the whole suite."""
+
+        def _alarm(signum, frame):
+            raise TimeoutError("test exceeded the 120 s fallback timeout")
+
+        previous = signal.signal(signal.SIGALRM, _alarm)
+        signal.alarm(120)
+        try:
+            yield
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

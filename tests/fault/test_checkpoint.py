@@ -1,0 +1,91 @@
+"""Daly-interval arithmetic and checkpoint policy."""
+
+import math
+
+import pytest
+
+from repro.cluster.reliability import DramErrorModel, PCIeFaultInjector
+from repro.fault.checkpoint import (
+    CheckpointPolicy,
+    daly_interval_s,
+    system_mtbf_s,
+)
+
+
+class TestDalyInterval:
+    def test_first_order_formula(self):
+        mtbf, cost = 3600.0, 60.0
+        assert daly_interval_s(mtbf, cost) == pytest.approx(
+            math.sqrt(2 * cost * mtbf) - cost
+        )
+
+    def test_clamped_to_checkpoint_cost(self):
+        # Pathological MTBF (shorter than the checkpoint itself) must
+        # not yield a non-positive interval.
+        assert daly_interval_s(1.0, 10.0) == 10.0
+
+    def test_interval_grows_with_mtbf(self):
+        assert daly_interval_s(7200.0, 60.0) > daly_interval_s(3600.0, 60.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            daly_interval_s(0.0, 60.0)
+        with pytest.raises(ValueError):
+            daly_interval_s(3600.0, 0.0)
+
+
+class TestSystemMtbf:
+    def test_no_sources_is_infinite(self):
+        assert system_mtbf_s(100) == math.inf
+
+    def test_rates_add(self):
+        dram = DramErrorModel(annual_dimm_error_rate=0.1)
+        pcie = PCIeFaultInjector(mtbf_hours_under_load=200.0)
+        both = system_mtbf_s(64, dram=dram, pcie=pcie)
+        only_dram = system_mtbf_s(64, dram=dram)
+        only_pcie = system_mtbf_s(64, pcie=pcie)
+        assert both == pytest.approx(
+            1.0 / (1.0 / only_dram + 1.0 / only_pcie)
+        )
+        assert both < min(only_dram, only_pcie)
+
+    def test_pcie_mtbf_scales_inversely_with_nodes(self):
+        pcie = PCIeFaultInjector(mtbf_hours_under_load=100.0)
+        assert system_mtbf_s(32, pcie=pcie) == pytest.approx(
+            system_mtbf_s(16, pcie=pcie) / 2
+        )
+        assert system_mtbf_s(1, pcie=pcie) == pytest.approx(100.0 * 3600.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            system_mtbf_s(0)
+
+
+class TestCheckpointPolicy:
+    def test_fixed_interval_wins(self):
+        p = CheckpointPolicy(1.0, 2.0, interval_s=30.0)
+        assert p.interval_for(3600.0) == 30.0
+        assert p.interval_for(None) == 30.0
+
+    def test_daly_mode_uses_mtbf(self):
+        p = CheckpointPolicy(60.0, 120.0)
+        assert p.interval_for(3600.0) == pytest.approx(
+            daly_interval_s(3600.0, 60.0)
+        )
+
+    def test_daly_mode_needs_finite_mtbf(self):
+        p = CheckpointPolicy(60.0, 120.0)
+        with pytest.raises(ValueError):
+            p.interval_for(None)
+        with pytest.raises(ValueError):
+            p.interval_for(math.inf)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(1.0, -2.0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(1.0, 2.0, interval_s=0.0)
+        with pytest.raises(ValueError):
+            CheckpointPolicy(0.0, 2.0).interval_for(3600.0)

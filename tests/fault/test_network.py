@@ -1,0 +1,110 @@
+"""FaultyNetwork: TCP-style retry pricing for planned link outages."""
+
+import pytest
+
+from repro.fault.network import FaultyNetwork
+from repro.fault.plan import FaultEvent, FaultPlan
+
+
+class FlatNetwork:
+    """Inner stub: constant transfer time, tiny occupancy."""
+
+    def transfer_time_s(self, src, dst, nbytes):
+        return 1.0
+
+    def sender_occupancy_s(self, src, dst, nbytes):
+        return 0.25
+
+    def custom_attribute(self):
+        return "inner"
+
+
+class FakeEngine:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def outage_plan(node=0, start=10.0, dur=2.0, n=4):
+    return FaultPlan(
+        [FaultEvent(start, node, "link_loss", duration_s=dur)], n, 100.0
+    )
+
+
+class TestFastPath:
+    def test_no_events_is_passthrough(self):
+        net = FaultyNetwork(FlatNetwork(), FaultPlan.none(4, 100.0))
+        # No attach needed: the empty plan short-circuits.
+        assert net.transfer_time_s(0, 1, 1024) == 1.0
+
+    def test_outside_outage_is_passthrough(self):
+        net = FaultyNetwork(FlatNetwork(), outage_plan())
+        net.attach(FakeEngine(now=5.0))
+        assert net.transfer_time_s(0, 1, 1024) == 1.0
+        net.attach(FakeEngine(now=12.5))  # outage [10, 12) just lifted
+        assert net.transfer_time_s(0, 1, 1024) == 1.0
+
+    def test_self_send_untouched(self):
+        net = FaultyNetwork(FlatNetwork(), outage_plan())
+        net.attach(FakeEngine(now=10.5))
+        assert net.transfer_time_s(0, 0, 64) == 1.0
+
+    def test_delegation(self):
+        net = FaultyNetwork(FlatNetwork(), outage_plan())
+        assert net.sender_occupancy_s(0, 1, 64) == 0.25
+        assert net.custom_attribute() == "inner"
+
+
+class TestRetryPricing:
+    def test_outage_adds_backoff_penalty(self):
+        net = FaultyNetwork(
+            FlatNetwork(), outage_plan(start=10.0, dur=1.0), rto_s=0.4
+        )
+        net.attach(FakeEngine(now=10.0))
+        t = net.transfer_time_s(0, 1, 1024)
+        # Retries at +0.4 and +1.2; the second lands after the outage.
+        assert t == pytest.approx(1.0 + 0.4 + 0.8)
+
+    def test_penalty_shrinks_near_outage_end(self):
+        net = FaultyNetwork(FlatNetwork(), outage_plan(start=10.0, dur=2.0))
+        net.attach(FakeEngine(now=10.1))
+        early = net.transfer_time_s(0, 1, 64)
+        net.attach(FakeEngine(now=11.9))
+        late = net.transfer_time_s(0, 1, 64)
+        assert late < early
+
+    def test_deterministic_repeated_calls(self):
+        net = FaultyNetwork(FlatNetwork(), outage_plan(start=10.0, dur=2.0))
+        net.attach(FakeEngine(now=10.3))
+        assert net.transfer_time_s(0, 1, 64) == net.transfer_time_s(0, 1, 64)
+
+    def test_give_up_waits_out_the_outage(self):
+        """After max_retries the sender idles until the outage lifts."""
+        net = FaultyNetwork(
+            FlatNetwork(),
+            outage_plan(start=0.0, dur=50.0),
+            rto_s=0.1,
+            max_retries=3,
+        )
+        net.attach(FakeEngine(now=0.0))
+        t = net.transfer_time_s(0, 1, 64)
+        # Backoff covers only 0.1+0.2+0.4 = 0.7 s of a 50 s outage:
+        # the give-up path charges the outage remainder + one final RTO.
+        assert t == pytest.approx(1.0 + 50.0 + 0.8)
+
+    def test_wall_offset_maps_attempt_clock_to_plan_axis(self):
+        """A restarted attempt replays early engine time while the wall
+        has moved on — the offset lines the two axes up."""
+        net = FaultyNetwork(
+            FlatNetwork(), outage_plan(start=10.0, dur=1.0),
+            wall_offset_s=10.0, rto_s=0.4,
+        )
+        net.attach(FakeEngine(now=0.0))  # wall = 0 + 10 -> inside outage
+        assert net.transfer_time_s(0, 1, 64) > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultyNetwork(FlatNetwork(), outage_plan(), rto_s=0.0)
+        with pytest.raises(ValueError):
+            FaultyNetwork(FlatNetwork(), outage_plan(), rto_backoff=0.5)
+        with pytest.raises(ValueError):
+            FaultyNetwork(FlatNetwork(), outage_plan(), max_retries=0)

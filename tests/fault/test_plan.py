@@ -1,0 +1,154 @@
+"""Fault-plan construction, queries, and RNG-stream discipline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.reliability import (
+    DramErrorModel,
+    PCIeFaultInjector,
+    ThermalModel,
+)
+from repro.fault.plan import CRASH_KINDS, FaultEvent, FaultPlan
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, 0, "pcie_hang")
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, -1, "pcie_hang")
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, 0, "gremlins")
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, 0, "link_loss", duration_s=-0.1)
+
+    def test_is_crash(self):
+        for kind in CRASH_KINDS:
+            assert FaultEvent(1.0, 0, kind).is_crash
+        assert not FaultEvent(1.0, 0, "link_loss", 0.5).is_crash
+
+
+class TestFaultPlanQueries:
+    def test_events_sorted_and_validated(self):
+        plan = FaultPlan(
+            [FaultEvent(5.0, 1, "pcie_hang"), FaultEvent(2.0, 0, "dram_error")],
+            n_nodes=4,
+            horizon_s=10.0,
+        )
+        assert [e.time_s for e in plan.events] == [2.0, 5.0]
+        with pytest.raises(ValueError):
+            FaultPlan([FaultEvent(1.0, 9, "pcie_hang")], 4, 10.0)
+        with pytest.raises(ValueError):
+            FaultPlan((), 0, 10.0)
+        with pytest.raises(ValueError):
+            FaultPlan((), 4, 0.0)
+
+    def test_node_dies_once(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(2.0, 0, "pcie_hang"),
+                FaultEvent(5.0, 0, "thermal_shutdown"),
+            ],
+            n_nodes=2,
+            horizon_s=10.0,
+        )
+        assert len(plan.node_crashes) == 1
+        assert plan.node_crashes[0].time_s == 2.0
+
+    def test_first_crash_after_respects_alive(self):
+        plan = FaultPlan(
+            [
+                FaultEvent(1.0, 0, "pcie_hang"),
+                FaultEvent(3.0, 1, "dram_error"),
+            ],
+            n_nodes=4,
+            horizon_s=10.0,
+        )
+        assert plan.first_crash_after(0.0).node == 0
+        assert plan.first_crash_after(1.0).node == 1  # strictly after
+        assert plan.first_crash_after(0.0, alive=[1, 2]).node == 1
+        assert plan.first_crash_after(3.0) is None
+
+    def test_outage_end_covers_either_endpoint(self):
+        plan = FaultPlan(
+            [FaultEvent(1.0, 2, "link_loss", duration_s=0.5)],
+            n_nodes=4,
+            horizon_s=10.0,
+        )
+        assert plan.outage_end(2, 0, 1.2) == 1.5  # src down
+        assert plan.outage_end(0, 2, 1.2) == 1.5  # dst down
+        assert plan.outage_end(0, 1, 1.2) is None  # path untouched
+        assert plan.outage_end(2, 0, 1.5) is None  # outage over
+        assert plan.outage_end(2, 0, 0.9) is None  # not yet
+
+    def test_none_plan_is_empty(self):
+        plan = FaultPlan.none(8, 100.0)
+        assert len(plan) == 0
+        assert plan.first_crash_after(0.0) is None
+
+
+class TestGeneration:
+    def test_same_seed_identical_plan(self):
+        kw = dict(
+            pcie=PCIeFaultInjector(mtbf_hours_under_load=0.001),
+            link_loss_rate_hz=1.0,
+        )
+        a = FaultPlan.generate(8, 10.0, seed=3, **kw)
+        b = FaultPlan.generate(8, 10.0, seed=3, **kw)
+        assert a.events == b.events
+        assert len(a) > 0
+
+    def test_different_seed_different_plan(self):
+        kw = dict(crash_mtbf_s=5.0, link_loss_rate_hz=1.0)
+        a = FaultPlan.generate(8, 10.0, seed=0, **kw)
+        b = FaultPlan.generate(8, 10.0, seed=1, **kw)
+        assert a.events != b.events
+
+    def test_fault_class_streams_independent(self):
+        """Adding link-loss draws must not move the crash times."""
+        only_crash = FaultPlan.generate(8, 10.0, seed=5, crash_mtbf_s=5.0)
+        both = FaultPlan.generate(
+            8, 10.0, seed=5, crash_mtbf_s=5.0, link_loss_rate_hz=2.0
+        )
+        assert only_crash.node_crashes == both.node_crashes
+        assert any(e.kind == "link_loss" for e in both.events)
+
+    def test_dram_and_pcie_sources(self):
+        plan = FaultPlan.generate(
+            16,
+            horizon_s=3600.0 * 24 * 365,
+            seed=1,
+            pcie=PCIeFaultInjector(mtbf_hours_under_load=10.0),
+            dram=DramErrorModel(annual_dimm_error_rate=0.2),
+        )
+        kinds = {e.kind for e in plan.events}
+        assert "pcie_hang" in kinds
+        assert "dram_error" in kinds
+
+    def test_thermal_needs_power_and_crosses_threshold(self):
+        tm = ThermalModel()
+        with pytest.raises(ValueError):
+            FaultPlan.generate(4, 1e4, thermal=tm)
+        hot = FaultPlan.generate(4, 1e4, seed=2, thermal=tm, node_power_w=8.0)
+        assert all(e.kind == "thermal_shutdown" for e in hot.events)
+        assert len(hot) == 4  # every node eventually cooks
+        cool = FaultPlan.generate(4, 1e4, seed=2, thermal=tm, node_power_w=2.0)
+        assert len(cool) == 0  # steady state below threshold
+
+    def test_generation_does_not_advance_injector_streams(self):
+        inj = PCIeFaultInjector(mtbf_hours_under_load=0.01, seed=9)
+        before = PCIeFaultInjector(
+            mtbf_hours_under_load=0.01, seed=9
+        ).hang_times_s(8)
+        FaultPlan.generate(8, 100.0, seed=0, pcie=inj)
+        np.testing.assert_array_equal(inj.hang_times_s(8), before)
+
+    def test_extra_events_merged(self):
+        plan = FaultPlan.generate(
+            4, 10.0, seed=0, extra=[FaultEvent(1.5, 2, "pcie_hang")]
+        )
+        assert plan.node_crashes == [FaultEvent(1.5, 2, "pcie_hang")]
+
+    def test_crash_mtbf_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(4, 10.0, crash_mtbf_s=0.0)

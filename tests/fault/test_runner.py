@@ -1,0 +1,226 @@
+"""ResilientRunner acceptance tests: HPL survives live mid-run crashes
+via checkpoint/restart, with correct numerics and reported overhead."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hpl import HPLConfig, hpl_solve_from_factors, rank_program
+from repro.cluster.power import ClusterPowerModel
+from repro.fault import (
+    CheckpointPolicy,
+    FaultEvent,
+    FaultPlan,
+    ResilientRunner,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline(small_cluster):
+    """Fault-free 8-node model-HPL makespan (the work axis)."""
+    cfg = HPLConfig(n=1024, nb=128)
+    result = small_cluster.make_world(workload="dgemm").run(
+        rank_program(), cfg
+    )
+    return cfg, result.makespan_s
+
+
+def crash_plan(t_s, node=3, n_nodes=8, horizon=100.0):
+    return FaultPlan(
+        [FaultEvent(t_s, node, "pcie_hang")], n_nodes, horizon_s=horizon
+    )
+
+
+class TestRecovery:
+    def test_mid_run_crash_completes_with_overhead(
+        self, small_cluster, baseline
+    ):
+        cfg, t_ff = baseline
+        policy = CheckpointPolicy(0.01, 0.02, interval_s=t_ff / 4)
+        runner = ResilientRunner(
+            small_cluster, crash_plan(t_ff * 0.45), policy
+        )
+        res = runner.run(rank_program(), cfg)
+        assert res.crashes == 1
+        assert len(res.attempts) == 2
+        assert not res.attempts[0].succeeded
+        assert res.attempts[1].succeeded
+        assert res.fault_free_s == pytest.approx(t_ff)
+        assert res.wall_s > res.fault_free_s
+        assert res.overhead_s > 0
+        assert res.lost_work_s > 0
+        assert res.restart_overhead_s == pytest.approx(0.02)
+        assert res.n_nodes_final == 8
+        assert res.mpi_result is not None
+
+    def test_no_faults_no_measurable_slowdown(self, small_cluster, baseline):
+        """With an empty plan and no checkpoints due, the wall clock
+        equals the fault-free makespan exactly."""
+        cfg, t_ff = baseline
+        # Interval longer than the job: zero checkpoints taken.
+        policy = CheckpointPolicy(0.01, 0.02, interval_s=10 * t_ff)
+        runner = ResilientRunner(
+            small_cluster, FaultPlan.none(8, 100.0), policy
+        )
+        res = runner.run(rank_program(), cfg)
+        assert res.crashes == 0
+        assert res.checkpoints == 0
+        assert res.wall_s == t_ff
+        assert res.overhead_fraction == 0.0
+
+    def test_checkpoint_cost_charged_without_faults(
+        self, small_cluster, baseline
+    ):
+        cfg, t_ff = baseline
+        policy = CheckpointPolicy(0.01, 0.02, interval_s=t_ff / 4)
+        res = ResilientRunner(
+            small_cluster, FaultPlan.none(8, 100.0), policy
+        ).run(rank_program(), cfg)
+        assert res.crashes == 0
+        assert res.checkpoints == 4
+        assert res.wall_s == pytest.approx(t_ff + 4 * 0.01)
+
+    def test_deterministic_given_plan(self, small_cluster, baseline):
+        cfg, t_ff = baseline
+        policy = CheckpointPolicy(0.01, 0.02, interval_s=t_ff / 4)
+        runs = [
+            ResilientRunner(
+                small_cluster, crash_plan(t_ff * 0.45), policy
+            ).run(rank_program(), cfg)
+            for _ in range(2)
+        ]
+        assert runs[0].wall_s == runs[1].wall_s
+        assert runs[0].attempts == runs[1].attempts
+
+    def test_wall_decomposes_into_overheads(self, small_cluster, baseline):
+        """wall = fault-free + lost work + checkpoint + restart, exactly.
+
+        Note the crash is *detected* when a survivor next needs the dead
+        rank (panel broadcast), not at the injection instant — lost work
+        is measured from the detection point.
+        """
+        cfg, t_ff = baseline
+        policy = CheckpointPolicy(0.01, 0.02, interval_s=t_ff / 4)
+        res = ResilientRunner(
+            small_cluster, crash_plan(t_ff * 0.45), policy
+        ).run(rank_program(), cfg)
+        assert res.wall_s == pytest.approx(
+            res.fault_free_s
+            + res.lost_work_s
+            + res.checkpoint_overhead_s
+            + res.restart_overhead_s
+        )
+        assert 0 <= res.lost_work_s < res.interval_s
+
+    def test_multiple_crashes(self, small_cluster, baseline):
+        cfg, t_ff = baseline
+        plan = FaultPlan(
+            [
+                FaultEvent(t_ff * 0.4, 2, "pcie_hang"),
+                FaultEvent(t_ff * 0.9, 5, "dram_error"),
+            ],
+            8,
+            horizon_s=100.0,
+        )
+        policy = CheckpointPolicy(0.01, 0.02, interval_s=t_ff / 4)
+        res = ResilientRunner(small_cluster, plan, policy).run(
+            rank_program(), cfg
+        )
+        assert res.crashes == 2
+        assert len(res.attempts) == 3
+        assert res.attempts[-1].succeeded
+        assert res.restart_overhead_s == pytest.approx(0.04)
+
+
+class TestShrink:
+    def test_shrinks_onto_survivors(self, small_cluster, baseline):
+        cfg, t_ff = baseline
+        policy = CheckpointPolicy(0.01, 0.02, interval_s=t_ff / 4)
+        res = ResilientRunner(
+            small_cluster, crash_plan(t_ff * 0.45), policy, shrink=True
+        ).run(rank_program(), cfg)
+        assert res.n_nodes_start == 8
+        assert res.n_nodes_final == 7
+        assert res.attempts[1].n_ranks == 7
+        # Fewer nodes: the tail runs slower than the full-size restart.
+        assert res.wall_s > res.fault_free_s
+
+    def test_progress_fraction_carries_over(self, small_cluster, baseline):
+        """A crash exactly on a checkpoint boundary must NOT look like a
+        finished job after the shrink re-anchoring."""
+        cfg, t_ff = baseline
+        policy = CheckpointPolicy(0.01, 0.02, interval_s=t_ff / 4)
+        res = ResilientRunner(
+            small_cluster, crash_plan(t_ff * 0.5), policy, shrink=True
+        ).run(rank_program(), cfg)
+        second = res.attempts[1]
+        assert second.succeeded
+        # The second attempt still had roughly half the job to do.
+        assert second.end_wall_s - second.start_wall_s > 0.2 * t_ff
+
+
+class TestEnergy:
+    def test_energy_to_solution_reported(self, small_cluster, baseline):
+        cfg, t_ff = baseline
+        policy = CheckpointPolicy(0.01, 0.02, interval_s=t_ff / 4)
+        res = ResilientRunner(
+            small_cluster,
+            crash_plan(t_ff * 0.45),
+            policy,
+            power_model=ClusterPowerModel(),
+        ).run(rank_program(), cfg)
+        assert res.energy_j is not None
+        assert res.fault_free_energy_j is not None
+        assert res.energy_ratio > 1.0  # faults cost energy too
+        assert res.energy_j == pytest.approx(
+            res.fault_free_energy_j * (res.wall_s / res.fault_free_s),
+            rel=1e-6,
+        )
+
+    def test_no_power_model_no_energy(self, small_cluster, baseline):
+        cfg, t_ff = baseline
+        policy = CheckpointPolicy(0.01, 0.02, interval_s=t_ff)
+        res = ResilientRunner(
+            small_cluster, FaultPlan.none(8, 10.0), policy
+        ).run(rank_program(), cfg)
+        assert res.energy_j is None
+        assert res.energy_ratio is None
+
+
+class TestFunctionalNumerics:
+    def test_residual_correct_after_recovery(self, small_cluster):
+        """The acceptance bar: functional HPL on 8 nodes with a live
+        mid-run node crash completes via checkpoint/restart and the
+        recovered factorisation solves the system correctly."""
+        cfg = HPLConfig(n=256, nb=32)
+        prog = rank_program(functional=True)
+        t_ff = small_cluster.make_world(workload="dgemm").run(
+            prog, cfg, 0
+        ).makespan_s
+        policy = CheckpointPolicy(0.001, 0.002, interval_s=t_ff / 5)
+        res = ResilientRunner(
+            small_cluster, crash_plan(t_ff * 0.5, node=2), policy
+        ).run(prog, cfg, 0)
+        assert res.crashes == 1
+        lu, pivots = res.mpi_result.results[0]
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((cfg.n, cfg.n))
+        b = rng.standard_normal(cfg.n)
+        x = hpl_solve_from_factors(lu, pivots, b)
+        resid = np.linalg.norm(a @ x - b) / np.linalg.norm(b)
+        assert resid < 1e-10
+
+
+class TestLinkFaults:
+    def test_link_outage_slows_but_completes(self, small_cluster, baseline):
+        cfg, t_ff = baseline
+        plan = FaultPlan(
+            [FaultEvent(t_ff * 0.2, 1, "link_loss", duration_s=t_ff * 0.1)],
+            8,
+            horizon_s=100.0,
+        )
+        policy = CheckpointPolicy(0.01, 0.02, interval_s=10 * t_ff)
+        res = ResilientRunner(
+            small_cluster, plan, policy, net_kwargs={"rto_s": 0.002}
+        ).run(rank_program(), cfg)
+        assert res.crashes == 0
+        assert res.wall_s > res.fault_free_s  # retransmission delay

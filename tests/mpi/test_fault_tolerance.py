@@ -1,0 +1,248 @@
+"""MPI fault tolerance: rank death, receive timeouts, and the
+structured deadlock diagnostic."""
+
+import pytest
+
+from repro.mpi.api import (
+    ANY_SOURCE,
+    DeadlockError,
+    MPIWorld,
+    RankFailure,
+    RecvTimeout,
+    SyntheticPayload,
+    UniformNetwork,
+)
+from repro.net.nic import PCIE
+from repro.net.protocol import TCP_IP, ProtocolStack
+
+
+def world(n=2):
+    stack = ProtocolStack(TCP_IP, PCIE, core_name="Cortex-A9", freq_ghz=1.0)
+    return MPIWorld(n, UniformNetwork(stack))
+
+
+class TestDeadlockDiagnostics:
+    def test_structured_deadlock_error(self):
+        w = world(2)
+
+        def prog(ctx):
+            # Both ranks wait on each other with no send: classic hang.
+            yield from ctx.recv(1 - ctx.rank, tag=7)
+
+        with pytest.raises(DeadlockError) as ei:
+            w.run(prog)
+        err = ei.value
+        assert sorted(err.unfinished) == ["rank0", "rank1"]
+        assert err.pending == {0: [(1, 7)], 1: [(0, 7)]}
+        assert err.mailboxes == {0: [], 1: []}
+        # Backwards-compatible message prefix + the per-rank detail.
+        assert str(err).startswith("deadlock: ranks never completed")
+        assert "rank 0: pending recv (src, tag): [(1, 7)]" in str(err)
+
+    def test_mailbox_summary_shows_unmatched_messages(self):
+        w = world(2)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, SyntheticPayload(128), tag=3)
+                yield from ctx.recv(1)  # never answered
+            else:
+                yield from ctx.recv(0, tag=9)  # wrong tag: never matches
+
+        with pytest.raises(DeadlockError) as ei:
+            w.run(prog)
+        err = ei.value
+        assert err.pending[1] == [(0, 9)]
+        assert err.mailboxes[1] == [(0, 3, 128)]
+
+    def test_match_on_runtime_error_still_works(self):
+        """DeadlockError subclasses RuntimeError (old call sites)."""
+        w = world(2)
+
+        def prog(ctx):
+            yield from ctx.recv(1 - ctx.rank)
+
+        with pytest.raises(RuntimeError, match="deadlock"):
+            w.run(prog)
+
+
+class TestRecvTimeout:
+    def test_timeout_raises_with_context(self):
+        w = world(2)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                with pytest.raises(RecvTimeout) as ei:
+                    yield from ctx.recv(1, tag=4, timeout=0.5)
+                assert ei.value.rank == 0
+                assert ei.value.src == 1
+                assert ei.value.tag == 4
+                assert ei.value.timeout_s == 0.5
+                return ctx.now
+            return ctx.now
+
+        res = w.run(prog)
+        assert res.results[0] == pytest.approx(0.5)
+
+    def test_message_before_timeout_wins(self):
+        w = world(2)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                msg = yield from ctx.recv(1, timeout=10.0)
+                return msg.nbytes
+            yield from ctx.send(0, SyntheticPayload(64))
+
+        res = w.run(prog)
+        assert res.results[0] == 64
+
+    def test_late_message_lands_in_mailbox_for_retry(self):
+        w = world(2)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                try:
+                    yield from ctx.recv(1, timeout=0.01)
+                except RecvTimeout:
+                    pass
+                msg = yield from ctx.recv(1)  # retry gets the late message
+                return msg.nbytes
+            yield ctx.compute(0.5)  # sender is slow
+            yield from ctx.send(0, SyntheticPayload(256))
+
+        res = w.run(prog)
+        assert res.results[0] == 256
+
+    def test_negative_timeout_rejected(self):
+        w = world(2)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                with pytest.raises(ValueError):
+                    yield from ctx.recv(1, timeout=-1.0)
+            yield ctx.compute(1e-6)
+
+        w.run(prog)
+
+
+class TestKillRank:
+    def test_dead_rank_failure_reraised_by_run(self):
+        w = world(2)
+
+        def prog(ctx):
+            yield ctx.compute(10.0)
+
+        w.spawn_daemon(self._killer(w, 1, 2.0))
+        with pytest.raises(RankFailure) as ei:
+            w.run(prog)
+        assert ei.value.rank == 1
+        # The survivor runs to completion (settle semantics): the clock
+        # stops when the last rank settles, not at the crash.
+        assert w.engine.now == pytest.approx(10.0)
+
+    @staticmethod
+    def _killer(w, rank, at):
+        yield w.engine.timeout(at)
+        w.kill_rank(rank, cause="pcie_hang")
+
+    def test_peer_blocked_on_dead_rank_gets_rank_failure(self):
+        w = world(3)
+        seen = []
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                try:
+                    yield from ctx.recv(1)  # rank 1 dies before sending
+                except RankFailure as f:
+                    seen.append((ctx.rank, f.rank, ctx.now))
+                return "survived"
+            yield ctx.compute(10.0)
+
+        w.spawn_daemon(self._killer(w, 1, 2.0))
+        with pytest.raises(RankFailure):
+            w.run(prog)
+        assert seen == [(0, 1, 2.0)]
+
+    def test_recv_posted_after_death_fails_immediately(self):
+        w = world(3)
+        seen = []
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.compute(5.0)  # rank 1 is dead by now
+                try:
+                    yield from ctx.recv(1)
+                except RankFailure:
+                    seen.append(ctx.now)
+                return "survived"
+            yield ctx.compute(10.0)
+
+        w.spawn_daemon(self._killer(w, 1, 2.0))
+        with pytest.raises(RankFailure):
+            w.run(prog)
+        assert seen == [5.0]
+
+    def test_wildcard_recv_not_failed_surfaces_as_timeout(self):
+        w = world(2)
+        seen = []
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                try:
+                    yield from ctx.recv(ANY_SOURCE, timeout=3.0)
+                except RecvTimeout:
+                    seen.append(ctx.now)
+                return "survived"
+            yield ctx.compute(10.0)
+
+        w.spawn_daemon(self._killer(w, 1, 1.0))
+        with pytest.raises(RankFailure):
+            w.run(prog)
+        assert seen == [pytest.approx(3.0, abs=0.1)]
+
+    def test_send_to_dead_rank_is_dropped(self):
+        w = world(2)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield ctx.compute(3.0)
+                yield from ctx.send(1, SyntheticPayload(1024))
+                return "sent"
+            yield ctx.compute(10.0)
+
+        w.spawn_daemon(self._killer(w, 1, 1.0))
+        with pytest.raises(RankFailure):
+            w.run(prog)
+        assert w.contexts[1]._mailbox == []  # bytes vanished with the node
+
+    def test_kill_is_idempotent(self):
+        w = world(2)
+
+        def killer():
+            yield w.engine.timeout(1.0)
+            w.kill_rank(1, cause="first")
+            w.kill_rank(1, cause="second")  # no double-throw
+
+        def prog(ctx):
+            yield ctx.compute(5.0)
+
+        w.spawn_daemon(killer())
+        with pytest.raises(RankFailure, match="first"):
+            w.run(prog)
+
+    def test_kill_rank_validates_range(self):
+        w = world(2)
+        with pytest.raises(ValueError):
+            w.kill_rank(5)
+
+    def test_daemon_after_completion_does_not_stretch_makespan(self):
+        w = world(2)
+
+        def prog(ctx):
+            yield ctx.compute(1.0)
+            return ctx.now
+
+        w.spawn_daemon(self._killer(w, 1, 50.0))  # never fires
+        res = w.run(prog)
+        assert res.makespan_s == pytest.approx(1.0)
+        assert res.results == [1.0, 1.0]

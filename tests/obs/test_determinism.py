@@ -19,7 +19,7 @@ from repro.obs.replay import (
     record_scenario,
 )
 
-LAYER_SCENARIOS = ("reliability", "imb", "hpl", "pingpong")
+LAYER_SCENARIOS = ("reliability", "imb", "hpl", "pingpong", "faults")
 
 
 @pytest.mark.parametrize("scenario", LAYER_SCENARIOS)

@@ -21,6 +21,7 @@ DATA = pathlib.Path(__file__).resolve().parent.parent / "data"
 GOLDENS = {
     "pingpong": ("pingpong4.trace", 0),
     "hpl": ("hpl8.trace", 0),
+    "faults": ("faults8.trace", 0),
 }
 
 

@@ -1,0 +1,285 @@
+"""Engine failure primitives: Event.fail, failure propagation through
+joins, Process.throw, SimFailure containment, and run_until."""
+
+import pytest
+
+from repro.sim.engine import Engine, Event, Interrupt, SimFailure
+
+
+class Boom(SimFailure):
+    pass
+
+
+class TestEventFail:
+    def test_fail_sets_triggered_and_failed(self):
+        eng = Engine()
+        ev = eng.event()
+        exc = Boom("x")
+        ev.fail(exc)
+        assert ev.triggered
+        assert ev.failed is exc
+
+    def test_fail_twice_rejected(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.fail(Boom())
+        with pytest.raises(RuntimeError):
+            ev.fail(Boom())
+        ev2 = eng.event()
+        ev2.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev2.fail(Boom())
+
+    def test_waiter_has_exception_thrown(self):
+        eng = Engine()
+        ev = eng.event()
+        log = []
+
+        def proc():
+            try:
+                yield ev
+            except Boom:
+                log.append(("caught", eng.now))
+
+        eng.process(proc())
+        eng.timeout(2.0).callbacks.append(lambda _e: ev.fail(Boom()))
+        eng.run()
+        assert log == [("caught", 2.0)]
+
+    def test_waiting_on_already_failed_event_throws(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.fail(Boom())
+        log = []
+
+        def proc():
+            try:
+                yield ev
+            except Boom:
+                log.append("caught")
+
+        eng.process(proc())
+        eng.run()
+        assert log == ["caught"]
+
+
+class TestJoinFailurePropagation:
+    def test_all_of_fails_with_first_constituent_failure(self):
+        eng = Engine()
+        e1, e2 = eng.event(), eng.event()
+        log = []
+
+        def proc():
+            try:
+                yield eng.all_of([e1, e2])
+            except Boom:
+                log.append(eng.now)
+
+        eng.process(proc())
+        eng.timeout(1.0).callbacks.append(lambda _e: e1.fail(Boom()))
+        # e2 fires AFTER the join already failed; must not re-fire it.
+        eng.timeout(2.0).callbacks.append(lambda _e: e2.succeed(5))
+        eng.run()
+        assert log == [1.0]
+
+    def test_all_of_with_prefailed_constituent(self):
+        eng = Engine()
+        e1 = eng.event()
+        e1.fail(Boom())
+        joined = eng.all_of([e1, eng.timeout(1.0)])
+        assert joined.triggered
+        assert isinstance(joined.failed, Boom)
+
+    def test_all_of_success_unaffected(self):
+        eng = Engine()
+        joined = eng.all_of([eng.timeout(1.0, "a"), eng.timeout(2.0, "b")])
+        eng.run()
+        assert joined.value == ["a", "b"]
+
+    def test_any_of_failure_first_propagates(self):
+        eng = Engine()
+        ev = eng.event()
+        log = []
+
+        def proc():
+            try:
+                yield eng.any_of([ev, eng.timeout(5.0)])
+            except Boom:
+                log.append(eng.now)
+
+        eng.process(proc())
+        eng.timeout(1.0).callbacks.append(lambda _e: ev.fail(Boom()))
+        eng.run()
+        assert log == [1.0]
+
+    def test_any_of_success_first_ignores_later_failure(self):
+        eng = Engine()
+        ev = eng.event()
+
+        def proc():
+            got = yield eng.any_of([eng.timeout(1.0, "fast"), ev])
+            return got
+
+        p = eng.process(proc())
+        eng.timeout(2.0).callbacks.append(lambda _e: ev.fail(Boom()))
+        eng.run()
+        assert p.result == "fast"
+
+    def test_any_of_prefailed_constituent(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.fail(Boom())
+        joined = eng.any_of([ev, eng.timeout(1.0)])
+        assert joined.triggered
+        assert isinstance(joined.failed, Boom)
+
+
+class TestProcessThrow:
+    def test_throw_into_waiting_process(self):
+        eng = Engine()
+        log = []
+
+        def victim():
+            try:
+                yield eng.timeout(100.0)
+            except Boom:
+                log.append(("died", eng.now))
+                raise
+
+        p = eng.process(victim())
+
+        def killer():
+            yield eng.timeout(3.0)
+            p.throw(Boom("killed"))
+
+        eng.process(killer())
+        eng.run()
+        assert log == [("died", 3.0)]
+        assert p.done
+        assert isinstance(p.failure, Boom)
+
+    def test_throw_on_done_process_is_noop(self):
+        eng = Engine()
+
+        def quick():
+            yield eng.timeout(1.0)
+            return "done"
+
+        p = eng.process(quick())
+        eng.run()
+        assert p.done
+        p.throw(Boom())  # must not raise or resurrect
+        eng.run()
+        assert p.result == "done"
+
+    def test_interrupt_still_works(self):
+        eng = Engine()
+        log = []
+
+        def victim():
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt as i:
+                log.append(i.cause)
+
+        p = eng.process(victim())
+
+        def killer():
+            yield eng.timeout(1.0)
+            p.interrupt("reason")
+
+        eng.process(killer())
+        eng.run()
+        assert log == ["reason"]
+
+
+class TestSimFailureContainment:
+    def test_simfailure_is_contained(self):
+        """A SimFailure kills only its process; the engine keeps going."""
+        eng = Engine()
+
+        def dies():
+            yield eng.timeout(1.0)
+            raise Boom("modelled fault")
+
+        def lives():
+            yield eng.timeout(2.0)
+            return "alive"
+
+        dead = eng.process(dies())
+        ok = eng.process(lives())
+        eng.run()  # must not raise
+        assert isinstance(dead.failure, Boom)
+        assert dead.done
+        assert isinstance(dead.completion.failed, Boom)
+        assert ok.result == "alive"
+
+    def test_programming_error_still_aborts(self):
+        eng = Engine()
+
+        def buggy():
+            yield eng.timeout(1.0)
+            raise ValueError("bug")
+
+        eng.process(buggy())
+        with pytest.raises(ValueError, match="bug"):
+            eng.run()
+
+    def test_joiner_sees_contained_failure(self):
+        eng = Engine()
+
+        def dies():
+            yield eng.timeout(1.0)
+            raise Boom()
+
+        dead = eng.process(dies())
+        log = []
+
+        def joiner():
+            try:
+                yield dead
+            except Boom:
+                log.append("propagated")
+
+        eng.process(joiner())
+        eng.run()
+        assert log == ["propagated"]
+
+
+class TestRunUntil:
+    def test_stops_at_event_and_abandons_heap(self):
+        eng = Engine()
+        fired = []
+
+        def job():
+            yield eng.timeout(1.0)
+            return "done"
+
+        p = eng.process(job())
+        eng.timeout(100.0).callbacks.append(lambda _e: fired.append(100))
+        t = eng.run_until(p.completion)
+        assert t == 1.0
+        assert eng.now == 1.0
+        assert p.result == "done"
+        assert fired == []  # the 100 s timer was abandoned, not fired
+
+    def test_stops_on_failure_too(self):
+        eng = Engine()
+
+        def dies():
+            yield eng.timeout(1.0)
+            raise Boom()
+
+        p = eng.process(dies())
+        eng.timeout(50.0)
+        t = eng.run_until(p.completion)
+        assert t == 1.0
+        assert isinstance(p.failure, Boom)
+
+    def test_returns_when_heap_drains_without_event(self):
+        eng = Engine()
+        ev = eng.event()  # never fired
+        eng.timeout(2.0)
+        t = eng.run_until(ev)
+        assert t == 2.0
+        assert not ev.triggered
