@@ -1,3 +1,11 @@
+# FROZEN REFERENCE — the event engine exactly as shipped by the seed
+# tree (pre slotted-heap optimisation), kept verbatim for the perf
+# harness: `python -m repro bench engine` times the same benchmark
+# bodies against this scheduler and the live one back-to-back, so the
+# `speedup_vs_seed` figures in BENCH_engine.json are measured on the
+# machine at hand rather than read from a table (immune to host-speed
+# differences and load noise).  Do not modify and do not import from
+# src/.
 """A minimal deterministic discrete-event engine.
 
 Design:
@@ -11,20 +19,9 @@ Design:
 * :class:`Engine` — the event heap and clock.  Ties are broken by a
   monotonically increasing sequence number, so runs are deterministic.
 
-The engine is single-threaded and allocation-light.  Heap entries are
-plain slotted tuples ``(time, seq, kind, obj, arg)`` where ``kind`` is a
-small integer dispatched by the run loop — no per-schedule closure is
-ever allocated on the hot path (``timeout``/``_ready``/
-``_schedule_throw``).  Arbitrary callables still go through
-:meth:`Engine._push` as ``_KIND_CALL`` entries.  Because every schedule
-point consumes exactly one sequence number, exactly as the closure-based
-scheduler did, the execution order — and therefore every canonical
-trace — is byte-identical to the previous implementation (pinned by the
-golden traces under ``tests/data/``).
-
-A 192-rank MPI program with tens of thousands of messages simulates in
-well under a second, which is what the Figure 6 scalability sweeps need;
-``python -m repro bench`` tracks the scheduler's throughput over time.
+The engine is single-threaded and allocation-light: a 192-rank MPI
+program with tens of thousands of messages simulates in well under a
+second, which is what the Figure 6 scalability sweeps need.
 """
 
 from __future__ import annotations
@@ -33,17 +30,6 @@ import heapq
 from typing import Any, Callable, Generator, Iterable
 
 from repro.obs.recorder import current as _obs_current
-
-_heappush = heapq.heappush
-_heappop = heapq.heappop
-
-#: Heap-entry kinds, dispatched without closure allocation.  Ordered by
-#: observed frequency in the MPI workloads (timeouts dominate: every
-#: compute span, CPU occupancy and wire transfer is one).
-_KIND_TIMEOUT = 0  # obj = Event, arg = value  -> obj.succeed(arg)
-_KIND_STEP = 1     # obj = Process, arg = value -> obj._step(arg)
-_KIND_THROW = 2    # obj = Process, arg = exc  -> obj._step(None, arg)
-_KIND_CALL = 3     # obj = callable, arg unused -> obj()
 
 
 class Interrupt(Exception):
@@ -81,12 +67,7 @@ class Event:
         self.triggered = False
         self.value: Any = None
         self.failed: BaseException | None = None
-        # Lazily allocated: most events (every timeout) gain at most one
-        # waiter and zero callbacks, so the empty list would be pure
-        # allocation overhead on the hot path.  ``callbacks`` stays a
-        # real list — it is part of the public surface (join code and
-        # the MPI layer append to it directly).
-        self._waiters: list[Process] | None = None
+        self._waiters: list[Process] = []
         self.callbacks: list[Callable[[Event], None]] = []
 
     def succeed(self, value: Any = None) -> "Event":
@@ -99,28 +80,12 @@ class Event:
             raise RuntimeError("event already triggered")
         self.triggered = True
         self.value = value
-        if self.callbacks:
-            callbacks, self.callbacks = self.callbacks, []
-            for cb in callbacks:
-                cb(self)
-        waiters = self._waiters
-        if waiters:
-            self._waiters = None
-            engine = self.engine
-            if engine._rec is None:
-                # Fast path: the dominant timeout -> single-waiter ->
-                # step chain pushes the step entry directly, with no
-                # recorder bump and no intermediate method call.
-                heap = engine._heap
-                now = engine.now
-                seq = engine._seq
-                for proc in waiters:
-                    _heappush(heap, (now, seq, _KIND_STEP, proc, value))
-                    seq += 1
-                engine._seq = seq
-            else:
-                for proc in waiters:
-                    engine._ready(proc, value)
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.engine._ready(proc, value)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -131,15 +96,12 @@ class Event:
             raise RuntimeError("event already triggered")
         self.triggered = True
         self.failed = exc
-        if self.callbacks:
-            callbacks, self.callbacks = self.callbacks, []
-            for cb in callbacks:
-                cb(self)
-        waiters = self._waiters
-        if waiters:
-            self._waiters = None
-            for proc in waiters:
-                self.engine._schedule_throw(proc, exc)
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.engine._schedule_throw(proc, exc)
         return self
 
     def add_waiter(self, proc: "Process") -> None:
@@ -148,8 +110,6 @@ class Event:
                 self.engine._schedule_throw(proc, self.failed)
             else:
                 self.engine._ready(proc, self.value)
-        elif self._waiters is None:
-            self._waiters = [proc]
         else:
             self._waiters.append(proc)
 
@@ -163,11 +123,10 @@ class Event:
         workloads ever wait thousands of processes on one event, replace
         the list with an ordered dict keyed by process.
         """
-        if self._waiters is not None:
-            try:
-                self._waiters.remove(proc)
-            except ValueError:
-                pass
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
 
     def remove_callback(self, cb: Callable[["Event"], None]) -> None:
         """Remove every occurrence of ``cb`` (O(n) in callback count)."""
@@ -179,7 +138,7 @@ class Process:
 
     __slots__ = (
         "engine", "gen", "name", "done", "result", "failure",
-        "_completion", "_waiting_on", "_rec",
+        "_completion", "_waiting_on",
     )
 
     def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
@@ -191,7 +150,6 @@ class Process:
         self.failure: SimFailure | None = None
         self._completion = Event(engine)
         self._waiting_on: Event | None = None
-        self._rec = engine._rec  # fixed for the engine's lifetime
 
     @property
     def completion(self) -> Event:
@@ -214,20 +172,9 @@ class Process:
         self.engine._schedule_throw(self, exc)
 
     def _step(self, value: Any = None, exc: BaseException | None = None) -> None:
-        if self.done:
-            # Stale wakeup: a same-timestamp step that completed the
-            # process was already dispatched (e.g. an event succeeded
-            # and a throw was queued behind it).  Stepping the finished
-            # generator would leak the exception out of Engine.run.
-            return
-        rec = self._rec
+        rec = self.engine._rec
         if rec is not None:
             rec.instant(f"step:{self.name}", "engine", self.engine.now)
-        if exc is not None and self._waiting_on is not None:
-            # A queued throw dispatched after the process re-armed on
-            # another event: withdraw from that event's waiter list, or
-            # its later firing would step a wait that no longer exists.
-            self._waiting_on.remove_waiter(self)
         self._waiting_on = None
         try:
             if exc is not None:
@@ -247,27 +194,15 @@ class Process:
             self.failure = failure
             self._completion.fail(failure)
             return
-        cls = target.__class__
-        if cls is not Event:
-            if cls is Process or isinstance(target, Process):
-                target = target._completion
-            elif not isinstance(target, Event):
-                raise TypeError(
-                    f"process {self.name!r} yielded {type(target).__name__}; "
-                    "processes must yield Event or Process objects"
-                )
+        if isinstance(target, Process):
+            target = target.completion
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {type(target).__name__}; "
+                "processes must yield Event or Process objects"
+            )
         self._waiting_on = target
-        # Inlined Event.add_waiter — this is the single hottest call
-        # site (every yield lands here).
-        if target.triggered:
-            if target.failed is not None:
-                self.engine._schedule_throw(self, target.failed)
-            else:
-                self.engine._ready(self, target.value)
-        elif target._waiters is None:
-            target._waiters = [self]
-        else:
-            target._waiters.append(self)
+        target.add_waiter(self)
 
 
 class Engine:
@@ -279,37 +214,27 @@ class Engine:
     and every hook reduces to one ``is None`` check.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_active", "_rec")
-
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: list[tuple[float, int, int, Any, Any]] = []
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._active = 0  # live (not finished) processes
         self._rec = _obs_current()
 
     # -- low-level scheduling --------------------------------------------
     def _push(self, time: float, fn: Callable[[], None]) -> None:
-        """Schedule an arbitrary callable (the slow, general entry —
-        internal hot paths push typed entries directly)."""
         if time < self.now - 1e-15:
             raise ValueError("cannot schedule in the past")
         if self._rec is not None:
             self._rec.bump("engine.scheduled")
-        _heappush(self._heap, (time, self._seq, _KIND_CALL, fn, None))
+        heapq.heappush(self._heap, (time, self._seq, fn))
         self._seq += 1
 
     def _ready(self, proc: Process, value: Any) -> None:
-        if self._rec is not None:
-            self._rec.bump("engine.scheduled")
-        _heappush(self._heap, (self.now, self._seq, _KIND_STEP, proc, value))
-        self._seq += 1
+        self._push(self.now, lambda: proc._step(value))
 
     def _schedule_throw(self, proc: Process, exc: BaseException) -> None:
-        if self._rec is not None:
-            self._rec.bump("engine.scheduled")
-        _heappush(self._heap, (self.now, self._seq, _KIND_THROW, proc, exc))
-        self._seq += 1
+        self._push(self.now, lambda: proc._step(exc=exc))
 
     # -- public API --------------------------------------------------------
     def event(self) -> Event:
@@ -321,31 +246,22 @@ class Engine:
         if delay < 0:
             raise ValueError("delay must be non-negative")
         ev = Event(self)
-        if self._rec is not None:
-            self._rec.bump("engine.scheduled")
-        _heappush(self._heap, (self.now + delay, self._seq, _KIND_TIMEOUT, ev, value))
-        self._seq += 1
+        self._push(self.now + delay, lambda: ev.succeed(value))
         return ev
 
     def process(self, gen: Generator, name: str = "") -> Process:
         """Start a generator as a simulated process (runs from now)."""
         proc = Process(self, gen, name=name)
         self._active += 1
-        proc._completion.callbacks.append(self._finished)
-        if self._rec is not None:
-            self._rec.bump("engine.scheduled")
-        _heappush(self._heap, (self.now, self._seq, _KIND_STEP, proc, None))
-        self._seq += 1
+        proc.completion.callbacks.append(lambda _ev: self._finished())
+        self._push(self.now, lambda: proc._step(None))
         return proc
 
-    def _finished(self, _ev: Event) -> None:
+    def _finished(self) -> None:
         self._active -= 1
 
     def all_of(self, events: Iterable[Event | Process]) -> Event:
         """An event that fires when every given event has fired.
-
-        ``all_of([])`` succeeds immediately with ``[]`` — the vacuous
-        join (a rank with zero outstanding sends is done waiting).
 
         If any constituent *fails*, the join fails immediately with the
         same exception — a rank waiting on a batch of sends/receives
@@ -382,11 +298,6 @@ class Engine:
         """An event that fires when the FIRST of the given events fires,
         carrying that event's value.  Later firings are ignored.
 
-        ``any_of([])`` raises :class:`ValueError`: there is no first of
-        nothing, and the old behaviour — an event that never fires —
-        silently deadlocked any waiter (contrast ``all_of([])``, which
-        is a well-defined vacuous join and succeeds immediately).
-
         On first fire the join callback is removed from every *losing*
         event, so long-lived losers (e.g. a 100 s watchdog timeout that
         lost to a fast receive) do not pin the joined event — and
@@ -394,11 +305,6 @@ class Engine:
         Removal is O(total callbacks across the losers), paid once.
         """
         evs = [e.completion if isinstance(e, Process) else e for e in events]
-        if not evs:
-            raise ValueError(
-                "any_of([]) can never fire; a waiter would deadlock "
-                "(all_of([]) is the vacuous join that succeeds)"
-            )
         joined = Event(self)
         for e in evs:
             if e.triggered:
@@ -426,50 +332,17 @@ class Engine:
 
     def run(self, until: float | None = None) -> float:
         """Execute events until the heap drains (or ``until`` is reached).
-        Returns the final simulation time, which is ``until`` when one
-        was given and is ahead of the last dispatched event — whether
-        the loop stopped at a future event or the heap drained early —
-        so ``run(until=t)`` always leaves ``now`` at ``t`` at least.
-        """
+        Returns the final simulation time."""
         if self._rec is not None:
             return self._run_traced(until)
-        heap = self._heap
-        pop = _heappop
-        push = _heappush
-        bounded = until is not None
-        while heap:
-            if bounded and heap[0][0] > until:
+        while self._heap:
+            time, _seq, fn = self._heap[0]
+            if until is not None and time > until:
                 self.now = until
-                return until
-            time, _seq, kind, obj, arg = pop(heap)
+                return self.now
+            heapq.heappop(self._heap)
             self.now = time
-            if kind == _KIND_TIMEOUT:
-                # Inlined Event.succeed for the dominant case — a timer
-                # firing straight into its (usually single) waiter.
-                if obj.triggered:
-                    raise RuntimeError("event already triggered")
-                obj.triggered = True
-                obj.value = arg
-                if obj.callbacks:
-                    callbacks, obj.callbacks = obj.callbacks, []
-                    for cb in callbacks:
-                        cb(obj)
-                waiters = obj._waiters
-                if waiters:
-                    obj._waiters = None
-                    seq = self._seq
-                    for proc in waiters:
-                        push(heap, (time, seq, _KIND_STEP, proc, arg))
-                        seq += 1
-                    self._seq = seq
-            elif kind == _KIND_STEP:
-                obj._step(arg)
-            elif kind == _KIND_THROW:
-                obj._step(None, arg)
-            else:
-                obj()
-        if bounded and self.now < until:
-            self.now = until
+            fn()
         return self.now
 
     def run_until(self, event: Event) -> float:
@@ -480,44 +353,25 @@ class Engine:
         the job completes (or dies), not when the last watchdog expires.
         """
         rec = self._rec
-        heap = self._heap
-        pop = _heappop
-        while heap and not event.triggered:
-            time, seq, kind, obj, arg = pop(heap)
+        while self._heap and not event.triggered:
+            time, seq, fn = heapq.heappop(self._heap)
             self.now = time
             if rec is not None:
                 rec.instant("fire", "engine", time, seq=seq)
-            if kind == _KIND_TIMEOUT:
-                obj.succeed(arg)
-            elif kind == _KIND_STEP:
-                obj._step(arg)
-            elif kind == _KIND_THROW:
-                obj._step(None, arg)
-            else:
-                obj()
+            fn()
         return self.now
 
     def _run_traced(self, until: float | None) -> float:
         """The :meth:`run` loop with a fire instant per dispatched event
         — kept separate so the untraced loop stays branch-free."""
         rec = self._rec
-        heap = self._heap
-        pop = _heappop
-        while heap:
-            if until is not None and heap[0][0] > until:
+        while self._heap:
+            time, seq, fn = self._heap[0]
+            if until is not None and time > until:
                 self.now = until
-                return until
-            time, seq, kind, obj, arg = pop(heap)
+                return self.now
+            heapq.heappop(self._heap)
             self.now = time
             rec.instant("fire", "engine", time, seq=seq)
-            if kind == _KIND_TIMEOUT:
-                obj.succeed(arg)
-            elif kind == _KIND_STEP:
-                obj._step(arg)
-            elif kind == _KIND_THROW:
-                obj._step(None, arg)
-            else:
-                obj()
-        if until is not None and self.now < until:
-            self.now = until
+            fn()
         return self.now

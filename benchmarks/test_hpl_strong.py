@@ -41,7 +41,7 @@ def test_hpl_strong_scaling_vs_input_size(benchmark):
 def test_tracing_finds_nothing_on_clean_runs(benchmark):
     """The post-mortem trace analysis of Section 4 over a healthy run:
     no stalls (the original study found NFS timeouts this way)."""
-    from repro.mpi.tracing import traced_world
+    from repro.obs.messages import traced_world
     from repro.mpi.collectives import allreduce
     from repro.mpi.api import SyntheticPayload
 

@@ -14,7 +14,7 @@ Usage::
 from repro.cluster.cluster import tibidabo
 from repro.mpi.api import SyntheticPayload
 from repro.mpi.collectives import allreduce
-from repro.mpi.tracing import MessageRecord, TraceAnalysis, traced_world
+from repro.obs.messages import MessageRecord, TraceAnalysis, traced_world
 
 
 def hydro_like(ctx, steps=6, grid=800):

@@ -24,6 +24,11 @@ Fault tolerance (see :mod:`repro.fault`)::
 
     python -m repro faults                       # HPL-under-faults campaign
     python -m repro faults --shrink --mtbf-x 2 1 # shrink-to-survivors sweep
+
+Performance benchmarks (see :mod:`repro.perf`)::
+
+    python -m repro bench                        # writes BENCH_*.json
+    python -m repro bench engine --check         # perf-regression gate
 """
 
 from __future__ import annotations
@@ -162,6 +167,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.fault.cli import faults_main
 
         return faults_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.perf.cli import bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate artefacts of the SC'13 mobile-SoC study.",

@@ -48,6 +48,32 @@ class MobileSoCStudy:
         self.platforms = dict(PLATFORMS)
         self.kernels = all_kernels()
         self.baseline = get_platform("Tegra2")
+        # Executors are cached per platform object so their memoized
+        # kernel timings survive across figures — figure 3, figure 4,
+        # the speedup tables and the comparison report all re-time the
+        # same operating points.
+        self._executors: dict[int, SimulatedExecutor] = {}
+        self._base_times: dict[str, float] | None = None
+
+    def _executor(self, platform) -> SimulatedExecutor:
+        """The memoizing executor for ``platform`` (identity-keyed, so a
+        swapped-out platform model gets a fresh executor)."""
+        ex = self._executors.get(id(platform))
+        if ex is None or ex.platform is not platform:
+            ex = SimulatedExecutor(platform)
+            self._executors[id(platform)] = ex
+        return ex
+
+    def baseline_times(self) -> dict[str, float]:
+        """Tegra 2 @1 GHz serial per-kernel times — the denominator of
+        every speedup in Figures 3/4; computed once per study."""
+        if self._base_times is None:
+            base_ex = self._executor(self.baseline)
+            self._base_times = {
+                k.tag: base_ex.time_kernel(k, 1.0, cores=1).time_s
+                for k in self.kernels
+            }
+        return self._base_times
 
     # ------------------------------------------------------------------
     # Section 1 artefacts.
@@ -103,16 +129,14 @@ class MobileSoCStudy:
         """
         base_cores = 1
         meter = PowerMeter(seed=self.seed)
-        base_ex = SimulatedExecutor(self.baseline)
-        base_times = {
-            k.tag: base_ex.time_kernel(k, 1.0, cores=base_cores).time_s
-            for k in self.kernels
-        }
+        base_ex = self._executor(self.baseline)
+        base_times = self.baseline_times()
         base_energy = float(
             np.mean(
                 [
                     measure_kernel(
-                        self.baseline, k, 1.0, cores=base_cores, meter=meter
+                        self.baseline, k, 1.0, cores=base_cores,
+                        meter=meter, executor=base_ex,
                     )[1].energy_j
                     for k in self.kernels
                 ]
@@ -121,7 +145,7 @@ class MobileSoCStudy:
         out: dict[str, list[dict[str, float]]] = {}
         for name, platform in self.platforms.items():
             cores = 1 if cores_mode == "single" else platform.soc.n_cores
-            ex = SimulatedExecutor(platform)
+            ex = self._executor(platform)
             series = []
             for freq in platform.soc.dvfs.frequencies():
                 sp = _geomean(
@@ -135,7 +159,8 @@ class MobileSoCStudy:
                     np.mean(
                         [
                             measure_kernel(
-                                platform, k, freq, cores=cores, meter=meter
+                                platform, k, freq, cores=cores,
+                                meter=meter, executor=ex,
                             )[1].energy_j
                             for k in self.kernels
                         ]
@@ -157,11 +182,11 @@ class MobileSoCStudy:
         """Geometric-mean kernel speedup of a platform operating point
         over Tegra 2 @1 GHz serial — the Figure 3 y-axis, computable at
         arbitrary frequencies (the i7 has no exact 1 GHz DVFS point)."""
-        base_ex = SimulatedExecutor(self.baseline)
-        ex = SimulatedExecutor(self.platforms[platform_name])
+        base_times = self.baseline_times()
+        ex = self._executor(self.platforms[platform_name])
         return _geomean(
             [
-                base_ex.time_kernel(k, 1.0, cores=1).time_s
+                base_times[k.tag]
                 / ex.time_kernel(k, freq_ghz, cores=cores).time_s
                 for k in self.kernels
             ]
@@ -174,10 +199,10 @@ class MobileSoCStudy:
         behind the Figure 3 averages.  Section 3.1.1 attributes Tegra 3's
         aggregate gain to "memory-intensive micro-kernels"; this view
         makes that attribution testable."""
-        base_ex = SimulatedExecutor(self.baseline)
-        ex = SimulatedExecutor(self.platforms[platform_name])
+        base_times = self.baseline_times()
+        ex = self._executor(self.platforms[platform_name])
         return {
-            k.tag: base_ex.time_kernel(k, 1.0, cores=1).time_s
+            k.tag: base_times[k.tag]
             / ex.time_kernel(k, freq_ghz, cores=cores).time_s
             for k in self.kernels
         }

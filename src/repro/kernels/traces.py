@@ -15,7 +15,8 @@ validation uses reduced sizes with identical structure.
 
 from __future__ import annotations
 
-from typing import Iterator
+from functools import lru_cache
+from typing import Iterable, Iterator
 
 from repro.arch.cache import CacheConfig, CacheHierarchy
 
@@ -84,12 +85,36 @@ TRACES = {
 }
 
 
+@lru_cache(maxsize=64)
+def cached_trace(name: str, *args: int) -> tuple[tuple[int, bool], ...]:
+    """A materialised, memoized address trace.
+
+    The generators above are pure functions of their integer arguments,
+    but validation sweeps re-request the same (kernel, size) traces for
+    every cache configuration under test — each regeneration re-executes
+    the full nested loops.  This returns the trace as an immutable tuple
+    computed once per argument set; callers can replay it any number of
+    times.  ``name`` must be a key of :data:`TRACES`.
+    """
+    try:
+        gen = TRACES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace {name!r}; available: {sorted(TRACES)}"
+        ) from None
+    return tuple(gen(*args))
+
+
 def replay(
-    trace: Iterator[tuple[int, bool]],
+    trace: Iterable[tuple[int, bool]],
     levels: list[CacheConfig],
     dram_latency_cycles: float = 100.0,
 ) -> CacheHierarchy:
-    """Feed a trace through a fresh hierarchy; returns it for stats."""
+    """Feed a trace through a fresh hierarchy; returns it for stats.
+
+    Accepts any iterable of ``(address, is_write)`` pairs — a lazy
+    generator or a :func:`cached_trace` tuple.
+    """
     hier = CacheHierarchy(levels, dram_latency_cycles)
     for addr, write in trace:
         hier.access(addr, write=write)

@@ -165,6 +165,57 @@ class UniformNetwork:
         return self.stack.cpu_occupancy_s(nbytes)
 
 
+class _Delivery:
+    """Deferred arrival of one in-flight message.
+
+    A slotted callable attached to the wire-transfer timeout instead of
+    a per-send closure: ``isend`` is the hottest MPI path and a closure
+    allocates one cell per captured variable per message.  Reads
+    ``engine._rec`` at fire time — identical to capture time, since an
+    engine's recorder is fixed at construction."""
+
+    __slots__ = ("world", "src", "dst", "tag", "payload", "nbytes", "sent_at")
+
+    def __init__(
+        self,
+        world: "MPIWorld",
+        src: int,
+        dst: int,
+        tag: int,
+        payload: Any,
+        nbytes: int,
+        sent_at: float,
+    ) -> None:
+        self.world = world
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.sent_at = sent_at
+
+    def __call__(self, _ev: Event) -> None:
+        world = self.world
+        engine = world.engine
+        now = engine.now
+        msg = Message(
+            src=self.src,
+            dst=self.dst,
+            tag=self.tag,
+            payload=self.payload,
+            nbytes=self.nbytes,
+            sent_at=self.sent_at,
+            received_at=now,
+        )
+        rec = engine._rec
+        if rec is not None:
+            rec.instant(
+                "deliver", "net", now,
+                rank=self.dst, src=self.src, bytes=self.nbytes, tag=self.tag,
+            )
+        world.contexts[self.dst]._deliver(msg)
+
+
 @dataclass
 class RankStats:
     """Accounting per rank."""
@@ -250,24 +301,9 @@ class RankContext:
                 rank=self.rank,
             )
 
-        def deliver(_ev: Event) -> None:
-            msg = Message(
-                src=self.rank,
-                dst=dst,
-                tag=tag,
-                payload=payload,
-                nbytes=nbytes,
-                sent_at=sent_at,
-                received_at=engine.now,
-            )
-            if rec is not None:
-                rec.instant(
-                    "deliver", "net", engine.now,
-                    rank=dst, src=self.rank, bytes=nbytes, tag=tag,
-                )
-            self.world.contexts[dst]._deliver(msg)
-
-        engine.timeout(transfer).callbacks.append(deliver)
+        engine.timeout(transfer).callbacks.append(
+            _Delivery(self.world, self.rank, dst, tag, payload, nbytes, sent_at)
+        )
         return engine.timeout(occupy)
 
     def _deliver(self, msg: Message) -> None:

@@ -7,13 +7,26 @@ The Paraver-style per-message capture/analysis now lives in
 and the deterministic-replay harness (:mod:`repro.obs.replay`).  This
 module re-exports the public names so existing imports keep working;
 prefer importing from :mod:`repro.obs.messages` in new code.
+
+Importing this module emits a :class:`DeprecationWarning`; the shim
+will be removed once nothing in-tree or downstream imports it (it is
+kept for one more release cycle).
 """
+
+import warnings
 
 from repro.obs.messages import (
     MessageRecord,
     TraceAnalysis,
     Tracer,
     traced_world,
+)
+
+warnings.warn(
+    "repro.mpi.tracing is deprecated; import from repro.obs.messages "
+    "instead (this shim will be removed in a future release)",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["MessageRecord", "TraceAnalysis", "Tracer", "traced_world"]

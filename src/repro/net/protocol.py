@@ -130,6 +130,11 @@ class ProtocolStack:
         self.link = link
         self.core_name = core_name
         self.freq_ghz = freq_ghz
+        # Per-size memo tables: latency and occupancy are pure functions
+        # of nbytes for a fixed stack, and MPI workloads price the same
+        # handful of message sizes millions of times.
+        self._lat_memo: dict[int, float] = {}
+        self._occ_memo: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -172,7 +177,10 @@ class ProtocolStack:
         return self.link.wire_ns_per_byte() + sw
 
     def one_way_latency_us(self, nbytes: int) -> float:
-        """One-way time for an ``nbytes`` message, µs."""
+        """One-way time for an ``nbytes`` message, µs (memoized per size)."""
+        cached = self._lat_memo.get(nbytes)
+        if cached is not None:
+            return cached
         lat = self.small_message_latency_us() + nbytes * self.ns_per_byte(nbytes) / 1e3
         rdv = (
             self.protocol.rendezvous_bytes is not None
@@ -181,6 +189,7 @@ class ProtocolStack:
         if rdv:
             # Rendezvous handshake: one extra control round trip.
             lat += 2.0 * self.small_message_latency_us()
+        self._lat_memo[nbytes] = lat
         return lat
 
     def transfer_time_s(self, nbytes: int) -> float:
@@ -215,7 +224,11 @@ class ProtocolStack:
     # ------------------------------------------------------------------
     def cpu_occupancy_s(self, nbytes: int) -> float:
         """Sender CPU time consumed per message (the overhead that
-        competes with computation; used by the overlap model)."""
+        competes with computation; used by the overlap model).
+        Memoized per size, like :meth:`one_way_latency_us`."""
+        cached = self._occ_memo.get(nbytes)
+        if cached is not None:
+            return cached
         rdv = (
             self.protocol.rendezvous_bytes is not None
             and nbytes >= self.protocol.rendezvous_bytes
@@ -231,7 +244,8 @@ class ProtocolStack:
             / self._cpu_scale
             * 1e-9
         )
-        return per_msg + nbytes * per_byte
+        occ = self._occ_memo[nbytes] = per_msg + nbytes * per_byte
+        return occ
 
     def describe(self) -> str:
         return (

@@ -100,15 +100,22 @@ class TraceRecorder:
     ) -> None:
         if t1 < t0:
             raise ValueError(f"span {name!r} ends before it starts")
+        # No-args emissions dominate hot traced runs; skip the dict sort.
         self.spans.append(
-            SpanRecord(name, cat, rank, t0, t1, tuple(sorted(args.items())))
+            SpanRecord(
+                name, cat, rank, t0, t1,
+                tuple(sorted(args.items())) if args else (),
+            )
         )
 
     def instant(
         self, name: str, cat: str, t: float, rank: int = 0, **args: Any
     ) -> None:
         self.instants.append(
-            InstantRecord(name, cat, rank, t, tuple(sorted(args.items())))
+            InstantRecord(
+                name, cat, rank, t,
+                tuple(sorted(args.items())) if args else (),
+            )
         )
 
     def counter(

@@ -1,0 +1,37 @@
+"""Performance-regression harness.
+
+Microbenchmarks for the three hot layers of the simulator — the event
+engine, the MPI point-to-point path, and the end-to-end application
+studies — plus the machinery to persist results as ``BENCH_*.json``
+documents and compare them against a committed baseline with a
+tolerance (the CI perf gate).
+
+Entry points:
+
+* ``python -m repro bench`` — run the suites, write ``BENCH_engine.json``
+  / ``BENCH_mpi.json`` / ``BENCH_apps.json``.
+* :func:`repro.perf.compare.check_against_baseline` — the regression
+  gate used by CI and by ``bench --check``.
+
+See DESIGN.md §9 for methodology (best-of-N timing, machine-specific
+baselines, seed-reference speedups).
+"""
+
+from repro.perf.bench import BenchResult, run_bench, suite_doc, validate_bench_doc
+from repro.perf.compare import (
+    DEFAULT_TOLERANCE,
+    Comparison,
+    check_against_baseline,
+    compare_to_baseline,
+)
+
+__all__ = [
+    "BenchResult",
+    "run_bench",
+    "suite_doc",
+    "validate_bench_doc",
+    "DEFAULT_TOLERANCE",
+    "Comparison",
+    "compare_to_baseline",
+    "check_against_baseline",
+]

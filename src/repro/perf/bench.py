@@ -1,0 +1,177 @@
+"""Benchmark execution and the ``BENCH_*.json`` document format.
+
+Methodology
+-----------
+
+* Each benchmark is a callable returning its operation count; it is run
+  ``repeats`` times and the **best** wall-clock time is kept (the
+  minimum is the standard estimator for CPU-bound microbenchmarks — all
+  noise sources are additive).
+* ``ops_per_s`` is ``ops / best_wall``; what an "op" is depends on the
+  suite (engine: dispatched events, MPI: delivered messages, apps:
+  whole study runs).
+* Peak RSS is sampled from ``getrusage`` after the benchmark; it is a
+  process-lifetime high-water mark, so per-benchmark values are
+  monotone within one process and mainly useful at suite granularity.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+SCHEMA_VERSION = 1
+
+
+def peak_rss_bytes() -> int:
+    """Process peak resident set size, in bytes on every platform
+    (``ru_maxrss`` is KiB on Linux, bytes on macOS)."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Outcome of one microbenchmark."""
+
+    name: str
+    ops: int
+    wall_s: float  # best-of-``repeats`` wall-clock, seconds
+    ops_per_s: float
+    repeats: int
+    peak_rss_bytes: int
+
+    def as_record(self, seed_ops_per_s: float | None = None) -> dict[str, Any]:
+        rec: dict[str, Any] = {
+            "name": self.name,
+            "ops": self.ops,
+            "wall_s": self.wall_s,
+            "ops_per_s": self.ops_per_s,
+            "repeats": self.repeats,
+            "peak_rss_bytes": self.peak_rss_bytes,
+        }
+        if seed_ops_per_s is not None:
+            rec["seed_ops_per_s"] = seed_ops_per_s
+            rec["speedup_vs_seed"] = self.ops_per_s / seed_ops_per_s
+        return rec
+
+
+def run_bench(
+    name: str, fn: Callable[[], int], repeats: int = 3, warmup: bool = True
+) -> BenchResult:
+    """Run ``fn`` ``repeats`` times, keep the best wall time.
+
+    ``fn`` must return the number of operations it performed (so sizes
+    can vary without desynchronising the rate computation).  One
+    untimed warm-up invocation precedes the timed repeats (bytecode
+    specialisation and allocator warm-up otherwise penalise whichever
+    benchmark happens to run first in the process); pass
+    ``warmup=False`` for expensive end-to-end benchmarks.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    if warmup:
+        fn()
+    perf = time.perf_counter
+    best = float("inf")
+    ops = 0
+    for _ in range(repeats):
+        t0 = perf()
+        ops = fn()
+        t1 = perf()
+        best = min(best, t1 - t0)
+    if ops <= 0:
+        raise ValueError(f"benchmark {name!r} reported no operations")
+    return BenchResult(
+        name=name,
+        ops=ops,
+        wall_s=best,
+        ops_per_s=ops / best,
+        repeats=repeats,
+        peak_rss_bytes=peak_rss_bytes(),
+    )
+
+
+def _geomean(values: list[float]) -> float:
+    prod = 1.0
+    for v in values:
+        prod *= v
+    return prod ** (1.0 / len(values))
+
+
+def suite_doc(
+    suite: str,
+    results: list[BenchResult],
+    seed_ref: dict[str, float] | None = None,
+) -> dict[str, Any]:
+    """Assemble one ``BENCH_<suite>.json`` document.
+
+    ``seed_ref`` maps benchmark name to the ops/s the pre-optimisation
+    code achieved on the reference machine; when given, each record
+    gains ``speedup_vs_seed`` and the document a geometric mean.
+    """
+    seed_ref = seed_ref or {}
+    records = [r.as_record(seed_ref.get(r.name)) for r in results]
+    doc: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "benchmarks": records,
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+    speedups = [r["speedup_vs_seed"] for r in records if "speedup_vs_seed" in r]
+    if speedups:
+        doc["geomean_speedup_vs_seed"] = _geomean(speedups)
+    return doc
+
+
+def validate_bench_doc(doc: Any) -> None:
+    """Validate a ``BENCH_*.json`` document; raises ``ValueError``
+    listing every problem found (no external schema library needed)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        raise ValueError("bench document must be a JSON object")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}"
+        )
+    if not isinstance(doc.get("suite"), str) or not doc.get("suite"):
+        problems.append("suite must be a non-empty string")
+    rss = doc.get("peak_rss_bytes")
+    if not isinstance(rss, int) or rss < 0:
+        problems.append("peak_rss_bytes must be a non-negative integer")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        problems.append("benchmarks must be a non-empty list")
+        benches = []
+    seen: set[str] = set()
+    for i, rec in enumerate(benches):
+        where = f"benchmarks[{i}]"
+        if not isinstance(rec, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        name = rec.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}.name must be a non-empty string")
+        elif name in seen:
+            problems.append(f"{where}.name {name!r} is duplicated")
+        else:
+            seen.add(name)
+        for field, typ in (
+            ("ops", int),
+            ("wall_s", float),
+            ("ops_per_s", float),
+            ("repeats", int),
+            ("peak_rss_bytes", int),
+        ):
+            v = rec.get(field)
+            ok = isinstance(v, typ) or (typ is float and isinstance(v, int))
+            if not ok or (isinstance(v, (int, float)) and v <= 0):
+                problems.append(f"{where}.{field} must be a positive {typ.__name__}")
+    if problems:
+        raise ValueError(
+            "invalid bench document:\n  " + "\n  ".join(problems)
+        )

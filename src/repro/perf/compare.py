@@ -1,0 +1,131 @@
+"""Baseline comparison: the perf-regression gate.
+
+The committed baseline (``benchmarks/perf/baseline.json``) records the
+ops/s each benchmark achieved on the reference machine at the commit
+that recorded it.  A run *regresses* when its ops/s falls more than
+``tolerance`` (default 20%) below the baseline; improvements never
+fail, they just mean the baseline should eventually be re-recorded.
+
+Baselines are machine-specific: CI records and checks on one pinned
+runner class, and ``python -m repro bench --update-baseline`` rewrites
+the file from a local run when the hardware changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+DEFAULT_TOLERANCE = 0.20
+
+#: Default location of the committed baseline, relative to the repo root
+#: (resolved from this file so the CLI works from any cwd).
+BASELINE_PATH = (
+    Path(__file__).resolve().parents[3] / "benchmarks" / "perf" / "baseline.json"
+)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One benchmark measured against its baseline."""
+
+    name: str
+    baseline_ops_per_s: float
+    current_ops_per_s: float | None  # None: in baseline, missing from run
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (0.0 when the benchmark went missing)."""
+        if self.current_ops_per_s is None:
+            return 0.0
+        return self.current_ops_per_s / self.baseline_ops_per_s
+
+    def regressed(self, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+        return self.ratio < 1.0 - tolerance
+
+    def describe(self, tolerance: float = DEFAULT_TOLERANCE) -> str:
+        if self.current_ops_per_s is None:
+            return f"{self.name}: MISSING (baseline {self.baseline_ops_per_s:,.0f} ops/s)"
+        verdict = "REGRESSED" if self.regressed(tolerance) else "ok"
+        return (
+            f"{self.name}: {self.current_ops_per_s:,.1f} ops/s vs baseline "
+            f"{self.baseline_ops_per_s:,.1f} ({self.ratio:.2f}x) {verdict}"
+        )
+
+
+def load_baseline(path: Path | None = None) -> dict[str, Any]:
+    p = Path(path) if path is not None else BASELINE_PATH
+    try:
+        doc = json.loads(p.read_text())
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no perf baseline at {p}; record one with "
+            "'python -m repro bench --update-baseline'"
+        ) from None
+    if not isinstance(doc.get("benchmarks"), dict):
+        raise ValueError(f"baseline {p} has no 'benchmarks' mapping")
+    return doc
+
+
+def compare_to_baseline(
+    current: dict[str, float], baseline: dict[str, Any]
+) -> list[Comparison]:
+    """Compare measured ``name -> ops/s`` against a baseline document.
+
+    Benchmarks present in the baseline but absent from the run count as
+    regressions (a silently dropped benchmark must not pass the gate);
+    new benchmarks not yet in the baseline are ignored.
+    """
+    comps = []
+    for name, base_ops in sorted(baseline["benchmarks"].items()):
+        if not isinstance(base_ops, (int, float)) or base_ops <= 0:
+            raise ValueError(f"baseline entry {name!r} is not a positive number")
+        comps.append(Comparison(name, float(base_ops), current.get(name)))
+    return comps
+
+
+def check_against_baseline(
+    current: dict[str, float],
+    baseline: dict[str, Any] | None = None,
+    tolerance: float | None = None,
+    baseline_path: Path | None = None,
+) -> tuple[bool, list[str]]:
+    """The gate: ``(ok, report lines)``.
+
+    ``tolerance`` defaults to the baseline document's own
+    ``default_tolerance`` (falling back to 20%), so the committed file
+    controls CI strictness.
+    """
+    if baseline is None:
+        baseline = load_baseline(baseline_path)
+    if tolerance is None:
+        tolerance = float(baseline.get("default_tolerance", DEFAULT_TOLERANCE))
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    # Per-benchmark overrides for noise-dominated end-to-end benches
+    # (wall-clock of a 3 s HPL run swings more than a tight 10^5-op
+    # microbenchmark rate does).
+    overrides = baseline.get("tolerances", {})
+
+    def tol(name: str) -> float:
+        return float(overrides.get(name, tolerance))
+
+    comps = compare_to_baseline(current, baseline)
+    lines = [c.describe(tol(c.name)) for c in comps]
+    ok = not any(c.regressed(tol(c.name)) for c in comps)
+    lines.append(
+        f"perf gate: {'PASS' if ok else 'FAIL'} "
+        f"({len(comps)} benchmarks, default tolerance {tolerance:.0%})"
+    )
+    return ok, lines
+
+
+def results_by_name(docs: list[dict[str, Any]]) -> dict[str, float]:
+    """Flatten ``BENCH_*.json`` documents into ``name -> ops/s``."""
+    flat: dict[str, float] = {}
+    for doc in docs:
+        for rec in doc["benchmarks"]:
+            flat[rec["name"]] = rec["ops_per_s"]
+    return flat

@@ -23,6 +23,8 @@ achieved GFLOPS work out to A9 0.55, A15 0.72 (1.31x), Sandy Bridge 1.44
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.kernels.base import AccessPattern, KernelCharacteristics
 
 #: Achieved fraction of peak FP64 for compiled scalar code, per µarch.
@@ -116,11 +118,16 @@ PASSES_PER_ITERATION: dict[str, int] = {
 }
 
 
+@lru_cache(maxsize=None)
 def fp_efficiency(uarch: str, characteristics: KernelCharacteristics) -> float:
     """Achieved fraction of peak FP64 for a kernel on a micro-architecture.
 
     Combines the scalar base efficiency, the SIMD uplift weighted by the
     kernel's vectorisable fraction, and the branch-intensity penalty.
+
+    Memoized: both arguments are immutable (the characteristics are a
+    frozen dataclass) and the sweep campaigns evaluate the same
+    (µarch, kernel) pairs at every frequency point.
     """
     try:
         base = FP_EFFICIENCY_BASE[uarch]

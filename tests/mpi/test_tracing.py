@@ -5,7 +5,7 @@ import pytest
 
 from repro.mpi.api import SyntheticPayload
 from repro.mpi.collectives import allreduce
-from repro.mpi.tracing import MessageRecord, TraceAnalysis, traced_world
+from repro.obs.messages import MessageRecord, TraceAnalysis, traced_world
 from repro.mpi.api import UniformNetwork
 from repro.net.protocol import TCP_IP, ProtocolStack
 

@@ -1,0 +1,184 @@
+"""Regression tests for event-loop races and degenerate inputs.
+
+Two of these reproduce confirmed bugs that aborted or deadlocked
+fault-injection runs:
+
+* a ``Process.throw``/``interrupt`` racing a same-timestamp wakeup that
+  completes the process double-stepped the finished generator and let
+  the exception escape ``Engine.run``;
+* ``any_of([])`` returned an event that can never fire, silently
+  deadlocking any waiter.
+
+The third aligns ``run(until=t)``'s early-drain behaviour with its
+early-exit branch (``now`` must always end at ``t``).
+"""
+
+import pytest
+
+from repro.sim.engine import Engine, Interrupt
+
+
+class TestThrowRacesWakeup:
+    def test_throw_after_same_time_completion_does_not_escape(self):
+        """Repro from the issue: succeed an event a process is waiting
+        on, then throw into it before the queued step fires.  The
+        wakeup completes the process, so the queued throw must be
+        dropped — not stepped into the finished generator (which let
+        the exception escape and abort the whole run)."""
+        eng = Engine()
+        ev = eng.event()
+
+        def waiter():
+            got = yield ev
+            return got  # completes on the wakeup
+
+        def driver(target):
+            yield eng.timeout(1.0)
+            ev.succeed("payload")  # queues the waiter's step at t=1
+            target.throw(RuntimeError("boom"))  # queued behind it
+
+        p = eng.process(waiter())
+        eng.process(driver(p))
+        eng.run()  # must not raise
+        assert p.done
+        assert p.result == "payload"
+        assert p.failure is None
+
+    def test_interrupt_racing_completion_is_dropped(self):
+        """Same race through the interrupt() convenience wrapper."""
+        eng = Engine()
+        ev = eng.event()
+
+        def waiter():
+            yield ev
+            return "ok"
+
+        def driver(target):
+            yield eng.timeout(2.0)
+            ev.succeed()
+            target.interrupt("too late")
+
+        p = eng.process(waiter())
+        eng.process(driver(p))
+        eng.run()
+        assert p.result == "ok"
+
+    def test_throw_after_rearm_withdraws_stale_wait(self):
+        """If the wakeup does NOT complete the process but re-arms it on
+        a second event, the queued throw must withdraw the process from
+        that event's waiter list — otherwise the second event firing
+        later double-steps a wait that no longer exists."""
+        eng = Engine()
+        ev1, ev2, ev3 = eng.event(), eng.event(), eng.event()
+        resumes = []
+
+        def waiter():
+            yield ev1
+            try:
+                yield ev2  # re-armed here when the throw dispatches
+                resumes.append("ev2")
+            except Interrupt:
+                resumes.append("interrupt")
+                got = yield ev3
+                resumes.append(got)
+                return "recovered"
+
+        def driver(target):
+            yield eng.timeout(1.0)
+            ev1.succeed()  # wakeup queued ...
+            target.interrupt("race")  # ... throw queued behind it
+            yield eng.timeout(1.0)
+            ev2.succeed("stale")  # must NOT step the process again
+            yield eng.timeout(1.0)
+            ev3.succeed("fresh")
+
+        p = eng.process(waiter())
+        eng.process(driver(p))
+        eng.run()
+        assert resumes == ["interrupt", "fresh"]
+        assert p.result == "recovered"
+
+    def test_two_throws_racing_one_completion(self):
+        """A second queued throw behind one that finishes the process is
+        also dropped."""
+        eng = Engine()
+        ev = eng.event()
+
+        def waiter():
+            try:
+                yield ev
+            except Interrupt:
+                return "first-interrupt"
+
+        def driver(target):
+            yield eng.timeout(1.0)
+            target.interrupt("one")
+            target.interrupt("two")
+
+        p = eng.process(waiter())
+        eng.process(driver(p))
+        eng.run()
+        assert p.result == "first-interrupt"
+
+
+class TestEmptyJoins:
+    def test_any_of_empty_raises(self):
+        """any_of([]) can never fire; returning a dead event silently
+        deadlocked the waiter, so it must be rejected loudly."""
+        eng = Engine()
+        with pytest.raises(ValueError, match="any_of"):
+            eng.any_of([])
+
+    def test_any_of_empty_generator_raises(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.any_of(e for e in ())
+
+    def test_all_of_empty_succeeds_immediately(self):
+        """The vacuous join: documented, supported semantics."""
+        eng = Engine()
+        joined = eng.all_of([])
+        assert joined.triggered
+        assert joined.value == []
+        assert joined.failed is None
+
+
+class TestRunUntilClock:
+    def test_run_until_advances_clock_when_heap_drains_early(self):
+        """run(until=t) with all work finishing before t must still
+        leave now == t, matching the early-exit branch."""
+        eng = Engine()
+        eng.timeout(1.0)
+        assert eng.run(until=5.0) == 5.0
+        assert eng.now == 5.0
+
+    def test_run_until_on_empty_heap_advances_clock(self):
+        eng = Engine()
+        assert eng.run(until=3.0) == 3.0
+        assert eng.now == 3.0
+
+    def test_run_until_traced_matches_untraced(self):
+        from repro.obs.recorder import recording
+
+        with recording():
+            eng = Engine()
+            eng.timeout(1.0)
+            assert eng.run(until=5.0) == 5.0
+            assert eng.now == 5.0
+
+    def test_unbounded_run_still_stops_at_last_event(self):
+        eng = Engine()
+        eng.timeout(2.0)
+        assert eng.run() == 2.0
+
+    def test_resume_after_early_drain(self):
+        """Work scheduled after an early-drained bounded run starts from
+        the advanced clock."""
+        eng = Engine()
+        eng.timeout(1.0)
+        eng.run(until=10.0)
+        fired = []
+        ev = eng.timeout(1.0)
+        ev.callbacks.append(lambda e: fired.append(eng.now))
+        eng.run()
+        assert fired == [11.0]
