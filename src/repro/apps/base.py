@@ -71,7 +71,17 @@ class ScalingStudy:
     node_counts: tuple[int, ...] = (4, 8, 16, 32, 64, 96)
     results: dict[int, AppRunResult] = field(default_factory=dict)
 
-    def run(self, **overrides: Any) -> "ScalingStudy":
+    def run(self, jobs: int = 1, **overrides: Any) -> "ScalingStudy":
+        """Simulate every runnable node count.
+
+        ``jobs > 1`` fans the independent (app, node-count) work units
+        across a multiprocessing pool (see :mod:`repro.parallel`); each
+        point is a pure function of its inputs, so the merged results
+        are identical to the serial walk.
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        runnable: list[int] = []
         for n in self.node_counts:
             if n > self.cluster.n_nodes:
                 raise ValueError(
@@ -79,6 +89,17 @@ class ScalingStudy:
                     f"{self.cluster.n_nodes}"
                 )
             if self.app.runnable(self.cluster, n):
+                runnable.append(n)
+        if jobs > 1 and len(runnable) > 1:
+            from repro.parallel.runner import simulate_across_pool
+
+            self.results.update(
+                simulate_across_pool(
+                    self.app, self.cluster, runnable, jobs, overrides
+                )
+            )
+        else:
+            for n in runnable:
                 self.results[n] = self.app.simulate(
                     self.cluster, n, **overrides
                 )

@@ -13,6 +13,8 @@ Usage::
     python -m repro energy            # the [13] energy-to-solution study
     python -m repro compare           # all paper-vs-measured claims
     python -m repro all               # everything above
+    python -m repro all --jobs 4      # ... sharded over 4 workers with
+                                      #     the .repro-cache result cache
 
 Observability (see :mod:`repro.obs`)::
 
@@ -34,7 +36,9 @@ Performance benchmarks (see :mod:`repro.perf`)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 ARTEFACTS = (
     "table1", "table2", "table3", "table4",
@@ -42,14 +46,37 @@ ARTEFACTS = (
     "headline", "features", "stack", "energy", "green500", "compare",
 )
 
+#: Artefact name -> key in a campaign-results dict (``run_all`` shape).
+_RESULT_KEYS = {
+    "table1": "table1", "table2": "table2", "table4": "table4",
+    "fig1": "figure1", "fig2a": "figure2a", "fig2b": "figure2b",
+    "fig3": "figure3", "fig4": "figure4", "fig5": "figure5",
+    "fig6": "figure6", "fig7": "figure7", "headline": "headline_hpl",
+}
+
+#: Campaign-results keys written as JSON files by ``repro all --json-dir``
+#: (the byte-identity oracle between serial and sharded runs).
+_JSON_ARTEFACTS = {
+    "figure3": "figure3.json",
+    "figure4": "figure4.json",
+    "figure6": "figure6.json",
+    "headline_hpl": "headline.json",
+}
+
 
 def _print_header(title: str) -> None:
     print(f"\n{title}")
     print("=" * len(title))
 
 
-def run_artefact(name: str, study=None) -> None:
-    """Render one artefact to stdout."""
+def run_artefact(name: str, study=None, results=None) -> None:
+    """Render one artefact to stdout.
+
+    ``results`` (a ``run_all``-shaped dict) supplies precomputed data —
+    the sharded campaign path renders from its merged results instead of
+    recomputing serially; artefacts without an entry fall back to the
+    study methods.
+    """
     from repro.analysis import (
         render_figure,
         render_table1,
@@ -60,6 +87,13 @@ def run_artefact(name: str, study=None) -> None:
     from repro.core.study import MobileSoCStudy
 
     study = study or MobileSoCStudy()
+
+    def data(fallback):
+        """Precomputed campaign data for this artefact, else compute."""
+        key = _RESULT_KEYS.get(name)
+        if results is not None and key is not None and key in results:
+            return results[key]
+        return fallback()
 
     if name == "table1":
         _print_header("Table 1: platforms under evaluation")
@@ -75,22 +109,22 @@ def run_artefact(name: str, study=None) -> None:
         print(render_table4())
     elif name == "fig1":
         _print_header("Figure 1: TOP500 share")
-        print(render_figure("figure1", study.figure1()))
+        print(render_figure("figure1", data(study.figure1)))
     elif name == "fig2a":
         _print_header("Figure 2a: vector vs commodity trends")
-        print(render_figure("figure2a", study.figure2a()))
+        print(render_figure("figure2a", data(study.figure2a)))
     elif name == "fig2b":
         _print_header("Figure 2b: server vs mobile trends")
-        print(render_figure("figure2b", study.figure2b()))
+        print(render_figure("figure2b", data(study.figure2b)))
     elif name == "fig3":
         _print_header("Figure 3: single-core sweep")
-        print(render_figure("figure3", study.figure3()))
+        print(render_figure("figure3", data(study.figure3)))
     elif name == "fig4":
         _print_header("Figure 4: multi-core sweep")
-        print(render_figure("figure4", study.figure4()))
+        print(render_figure("figure4", data(study.figure4)))
     elif name == "fig5":
         _print_header("Figure 5: STREAM bandwidth (GB/s)")
-        for plat, d in study.figure5().items():
+        for plat, d in data(study.figure5).items():
             print(
                 f"  {plat:14s} single triad {d['single']['Triad']:6.2f}  "
                 f"multi {d['multi']['Triad']:6.2f}  "
@@ -98,13 +132,13 @@ def run_artefact(name: str, study=None) -> None:
             )
     elif name == "fig6":
         _print_header("Figure 6: application scalability")
-        print(render_figure("figure6", study.figure6()))
+        print(render_figure("figure6", data(study.figure6)))
     elif name == "fig7":
         _print_header("Figure 7: interconnect")
-        print(render_figure("figure7", study.figure7()))
+        print(render_figure("figure7", data(study.figure7)))
     elif name == "headline":
         _print_header("Headline: HPL on 96 Tibidabo nodes")
-        for k, v in study.headline_hpl().items():
+        for k, v in data(study.headline_hpl).items():
             print(f"  {k}: {v:.2f}")
     elif name == "features":
         _print_header("Section 6.3: HPC-readiness matrix")
@@ -157,36 +191,27 @@ def run_artefact(name: str, study=None) -> None:
         raise SystemExit(f"unknown artefact {name!r}")
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    if argv and argv[0] == "trace":
-        from repro.obs.cli import trace_main
+def write_campaign_json(json_dir: Path, results: dict) -> list[Path]:
+    """Write the campaign's JSON oracle files (figures 3/4/6 and the
+    headline) — byte-identical between serial and sharded runs."""
+    json_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for key, fname in _JSON_ARTEFACTS.items():
+        path = json_dir / fname
+        path.write_text(
+            json.dumps(results[key], indent=2, sort_keys=True) + "\n"
+        )
+        written.append(path)
+    return written
 
-        return trace_main(argv[1:])
-    if argv and argv[0] == "faults":
-        from repro.fault.cli import faults_main
 
-        return faults_main(argv[1:])
-    if argv and argv[0] == "bench":
-        from repro.perf.cli import bench_main
-
-        return bench_main(argv[1:])
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Regenerate artefacts of the SC'13 mobile-SoC study.",
-        epilog="For structured tracing/replay checks: python -m repro trace -h",
-    )
-    parser.add_argument(
-        "artefacts",
-        nargs="+",
-        choices=ARTEFACTS + ("all",),
-        help="which artefacts to regenerate",
-    )
-    args = parser.parse_args(argv)
+def _artefacts_cmd(args: argparse.Namespace) -> int:
+    """Handler for the artefact subcommands (``repro table1 fig3 ...``)."""
+    requested = [args.artefact] + list(args.more)
     names = (
         list(ARTEFACTS)
-        if "all" in args.artefacts
-        else list(dict.fromkeys(args.artefacts))
+        if "all" in requested
+        else list(dict.fromkeys(requested))
     )
     from repro.core.study import MobileSoCStudy
 
@@ -194,6 +219,144 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         run_artefact(name, study)
     return 0
+
+
+def _all_cmd(args: argparse.Namespace) -> int:
+    """Handler for ``repro all``: the full campaign, optionally sharded
+    over ``--jobs`` workers with the persistent result cache."""
+    from repro.core.study import MobileSoCStudy
+
+    if args.jobs < 1:
+        raise SystemExit("repro all: --jobs must be at least 1")
+    study = MobileSoCStudy()
+    if args.jobs > 1:
+        from repro.parallel.runner import run_campaign
+
+        report = run_campaign(
+            quick=args.quick,
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            study=study,
+        )
+        results = report.results
+    else:
+        report = None
+        results = study.run_all(quick=args.quick)
+    for name in ARTEFACTS:
+        run_artefact(name, study, results)
+    if args.json_dir is not None:
+        for path in write_campaign_json(args.json_dir, results):
+            print(f"wrote {path}")
+    if report is not None:
+        print()
+        print(report.describe())
+    return 0
+
+
+def _load_trace_main(argv: list[str]) -> int:
+    from repro.obs.cli import trace_main
+
+    return trace_main(argv)
+
+
+def _load_faults_main(argv: list[str]) -> int:
+    from repro.fault.cli import faults_main
+
+    return faults_main(argv)
+
+
+def _load_bench_main(argv: list[str]) -> int:
+    from repro.perf.cli import bench_main
+
+    return bench_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level parser: one subcommand per artefact plus the
+    ``all`` campaign and the trace/faults/bench tool CLIs."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artefacts of the SC'13 mobile-SoC study.",
+        epilog="Each tool subcommand has its own options: "
+        "'repro trace --help', 'repro faults --help', 'repro bench --help'.",
+    )
+    sub = parser.add_subparsers(
+        dest="command", metavar="command", required=True
+    )
+
+    all_p = sub.add_parser(
+        "all",
+        help="regenerate every artefact (the full campaign)",
+        description="Run the whole campaign; --jobs shards it across a "
+        "multiprocessing pool backed by the persistent result cache, "
+        "with output byte-identical to the serial path.",
+    )
+    all_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = today's serial path; default: 1)",
+    )
+    all_p.add_argument(
+        "--quick", action="store_true",
+        help="trim Figure 6 to the smoke-campaign node counts",
+    )
+    all_p.add_argument(
+        "--json-dir", type=Path, default=None, metavar="DIR",
+        help="write figure3/figure4/figure6/headline JSON files here",
+    )
+    all_p.add_argument(
+        "--cache-dir", type=Path, default=Path(".repro-cache"), metavar="DIR",
+        help="result-cache location for --jobs > 1 (default: .repro-cache)",
+    )
+    all_p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache for this run",
+    )
+    all_p.set_defaults(handler=_all_cmd)
+
+    for name, summary, tool_main in (
+        ("trace", "structured tracing / replay checks (repro.obs)",
+         _load_trace_main),
+        ("faults", "fault-injection campaigns (repro.fault)",
+         _load_faults_main),
+        ("bench", "performance suites writing BENCH_*.json (repro.perf)",
+         _load_bench_main),
+    ):
+        tool_p = sub.add_parser(
+            name,
+            help=summary,
+            add_help=False,
+            description=f"Delegates to the '{name}' tool's own parser; "
+            f"run 'repro {name} --help' for its options.",
+        )
+        tool_p.add_argument("args", nargs="*")
+        tool_p.set_defaults(handler=None, tool_main=tool_main)
+
+    for name in ARTEFACTS:
+        art_p = sub.add_parser(name, help=f"regenerate the {name} artefact")
+        art_p.add_argument(
+            "more",
+            nargs="*",
+            choices=ARTEFACTS + ("all", []),
+            metavar="artefact",
+            help="further artefacts to regenerate in the same run",
+        )
+        art_p.set_defaults(handler=_artefacts_cmd, artefact=name)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    parser = build_parser()
+    # Tool subcommands own their whole tail (including flags the top
+    # parser has never heard of), so parse leniently first and hand the
+    # tail over verbatim — the top-level grammar owns only argv[0].
+    args, extra = parser.parse_known_args(argv)
+    if getattr(args, "tool_main", None) is not None:
+        return args.tool_main(argv[1:])
+    if extra:
+        parser.error("unrecognized arguments: " + " ".join(extra))
+    return args.handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

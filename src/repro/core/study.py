@@ -7,6 +7,8 @@ of series) that the benchmark harness prints and EXPERIMENTS.md records;
 
 from __future__ import annotations
 
+import hashlib
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -36,7 +38,33 @@ FIG7_CONFIGS = (
 )
 
 
+#: Figure 6 node counts: the full campaign grid and the trimmed "quick"
+#: grid (``run_all(quick=True)`` and the CI smoke campaign).
+FIG6_FULL_COUNTS = (1, 2, 4, 8, 16, 24, 32, 48, 64, 96)
+FIG6_QUICK_COUNTS = (1, 4, 16, 48, 96)
+
+
+def figure6_counts(
+    app, cluster, node_counts: tuple[int, ...]
+) -> tuple[int, ...] | None:
+    """The node counts ``app`` actually runs at for a Figure 6 campaign
+    over ``node_counts``, or ``None`` when the campaign scale cannot fit
+    it at all.  Shared by the serial path and the sharded runner so both
+    decompose the figure identically."""
+    floor = app.min_nodes(cluster)
+    counts = tuple(n for n in node_counts if n >= floor)
+    if not counts:
+        if floor > cluster.n_nodes:
+            return None
+        counts = (floor,)  # at least the anchor point
+    return counts
+
+
 def _geomean(xs: list[float]) -> float:
+    if not xs:
+        raise ValueError("geometric mean of an empty sequence is undefined")
+    if any(x <= 0 for x in xs):
+        raise ValueError("geometric mean requires strictly positive values")
     return float(np.exp(np.mean(np.log(xs))))
 
 
@@ -48,20 +76,29 @@ class MobileSoCStudy:
         self.platforms = dict(PLATFORMS)
         self.kernels = all_kernels()
         self.baseline = get_platform("Tegra2")
-        # Executors are cached per platform object so their memoized
-        # kernel timings survive across figures — figure 3, figure 4,
-        # the speedup tables and the comparison report all re-time the
-        # same operating points.
-        self._executors: dict[int, SimulatedExecutor] = {}
+        # Executors are cached per platform so their memoized kernel
+        # timings survive across figures — figure 3, figure 4, the
+        # speedup tables and the comparison report all re-time the same
+        # operating points.  Keyed by platform *name* with an equality
+        # guard: a swapped-in platform model replaces (and releases) the
+        # old executor, and the table stays bounded by the number of
+        # platform names rather than growing one entry per object
+        # identity (``id()`` keys resurrect after reuse and pin dropped
+        # platform models alive through the executor's back-reference).
+        self._executors: dict[str, SimulatedExecutor] = {}
         self._base_times: dict[str, float] | None = None
+        # Memoized figure-level results; the parallel campaign runner
+        # pre-seeds this so rendering after a sharded run is free.
+        self._results_memo: dict[tuple, Any] = {}
 
     def _executor(self, platform) -> SimulatedExecutor:
-        """The memoizing executor for ``platform`` (identity-keyed, so a
-        swapped-out platform model gets a fresh executor)."""
-        ex = self._executors.get(id(platform))
-        if ex is None or ex.platform is not platform:
+        """The memoizing executor for ``platform`` (name-keyed with an
+        equality guard, so a swapped platform model gets a fresh
+        executor and the stale one is released)."""
+        ex = self._executors.get(platform.name)
+        if ex is None or ex.platform != platform:
             ex = SimulatedExecutor(platform)
-            self._executors[id(platform)] = ex
+            self._executors[platform.name] = ex
         return ex
 
     def baseline_times(self) -> dict[str, float]:
@@ -119,6 +156,81 @@ class MobileSoCStudy:
     def table2(self) -> list[dict[str, str]]:
         return table2_rows()
 
+    # -- sweep work units ----------------------------------------------
+    # Figures 3/4 decompose into independent (mode, platform, freq)
+    # operating points plus one baseline-energy point.  Every point owns
+    # a PowerMeter seeded from a content hash of its coordinates, so a
+    # point computes the same bits whether it runs in this process, a
+    # pool worker, or straight out of the on-disk result cache — the
+    # property the sharded campaign runner (repro.parallel) relies on.
+
+    def _meter_seed(self, label: str) -> int:
+        """Deterministic, process-independent meter seed for one
+        measurement unit (hash-randomisation immune)."""
+        digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def sweep_base_energy(self) -> float:
+        """Mean per-kernel energy of Tegra 2 @1 GHz serial — the
+        denominator of every ``energy_norm`` in Figures 3/4."""
+        meter = PowerMeter(seed=self._meter_seed("sweep:base"))
+        base_ex = self._executor(self.baseline)
+        return float(
+            np.mean(
+                [
+                    measure_kernel(
+                        self.baseline, k, 1.0, cores=1,
+                        meter=meter, executor=base_ex,
+                    )[1].energy_j
+                    for k in self.kernels
+                ]
+            )
+        )
+
+    def sweep_point(
+        self, mode: str, platform_name: str, freq_ghz: float
+    ) -> dict[str, float]:
+        """One Figure 3/4 operating point: geometric-mean speedup over
+        the kernel suite plus the *absolute* mean energy (normalisation
+        happens at merge time, against :meth:`sweep_base_energy`)."""
+        if mode not in ("single", "multi"):
+            raise ValueError(f"unknown sweep mode {mode!r}")
+        platform = self.platforms[platform_name]
+        cores = 1 if mode == "single" else platform.soc.n_cores
+        ex = self._executor(platform)
+        base_times = self.baseline_times()
+        meter = PowerMeter(
+            seed=self._meter_seed(f"sweep:{mode}:{platform_name}:{freq_ghz!r}")
+        )
+        sp = _geomean(
+            [
+                base_times[k.tag]
+                / ex.time_kernel(k, freq_ghz, cores=cores).time_s
+                for k in self.kernels
+            ]
+        )
+        energy = float(
+            np.mean(
+                [
+                    measure_kernel(
+                        platform, k, freq_ghz, cores=cores,
+                        meter=meter, executor=ex,
+                    )[1].energy_j
+                    for k in self.kernels
+                ]
+            )
+        )
+        return {"freq_ghz": freq_ghz, "speedup": sp, "energy_j": energy}
+
+    def sweep_plan(self) -> list[tuple[str, float]]:
+        """The (platform, frequency) grid of Figures 3/4, in the
+        deterministic order the serial path walks it."""
+        return [
+            (name, freq)
+            for name, platform in self.platforms.items()
+            for freq in platform.soc.dvfs.frequencies()
+        ]
+
     def _sweep(self, cores_mode: str) -> dict[str, list[dict[str, float]]]:
         """Frequency sweep shared by Figures 3 and 4.
 
@@ -127,50 +239,17 @@ class MobileSoCStudy:
         Speedup is the geometric mean over the kernel suite; energy is
         the mean per-iteration energy normalised to the baseline's.
         """
-        base_cores = 1
-        meter = PowerMeter(seed=self.seed)
-        base_ex = self._executor(self.baseline)
-        base_times = self.baseline_times()
-        base_energy = float(
-            np.mean(
-                [
-                    measure_kernel(
-                        self.baseline, k, 1.0, cores=base_cores,
-                        meter=meter, executor=base_ex,
-                    )[1].energy_j
-                    for k in self.kernels
-                ]
-            )
-        )
+        base_energy = self.sweep_base_energy()
         out: dict[str, list[dict[str, float]]] = {}
         for name, platform in self.platforms.items():
-            cores = 1 if cores_mode == "single" else platform.soc.n_cores
-            ex = self._executor(platform)
             series = []
             for freq in platform.soc.dvfs.frequencies():
-                sp = _geomean(
-                    [
-                        base_times[k.tag]
-                        / ex.time_kernel(k, freq, cores=cores).time_s
-                        for k in self.kernels
-                    ]
-                )
-                energy = float(
-                    np.mean(
-                        [
-                            measure_kernel(
-                                platform, k, freq, cores=cores,
-                                meter=meter, executor=ex,
-                            )[1].energy_j
-                            for k in self.kernels
-                        ]
-                    )
-                )
+                pt = self.sweep_point(cores_mode, name, freq)
                 series.append(
                     {
-                        "freq_ghz": freq,
-                        "speedup": sp,
-                        "energy_norm": energy / base_energy,
+                        "freq_ghz": pt["freq_ghz"],
+                        "speedup": pt["speedup"],
+                        "energy_norm": pt["energy_j"] / base_energy,
                     }
                 )
             out[name] = series
@@ -209,11 +288,17 @@ class MobileSoCStudy:
 
     def figure3(self) -> dict[str, list[dict[str, float]]]:
         """Single-core performance/energy frequency sweep."""
-        return self._sweep("single")
+        key = ("figure3",)
+        if key not in self._results_memo:
+            self._results_memo[key] = self._sweep("single")
+        return self._results_memo[key]
 
     def figure4(self) -> dict[str, list[dict[str, float]]]:
         """Multi-core (OpenMP, all cores) frequency sweep."""
-        return self._sweep("multi")
+        key = ("figure4",)
+        if key not in self._results_memo:
+            self._results_memo[key] = self._sweep("multi")
+        return self._results_memo[key]
 
     def figure5(self) -> dict[str, dict[str, Any]]:
         """STREAM bandwidth, single core and full SoC."""
@@ -235,33 +320,39 @@ class MobileSoCStudy:
         node_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 24, 32, 48, 64, 96),
     ) -> dict[str, dict[int, float]]:
         """Application speed-up curves on Tibidabo."""
+        key = ("figure6", tuple(node_counts))
+        if key in self._results_memo:
+            return self._results_memo[key]
         cluster = tibidabo(max(node_counts))
         out: dict[str, dict[int, float]] = {}
         for name, app in APPLICATIONS.items():
-            floor = app.min_nodes(cluster)
-            counts = tuple(n for n in node_counts if n >= floor)
-            if not counts:
-                if floor > cluster.n_nodes:
-                    continue  # cannot run at this campaign scale at all
-                counts = (floor,)  # at least the anchor point
+            counts = figure6_counts(app, cluster, node_counts)
+            if counts is None:
+                continue  # cannot run at this campaign scale at all
             study = ScalingStudy(app, cluster, node_counts=counts).run()
             out[name] = study.speedups()
+        self._results_memo[key] = out
         return out
 
     def headline_hpl(self, n_nodes: int = 96) -> dict[str, float]:
         """The 97 GFLOPS / 51% / 120 MFLOPS/W result (Open-MX deployed,
         Section 4.1)."""
+        key = ("headline_hpl", n_nodes)
+        if key in self._results_memo:
+            return self._results_memo[key]
         cluster = tibidabo(n_nodes, open_mx=True)
         hpl = HPL()
         run = hpl.simulate(cluster, n_nodes)
         power = ClusterPowerModel()
-        return {
+        result = {
             "n_nodes": float(n_nodes),
             "gflops": run.gflops,
             "efficiency": hpl.efficiency(cluster, run),
             "mflops_per_watt": power.mflops_per_watt(cluster, run.gflops),
             "total_power_w": power.total_power_watts(cluster),
         }
+        self._results_memo[key] = result
+        return result
 
     def figure7(self) -> dict[str, dict[str, Any]]:
         """Interconnect latency and bandwidth curves."""
@@ -304,9 +395,29 @@ class MobileSoCStudy:
             ),
         }
 
-    def run_all(self, quick: bool = False) -> dict[str, Any]:
-        """Execute the whole campaign; ``quick`` trims Figure 6."""
-        counts = (1, 4, 16, 48, 96) if quick else (1, 2, 4, 8, 16, 24, 32, 48, 64, 96)
+    def run_all(
+        self,
+        quick: bool = False,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+    ) -> dict[str, Any]:
+        """Execute the whole campaign; ``quick`` trims Figure 6.
+
+        ``jobs > 1`` shards the campaign across a multiprocessing pool
+        with an optional persistent result cache (see
+        :mod:`repro.parallel`); the merged output is byte-identical to
+        the serial path.  ``jobs == 1`` is exactly the serial path.
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if jobs > 1:
+            from repro.parallel.runner import run_campaign
+
+            report = run_campaign(
+                quick=quick, jobs=jobs, cache_dir=cache_dir, study=self
+            )
+            return report.results
+        counts = FIG6_QUICK_COUNTS if quick else FIG6_FULL_COUNTS
         return {
             "figure1": self.figure1(),
             "figure2a": self.figure2a(),

@@ -1,0 +1,151 @@
+"""Content-addressed on-disk result cache for campaign work units.
+
+Keys are SHA-256 hashes over the unit's coordinates (kind + params +
+study seed) and a fingerprint of the ``repro`` package source, so
+
+* the same operating point always lands on the same object file, from
+  any process on any machine, and
+* any change to the model code invalidates the whole cache at once —
+  there is no staleness to reason about, only misses.
+
+Values are stored as JSON (floats round-trip exactly through Python's
+``json``), one object file per unit under ``<root>/objects/<k[:2]>/``,
+written atomically via rename.  Hits and misses are counted on the
+cache object and, when the observability layer is recording, bumped
+onto the active :class:`~repro.obs.recorder.TraceRecorder` as the
+``cache.hit`` / ``cache.miss`` totals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+from repro.obs.recorder import current as _obs_current
+
+SCHEMA_VERSION = 1
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss (``None`` is a
+#: legitimate cached value).
+MISS = object()
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``.py`` file of the installed ``repro``
+    package (paths and contents) — the code half of every cache key."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def unit_key(
+    kind: str,
+    params: dict[str, Any],
+    seed: int = 0,
+    fingerprint: str | None = None,
+) -> str:
+    """The content address of one work unit's result."""
+    material = json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "kind": kind,
+            "params": params,
+            "seed": seed,
+            "code": fingerprint if fingerprint is not None else code_fingerprint(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache object's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate)"
+        )
+
+
+class ResultCache:
+    """The on-disk store.  Corrupt or alien object files are treated as
+    misses and silently overwritten on the next ``put``."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def _count(self, hit: bool) -> None:
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        rec = _obs_current()
+        if rec is not None:
+            rec.bump("cache.hit" if hit else "cache.miss")
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or the :data:`MISS` sentinel."""
+        try:
+            doc = json.loads(self._path(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            self._count(hit=False)
+            return MISS
+        if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_VERSION \
+                or "value" not in doc:
+            self._count(hit=False)
+            return MISS
+        self._count(hit=True)
+        return doc["value"]
+
+    def put(self, key: str, value: Any, kind: str = "") -> None:
+        """Store ``value`` (must be JSON-serialisable) atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"schema": SCHEMA_VERSION, "kind": kind, "value": value}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

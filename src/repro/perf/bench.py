@@ -96,6 +96,10 @@ def run_bench(
 
 
 def _geomean(values: list[float]) -> float:
+    if not values:
+        raise ValueError("geometric mean of an empty sequence is undefined")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
     prod = 1.0
     for v in values:
         prod *= v

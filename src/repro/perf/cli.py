@@ -22,7 +22,35 @@ from repro.perf.compare import (
     load_baseline,
     results_by_name,
 )
-from repro.perf.suites import SEED_OPS_PER_S, SUITES, engine_suite_with_seed
+from repro.perf.suites import (
+    SEED_OPS_PER_S,
+    SHARDABLE_SUITES,
+    SUITES,
+    bench_pool_entry,
+    campaign_suite_with_ref,
+    engine_suite_with_seed,
+    suite_unit_names,
+)
+
+
+def _run_suite_sharded(
+    name: str, repeats: int, quick: bool, jobs: int
+) -> tuple[list, dict[str, float] | None]:
+    """Fan one suite's (suite, benchmark) work units across a pool;
+    results merge in the suite's canonical benchmark order."""
+    import multiprocessing
+
+    unit_names = suite_unit_names(name, repeats, quick)
+    jobs_args = [(name, bench, repeats, quick) for bench in unit_names]
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ctx.Pool(min(jobs, len(jobs_args))) as pool:
+        pairs = pool.map(bench_pool_entry, jobs_args, chunksize=1)
+    results = [result for result, _ in pairs]
+    live_ref = {
+        r.name: seed_ops for (r, seed_ops) in pairs if seed_ops is not None
+    }
+    return results, (live_ref or SEED_OPS_PER_S.get(name))
 
 
 def bench_main(argv: list[str] | None = None) -> int:
@@ -66,14 +94,29 @@ def bench_main(argv: list[str] | None = None) -> int:
         "--update-baseline", action="store_true",
         help="rewrite the baseline's ops/s entries from this run",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="shard each suite's benchmarks across N worker processes "
+        "(default: 1, the serial path)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
     selected = list(dict.fromkeys(args.suites)) or list(SUITES)
     repeats = 1 if args.quick else args.repeats
 
     args.out_dir.mkdir(parents=True, exist_ok=True)
     docs = []
     for name in selected:
-        if name == "engine":
+        if name == "campaign":
+            # Whole-campaign runs that drive their own worker pools;
+            # never sharded from here.
+            results, seed_ref = campaign_suite_with_ref(repeats, args.quick)
+        elif args.jobs > 1 and name in SHARDABLE_SUITES:
+            results, seed_ref = _run_suite_sharded(
+                name, repeats, args.quick, args.jobs
+            )
+        elif name == "engine":
             # The engine suite times the frozen seed scheduler live,
             # back-to-back with the current one, so its speedups are a
             # controlled same-machine comparison.

@@ -64,6 +64,11 @@ def load_baseline(path: Path | None = None) -> dict[str, Any]:
             f"no perf baseline at {p}; record one with "
             "'python -m repro bench --update-baseline'"
         ) from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"perf baseline {p} is corrupt ({exc}); re-record it with "
+            "'python -m repro bench --update-baseline'"
+        ) from exc
     if not isinstance(doc.get("benchmarks"), dict):
         raise ValueError(f"baseline {p} has no 'benchmarks' mapping")
     return doc
@@ -123,9 +128,22 @@ def check_against_baseline(
 
 
 def results_by_name(docs: list[dict[str, Any]]) -> dict[str, float]:
-    """Flatten ``BENCH_*.json`` documents into ``name -> ops/s``."""
+    """Flatten ``BENCH_*.json`` documents into ``name -> ops/s``.
+
+    A benchmark name appearing twice would let one measurement silently
+    shadow the other in the regression gate, so collisions raise.
+    """
     flat: dict[str, float] = {}
+    owner: dict[str, str] = {}
     for doc in docs:
+        suite = doc.get("suite", "?")
         for rec in doc["benchmarks"]:
-            flat[rec["name"]] = rec["ops_per_s"]
+            name = rec["name"]
+            if name in flat:
+                raise ValueError(
+                    f"duplicate benchmark name {name!r}: reported by both "
+                    f"suite {owner[name]!r} and suite {suite!r}"
+                )
+            flat[name] = rec["ops_per_s"]
+            owner[name] = suite
     return flat

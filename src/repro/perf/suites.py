@@ -188,19 +188,19 @@ def _pingpong(iters: int, nbytes: int) -> int:
     return 2 * iters  # messages delivered
 
 
-def mpi_suite(repeats: int = 3, quick: bool = False) -> list[BenchResult]:
+def _mpi_bodies(quick: bool) -> list[tuple[str, Callable[[], int]]]:
     iters = 1_000 if quick else 5_000
     return [
-        run_bench(
-            "mpi.pingpong_small", lambda: _pingpong(iters, 1024), repeats
-        ),
+        ("mpi.pingpong_small", lambda: _pingpong(iters, 1024)),
         # 256 KiB crosses Open-MX's rendezvous threshold on stacks that
         # have one; on TCP/IP it simply exercises the per-byte path.
-        run_bench(
-            "mpi.pingpong_rendezvous",
-            lambda: _pingpong(iters // 2, 256 * 1024),
-            repeats,
-        ),
+        ("mpi.pingpong_rendezvous", lambda: _pingpong(iters // 2, 256 * 1024)),
+    ]
+
+
+def mpi_suite(repeats: int = 3, quick: bool = False) -> list[BenchResult]:
+    return [
+        run_bench(name, body, repeats) for name, body in _mpi_bodies(quick)
     ]
 
 
@@ -224,20 +224,146 @@ def _fig3_sweep() -> int:
     return 1
 
 
-def apps_suite(repeats: int = 3, quick: bool = False) -> list[BenchResult]:
-    # The HPL run dominates; a fresh study per call keeps the executor
-    # memo cold across repeats (what a user's first run experiences).
-    # The sweep bench is cheap, so it keeps real repeats even in quick
-    # mode — best-of-1 wall clock is not comparable to best-of-N.
+def _apps_bodies(
+    repeats: int, quick: bool
+) -> list[tuple[str, Callable[[], int], int, bool]]:
+    """(name, body, repeats, warmup) rows for the apps suite.
+
+    The HPL run dominates; a fresh study per call keeps the executor
+    memo cold across repeats (what a user's first run experiences).
+    The sweep bench is cheap, so it keeps real repeats even in quick
+    mode — best-of-1 wall clock is not comparable to best-of-N.
+    """
     hpl_reps = 1 if quick else max(1, repeats - 1)
     return [
-        run_bench("apps.hpl96_headline", _hpl96, hpl_reps, warmup=False),
-        run_bench("apps.fig3_sweep", _fig3_sweep, max(repeats, 3)),
+        ("apps.hpl96_headline", _hpl96, hpl_reps, False),
+        ("apps.fig3_sweep", _fig3_sweep, max(repeats, 3), True),
     ]
+
+
+def apps_suite(repeats: int = 3, quick: bool = False) -> list[BenchResult]:
+    return [
+        run_bench(name, body, reps, warmup)
+        for name, body, reps, warmup in _apps_bodies(repeats, quick)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Campaign end-to-end benchmarks (BENCH_campaign.json)
+# ---------------------------------------------------------------------------
+
+def campaign_suite_with_ref(
+    repeats: int = 1, quick: bool = False
+) -> tuple[list[BenchResult], dict[str, float]]:
+    """Serial vs sharded vs warm-cache quick campaign, back-to-back.
+
+    Three end-to-end runs of the Figures 3/4/6 + headline campaign at
+    quick scale: today's serial path, the sharded runner on a *cold*
+    cache (pool parallelism only), and the same runner again on the
+    cache the cold run just filled.  Each sharded entry carries
+    ``speedup_vs_seed`` against the serial run — the wall-clock
+    improvement the acceptance gate reads off BENCH_campaign.json.
+    ``repeats`` is ignored: these are whole-campaign runs, best-of-1 by
+    construction.
+    """
+    import tempfile
+
+    from repro.core.study import MobileSoCStudy
+    from repro.parallel.runner import run_campaign
+
+    jobs = 4
+
+    def _serial() -> int:
+        MobileSoCStudy().run_all(quick=True)
+        return 1
+
+    serial = run_bench("campaign.quick_serial", _serial, 1, warmup=False)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as td:
+
+        def _sharded() -> int:
+            run_campaign(quick=True, jobs=jobs, cache_dir=td)
+            return 1
+
+        cold = run_bench("campaign.quick_jobs4", _sharded, 1, warmup=False)
+        warm = run_bench(
+            "campaign.quick_warm_cache", _sharded, 1, warmup=False
+        )
+    ref = serial.ops_per_s
+    return [serial, cold, warm], {
+        "campaign.quick_jobs4": ref,
+        "campaign.quick_warm_cache": ref,
+    }
+
+
+def campaign_suite(repeats: int = 1, quick: bool = False) -> list[BenchResult]:
+    return campaign_suite_with_ref(repeats, quick)[0]
+
+
+# ---------------------------------------------------------------------------
+# Suite work units (``repro bench --jobs N``)
+# ---------------------------------------------------------------------------
+# Each (suite, benchmark) pair is an independent work unit so the bench
+# CLI can fan a suite across a multiprocessing pool with deterministic
+# merge order.  The campaign suite is excluded: it owns a pool itself.
+
+SHARDABLE_SUITES = ("engine", "mpi", "apps")
+
+
+def suite_unit_names(suite: str, repeats: int = 3, quick: bool = False) -> list[str]:
+    """The benchmark names of one suite, in its canonical order."""
+    if suite == "engine":
+        return [name for name, _ in _engine_bodies(quick)]
+    if suite == "mpi":
+        return [name for name, _ in _mpi_bodies(quick)]
+    if suite == "apps":
+        return [name for name, _, _, _ in _apps_bodies(repeats, quick)]
+    raise ValueError(f"suite {suite!r} has no work units")
+
+
+def run_suite_unit(
+    suite: str, name: str, repeats: int = 3, quick: bool = False
+) -> tuple[BenchResult, float | None]:
+    """Run one (suite, benchmark) work unit.
+
+    Returns the result plus the live seed-scheduler reference ops/s for
+    engine units (timed back-to-back in the same process, preserving
+    the controlled comparison), ``None`` elsewhere.
+    """
+    if suite == "engine":
+        from repro.sim.engine import Engine
+
+        for bench_name, body in _engine_bodies(quick):
+            if bench_name == name:
+                result = run_bench(name, lambda: body(Engine), repeats)
+                seed_cls = load_seed_engine_cls()
+                if seed_cls is None:
+                    return result, None
+                old = run_bench(name, lambda: body(seed_cls), repeats)
+                return result, old.ops_per_s
+    elif suite == "mpi":
+        for bench_name, body in _mpi_bodies(quick):
+            if bench_name == name:
+                return run_bench(name, body, repeats), None
+    elif suite == "apps":
+        for bench_name, body, reps, warmup in _apps_bodies(repeats, quick):
+            if bench_name == name:
+                return run_bench(name, body, reps, warmup), None
+    else:
+        raise ValueError(f"suite {suite!r} has no work units")
+    raise ValueError(f"suite {suite!r} has no benchmark {name!r}")
+
+
+def bench_pool_entry(
+    job: tuple[str, str, int, bool]
+) -> tuple[BenchResult, float | None]:
+    """Top-level pool target for ``repro bench --jobs N``."""
+    suite, name, repeats, quick = job
+    return run_suite_unit(suite, name, repeats, quick)
 
 
 SUITES: dict[str, Callable[[int, bool], list[BenchResult]]] = {
     "engine": engine_suite,
     "mpi": mpi_suite,
     "apps": apps_suite,
+    "campaign": campaign_suite,
 }

@@ -1,0 +1,73 @@
+"""Regression tests for latent study bugs: the executor-cache keying
+and the silent ``_geomean`` edge cases."""
+
+import dataclasses
+import gc
+import weakref
+
+import pytest
+
+from repro.core.study import MobileSoCStudy, _geomean
+
+
+class TestExecutorCache:
+    def test_executor_memoized_per_platform(self):
+        study = MobileSoCStudy()
+        plat = study.platforms["Tegra2"]
+        assert study._executor(plat) is study._executor(plat)
+
+    def test_swapped_platform_gets_fresh_executor(self):
+        study = MobileSoCStudy()
+        old = study.platforms["Tegra2"]
+        old_ex = study._executor(old)
+        swapped = dataclasses.replace(old, calibration_notes="swapped-in")
+        assert swapped.name == old.name and swapped != old
+        new_ex = study._executor(swapped)
+        assert new_ex is not old_ex
+        assert new_ex.platform is swapped
+
+    def test_swap_releases_the_stale_executor(self):
+        """Pre-fix the table was keyed by ``id(platform)``: swapping a
+        platform left the old executor (and through it the old platform
+        model) pinned in the study forever."""
+        study = MobileSoCStudy()
+        old = study.platforms["Tegra2"]
+        stale = weakref.ref(study._executor(old))
+        study._executor(dataclasses.replace(old, calibration_notes="v2"))
+        gc.collect()
+        assert stale() is None
+
+    def test_table_stays_bounded_under_repeated_swaps(self):
+        study = MobileSoCStudy()
+        plat = study.platforms["Tegra2"]
+        for i in range(7):
+            study._executor(
+                dataclasses.replace(plat, calibration_notes=f"rev{i}")
+            )
+        assert len(study._executors) == 1
+
+
+class TestGeomean:
+    def test_normal_case_unchanged(self):
+        assert _geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            _geomean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            _geomean([1.0, 0.0])
+        with pytest.raises(ValueError, match="positive"):
+            _geomean([1.0, -2.0])
+
+    def test_bench_copy_same_contract(self):
+        """The perf harness's own ``_geomean`` (the second call site)
+        must enforce the identical contract."""
+        from repro.perf.bench import _geomean as bench_geomean
+
+        assert bench_geomean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError, match="empty"):
+            bench_geomean([])
+        with pytest.raises(ValueError, match="positive"):
+            bench_geomean([3.0, -1.0])

@@ -1,0 +1,112 @@
+"""Regression tests for the perf-harness latent bugs and the sharded
+``repro bench --jobs N`` path."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import BenchResult, suite_doc, validate_bench_doc
+from repro.perf.compare import load_baseline, results_by_name
+
+
+def _doc(suite, *names):
+    return suite_doc(
+        suite, [BenchResult(n, 1, 1.0, 1.0, 1, 1024) for n in names]
+    )
+
+
+class TestResultsByNameCollision:
+    def test_duplicate_across_docs_raises(self):
+        """Pre-fix a duplicate name silently shadowed the earlier
+        measurement, so the regression gate checked the wrong number."""
+        with pytest.raises(ValueError, match="duplicate benchmark"):
+            results_by_name([_doc("s1", "shared.x"), _doc("s2", "shared.x")])
+
+    def test_error_names_both_suites(self):
+        with pytest.raises(ValueError, match="'s1'.*'s2'"):
+            results_by_name([_doc("s1", "shared.x"), _doc("s2", "shared.x")])
+
+    def test_distinct_names_still_flatten(self):
+        flat = results_by_name([_doc("s1", "s1.a"), _doc("s2", "s2.b")])
+        assert set(flat) == {"s1.a", "s2.b"}
+
+
+class TestCorruptBaseline:
+    def test_truncated_json_gets_actionable_error(self, tmp_path):
+        """Pre-fix a corrupt baseline surfaced as a raw JSONDecodeError
+        with no hint of which file or how to recover."""
+        path = tmp_path / "baseline.json"
+        path.write_text('{"schema_version": 1, "benchmarks": {"a"')
+        with pytest.raises(ValueError, match="update-baseline") as e:
+            load_baseline(path)
+        assert str(path) in str(e.value)
+        assert isinstance(e.value.__cause__, json.JSONDecodeError)
+
+    def test_missing_file_error_unchanged(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="update-baseline"):
+            load_baseline(tmp_path / "nope.json")
+
+
+class TestSuiteUnits:
+    def test_unit_names_cover_every_suite_benchmark(self):
+        from repro.perf.suites import SHARDABLE_SUITES, SUITES, suite_unit_names
+
+        for suite in SHARDABLE_SUITES:
+            assert suite in SUITES
+            names = suite_unit_names(suite, repeats=1, quick=True)
+            assert names and len(set(names)) == len(names)
+            assert all(n.startswith(f"{suite}.") for n in names)
+
+    def test_unknown_suite_rejected(self):
+        from repro.perf.suites import run_suite_unit, suite_unit_names
+
+        with pytest.raises(ValueError, match="work units"):
+            suite_unit_names("campaign")
+        with pytest.raises(ValueError, match="work units"):
+            run_suite_unit("campaign", "x")
+        with pytest.raises(ValueError, match="no benchmark"):
+            run_suite_unit("mpi", "mpi.nope")
+
+    def test_engine_unit_carries_live_seed_ref(self):
+        from repro.perf.suites import run_suite_unit
+
+        result, seed_ops = run_suite_unit(
+            "engine", "engine.timeouts", repeats=1, quick=True
+        )
+        assert result.name == "engine.timeouts"
+        assert seed_ops is not None and seed_ops > 0
+
+    def test_mpi_unit_has_no_seed_ref(self):
+        from repro.perf.suites import run_suite_unit
+
+        result, seed_ops = run_suite_unit(
+            "mpi", "mpi.pingpong_small", repeats=1, quick=True
+        )
+        assert result.ops > 0 and seed_ops is None
+
+
+class TestBenchJobsCli:
+    def test_sharded_run_writes_valid_docs(self, tmp_path):
+        from repro.perf.cli import bench_main
+
+        assert bench_main(
+            ["engine", "mpi", "--quick", "--jobs", "2",
+             "--out-dir", str(tmp_path), "--repeats", "1"]
+        ) == 0
+        for suite in ("engine", "mpi"):
+            doc = json.loads((tmp_path / f"BENCH_{suite}.json").read_text())
+            validate_bench_doc(doc)
+        engine = json.loads((tmp_path / "BENCH_engine.json").read_text())
+        # the live seed comparison survives sharding
+        assert "speedup_vs_seed" in engine["benchmarks"][0]
+        names = [r["name"] for r in engine["benchmarks"]]
+        assert names == [  # deterministic merge order, not completion order
+            "engine.timer_cascade", "engine.event_chain", "engine.timeouts",
+        ]
+
+    def test_bad_jobs_rejected(self, capsys):
+        from repro.perf.cli import bench_main
+
+        with pytest.raises(SystemExit) as e:
+            bench_main(["engine", "--jobs", "0"])
+        assert e.value.code == 2
