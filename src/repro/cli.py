@@ -31,6 +31,11 @@ Performance benchmarks (see :mod:`repro.perf`)::
 
     python -m repro bench                        # writes BENCH_*.json
     python -m repro bench engine --check         # perf-regression gate
+
+Serving (see :mod:`repro.serve`)::
+
+    python -m repro serve --port 7653 --jobs 4   # campaign query server
+    python -m repro loadtest --port 7653 --quick # open-loop load generator
 """
 
 from __future__ import annotations
@@ -62,6 +67,20 @@ _JSON_ARTEFACTS = {
     "figure6": "figure6.json",
     "headline_hpl": "headline.json",
 }
+
+
+def jobs_count(value: str) -> int:
+    """Shared argparse type for every ``--jobs`` option (``repro all``,
+    ``repro bench``, ``repro serve``, ``repro loadtest``): an integer
+    worker count of at least 1.  One validator, one error message —
+    pre-fix each subcommand rolled its own check (or forgot to)."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("--jobs must be at least 1")
+    return jobs
 
 
 def _print_header(title: str) -> None:
@@ -226,8 +245,6 @@ def _all_cmd(args: argparse.Namespace) -> int:
     over ``--jobs`` workers with the persistent result cache."""
     from repro.core.study import MobileSoCStudy
 
-    if args.jobs < 1:
-        raise SystemExit("repro all: --jobs must be at least 1")
     study = MobileSoCStudy()
     if args.jobs > 1:
         from repro.parallel.runner import run_campaign
@@ -271,6 +288,18 @@ def _load_bench_main(argv: list[str]) -> int:
     return bench_main(argv)
 
 
+def _load_serve_main(argv: list[str]) -> int:
+    from repro.serve.cli import serve_main
+
+    return serve_main(argv)
+
+
+def _load_loadtest_main(argv: list[str]) -> int:
+    from repro.serve.cli import loadtest_main
+
+    return loadtest_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level parser: one subcommand per artefact plus the
     ``all`` campaign and the trace/faults/bench tool CLIs."""
@@ -278,7 +307,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate artefacts of the SC'13 mobile-SoC study.",
         epilog="Each tool subcommand has its own options: "
-        "'repro trace --help', 'repro faults --help', 'repro bench --help'.",
+        "'repro trace --help', 'repro faults --help', 'repro bench --help', "
+        "'repro serve --help', 'repro loadtest --help'.",
     )
     sub = parser.add_subparsers(
         dest="command", metavar="command", required=True
@@ -292,7 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
         "with output byte-identical to the serial path.",
     )
     all_p.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
+        "--jobs", type=jobs_count, default=1, metavar="N",
         help="worker processes (1 = today's serial path; default: 1)",
     )
     all_p.add_argument(
@@ -320,6 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
          _load_faults_main),
         ("bench", "performance suites writing BENCH_*.json (repro.perf)",
          _load_bench_main),
+        ("serve", "batched campaign-serving front end (repro.serve)",
+         _load_serve_main),
+        ("loadtest", "open-loop load generator for serve (repro.serve)",
+         _load_loadtest_main),
     ):
         tool_p = sub.add_parser(
             name,

@@ -328,6 +328,12 @@ class RankContext:
         arrived after ``timeout`` simulated seconds the posted receive
         is withdrawn and :class:`RecvTimeout` is raised.  A matching
         message arriving later simply lands in the mailbox for a retry.
+
+        When the message wins the race, the losing watchdog timer is
+        *cancelled* — otherwise every timed receive would leave a dead
+        entry in the scheduler heap until its far-future expiry, and
+        the run's drain (hence its makespan) would stretch out to the
+        last dead watchdog instead of the last real event.
         """
         ev = self.irecv(src, tag)
         t0 = self.now
@@ -337,7 +343,12 @@ class RankContext:
             if timeout < 0:
                 raise ValueError("timeout must be non-negative")
             engine = self.world.engine
-            yield engine.any_of([ev, engine.timeout(timeout)])
+            timer = engine.timeout(timeout)
+            try:
+                yield engine.any_of([ev, timer])
+            finally:
+                if not timer.triggered:
+                    timer.cancel()
             if not ev.triggered:
                 self._cancel_recv(ev)
                 self.stats.comm_wait_s += self.now - t0

@@ -13,7 +13,15 @@ Values are stored as JSON (floats round-trip exactly through Python's
 written atomically via rename.  Hits and misses are counted on the
 cache object and, when the observability layer is recording, bumped
 onto the active :class:`~repro.obs.recorder.TraceRecorder` as the
-``cache.hit`` / ``cache.miss`` totals.
+``cache.hit`` / ``cache.miss`` totals (evictions as ``cache.evict``).
+
+The store is size-capped: once the object files exceed ``max_bytes``
+(default :data:`DEFAULT_MAX_BYTES` = 256 MiB; ``0`` = unlimited) a
+``put`` prunes oldest-mtime-first until back under the cap, so a
+long-lived serving process cannot grow the cache without bound.
+Corrupt or alien object files are treated as misses *and unlinked* —
+leaving the corpse on disk made every subsequent ``get`` re-read and
+re-fail on it.
 """
 
 from __future__ import annotations
@@ -33,6 +41,11 @@ SCHEMA_VERSION = 1
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+#: Default size cap for the object store (``0`` = unlimited).  256 MiB
+#: holds hundreds of thousands of campaign unit values — far beyond a
+#: full campaign — while bounding a serving process's disk footprint.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 #: Sentinel returned by :meth:`ResultCache.get` on a miss (``None`` is a
 #: legitimate cached value).
@@ -77,10 +90,11 @@ def unit_key(
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one cache object's lifetime."""
+    """Hit/miss/eviction counters for one cache object's lifetime."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def total(self) -> int:
@@ -91,19 +105,36 @@ class CacheStats:
         return self.hits / self.total if self.total else 0.0
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.hits} hits / {self.misses} misses "
             f"({self.hit_rate:.0%} hit rate)"
         )
+        if self.evictions:
+            text += f", {self.evictions} evicted"
+        return text
 
 
 class ResultCache:
     """The on-disk store.  Corrupt or alien object files are treated as
-    misses and silently overwritten on the next ``put``."""
+    misses and unlinked, so the next ``get`` does not re-read them.
 
-    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+    :param root: cache directory (created on first ``put``).
+    :param max_bytes: size cap for the object store; ``put`` prunes
+        oldest-mtime-first once the total exceeds it.  ``0`` disables
+        the cap.  Default: :data:`DEFAULT_MAX_BYTES`.
+    """
+
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_CACHE_DIR,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative (0 = unlimited)")
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.stats = CacheStats()
+        self._total_bytes: int | None = None  # lazy; None = not yet scanned
 
     def _path(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}.json"
@@ -117,22 +148,47 @@ class ResultCache:
         if rec is not None:
             rec.bump("cache.hit" if hit else "cache.miss")
 
+    def _object_files(self) -> list[Path]:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return [p for p in objects.glob("*/*.json") if p.is_file()]
+
+    def _discard(self, path: Path) -> None:
+        """Unlink a corrupt/alien object file (racing removal is fine)."""
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except OSError:
+            return
+        if self._total_bytes is not None:
+            self._total_bytes = max(0, self._total_bytes - size)
+
     def get(self, key: str) -> Any:
         """The cached value for ``key``, or the :data:`MISS` sentinel."""
+        path = self._path(key)
         try:
-            doc = json.loads(self._path(key).read_text())
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text()
+        except OSError:
             self._count(hit=False)
             return MISS
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
         if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_VERSION \
                 or "value" not in doc:
+            # Corrupt or alien: a miss — and the corpse must go, or
+            # every later get would re-read and re-fail on it.
+            self._discard(path)
             self._count(hit=False)
             return MISS
         self._count(hit=True)
         return doc["value"]
 
     def put(self, key: str, value: Any, kind: str = "") -> None:
-        """Store ``value`` (must be JSON-serialisable) atomically."""
+        """Store ``value`` (must be JSON-serialisable) atomically, then
+        prune oldest-mtime-first if the store exceeds ``max_bytes``."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         doc = {"schema": SCHEMA_VERSION, "kind": kind, "value": value}
@@ -142,6 +198,10 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(doc, fh, sort_keys=True)
+            try:
+                old_size = path.stat().st_size
+            except OSError:
+                old_size = 0
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -149,3 +209,40 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes:
+            if self._total_bytes is None:
+                self._total_bytes = sum(
+                    p.stat().st_size for p in self._object_files()
+                )
+            else:
+                self._total_bytes += path.stat().st_size - old_size
+            if self._total_bytes > self.max_bytes:
+                self._evict()
+
+    def _evict(self) -> None:
+        """Prune object files oldest-mtime-first until under the cap.
+
+        Ties (same mtime at filesystem granularity) break by path, so
+        eviction order is deterministic.  The just-written object has
+        the newest mtime and is therefore pruned last — only a cap
+        smaller than a single object ever evicts it.
+        """
+        rec = _obs_current()
+        aged = sorted(
+            ((p.stat().st_mtime_ns, p) for p in self._object_files()),
+            key=lambda pair: (pair[0], str(pair[1])),
+        )
+        total = sum(p.stat().st_size for _, p in aged)
+        for _, victim in aged:
+            if total <= self.max_bytes:
+                break
+            try:
+                size = victim.stat().st_size
+                victim.unlink()
+            except OSError:
+                continue  # raced with another process; nothing to count
+            total -= size
+            self.stats.evictions += 1
+            if rec is not None:
+                rec.bump("cache.evict")
+        self._total_bytes = total

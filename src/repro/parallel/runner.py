@@ -23,6 +23,7 @@ nothing and complicate the cache contract.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,11 +45,30 @@ from repro.parallel.units import (
 )
 
 
-def _pool_context():
-    """Prefer ``fork`` (workers inherit warm imports); fall back to the
-    platform default where it is unavailable."""
+def _pool_context(start_method: str | None = None):
+    """The multiprocessing context for a worker pool.
+
+    ``start_method`` picks the context explicitly; otherwise the
+    ``REPRO_START_METHOD`` environment variable does, and failing both
+    we prefer ``fork`` (workers inherit warm imports) with a fall back
+    to the platform default (``spawn`` on macOS/Windows).  The campaign
+    is correct — byte-identical — under every method: work units are
+    pure functions of ``(kind, params, seed)`` plus the package source,
+    so a freshly spawned interpreter computes the same bits a forked
+    one inherits.  An unavailable method raises ``ValueError`` naming
+    the platform's choices instead of failing inside the pool.
+    """
+    if start_method is None:
+        start_method = os.environ.get("REPRO_START_METHOD") or None
     methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
+    if start_method is None:
+        start_method = "fork" if "fork" in methods else None
+    elif start_method not in methods:
+        raise ValueError(
+            f"start method {start_method!r} unavailable on this platform "
+            f"(choices: {', '.join(methods)})"
+        )
+    return multiprocessing.get_context(start_method)
 
 
 def run_units(
@@ -56,10 +76,17 @@ def run_units(
     jobs: int = 1,
     cache: ResultCache | None = None,
     seed: int = 0,
+    start_method: str | None = None,
+    pool=None,
 ) -> list[Any]:
     """Execute ``units``, returning their values in input order.
 
     Cache hits are resolved in the parent; only misses reach the pool.
+    ``pool`` reuses a caller-owned worker pool instead of creating one
+    per call — long-lived callers (the serving front end) pre-fork
+    theirs while the process is still single-threaded, because forking
+    from a threaded process can hand workers a lock some other thread
+    held at fork time, deadlocking them before they take a task.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
@@ -74,11 +101,13 @@ def run_units(
         todo.append(i)
     if todo:
         jobs_args = [(units[i].kind, units[i].params, seed) for i in todo]
-        if jobs == 1 or len(todo) == 1:
+        if pool is not None and len(todo) > 1:
+            fresh = pool.map(pool_entry, jobs_args, chunksize=1)
+        elif jobs == 1 or len(todo) == 1:
             fresh = [pool_entry(job) for job in jobs_args]
         else:
-            with _pool_context().Pool(min(jobs, len(todo))) as pool:
-                fresh = pool.map(pool_entry, jobs_args, chunksize=1)
+            with _pool_context(start_method).Pool(min(jobs, len(todo))) as pool_:
+                fresh = pool_.map(pool_entry, jobs_args, chunksize=1)
         for i, value in zip(todo, fresh):
             values[i] = value
             if cache is not None:
@@ -121,6 +150,7 @@ def run_campaign(
     cache_dir: str | Path | None = DEFAULT_CACHE_DIR,
     study=None,
     seed: int | None = None,
+    start_method: str | None = None,
 ) -> CampaignReport:
     """Run the full campaign sharded; see the module docstring.
 
@@ -144,7 +174,10 @@ def run_campaign(
     cluster = tibidabo(max(counts))
     units = campaign_units(quick, cluster, study)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    values = run_units(units, jobs=jobs, cache=cache, seed=study.seed)
+    values = run_units(
+        units, jobs=jobs, cache=cache, seed=study.seed,
+        start_method=start_method,
+    )
     results = _merge_campaign(study, cluster, counts, units, values)
     return CampaignReport(
         results=results,

@@ -20,7 +20,7 @@ from __future__ import annotations
 import resource
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 SCHEMA_VERSION = 1
@@ -35,7 +35,12 @@ def peak_rss_bytes() -> int:
 
 @dataclass(frozen=True)
 class BenchResult:
-    """Outcome of one microbenchmark."""
+    """Outcome of one microbenchmark.
+
+    ``extras`` carries suite-specific scalars (the serve suite's tail
+    latencies and hit ratio) into the JSON record verbatim; the
+    validator and the regression gate ignore keys they don't know.
+    """
 
     name: str
     ops: int
@@ -43,6 +48,7 @@ class BenchResult:
     ops_per_s: float
     repeats: int
     peak_rss_bytes: int
+    extras: dict[str, float] = field(default_factory=dict)
 
     def as_record(self, seed_ops_per_s: float | None = None) -> dict[str, Any]:
         rec: dict[str, Any] = {
@@ -53,6 +59,8 @@ class BenchResult:
             "repeats": self.repeats,
             "peak_rss_bytes": self.peak_rss_bytes,
         }
+        for key in sorted(self.extras):
+            rec.setdefault(key, self.extras[key])
         if seed_ops_per_s is not None:
             rec["seed_ops_per_s"] = seed_ops_per_s
             rec["speedup_vs_seed"] = self.ops_per_s / seed_ops_per_s

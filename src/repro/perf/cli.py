@@ -15,6 +15,7 @@ import argparse
 import json
 from pathlib import Path
 
+from repro.cli import jobs_count
 from repro.perf.bench import suite_doc, validate_bench_doc
 from repro.perf.compare import (
     BASELINE_PATH,
@@ -29,6 +30,7 @@ from repro.perf.suites import (
     bench_pool_entry,
     campaign_suite_with_ref,
     engine_suite_with_seed,
+    serve_suite_with_ref,
     suite_unit_names,
 )
 
@@ -95,13 +97,11 @@ def bench_main(argv: list[str] | None = None) -> int:
         help="rewrite the baseline's ops/s entries from this run",
     )
     parser.add_argument(
-        "--jobs", type=int, default=1,
+        "--jobs", type=jobs_count, default=1,
         help="shard each suite's benchmarks across N worker processes "
         "(default: 1, the serial path)",
     )
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error("--jobs must be at least 1")
     selected = list(dict.fromkeys(args.suites)) or list(SUITES)
     repeats = 1 if args.quick else args.repeats
 
@@ -112,6 +112,9 @@ def bench_main(argv: list[str] | None = None) -> int:
             # Whole-campaign runs that drive their own worker pools;
             # never sharded from here.
             results, seed_ref = campaign_suite_with_ref(repeats, args.quick)
+        elif name == "serve":
+            # End-to-end service runs; same own-pool rule as campaign.
+            results, seed_ref = serve_suite_with_ref(repeats, args.quick)
         elif args.jobs > 1 and name in SHARDABLE_SUITES:
             results, seed_ref = _run_suite_sharded(
                 name, repeats, args.quick, args.jobs

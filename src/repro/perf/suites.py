@@ -300,11 +300,91 @@ def campaign_suite(repeats: int = 1, quick: bool = False) -> list[BenchResult]:
 
 
 # ---------------------------------------------------------------------------
+# Serving end-to-end benchmarks (BENCH_serve.json)
+# ---------------------------------------------------------------------------
+
+def serve_suite_with_ref(
+    repeats: int = 1, quick: bool = False
+) -> tuple[list[BenchResult], dict[str, float]]:
+    """Cold vs warm serving, end to end through the real stack.
+
+    Boots the JSON-lines TCP server in-process (real work units, real
+    result cache, real pre-forked pool) and drives it with the seeded
+    open-loop generator twice back-to-back: once against a *cold* cache
+    (misses dominate: micro-batching + sharded execution) and once
+    against the cache the cold pass just filled (coalesce + cache hits
+    dominate).  Each record's ops are completed requests, ops/s is
+    delivered throughput, and the extras carry the tail latencies and
+    hit ratio — the numbers the acceptance gate reads off
+    BENCH_serve.json.  The warm entry's ``speedup_vs_seed`` is measured
+    against the cold pass, mirroring the campaign suite's serial-vs-
+    sharded idiom.  ``repeats`` is ignored: whole-service runs,
+    best-of-1 by construction.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.perf.bench import peak_rss_bytes
+    from repro.serve.frontend import CampaignFrontEnd, ServeConfig
+    from repro.serve.loadtest import run_loadtest_fleet
+    from repro.serve.server import ServeServer
+
+    n_requests = 400 if quick else 1500
+    rate = 800.0 if quick else 1000.0
+
+    async def _drive(cache_dir) -> tuple[dict, dict]:
+        server = ServeServer(
+            CampaignFrontEnd(ServeConfig(jobs=2, cache_dir=cache_dir))
+        )
+        await server.start()
+        run_task = asyncio.ensure_future(server.serve_until_shutdown())
+        cold = await run_loadtest_fleet(
+            "127.0.0.1", server.port, n_requests=n_requests, rate=rate,
+            seed=0, connections=2,
+        )
+        warm = await run_loadtest_fleet(
+            "127.0.0.1", server.port, n_requests=n_requests, rate=rate,
+            seed=0, connections=2, shutdown_after=True,
+        )
+        await run_task
+        return cold, warm
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as td:
+        cold, warm = asyncio.run(_drive(td))
+
+    def result(name: str, report: dict) -> BenchResult:
+        extras = {"hit_ratio": report["hit_ratio"]}
+        for key in ("p50_latency_s", "p99_latency_s"):
+            if key in report:
+                extras[key] = report[key]
+        return BenchResult(
+            name=name,
+            ops=report["completed"],
+            wall_s=report["wall_s"],
+            ops_per_s=report["throughput_rps"],
+            repeats=1,
+            peak_rss_bytes=peak_rss_bytes(),
+            extras=extras,
+        )
+
+    results = [
+        result("serve.loadtest_cold", cold),
+        result("serve.loadtest_warm", warm),
+    ]
+    return results, {"serve.loadtest_warm": cold["throughput_rps"]}
+
+
+def serve_suite(repeats: int = 1, quick: bool = False) -> list[BenchResult]:
+    return serve_suite_with_ref(repeats, quick)[0]
+
+
+# ---------------------------------------------------------------------------
 # Suite work units (``repro bench --jobs N``)
 # ---------------------------------------------------------------------------
 # Each (suite, benchmark) pair is an independent work unit so the bench
 # CLI can fan a suite across a multiprocessing pool with deterministic
-# merge order.  The campaign suite is excluded: it owns a pool itself.
+# merge order.  The campaign and serve suites are excluded: they own
+# worker pools themselves.
 
 SHARDABLE_SUITES = ("engine", "mpi", "apps")
 
@@ -366,4 +446,5 @@ SUITES: dict[str, Callable[[int, bool], list[BenchResult]]] = {
     "mpi": mpi_suite,
     "apps": apps_suite,
     "campaign": campaign_suite,
+    "serve": serve_suite,
 }

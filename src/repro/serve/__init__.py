@@ -1,0 +1,50 @@
+"""Batched campaign-serving front end (``repro serve``).
+
+The ROADMAP north star is a system that serves heavy traffic, and the
+traffic against this reproduction is overwhelmingly *repeated* requests
+for the same operating points — the same Figure 3/4 ``(mode, platform,
+freq)`` grid cells and Figure 6 ``(app, nodes)`` points, re-requested
+across report builds, CI runs and notebook sessions (the evaluation-
+service pattern of the later ARM-HPC studies).  That workload shape
+makes three mechanisms do almost all the work:
+
+* **single-flight coalescing** — identical in-flight requests share one
+  computation (:class:`~repro.serve.frontend.CampaignFrontEnd`);
+* **cache-backed serving** — anything the content-addressed
+  :class:`~repro.parallel.cache.ResultCache` already holds is returned
+  without touching a worker;
+* **micro-batched sharding** — the distinct misses that remain are
+  collected for a few milliseconds and executed as one
+  :func:`repro.parallel.runner.run_units` call over a bounded
+  multiprocessing pool.
+
+Around them sit admission control (a bounded pending queue; excess
+load is rejected 429-style with a ``retry_after_s`` hint), graceful
+shutdown (drain every accepted request, then exit), and observability
+(queue depth / batch size / hit ratio / latency through
+:mod:`repro.obs`).  ``repro loadtest`` (:mod:`repro.serve.loadtest`)
+is the matching open-loop load generator, and the ``serve`` perf suite
+records throughput and tail latency cold vs warm in
+``BENCH_serve.json``.
+
+Layering: :mod:`~repro.serve.frontend` is transport-independent pure
+asyncio; :mod:`~repro.serve.server` puts a JSON-lines TCP protocol in
+front of it; :mod:`~repro.serve.cli` is the ``repro serve`` /
+``repro loadtest`` argument surface.
+"""
+
+from repro.serve.frontend import (
+    CampaignFrontEnd,
+    Overloaded,
+    ServeConfig,
+    ServeStats,
+    percentile,
+)
+
+__all__ = [
+    "CampaignFrontEnd",
+    "Overloaded",
+    "ServeConfig",
+    "ServeStats",
+    "percentile",
+]

@@ -1,0 +1,199 @@
+"""``repro serve`` / ``repro loadtest`` — the serving argument surface.
+
+Usage::
+
+    python -m repro serve                        # default cache + 2 workers
+    python -m repro serve --port 7653 --jobs 4
+    python -m repro loadtest --port 7653 --quick --assert-hit-ratio 0.9
+    python -m repro loadtest --port 7653 --requests 2000 --rate 500 --shutdown
+
+``repro serve`` prints one ``listening on HOST:PORT`` line (flushed) as
+its readiness signal — CI and scripts wait for it before pointing the
+load generator at the port.  SIGINT/SIGTERM trigger the same graceful
+drain as the ``shutdown`` op: stop admitting, resolve everything
+accepted, exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import signal
+from pathlib import Path
+
+from repro.cli import jobs_count
+from repro.parallel.cache import DEFAULT_CACHE_DIR
+from repro.serve.frontend import CampaignFrontEnd, ServeConfig
+from repro.serve.loadtest import format_report, run_loadtest_fleet
+from repro.serve.server import ServeServer
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve campaign queries over JSON-lines TCP with "
+        "single-flight coalescing, cache-backed hits and micro-batched "
+        "sharded execution.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default: 0 = ephemeral; the actual port is "
+        "printed on the 'listening on' line)",
+    )
+    parser.add_argument(
+        "--jobs", type=jobs_count, default=2,
+        help="worker processes per batch execution (default: 2)",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=0.01, metavar="S",
+        help="micro-batch collection window in seconds (default: 0.01)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32, metavar="N",
+        help="distinct misses per batch (default: 32)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=256, metavar="N",
+        help="pending-computation bound before 429-style rejection "
+        "(default: 256)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"result-cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the result cache (every miss recomputes)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="study seed baked into cache keys (default: 0)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        config = ServeConfig(
+            jobs=args.jobs,
+            batch_window_s=args.batch_window,
+            max_batch=args.max_batch,
+            queue_limit=args.queue_limit,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    return asyncio.run(_serve(config, args.host, args.port))
+
+
+async def _serve(config: ServeConfig, host: str, port: int) -> int:
+    frontend = CampaignFrontEnd(config)
+    server = ServeServer(frontend, host, port)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(sig, server.request_shutdown)
+    print(
+        f"repro serve: listening on {server.host}:{server.port} "
+        f"(jobs={config.jobs}, queue_limit={config.queue_limit}, "
+        f"cache={'off' if config.cache_dir is None else config.cache_dir})",
+        flush=True,
+    )
+    await server.serve_until_shutdown()
+    snap = frontend.stats.snapshot()
+    print(
+        "repro serve: drained and stopped — "
+        f"{snap['accepted']} accepted, {snap['rejected']} rejected, "
+        f"hit ratio {snap['hit_ratio']:.1%} over "
+        f"{snap['batches']} batch(es)"
+    )
+    return 0
+
+
+def loadtest_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro loadtest",
+        description="Seeded open-loop load generator for 'repro serve'.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="server address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, required=True,
+        help="server port (from the serve 'listening on' line)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=2000, metavar="N",
+        help="total requests to offer (default: 2000)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=500.0, metavar="RPS",
+        help="offered Poisson arrival rate, requests/s (default: 500)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload + arrival-process seed (default: 0)",
+    )
+    parser.add_argument(
+        "--hot-fraction", type=float, default=0.9, metavar="F",
+        help="fraction of requests drawn from the hot set (default: 0.9)",
+    )
+    parser.add_argument(
+        "--jobs", type=jobs_count, default=1,
+        help="concurrent client connections sharing the offered rate "
+        "(default: 1)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset: 600 requests at 600 rps",
+    )
+    parser.add_argument(
+        "--assert-hit-ratio", type=float, default=None, metavar="X",
+        help="exit 1 unless the coalesce+cache hit ratio reaches X",
+    )
+    parser.add_argument(
+        "--shutdown", action="store_true",
+        help="send the server a graceful-shutdown op after the run",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON instead of the text summary",
+    )
+    args = parser.parse_args(argv)
+    n_requests = 600 if args.quick else args.requests
+    rate = 600.0 if args.quick else args.rate
+    report = asyncio.run(
+        run_loadtest_fleet(
+            args.host,
+            args.port,
+            n_requests=n_requests,
+            rate=rate,
+            seed=args.seed,
+            hot_fraction=args.hot_fraction,
+            connections=args.jobs,
+            shutdown_after=args.shutdown,
+        )
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    if report["errors"]:
+        print(f"loadtest: FAIL — {report['errors']} error responses")
+        return 1
+    if (
+        args.assert_hit_ratio is not None
+        and report["hit_ratio"] < args.assert_hit_ratio
+    ):
+        print(
+            f"loadtest: FAIL — hit ratio {report['hit_ratio']:.1%} "
+            f"below the required {args.assert_hit_ratio:.1%}"
+        )
+        return 1
+    return 0

@@ -1,0 +1,433 @@
+"""The transport-independent serving core: coalesce, batch, bound.
+
+:class:`CampaignFrontEnd` accepts campaign queries expressed as the
+existing work-unit coordinates (``kind`` + ``params`` from
+:mod:`repro.parallel.units`) and resolves each one through a strict
+funnel, cheapest mechanism first:
+
+1. **single-flight** — an identical request already in flight shares
+   its future; one computation serves every concurrent duplicate;
+2. **result cache** — the content-addressed on-disk store answers
+   anything any previous run (or process) already computed;
+3. **micro-batch** — the distinct misses that remain are collected for
+   ``batch_window_s`` (up to ``max_batch``) and executed as ONE
+   :func:`repro.parallel.runner.run_units` call sharded over a bounded
+   multiprocessing pool, in a worker thread so the event loop never
+   blocks.
+
+Admission control bounds the miss backlog: once ``queue_limit``
+distinct computations are pending, further misses are rejected with
+:class:`Overloaded` carrying a ``retry_after_s`` hint (the transport
+maps this to a 429-style response).  Coalesced and cached requests are
+*always* admitted — they cost no worker time, and rejecting them would
+punish exactly the traffic the front end is best at.
+
+Graceful shutdown: :meth:`CampaignFrontEnd.drain` stops admitting new
+work, waits for every accepted request to resolve, then retires the
+batcher — none dropped.
+
+Observability: when :mod:`repro.obs` is recording, batches emit
+``serve.batch`` spans (wall-clock seconds since front-end start — a
+live service has no simulated clock, so these traces are *not* part of
+the deterministic-replay contract), queue depth lands on the
+``serve.queue_depth`` counter, and the ``serve.hit`` /
+``serve.coalesced`` / ``serve.computed`` / ``serve.rejected`` totals
+mirror :class:`ServeStats`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs.recorder import current as _obs_current
+from repro.parallel.cache import DEFAULT_CACHE_DIR, MISS, ResultCache, unit_key
+from repro.parallel.units import WorkUnit
+
+#: The queryable work-unit kinds (the campaign decomposition's own).
+UNIT_KINDS = ("sweep_base", "sweep_point", "fig6_point", "headline")
+
+#: How a request was served.
+SERVED_CACHE = "cache"
+SERVED_COALESCED = "coalesced"
+SERVED_COMPUTED = "computed"
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) of ``values``."""
+    if not values:
+        raise ValueError("percentile of an empty sequence is undefined")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class Overloaded(RuntimeError):
+    """Admission control rejected the request (429-style).
+
+    ``retry_after_s`` estimates when the backlog will have drained
+    enough to admit a retry; ``reason`` is ``"overloaded"`` for a full
+    queue and ``"draining"`` during graceful shutdown.
+    """
+
+    def __init__(self, retry_after_s: float, reason: str = "overloaded") -> None:
+        super().__init__(
+            f"{reason}: retry after {retry_after_s:.3f} s"
+        )
+        self.retry_after_s = retry_after_s
+        self.reason = reason
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one front end."""
+
+    jobs: int = 2                  #: pool workers per batch execution
+    batch_window_s: float = 0.01   #: micro-batch collection window
+    max_batch: int = 32            #: distinct misses per batch
+    queue_limit: int = 256        #: pending distinct computations bound
+    cache_dir: Path | None = DEFAULT_CACHE_DIR  #: None = no cache
+    cache_max_bytes: int | None = None  #: None = ResultCache default
+    seed: int = 0                  #: study seed baked into cache keys
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+
+
+@dataclass
+class ServeStats:
+    """Request accounting for one front end's lifetime."""
+
+    accepted: int = 0      #: requests admitted (every served request)
+    rejected: int = 0      #: requests refused by admission control
+    cache_hits: int = 0    #: served straight from the result cache
+    coalesced: int = 0     #: shared an identical in-flight computation
+    computed: int = 0      #: required fresh work-unit execution
+    failed: int = 0        #: admitted but failed in execution
+    batches: int = 0       #: run_units calls issued
+    batched_units: int = 0  #: distinct units across all batches
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of admitted requests served without fresh work —
+        the coalesce+cache ratio the acceptance gate reads."""
+        if not self.accepted:
+            return 0.0
+        return (self.cache_hits + self.coalesced) / self.accepted
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_units / self.batches if self.batches else 0.0
+
+    def record_latency(self, seconds: float) -> None:
+        # Bounded: a long-lived server must not grow without limit.
+        if len(self.latencies_s) < 1_000_000:
+            self.latencies_s.append(seconds)
+
+    def snapshot(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "computed": self.computed,
+            "failed": self.failed,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "hit_ratio": self.hit_ratio,
+        }
+        if self.latencies_s:
+            doc["p50_latency_s"] = percentile(self.latencies_s, 0.50)
+            doc["p99_latency_s"] = percentile(self.latencies_s, 0.99)
+        return doc
+
+
+@dataclass
+class _Pending:
+    """One distinct in-flight computation."""
+
+    key: tuple[str, str]
+    unit: WorkUnit
+    future: asyncio.Future
+
+
+class CampaignFrontEnd:
+    """See the module docstring.  Lifecycle::
+
+        fe = CampaignFrontEnd(ServeConfig(jobs=4))
+        await fe.start()
+        value, served = await fe.submit("sweep_point", {...})
+        ...
+        await fe.drain()   # graceful: resolves everything accepted
+
+    ``runner`` (tests, benchmarks) replaces the default
+    ``run_units``-over-a-pool execution with any callable
+    ``list[WorkUnit] -> list[value]``; it runs in a worker thread.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        runner: Callable[[list[WorkUnit]], list[Any]] | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.stats = ServeStats()
+        self._runner = runner
+        cfg = self.config
+        cache_kw: dict[str, Any] = {}
+        if cfg.cache_max_bytes is not None:
+            cache_kw["max_bytes"] = cfg.cache_max_bytes
+        # Two cache handles on the same directory: the probe cache is
+        # touched only from the event-loop thread, the batch cache only
+        # from the single executor thread — no shared mutable state.
+        self._probe_cache = (
+            ResultCache(cfg.cache_dir, **cache_kw)
+            if cfg.cache_dir is not None else None
+        )
+        self._batch_cache = (
+            ResultCache(cfg.cache_dir, **cache_kw)
+            if cfg.cache_dir is not None else None
+        )
+        self._pool = None  # persistent worker pool; created in start()
+        self._inflight: dict[tuple[str, str], _Pending] = {}
+        self._queue: asyncio.Queue[_Pending] = asyncio.Queue()
+        self._pending_units = 0  # queued + executing distinct units
+        self._draining = False
+        self._batcher_task: asyncio.Task | None = None
+        # One executor thread: batches execute strictly one at a time —
+        # the bounded worker pool is the multiprocessing pool *inside*
+        # each run_units call, not a fan-out of concurrent batches.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-batch"
+        )
+        self._t0 = time.perf_counter()
+        # Wall throughput of recent batches, for the retry-after hint.
+        self._last_batch_rate: float = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        if self._runner is None and self.config.jobs > 1 and self._pool is None:
+            # Pre-fork the worker pool NOW, while the process is still
+            # single-threaded.  Batches execute from an executor thread,
+            # and forking a pool from there can hand workers a lock the
+            # event-loop thread held at fork time — a worker deadlocked
+            # before its first task, and a batch that never returns.
+            from repro.parallel.runner import _pool_context
+
+            self._pool = _pool_context().Pool(self.config.jobs)
+        if self._batcher_task is None:
+            self._batcher_task = asyncio.get_running_loop().create_task(
+                self._batcher()
+            )
+
+    async def drain(self) -> None:
+        """Graceful shutdown: admit nothing new, resolve everything
+        accepted (none dropped), then retire the batcher thread."""
+        self._draining = True
+        while self._inflight:
+            futures = [p.future for p in self._inflight.values()]
+            await asyncio.gather(*futures, return_exceptions=True)
+        if self._batcher_task is not None:
+            self._batcher_task.cancel()
+            try:
+                await self._batcher_task
+            except asyncio.CancelledError:
+                pass
+            self._batcher_task = None
+        self._executor.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        """Distinct computations pending (queued or executing)."""
+        return self._pending_units
+
+    def _clock(self) -> float:
+        return time.perf_counter() - self._t0
+
+    # -- the funnel --------------------------------------------------------
+    async def submit(self, kind: str, params: dict[str, Any]) -> tuple[Any, str]:
+        """Resolve one campaign query; returns ``(value, served_by)``.
+
+        Raises :class:`Overloaded` when admission control refuses the
+        request and ``ValueError`` for an unknown unit kind.
+        """
+        if kind not in UNIT_KINDS:
+            raise ValueError(
+                f"unknown work-unit kind {kind!r} "
+                f"(one of: {', '.join(UNIT_KINDS)})"
+            )
+        t_in = time.perf_counter()
+        key = (kind, json.dumps(params, sort_keys=True))
+        rec = _obs_current()
+
+        pending = self._inflight.get(key)
+        if pending is not None:
+            # Single-flight: ride the computation already in the air.
+            self.stats.accepted += 1
+            self.stats.coalesced += 1
+            if rec is not None:
+                rec.bump("serve.coalesced")
+            try:
+                value = await asyncio.shield(pending.future)
+            except Exception:
+                self.stats.failed += 1
+                raise
+            self.stats.record_latency(time.perf_counter() - t_in)
+            return value, SERVED_COALESCED
+
+        if self._probe_cache is not None:
+            hit = self._probe_cache.get(unit_key(kind, params, self.config.seed))
+            if hit is not MISS:
+                self.stats.accepted += 1
+                self.stats.cache_hits += 1
+                if rec is not None:
+                    rec.bump("serve.hit")
+                self.stats.record_latency(time.perf_counter() - t_in)
+                return hit, SERVED_CACHE
+
+        # A genuine miss needs worker time: admission control applies.
+        if self._draining:
+            self.stats.rejected += 1
+            if rec is not None:
+                rec.bump("serve.rejected")
+            raise Overloaded(self._retry_after(), reason="draining")
+        if self._pending_units >= self.config.queue_limit:
+            self.stats.rejected += 1
+            if rec is not None:
+                rec.bump("serve.rejected")
+            raise Overloaded(self._retry_after())
+
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        # Always consume the exception: a waiter that disconnects must
+        # not leave an "exception was never retrieved" warning behind.
+        fut.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        entry = _Pending(key, WorkUnit(kind, dict(params)), fut)
+        self._inflight[key] = entry
+        self._pending_units += 1
+        self._queue.put_nowait(entry)
+        self.stats.accepted += 1
+        try:
+            value = await asyncio.shield(fut)
+        except Exception:
+            self.stats.failed += 1
+            raise
+        self.stats.computed += 1
+        if rec is not None:
+            rec.bump("serve.computed")
+        self.stats.record_latency(time.perf_counter() - t_in)
+        return value, SERVED_COMPUTED
+
+    def _retry_after(self) -> float:
+        """A drain-time estimate for the 429 hint: the current backlog
+        over the recently observed batch throughput, floored at one
+        batch window."""
+        floor = max(self.config.batch_window_s, 0.01)
+        if self._last_batch_rate <= 0:
+            return floor
+        return max(floor, self._pending_units / self._last_batch_rate)
+
+    # -- batching ----------------------------------------------------------
+    async def _batcher(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            deadline = loop.time() + self.config.batch_window_s
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            await self._execute(batch)
+
+    async def _execute(self, batch: list[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        rec = _obs_current()
+        t0 = self._clock()
+        if rec is not None:
+            rec.counter("serve.queue_depth", t0, self._pending_units)
+        units = [entry.unit for entry in batch]
+        try:
+            values = await loop.run_in_executor(
+                self._executor, self._run_batch, units
+            )
+            if len(values) != len(units):
+                raise RuntimeError(
+                    f"runner returned {len(values)} values for "
+                    f"{len(units)} units"
+                )
+        except Exception as exc:
+            for entry in batch:
+                self._inflight.pop(entry.key, None)
+                if not entry.future.done():
+                    entry.future.set_exception(exc)
+        else:
+            for entry, value in zip(batch, values):
+                self._inflight.pop(entry.key, None)
+                if not entry.future.done():
+                    entry.future.set_result(value)
+        finally:
+            self._pending_units -= len(batch)
+            t1 = self._clock()
+            self.stats.batches += 1
+            self.stats.batched_units += len(batch)
+            if t1 > t0:
+                self._last_batch_rate = len(batch) / (t1 - t0)
+            if rec is not None:
+                rec.span("serve.batch", "serve", t0, t1, batch=len(batch))
+                rec.bump("serve.batches")
+
+    def _run_batch(self, units: list[WorkUnit]) -> list[Any]:
+        """Executor-thread entry: the injected runner, or the real
+        sharded execution.  Either way results are written through to
+        the cache — the hit-path contract must not depend on which
+        runner computed the value."""
+        if self._runner is not None:
+            values = self._runner(units)
+            if self._batch_cache is not None:
+                for unit, value in zip(units, values):
+                    self._batch_cache.put(
+                        unit_key(unit.kind, unit.params, self.config.seed),
+                        value,
+                        kind=unit.kind,
+                    )
+            return values
+        from repro.parallel.runner import run_units
+
+        return run_units(
+            units,
+            jobs=self.config.jobs,
+            cache=self._batch_cache,
+            seed=self.config.seed,
+            pool=self._pool,
+        )

@@ -1,0 +1,255 @@
+"""``repro loadtest`` — seeded open-loop load generator for ``repro serve``.
+
+Open-loop means arrivals are scheduled by a Poisson process at the
+requested rate regardless of how fast responses come back — the
+arrival schedule never adapts to server latency, so the generator
+measures the server rather than its own politeness (closed-loop
+clients understate tail latency under load).
+
+The workload is deliberately duplicate-heavy, because that is the shape
+of real traffic against a reproduction service: ``hot_fraction`` of
+requests (default 0.9) draw from a small hot set of operating points,
+the rest from the full quick-campaign sweep grid.  Everything is
+derived from the seed, so a loadtest run is reproducible
+request-for-request.
+
+Each connection drives its share of the workload with id-matched
+responses — the server handles queries concurrently per connection, so
+duplicates in flight genuinely exercise single-flight coalescing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from typing import Any
+
+from repro.serve.frontend import percentile
+
+#: How long the generator keeps retrying the initial connect (CI boots
+#: the server as a sibling process and races it to the port).
+CONNECT_RETRIES = 100
+CONNECT_DELAY_S = 0.1
+
+
+def build_workload(
+    n_requests: int,
+    seed: int = 0,
+    hot_fraction: float = 0.9,
+    hot_set_size: int = 5,
+) -> list[tuple[str, dict[str, Any]]]:
+    """A seeded, duplicate-heavy request sequence over the sweep
+    operating points (sweep_base + every (mode, platform, freq) cell)."""
+    from repro.core.study import MobileSoCStudy
+
+    study = MobileSoCStudy()
+    distinct: list[tuple[str, dict[str, Any]]] = [("sweep_base", {})]
+    for mode in ("single", "multi"):
+        for name, platform in study.platforms.items():
+            for freq in platform.soc.dvfs.frequencies():
+                distinct.append(
+                    ("sweep_point",
+                     {"mode": mode, "platform": name, "freq": freq})
+                )
+    rng = random.Random(seed)
+    hot = distinct[: max(1, min(hot_set_size, len(distinct)))]
+    workload = []
+    for _ in range(n_requests):
+        pool = hot if rng.random() < hot_fraction else distinct
+        workload.append(rng.choice(pool))
+    return workload
+
+
+async def _connect(
+    host: str, port: int
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    last: Exception | None = None
+    for _ in range(CONNECT_RETRIES):
+        try:
+            return await asyncio.open_connection(host, port)
+        except OSError as exc:
+            last = exc
+            await asyncio.sleep(CONNECT_DELAY_S)
+    raise ConnectionError(
+        f"could not connect to {host}:{port} after "
+        f"{CONNECT_RETRIES * CONNECT_DELAY_S:.0f} s"
+    ) from last
+
+
+async def request_shutdown(host: str, port: int) -> None:
+    """Ask a running server to drain gracefully and exit."""
+    reader, writer = await _connect(host, port)
+    writer.write(b'{"op": "shutdown", "id": 0}\n')
+    await writer.drain()
+    await reader.readline()  # the ack
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        pass
+
+
+async def run_loadtest(
+    host: str,
+    port: int,
+    workload: list[tuple[str, dict[str, Any]]],
+    rate: float,
+    arrival_seed: int = 1,
+) -> dict[str, Any]:
+    """Drive one connection through ``workload`` at Poisson ``rate``;
+    returns a report dict (raw latencies under ``latencies_s``)."""
+    reader, writer = await _connect(host, port)
+    loop = asyncio.get_running_loop()
+    waiting: dict[int, asyncio.Future] = {
+        rid: loop.create_future() for rid in range(len(workload))
+    }
+    futures = dict(waiting)
+
+    async def _read_responses() -> None:
+        while waiting:
+            line = await reader.readline()
+            if not line:
+                for fut in waiting.values():
+                    if not fut.done():
+                        fut.set_exception(ConnectionError("server hung up"))
+                return
+            doc = json.loads(line)
+            fut = waiting.pop(doc.get("id"), None)
+            if fut is not None and not fut.done():
+                fut.set_result(doc)
+
+    reader_task = loop.create_task(_read_responses())
+
+    rng = random.Random(arrival_seed)  # arrival process, own stream
+    t_start = loop.time()
+    t_next = t_start
+    for rid, (kind, params) in enumerate(workload):
+        delay = t_next - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        writer.write(
+            (json.dumps(
+                {"op": "query", "id": rid, "kind": kind, "params": params}
+            ) + "\n").encode()
+        )
+        await writer.drain()
+        t_next += rng.expovariate(rate)
+
+    responses = await asyncio.gather(*futures.values(), return_exceptions=True)
+    wall_s = loop.time() - t_start
+    await reader_task
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError, OSError):
+        pass
+
+    completed = rejected = errors = 0
+    served: dict[str, int] = {"cache": 0, "coalesced": 0, "computed": 0}
+    latencies: list[float] = []
+    for doc in responses:
+        if isinstance(doc, Exception):
+            errors += 1
+        elif doc.get("ok"):
+            completed += 1
+            served[doc["served"]] = served.get(doc["served"], 0) + 1
+            latencies.append(doc["latency_s"])
+        elif doc.get("error") == "overloaded":
+            rejected += 1
+        else:
+            errors += 1
+    return {
+        "requests": len(workload),
+        "completed": completed,
+        "rejected": rejected,
+        "errors": errors,
+        "served": served,
+        "wall_s": wall_s,
+        "latencies_s": latencies,
+    }
+
+
+async def run_loadtest_fleet(
+    host: str,
+    port: int,
+    n_requests: int,
+    rate: float,
+    seed: int = 0,
+    hot_fraction: float = 0.9,
+    connections: int = 1,
+    shutdown_after: bool = False,
+) -> dict[str, Any]:
+    """Split one seeded workload round-robin across ``connections``
+    concurrent clients (sharing the offered rate) and merge the reports."""
+    workload = build_workload(n_requests, seed=seed, hot_fraction=hot_fraction)
+    connections = max(1, min(connections, len(workload) or 1))
+    shards = [workload[i::connections] for i in range(connections)]
+    per_conn_rate = rate / connections
+    reports = await asyncio.gather(
+        *(
+            run_loadtest(
+                host, port, shard, per_conn_rate, arrival_seed=seed + 1 + i
+            )
+            for i, shard in enumerate(shards)
+        )
+    )
+    if shutdown_after:
+        await request_shutdown(host, port)
+
+    served: dict[str, int] = {"cache": 0, "coalesced": 0, "computed": 0}
+    latencies: list[float] = []
+    merged: dict[str, Any] = {
+        "requests": 0, "completed": 0, "rejected": 0, "errors": 0,
+    }
+    wall_s = 0.0
+    for rep in reports:
+        for key in ("requests", "completed", "rejected", "errors"):
+            merged[key] += rep[key]
+        for key, count in rep["served"].items():
+            served[key] = served.get(key, 0) + count
+        latencies.extend(rep["latencies_s"])
+        wall_s = max(wall_s, rep["wall_s"])
+
+    completed = merged["completed"]
+    merged.update(
+        served=served,
+        wall_s=wall_s,
+        connections=connections,
+        offered_rate_rps=rate,
+        throughput_rps=completed / wall_s if wall_s > 0 else 0.0,
+        hit_ratio=(
+            (served["cache"] + served["coalesced"]) / completed
+            if completed else 0.0
+        ),
+        answered_ratio=(
+            (completed + merged["rejected"]) / merged["requests"]
+            if merged["requests"] else 0.0
+        ),
+    )
+    if latencies:
+        merged["p50_latency_s"] = percentile(latencies, 0.50)
+        merged["p99_latency_s"] = percentile(latencies, 0.99)
+    return merged
+
+
+def format_report(report: dict[str, Any]) -> str:
+    lines = [
+        f"loadtest: {report['requests']} requests in "
+        f"{report['wall_s']:.2f} s over {report['connections']} "
+        f"connection(s) (offered {report['offered_rate_rps']:.0f} rps, "
+        f"completed {report['throughput_rps']:.0f} rps)",
+        f"  completed {report['completed']}, "
+        f"rejected {report['rejected']}, errors {report['errors']}",
+        "  served: "
+        + ", ".join(
+            f"{k} {v}" for k, v in sorted(report["served"].items())
+        )
+        + f"  (hit ratio {report['hit_ratio']:.1%})",
+    ]
+    if "p50_latency_s" in report:
+        lines.append(
+            f"  latency: p50 {report['p50_latency_s'] * 1e3:.2f} ms, "
+            f"p99 {report['p99_latency_s'] * 1e3:.2f} ms"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""JSON-lines TCP transport in front of :class:`CampaignFrontEnd`.
+
+Protocol (one JSON object per line, both directions)::
+
+    -> {"op": "query", "id": 1, "kind": "sweep_point",
+        "params": {"mode": "single", "platform": "Tegra2", "freq": 1.0}}
+    <- {"id": 1, "ok": true, "value": {...}, "served": "cache",
+        "latency_s": 0.0003}
+
+    -> {"op": "stats", "id": 2}
+    <- {"id": 2, "ok": true, "stats": {...ServeStats.snapshot()...}}
+
+    -> {"op": "ping", "id": 3}
+    <- {"id": 3, "ok": true}
+
+    -> {"op": "shutdown", "id": 4}
+    <- {"id": 4, "ok": true}          # then: graceful drain, server exit
+
+Error responses carry ``ok: false`` plus ``error`` — ``"overloaded"``
+(admission control; includes ``retry_after_s`` and ``reason``, the
+429-style refusal), ``"bad_request"`` (malformed JSON / unknown op or
+kind), or ``"internal"`` (execution failure).  Queries on one
+connection run concurrently — responses are matched by ``id``, not by
+order — which is what lets a single connection exercise single-flight
+coalescing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Any
+
+from repro.serve.frontend import CampaignFrontEnd, Overloaded
+
+
+class ServeServer:
+    """One listening socket wired to one front end.
+
+    ``port=0`` binds an ephemeral port; the actual port is on
+    ``self.port`` after :meth:`start` (and printed by the CLI so
+    clients and CI can find it).
+    """
+
+    def __init__(
+        self, frontend: CampaignFrontEnd, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.frontend = frontend
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+        self._shutdown = asyncio.Event()
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    async def start(self) -> None:
+        await self.frontend.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` op arrives, then drain gracefully:
+        stop accepting connections, resolve every accepted request,
+        answer any stragglers on open connections, close."""
+        assert self._server is not None, "start() first"
+        await self._shutdown.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        await self.frontend.drain()
+        for task in list(self._conn_tasks):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        write_lock = asyncio.Lock()  # interleaved responses, whole lines
+        pending: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                req = self._parse(line)
+                if req is None:
+                    await self._send(
+                        writer, write_lock,
+                        {"id": None, "ok": False, "error": "bad_request",
+                         "detail": "not a JSON object"},
+                    )
+                    continue
+                op = req.get("op")
+                rid = req.get("id")
+                if op == "query":
+                    # Per-request task: queries on one connection run
+                    # concurrently, so duplicates actually coalesce.
+                    sub = asyncio.get_running_loop().create_task(
+                        self._answer_query(writer, write_lock, rid, req)
+                    )
+                    pending.add(sub)
+                    sub.add_done_callback(pending.discard)
+                elif op == "stats":
+                    await self._send(
+                        writer, write_lock,
+                        {"id": rid, "ok": True,
+                         "stats": self.frontend.stats.snapshot(),
+                         "queue_depth": self.frontend.queue_depth,
+                         "draining": self.frontend.draining},
+                    )
+                elif op == "ping":
+                    await self._send(writer, write_lock, {"id": rid, "ok": True})
+                elif op == "shutdown":
+                    await self._send(writer, write_lock, {"id": rid, "ok": True})
+                    self.request_shutdown()
+                else:
+                    await self._send(
+                        writer, write_lock,
+                        {"id": rid, "ok": False, "error": "bad_request",
+                         "detail": f"unknown op {op!r}"},
+                    )
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels straggler connections after the drain.
+            # Every accepted request is resolved by then, but its answer
+            # task may not have written yet — flush those before closing
+            # so "drained" means none dropped at the transport either.
+            # (Finishing normally also keeps asyncio's streams helper
+            # from logging the cancellation as a connection error.)
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            for sub in pending:
+                sub.cancel()
+            self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(
+                ConnectionResetError, BrokenPipeError, OSError
+            ):
+                await writer.wait_closed()
+
+    @staticmethod
+    def _parse(line: bytes) -> dict[str, Any] | None:
+        try:
+            req = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        return req if isinstance(req, dict) else None
+
+    async def _answer_query(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        rid: Any,
+        req: dict[str, Any],
+    ) -> None:
+        kind = req.get("kind")
+        params = req.get("params")
+        if not isinstance(kind, str) or not isinstance(params, dict):
+            await self._send(
+                writer, write_lock,
+                {"id": rid, "ok": False, "error": "bad_request",
+                 "detail": "query needs a string 'kind' and object 'params'"},
+            )
+            return
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        try:
+            value, served = await self.frontend.submit(kind, params)
+        except Overloaded as exc:
+            await self._send(
+                writer, write_lock,
+                {"id": rid, "ok": False, "error": "overloaded",
+                 "reason": exc.reason,
+                 "retry_after_s": exc.retry_after_s},
+            )
+            return
+        except ValueError as exc:
+            await self._send(
+                writer, write_lock,
+                {"id": rid, "ok": False, "error": "bad_request",
+                 "detail": str(exc)},
+            )
+            return
+        except Exception as exc:
+            await self._send(
+                writer, write_lock,
+                {"id": rid, "ok": False, "error": "internal",
+                 "detail": f"{type(exc).__name__}: {exc}"},
+            )
+            return
+        await self._send(
+            writer, write_lock,
+            {"id": rid, "ok": True, "value": value, "served": served,
+             "latency_s": loop.time() - t0},
+        )
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, lock: asyncio.Lock, doc: dict[str, Any]
+    ) -> None:
+        payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        try:
+            async with lock:
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; the front end still counted the work

@@ -74,11 +74,15 @@ class Event:
     covers both; ``failed`` is the exception or ``None``.
     """
 
-    __slots__ = ("engine", "triggered", "value", "failed", "_waiters", "callbacks")
+    __slots__ = (
+        "engine", "triggered", "cancelled", "value", "failed",
+        "_waiters", "callbacks",
+    )
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
         self.triggered = False
+        self.cancelled = False
         self.value: Any = None
         self.failed: BaseException | None = None
         # Lazily allocated: most events (every timeout) gain at most one
@@ -97,6 +101,8 @@ class Event:
         """
         if self.triggered:
             raise RuntimeError("event already triggered")
+        if self.cancelled:
+            raise RuntimeError("event was cancelled")
         self.triggered = True
         self.value = value
         if self.callbacks:
@@ -129,6 +135,8 @@ class Event:
         ``self.failed`` set.  Used to surface rank deaths to peers."""
         if self.triggered:
             raise RuntimeError("event already triggered")
+        if self.cancelled:
+            raise RuntimeError("event was cancelled")
         self.triggered = True
         self.failed = exc
         if self.callbacks:
@@ -172,6 +180,30 @@ class Event:
     def remove_callback(self, cb: Callable[["Event"], None]) -> None:
         """Remove every occurrence of ``cb`` (O(n) in callback count)."""
         self.callbacks = [c for c in self.callbacks if c is not cb]
+
+    def cancel(self) -> None:
+        """Retire a pending timer event that nothing waits on any more.
+
+        The canonical caller is ``recv(timeout=...)`` after the message
+        won the race: the losing watchdog timer would otherwise sit in
+        the scheduler heap until its (possibly far-future) expiry,
+        growing the heap without bound in long-running apps and — worse
+        — stretching ``Engine.run``'s drain (and therefore a run's
+        makespan) out to the dead timer's firing time.
+
+        Cancellation is lazy: the heap entry is skipped *silently* when
+        popped (no ``fire`` instant, no clock advance), and the heap is
+        compacted in place once cancelled entries outnumber live ones.
+        A triggered or already-cancelled event is a no-op.  Only cancel
+        events with no remaining waiters/callbacks that matter: both
+        lists are dropped here.
+        """
+        if self.triggered or self.cancelled:
+            return
+        self.cancelled = True
+        self._waiters = None
+        self.callbacks = []
+        self.engine._note_cancelled()
 
 
 class Process:
@@ -279,7 +311,7 @@ class Engine:
     and every hook reduces to one ``is None`` check.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_active", "_rec")
+    __slots__ = ("now", "_heap", "_seq", "_active", "_rec", "_cancelled")
 
     def __init__(self) -> None:
         self.now = 0.0
@@ -287,6 +319,28 @@ class Engine:
         self._seq = 0
         self._active = 0  # live (not finished) processes
         self._rec = _obs_current()
+        self._cancelled = 0  # cancelled timer entries still in the heap
+
+    def _note_cancelled(self) -> None:
+        """Account one :meth:`Event.cancel`; compact the heap once dead
+        entries outnumber live ones (asyncio's strategy), so cancel-heavy
+        workloads keep the heap O(live timers), amortised O(1) per
+        cancel.  Compaction filters a list and re-heapifies; pop order
+        is untouched because ``(time, seq)`` stays a total order."""
+        self._cancelled += 1
+        if self._rec is not None:
+            self._rec.bump("engine.cancelled")
+        heap = self._heap
+        if self._cancelled > 64 and self._cancelled * 2 > len(heap):
+            # In place (slice assignment): the run loops hold a local
+            # alias of the heap list, which must stay valid.
+            heap[:] = [
+                entry
+                for entry in heap
+                if not (entry[2] == _KIND_TIMEOUT and entry[3].cancelled)
+            ]
+            heapq.heapify(heap)
+            self._cancelled = 0
 
     # -- low-level scheduling --------------------------------------------
     def _push(self, time: float, fn: Callable[[], None]) -> None:
@@ -442,8 +496,14 @@ class Engine:
                 self.now = until
                 return until
             time, _seq, kind, obj, arg = pop(heap)
-            self.now = time
             if kind == _KIND_TIMEOUT:
+                if obj.cancelled:
+                    # A retired timer: skip silently, without advancing
+                    # the clock — a dead watchdog must not stretch the
+                    # drain time.
+                    self._cancelled -= 1
+                    continue
+                self.now = time
                 # Inlined Event.succeed for the dominant case — a timer
                 # firing straight into its (usually single) waiter.
                 if obj.triggered:
@@ -463,10 +523,13 @@ class Engine:
                         seq += 1
                     self._seq = seq
             elif kind == _KIND_STEP:
+                self.now = time
                 obj._step(arg)
             elif kind == _KIND_THROW:
+                self.now = time
                 obj._step(None, arg)
             else:
+                self.now = time
                 obj()
         if bounded and self.now < until:
             self.now = until
@@ -484,6 +547,9 @@ class Engine:
         pop = _heappop
         while heap and not event.triggered:
             time, seq, kind, obj, arg = pop(heap)
+            if kind == _KIND_TIMEOUT and obj.cancelled:
+                self._cancelled -= 1
+                continue
             self.now = time
             if rec is not None:
                 rec.instant("fire", "engine", time, seq=seq)
@@ -508,6 +574,9 @@ class Engine:
                 self.now = until
                 return until
             time, seq, kind, obj, arg = pop(heap)
+            if kind == _KIND_TIMEOUT and obj.cancelled:
+                self._cancelled -= 1
+                continue
             self.now = time
             rec.instant("fire", "engine", time, seq=seq)
             if kind == _KIND_TIMEOUT:

@@ -1,0 +1,124 @@
+"""ResultCache bugfixes: the size cap and corrupt-object unlinking.
+
+Pre-fix behaviours reproduced here:
+
+* the object store grew without bound — no ``max_bytes``, no eviction;
+* a corrupt/alien object file was left on disk, so *every* subsequent
+  ``get`` re-read and re-failed on the same corpse.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import recorder
+from repro.parallel.cache import (
+    DEFAULT_MAX_BYTES,
+    MISS,
+    ResultCache,
+    unit_key,
+)
+
+
+def _key(i: int) -> str:
+    return unit_key("k", {"i": i}, fingerprint="f")
+
+
+class TestSizeCap:
+    def test_default_cap_is_documented_constant(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.max_bytes == DEFAULT_MAX_BYTES == 256 * 1024 * 1024
+
+    def test_zero_means_unlimited(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=0)
+        for i in range(20):
+            cache.put(_key(i), "x" * 512)
+        assert cache.stats.evictions == 0
+        assert all(cache.get(_key(i)) == "x" * 512 for i in range(20))
+
+    def test_negative_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=-1)
+
+    def test_put_prunes_oldest_mtime_first(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=2_000)
+        for i in range(6):
+            cache.put(_key(i), "x" * 512)  # each object ~600 bytes
+            # Distinct mtimes even on coarse-granularity filesystems.
+            os.utime(cache._path(_key(i)), ns=(i * 10**9, i * 10**9))
+        cache.put(_key(6), "x" * 512)
+        assert cache.stats.evictions > 0
+        # The oldest entries are gone, the newest survive.
+        assert cache.get(_key(0)) is MISS
+        assert cache.get(_key(6)) == "x" * 512
+        survivors = [i for i in range(7) if cache.get(_key(i)) is not MISS]
+        assert survivors == sorted(survivors)
+        assert survivors and survivors[-1] == 6
+        # Store is back under the cap.
+        total = sum(p.stat().st_size for p in cache._object_files())
+        assert total <= 2_000
+
+    def test_evict_bumps_obs_counter(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=1_000)
+        with recorder.recording() as rec:
+            for i in range(5):
+                cache.put(_key(i), "x" * 512)
+        assert rec.totals.get("cache.evict", 0) == cache.stats.evictions > 0
+
+    def test_eviction_mentioned_in_describe(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=1_000)
+        for i in range(5):
+            cache.put(_key(i), "x" * 512)
+        assert "evicted" in cache.stats.describe()
+
+    def test_overwrite_same_key_does_not_double_count(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=10_000)
+        for _ in range(50):
+            cache.put(_key(0), "x" * 512)  # same object, rewritten
+        assert cache.stats.evictions == 0
+        assert cache._total_bytes is not None
+        assert cache._total_bytes <= 1_000
+
+
+class TestCorruptUnlink:
+    def test_truncated_object_unlinked_on_first_get(self, tmp_path):
+        """Regression: the second get must not re-read the corpse."""
+        cache = ResultCache(tmp_path)
+        key = _key(0)
+        cache.put(key, {"v": 1})
+        path = cache._path(key)
+        path.write_text(path.read_text()[:10])  # truncate mid-document
+        assert cache.get(key) is MISS
+        assert not path.exists()  # the corpse is gone ...
+        reads = []
+        real_read_text = type(path).read_text
+
+        def spying_read_text(self, *a, **kw):
+            reads.append(self)
+            return real_read_text(self, *a, **kw)
+
+        type(path).read_text = spying_read_text
+        try:
+            assert cache.get(key) is MISS  # ... so the retry opens nothing
+        finally:
+            type(path).read_text = real_read_text
+        assert reads == [path]  # one failed open attempt, no re-parse
+
+    def test_alien_schema_unlinked(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = _key(1)
+        cache._path(key).parent.mkdir(parents=True)
+        cache._path(key).write_text(json.dumps({"schema": 99, "value": 1}))
+        assert cache.get(key) is MISS
+        assert not cache._path(key).exists()
+
+    def test_unlink_keeps_size_accounting_consistent(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=100_000)
+        for i in range(3):
+            cache.put(_key(i), "x" * 100)
+        before = cache._total_bytes
+        path = cache._path(_key(1))
+        path.write_text("{broken")
+        assert cache.get(_key(1)) is MISS
+        assert cache._total_bytes < before

@@ -131,6 +131,20 @@ class TestCampaignByteIdentity:
         text = cold_report.describe()
         assert "work units" in text and "hit rate" in text
 
+    def test_spawn_matches_serial(self, serial_results, tmp_path):
+        """Force the ``spawn`` start method (the macOS/Windows default):
+        freshly spawned interpreters must compute the same bits forked
+        workers inherit — the campaign's correctness must not ride on
+        fork-only state inheritance."""
+        report = run_campaign(
+            quick=True, jobs=2, cache_dir=tmp_path / "spawn-cache",
+            start_method="spawn",
+        )
+        for key in ORACLE_KEYS:
+            assert canon(report.results[key]) == canon(
+                serial_results[key]
+            ), key
+
     def test_code_change_invalidates_cache(self, cold_report, cache_dir):
         """A different fingerprint must never alias an existing entry."""
         unit = WorkUnit("sweep_base", {})
@@ -167,11 +181,13 @@ class TestCliCampaign:
             )
             assert (json_dir / fname).read_text() == expected, fname
 
-    def test_all_rejects_bad_jobs(self):
+    def test_all_rejects_bad_jobs(self, capsys):
         from repro.cli import main
 
-        with pytest.raises(SystemExit, match="jobs"):
+        with pytest.raises(SystemExit) as e:
             main(["all", "--jobs", "0"])
+        assert e.value.code == 2
+        assert "--jobs must be at least 1" in capsys.readouterr().err
 
 
 class TestScalingStudyJobs:

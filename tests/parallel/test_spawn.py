@@ -1,0 +1,58 @@
+"""The pool start-method contract (`_pool_context`).
+
+Pre-fix the runner silently assumed ``fork``: there was no way to pick
+a method, so the spawn path (macOS/Windows default) was never
+exercised, and an unavailable method would have failed deep inside the
+pool.  The campaign-level byte-identity proof under forced spawn lives
+in ``test_campaign.py`` (it reuses the module-scoped serial oracle);
+these tests pin the selection logic itself.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.parallel.runner import _pool_context, run_units
+from repro.parallel.units import WorkUnit
+
+UNITS = [
+    WorkUnit("sweep_point", {"mode": "single", "platform": "Tegra2", "freq": 1.0}),
+    WorkUnit("sweep_base", {}),
+]
+
+
+def canon(data) -> str:
+    return json.dumps(data, sort_keys=True)
+
+
+class TestPoolContext:
+    def test_default_prefers_fork_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_START_METHOD", raising=False)
+        ctx = _pool_context()
+        if "fork" in multiprocessing.get_all_start_methods():
+            assert ctx.get_start_method() == "fork"
+        else:
+            assert ctx.get_start_method() in multiprocessing.get_all_start_methods()
+
+    def test_explicit_method_wins(self):
+        assert _pool_context("spawn").get_start_method() == "spawn"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        assert _pool_context().get_start_method() == "spawn"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "nonsense")
+        assert _pool_context("spawn").get_start_method() == "spawn"
+
+    def test_unavailable_method_raises_with_choices(self):
+        with pytest.raises(ValueError, match="choices"):
+            _pool_context("nonsense")
+
+
+class TestRunUnitsUnderSpawn:
+    def test_pool_results_byte_identical_to_serial(self):
+        spawned = run_units(UNITS, jobs=2, start_method="spawn")
+        serial = run_units(UNITS, jobs=1)
+        assert canon(spawned) == canon(serial)

@@ -100,6 +100,27 @@ class TestSuiteDoc:
         assert "speedup_vs_seed" in recs["s.a"]
         assert "speedup_vs_seed" not in recs["s.b"]
 
+    def test_extras_flow_into_record_and_validate(self):
+        # The serve suite attaches hit_ratio and tail latencies this way.
+        res = BenchResult(
+            "s.a", 100, 0.5, 200.0, 1, 10_000_000,
+            extras={"hit_ratio": 0.97, "p99_latency_s": 0.041},
+        )
+        rec = res.as_record(seed_ops_per_s=100.0)
+        assert rec["hit_ratio"] == pytest.approx(0.97)
+        assert rec["p99_latency_s"] == pytest.approx(0.041)
+        # Extras never clobber the core fields or the seed comparison.
+        assert rec["ops_per_s"] == pytest.approx(200.0)
+        assert rec["speedup_vs_seed"] == pytest.approx(2.0)
+        validate_bench_doc(suite_doc("s", [res]))
+
+    def test_extras_cannot_shadow_core_fields(self):
+        res = BenchResult(
+            "s.a", 100, 0.5, 200.0, 1, 10_000_000,
+            extras={"ops_per_s": 1.0},
+        )
+        assert res.as_record()["ops_per_s"] == pytest.approx(200.0)
+
 
 class TestValidateBenchDoc:
     def _good(self):

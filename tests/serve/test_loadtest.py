@@ -1,0 +1,124 @@
+"""The open-loop load generator: workload determinism, end-to-end
+runs against a real server, and the warm hit-ratio acceptance bar."""
+
+import asyncio
+
+from repro.serve.frontend import CampaignFrontEnd, ServeConfig
+from repro.serve.loadtest import (
+    build_workload,
+    format_report,
+    run_loadtest_fleet,
+)
+from repro.serve.server import ServeServer
+
+
+def label_runner(units):
+    return [u.label() for u in units]
+
+
+async def start_server(tmp_path):
+    server = ServeServer(
+        CampaignFrontEnd(
+            ServeConfig(cache_dir=tmp_path, batch_window_s=0.005),
+            label_runner,
+        )
+    )
+    await server.start()
+    return server, asyncio.ensure_future(server.serve_until_shutdown())
+
+
+class TestWorkload:
+    def test_seeded_and_reproducible(self):
+        first = build_workload(50, seed=7)
+        again = build_workload(50, seed=7)
+        other = build_workload(50, seed=8)
+        assert first == again
+        assert first != other
+        assert len(first) == 50
+
+    def test_duplicate_heavy_shape(self):
+        workload = build_workload(400, seed=0, hot_fraction=0.9)
+        distinct = {(k, str(sorted(p.items()))) for k, p in workload}
+        # 400 requests collapse onto a few dozen operating points — the
+        # shape that makes coalescing + caching pay.
+        assert len(distinct) < len(workload) / 5
+        kinds = {k for k, _ in workload}
+        assert kinds <= {"sweep_base", "sweep_point"}
+
+    def test_hot_fraction_zero_spreads_the_load(self):
+        workload = build_workload(200, seed=0, hot_fraction=0.0)
+        distinct = {(k, str(sorted(p.items()))) for k, p in workload}
+        assert len(distinct) > 10
+
+
+class TestEndToEnd:
+    def test_fleet_report_against_live_server(self, tmp_path):
+        async def scenario():
+            server, run_task = await start_server(tmp_path)
+            report = await run_loadtest_fleet(
+                "127.0.0.1", server.port,
+                n_requests=120, rate=3000.0, seed=3,
+                connections=2, shutdown_after=True,
+            )
+            await run_task
+            return report
+
+        report = asyncio.run(scenario())
+        assert report["requests"] == 120
+        assert report["completed"] == 120  # nothing dropped or errored
+        assert report["errors"] == 0
+        assert report["connections"] == 2
+        assert sum(report["served"].values()) == 120
+        assert 0.0 < report["hit_ratio"] <= 1.0
+        assert report["p50_latency_s"] <= report["p99_latency_s"]
+        assert report["throughput_rps"] > 0
+        text = format_report(report)
+        assert "hit ratio" in text and "p99" in text
+
+    def test_warm_serve_hit_ratio_meets_the_bar(self, tmp_path):
+        """The acceptance gate: against a warm cache the coalesce+cache
+        hit ratio must reach at least 90%."""
+
+        async def scenario():
+            server, run_task = await start_server(tmp_path)
+            cold = await run_loadtest_fleet(
+                "127.0.0.1", server.port,
+                n_requests=150, rate=3000.0, seed=5,
+            )
+            warm = await run_loadtest_fleet(
+                "127.0.0.1", server.port,
+                n_requests=150, rate=3000.0, seed=5,
+                shutdown_after=True,
+            )
+            await run_task
+            return cold, warm
+
+        cold, warm = asyncio.run(scenario())
+        assert cold["completed"] == warm["completed"] == 150
+        assert warm["hit_ratio"] >= 0.9
+        assert warm["served"]["computed"] == 0  # everything was known
+
+    def test_loadtest_runs_are_reproducible(self, tmp_path):
+        """Same seed, same workload: the served values must match
+        request-for-request across runs (the latencies of course vary)."""
+
+        first = build_workload(80, seed=11)
+        again = build_workload(80, seed=11)
+        assert first == again
+
+        async def scenario():
+            server, run_task = await start_server(tmp_path)
+            a = await run_loadtest_fleet(
+                "127.0.0.1", server.port, n_requests=80, rate=3000.0,
+                seed=11,
+            )
+            b = await run_loadtest_fleet(
+                "127.0.0.1", server.port, n_requests=80, rate=3000.0,
+                seed=11, shutdown_after=True,
+            )
+            await run_task
+            return a, b
+
+        a, b = asyncio.run(scenario())
+        assert a["requests"] == b["requests"] == 80
+        assert a["errors"] == b["errors"] == 0

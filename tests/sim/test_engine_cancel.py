@@ -1,0 +1,132 @@
+"""Timer cancellation: heap hygiene for the ``recv(timeout=)`` pattern.
+
+Pre-fix, every timed receive that was satisfied by a message left its
+losing watchdog timer armed in the scheduler heap.  Two observable
+bugs, both reproduced here against the old behaviour:
+
+* the heap grew without bound in long-running apps (one dead entry per
+  timed receive, pinned until its far-future expiry), and
+* ``Engine.run``'s drain — and therefore a run's makespan — stretched
+  out to the *last dead watchdog* instead of the last real event.
+"""
+
+import pytest
+
+from repro.mpi.api import MPIWorld, SyntheticPayload, UniformNetwork
+from repro.net.protocol import TCP_IP, ProtocolStack
+from repro.sim.engine import Engine
+
+
+class TestEventCancel:
+    def test_cancel_marks_and_is_idempotent(self):
+        eng = Engine()
+        t = eng.timeout(100.0)
+        t.cancel()
+        assert t.cancelled and not t.triggered
+        t.cancel()  # idempotent
+        assert eng._cancelled == 1
+
+    def test_cancelled_timer_never_fires_and_does_not_advance_clock(self):
+        eng = Engine()
+        fired = []
+        watchdog = eng.timeout(1000.0)
+        watchdog.callbacks.append(lambda ev: fired.append("watchdog"))
+        eng.timeout(1.0).callbacks.append(lambda ev: fired.append("real"))
+        watchdog.cancel()
+        eng.run()
+        assert fired == ["real"]
+        assert eng.now == pytest.approx(1.0)  # not 1000.0
+
+    def test_cancel_after_trigger_is_a_noop(self):
+        eng = Engine()
+        t = eng.timeout(0.5)
+        eng.run()
+        assert t.triggered
+        t.cancel()
+        assert not t.cancelled
+        assert eng._cancelled == 0
+
+    def test_succeed_on_cancelled_event_rejected(self):
+        eng = Engine()
+        t = eng.timeout(5.0)
+        t.cancel()
+        with pytest.raises(RuntimeError, match="cancelled"):
+            t.succeed()
+        with pytest.raises(RuntimeError, match="cancelled"):
+            t.fail(ValueError("x"))
+
+    def test_run_until_skips_cancelled_timers(self):
+        eng = Engine()
+        watchdog = eng.timeout(1000.0)
+        done = eng.timeout(2.0)
+        watchdog.cancel()
+        eng.run_until(done)
+        assert eng.now == pytest.approx(2.0)
+
+
+class TestHeapHygiene:
+    def test_heap_stays_bounded_under_cancel_churn(self):
+        """The recv(timeout=) shape: a long-lived loop arming a
+        far-future watchdog per iteration and cancelling it on the
+        fast-path completion.  Pre-fix the heap ended the loop with one
+        dead entry per iteration (~5000); with lazy deletion plus
+        compaction it stays O(live timers)."""
+        eng = Engine()
+        iters = 5_000
+        peak = 0
+
+        def worker():
+            nonlocal peak
+            for _ in range(iters):
+                watchdog = eng.timeout(1e6)
+                yield eng.timeout(0.001)  # the "message" always wins
+                watchdog.cancel()
+                peak = max(peak, len(eng._heap))
+
+        eng.process(worker())
+        eng.run()
+        assert peak < 256, f"heap grew to {peak} entries"
+        assert eng._heap == []
+        assert eng.now == pytest.approx(iters * 0.001)  # not 1e6
+
+    def test_compaction_preserves_dispatch_order(self):
+        """Compaction re-heapifies the entry list; (time, seq) is a
+        total order so firing order must be unchanged."""
+        eng = Engine()
+        fired: list[int] = []
+        keep = []
+        for i in range(200):
+            t = eng.timeout(1.0 + i * 0.01, value=i)
+            t.callbacks.append(lambda ev: fired.append(ev.value))
+            keep.append(t)
+        # Cancel every other timer; enough to trip the >64 threshold.
+        for i, t in enumerate(keep):
+            if i % 2:
+                t.cancel()
+        eng.run()
+        assert fired == [i for i in range(200) if i % 2 == 0]
+
+
+class TestRecvTimeoutHeap:
+    def test_satisfied_timed_recvs_leave_no_dead_timers(self):
+        """MPI-level regression: 100 timed receives, each satisfied
+        promptly, must not stretch the makespan to the watchdog horizon
+        (pre-fix: makespan_s == 100.0, the timeout value)."""
+        stack = ProtocolStack(TCP_IP, core_name="Cortex-A9", freq_ghz=1.0)
+        w = MPIWorld(2, UniformNetwork(stack))
+        rounds = 100
+
+        def prog(ctx):
+            peer = 1 - ctx.rank
+            for _ in range(rounds):
+                if ctx.rank == 0:
+                    msg = yield from ctx.recv(peer, timeout=100.0)
+                    assert msg.nbytes == 64
+                else:
+                    yield from ctx.send(peer, SyntheticPayload(64))
+                    yield ctx.compute(1e-6)
+            return ctx.now
+
+        res = w.run(prog)
+        assert res.makespan_s < 1.0  # pre-fix: 100.0
+        assert w.engine._heap == []
