@@ -19,6 +19,7 @@ exactly how HPL is run in practice.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import Any, Generator
 
@@ -26,8 +27,14 @@ import numpy as np
 
 from repro.apps.base import Application, AppRunResult
 from repro.cluster.cluster import Cluster
-from repro.mpi.api import MPIWorld, RankContext, SyntheticPayload
+from repro.mpi.api import (
+    MPIWorld,
+    RankContext,
+    RankStats,
+    SyntheticPayload,
+)
 from repro.mpi.collectives import bcast, gather
+from repro.obs.recorder import current as _obs_current
 
 
 @dataclass(frozen=True)
@@ -66,6 +73,21 @@ def _local_panels(rank: int, p: int, n_panels: int) -> list[int]:
     return [j for j in range(n_panels) if _owner(j, p) == rank]
 
 
+def _trailing_table(rank: int, p: int, cfg: HPLConfig) -> list[int]:
+    """``table[k + 1]`` is the total column width of this rank's local
+    panels strictly right of panel ``k`` — the per-step trailing-update
+    extent.  Integer suffix sums, so each entry equals the naive
+    ``sum(min(nb, n - j*nb) for local j > k)`` exactly; precomputing the
+    table turns the per-panel rescan quadratic in ``n_panels`` into a
+    single linear pass per rank."""
+    n, nb = cfg.n, cfg.nb
+    table = [0] * (cfg.n_panels + 1)
+    for j in range(cfg.n_panels - 1, -1, -1):
+        width = min(nb, n - j * nb) if _owner(j, p) == rank else 0
+        table[j] = table[j + 1] + width
+    return table
+
+
 # ---------------------------------------------------------------------------
 # Model mode: synthetic payloads, exact message/compute schedule.
 # ---------------------------------------------------------------------------
@@ -73,6 +95,7 @@ def _local_panels(rank: int, p: int, n_panels: int) -> list[int]:
 def _model_rank(ctx: RankContext, cfg: HPLConfig) -> Generator:
     p = ctx.size
     nb = cfg.nb
+    trailing = _trailing_table(ctx.rank, p, cfg)
     for k in range(cfg.n_panels):
         rows = cfg.n - k * nb
         cur_nb = min(nb, rows)
@@ -84,11 +107,7 @@ def _model_rank(ctx: RankContext, cfg: HPLConfig) -> Generator:
         payload = SyntheticPayload(rows * cur_nb * 8 + cur_nb * 4)
         yield from bcast(ctx, payload, root=owner, tag=k % 16)
         # Trailing update on the local column panels right of k.
-        my_trailing = sum(
-            min(nb, cfg.n - j * nb)
-            for j in _local_panels(ctx.rank, p, cfg.n_panels)
-            if j > k
-        )
+        my_trailing = trailing[k + 1]
         if my_trailing:
             # TRSM + GEMM: ~ 2 * rows * nb * local_trailing_cols FLOPs.
             yield ctx.compute_flops(2.0 * rows * cur_nb * my_trailing)
@@ -123,6 +142,7 @@ def _model_rank_lookahead(ctx: RankContext, cfg: HPLConfig) -> Generator:
         return None
 
     current = engine.process(panel_pipeline(0), name=f"panel0.{ctx.rank}")
+    trailing = _trailing_table(ctx.rank, p, cfg)
     for k in range(cfg.n_panels):
         yield current  # panel k factored and received everywhere
         if k + 1 < cfg.n_panels:
@@ -131,14 +151,90 @@ def _model_rank_lookahead(ctx: RankContext, cfg: HPLConfig) -> Generator:
             )
         rows = cfg.n - k * nb
         cur_nb = min(nb, rows)
-        my_trailing = sum(
-            min(nb, cfg.n - j * nb)
-            for j in _local_panels(ctx.rank, p, cfg.n_panels)
-            if j > k
-        )
+        my_trailing = trailing[k + 1]
         if my_trailing:
             yield ctx.compute_flops(2.0 * rows * cur_nb * my_trailing)
     return ctx.now
+
+
+def _model_schedule(
+    cfg: HPLConfig,
+    size: int,
+    network: Any,
+    gflops: list[float],
+) -> tuple[float, list[RankStats]]:
+    """Event-free evaluation of the :func:`_model_rank` schedule.
+
+    The 1D model's event graph is a pure forward recurrence: each rank's
+    clock advances through compute spans and binomial-broadcast hops
+    whose delays are fixed functions of (stack, hops, size), so the
+    discrete-event engine's heap, generators and Event objects buy
+    nothing — walking the panels in order and the broadcast tree in
+    virtual-rank order (parents before children) visits every event in
+    dependency order.
+
+    **Bit-identity contract** (enforced by
+    ``tests/timing/test_sweep_equivalence.py``): every float here is
+    produced by the same operations, in the same order, on the same
+    operands as the engine path — compute spans as ``flops / (g * 1e9)``
+    added to the rank clock, message arrival as ``send_time + transfer``,
+    a receive resuming at the arrival time iff it is later than the
+    posting time (equal floats either way at a tie, exactly like the
+    mailbox race), and per-rank stats accumulated in program order.
+    The makespan is the max over final rank clocks, which is the last
+    event the engine would have dispatched.
+    """
+    nb, n = cfg.nb, cfg.n
+    now = [0.0] * size
+    stats = [RankStats() for _ in range(size)]
+    trailing = [_trailing_table(r, size, cfg) for r in range(size)]
+    transfer = network.transfer_time_s
+    occupancy = network.sender_occupancy_s
+    arrival = [0.0] * size
+    for k in range(cfg.n_panels):
+        rows = n - k * nb
+        cur_nb = min(nb, rows)
+        owner = _owner(k, size)
+        nbytes = rows * cur_nb * 8 + cur_nb * 4
+        # Panel factorisation on the owner.
+        g = gflops[owner]
+        d = (rows * cur_nb * cur_nb) / (g * 1e9)
+        stats[owner].compute_s += d
+        now[owner] += d
+        # Binomial broadcast, parents before children (vrank order).
+        for vr in range(size):
+            r = (vr + owner) % size
+            if vr == 0:
+                mask = 1
+            else:
+                recv_mask = 1
+                while recv_mask * 2 <= vr:
+                    recv_mask <<= 1
+                t0 = now[r]
+                arr = arrival[r]
+                resume = arr if arr > t0 else t0
+                stats[r].comm_wait_s += resume - t0
+                now[r] = resume
+                mask = recv_mask << 1
+            while mask < size:
+                if vr < mask and vr + mask < size:
+                    dst = (vr + mask + owner) % size
+                    occ = occupancy(r, dst, nbytes)
+                    xfer = transfer(r, dst, nbytes)
+                    st = stats[r]
+                    st.messages_sent += 1
+                    st.bytes_sent += nbytes
+                    arrival[dst] = now[r] + xfer
+                    now[r] = now[r] + occ
+                mask <<= 1
+            # Trailing update on this rank's local panels right of k.
+            my_trailing = trailing[r][k + 1]
+            if my_trailing:
+                g = gflops[r]
+                d = (2.0 * rows * cur_nb * my_trailing) / (g * 1e9)
+                stats[r].compute_s += d
+                now[r] += d
+    return max(now), stats
 
 
 # ---------------------------------------------------------------------------
@@ -291,22 +387,40 @@ class HPL(Application):
         cfg = HPLConfig(
             n=self.weak_n(cluster, n_nodes) if n is None else n, nb=nb
         )
-        world = cluster.subcluster(n_nodes).make_world(workload="dgemm")
-        if functional:
-            result = world.run(_functional_rank, cfg, seed)
-        elif grid_2d:
-            result = world.run(_model_rank_2d, cfg)
-        elif lookahead:
-            result = world.run(_model_rank_lookahead, cfg)
+        sub = cluster.subcluster(n_nodes)
+        if (
+            not (functional or grid_2d or lookahead)
+            and _obs_current() is None
+            and not os.environ.get("REPRO_SCALAR_SWEEP")
+        ):
+            # Event-free fast path for the plain 1D model: same floats,
+            # same schedule, no engine (see _model_schedule).  A live
+            # recorder or REPRO_SCALAR_SWEEP=1 forces the engine-backed
+            # oracle, which also carries the trace instrumentation.
+            gflops = [
+                float(node.achieved_gflops("dgemm")) for node in sub.nodes
+            ]
+            makespan, stats = _model_schedule(
+                cfg, n_nodes, sub.network(), gflops
+            )
         else:
-            result = world.run(_model_rank, cfg)
-        stats = result.stats
+            world = sub.make_world(workload="dgemm")
+            if functional:
+                result = world.run(_functional_rank, cfg, seed)
+            elif grid_2d:
+                result = world.run(_model_rank_2d, cfg)
+            elif lookahead:
+                result = world.run(_model_rank_lookahead, cfg)
+            else:
+                result = world.run(_model_rank, cfg)
+            makespan = result.makespan_s
+            stats = result.stats
         wait = sum(s.comm_wait_s for s in stats)
         busy = sum(s.compute_s for s in stats)
         return AppRunResult(
             app=self.name,
             n_nodes=n_nodes,
-            time_s=result.makespan_s,
+            time_s=makespan,
             flops=cfg.total_flops,
             steps=cfg.n_panels,
             comm_fraction=wait / (wait + busy) if wait + busy else 0.0,

@@ -19,6 +19,7 @@ from repro.net.link import GBE, Link
 from repro.net.nic import attachment_for
 from repro.net.protocol import OPEN_MX, TCP_IP, Protocol, ProtocolStack
 from repro.net.topology import TreeTopology
+from repro.obs.recorder import current as _obs_current
 
 
 class ClusterNetwork:
@@ -44,23 +45,42 @@ class ClusterNetwork:
         self.protocol = protocol
         self.link = link
         self.contention_factor = contention_factor
-        self._stacks = [
-            ProtocolStack(
-                protocol,
-                node.nic,
-                link=link,
-                core_name=node.platform.soc.core.name,
-                freq_ghz=node.freq_ghz,
-            )
-            for node in nodes
-        ]
+        # Deduplicate stacks: a homogeneous cluster's nodes all share one
+        # (core, frequency, NIC) operating point, so one ProtocolStack —
+        # and its per-size latency/occupancy memo tables — serves every
+        # node.  The stack model is immutable apart from those memos, so
+        # sharing an instance cannot leak state between nodes.
+        unique: dict[tuple, tuple[int, ProtocolStack]] = {}
+        self._stacks: list[ProtocolStack] = []
+        self._stack_id: list[int] = []  # per-node index into the unique set
+        for node in nodes:
+            key = (node.platform.soc.core.name, node.freq_ghz, node.nic)
+            entry = unique.get(key)
+            if entry is None:
+                entry = unique[key] = (
+                    len(unique),
+                    ProtocolStack(
+                        protocol,
+                        node.nic,
+                        link=link,
+                        core_name=node.platform.soc.core.name,
+                        freq_ghz=node.freq_ghz,
+                    ),
+                )
+            self._stacks.append(entry[1])
+            self._stack_id.append(entry[0])
+        # (stack id, hops, nbytes) -> transfer seconds, untraced path only
+        # (tracing must keep bumping the per-message net.* counters).
+        self._xfer_memo: dict[tuple[int, int, int], float] = {}
+        # Per-node leaf-switch index, so the hot path resolves hop count
+        # with two list lookups instead of two method calls.
+        ports = topology.leaf.ports
+        self._leaf = [n // ports for n in range(len(nodes))]
 
     def stack_of(self, node: int) -> ProtocolStack:
         return self._stacks[node]
 
-    def transfer_time_s(self, src: int, dst: int, nbytes: int) -> float:
-        if src == dst:
-            return 1e-7
+    def _transfer_uncached(self, src: int, dst: int, nbytes: int) -> float:
         t = self._stacks[src].transfer_time_s(nbytes)
         t += self.topology.path_latency_us(src, dst, nbytes) * 1e-6
         if self.topology.crosses_core(src, dst):
@@ -68,6 +88,25 @@ class ClusterNetwork:
             per_byte_s = nbytes * self._stacks[src].ns_per_byte(nbytes) * 1e-9
             t += per_byte_s * (self.contention_factor - 1.0)
         return t
+
+    def transfer_time_s(self, src: int, dst: int, nbytes: int) -> float:
+        if src == dst:
+            return 1e-7
+        if _obs_current() is not None:
+            # Recording: every message must bump the wire counters.
+            return self._transfer_uncached(src, dst, nbytes)
+        # Untraced: the time is a pure function of (stack, hop count,
+        # size) — hops determine both the switch latency and whether the
+        # path crosses the contended core uplinks.
+        leaf = self._leaf
+        hops = 1 if leaf[src] == leaf[dst] else 3
+        key = (self._stack_id[src], hops, nbytes)
+        cached = self._xfer_memo.get(key)
+        if cached is None:
+            cached = self._xfer_memo[key] = self._transfer_uncached(
+                src, dst, nbytes
+            )
+        return cached
 
     def sender_occupancy_s(self, src: int, dst: int, nbytes: int) -> float:
         if src == dst:

@@ -8,6 +8,7 @@ of series) that the benchmark harness prints and EXPERIMENTS.md records;
 from __future__ import annotations
 
 import hashlib
+import os
 from pathlib import Path
 from typing import Any
 
@@ -25,7 +26,18 @@ from repro.mpi.benchmarks import bandwidth_curve, latency_curve
 from repro.net.nic import PCIE, USB3
 from repro.net.protocol import OPEN_MX, TCP_IP, ProtocolStack
 from repro.timing.executor import SimulatedExecutor
-from repro.timing.measurement import PowerMeter, measure_kernel
+from repro.timing.measurement import (
+    PowerMeter,
+    measure_kernel,
+    measure_kernel_batch,
+)
+
+
+def _scalar_sweep() -> bool:
+    """Whether ``REPRO_SCALAR_SWEEP=1`` forces the scalar reference
+    oracle instead of the vectorized sweep (checked at call time so a
+    test can flip it per case)."""
+    return bool(os.environ.get("REPRO_SCALAR_SWEEP"))
 
 #: Figure 7 configurations: (label, protocol, attachment, core, freq).
 FIG7_CONFIGS = (
@@ -173,6 +185,20 @@ class MobileSoCStudy:
     def sweep_base_energy(self) -> float:
         """Mean per-kernel energy of Tegra 2 @1 GHz serial — the
         denominator of every ``energy_norm`` in Figures 3/4."""
+        if _scalar_sweep():
+            return self._sweep_base_energy_scalar()
+        meter = PowerMeter(seed=self._meter_seed("sweep:base"))
+        base_ex = self._executor(self.baseline)
+        measured = measure_kernel_batch(
+            self.baseline, self.kernels, 1.0, cores=1,
+            meter=meter, executor=base_ex,
+        )
+        return float(np.mean([m.energy_j for _run, m in measured]))
+
+    def _sweep_base_energy_scalar(self) -> float:
+        """Scalar reference oracle for :meth:`sweep_base_energy` (one
+        meter draw per kernel) — kept verbatim for the equivalence
+        suite and the ``REPRO_SCALAR_SWEEP=1`` escape hatch."""
         meter = PowerMeter(seed=self._meter_seed("sweep:base"))
         base_ex = self._executor(self.baseline)
         return float(
@@ -192,7 +218,24 @@ class MobileSoCStudy:
     ) -> dict[str, float]:
         """One Figure 3/4 operating point: geometric-mean speedup over
         the kernel suite plus the *absolute* mean energy (normalisation
-        happens at merge time, against :meth:`sweep_base_energy`)."""
+        happens at merge time, against :meth:`sweep_base_energy`).
+
+        Routes through the batched :meth:`sweep_points` path (the
+        campaign units in :mod:`repro.parallel` therefore get the
+        vectorized model by default, with unchanged unit granularity and
+        cache keys); ``REPRO_SCALAR_SWEEP=1`` forces the scalar oracle.
+        """
+        if _scalar_sweep():
+            return self._sweep_point_scalar(mode, platform_name, freq_ghz)
+        return self.sweep_points(mode, [(platform_name, freq_ghz)])[0]
+
+    def _sweep_point_scalar(
+        self, mode: str, platform_name: str, freq_ghz: float
+    ) -> dict[str, float]:
+        """Scalar reference oracle for one operating point — the
+        original one-frequency-at-a-time walk, kept verbatim so the
+        equivalence suite has ground truth to diff the vectorized path
+        against."""
         if mode not in ("single", "multi"):
             raise ValueError(f"unknown sweep mode {mode!r}")
         platform = self.platforms[platform_name]
@@ -222,6 +265,63 @@ class MobileSoCStudy:
         )
         return {"freq_ghz": freq_ghz, "speedup": sp, "energy_j": energy}
 
+    def sweep_points(
+        self,
+        mode: str,
+        points: list[tuple[str, float]] | None = None,
+    ) -> list[dict[str, float]]:
+        """Batched Figure 3/4 evaluation over many operating points.
+
+        ``points`` defaults to the full :meth:`sweep_plan` grid.  Points
+        are grouped by platform and each kernel is timed once per group
+        with :meth:`SimulatedExecutor.time_kernel_batch` — NumPy array
+        ops over the operating-point (frequency) axis.  Energy keeps the
+        per-point sha256-seeded meter streams exactly: each point owns
+        its own :class:`PowerMeter`, which draws the whole kernel batch
+        in one call.  Results are bit-identical to the scalar
+        :meth:`sweep_point` loop, in ``points`` order (enforced by
+        tests/timing/test_sweep_equivalence.py).
+        """
+        if mode not in ("single", "multi"):
+            raise ValueError(f"unknown sweep mode {mode!r}")
+        if points is None:
+            points = self.sweep_plan()
+        base_times = self.baseline_times()
+        groups: dict[str, list[int]] = {}
+        for i, (name, _freq) in enumerate(points):
+            groups.setdefault(name, []).append(i)
+        out: list[dict[str, float] | None] = [None] * len(points)
+        for name, idxs in groups.items():
+            platform = self.platforms[name]
+            cores = 1 if mode == "single" else platform.soc.n_cores
+            ex = self._executor(platform)
+            freqs = [points[i][1] for i in idxs]
+            runs_by_kernel = {
+                k.tag: ex.time_kernel_batch(k, freqs, cores=cores)
+                for k in self.kernels
+            }
+            for j, i in enumerate(idxs):
+                freq = freqs[j]
+                sp = _geomean(
+                    [
+                        base_times[k.tag]
+                        / runs_by_kernel[k.tag][j].time_s
+                        for k in self.kernels
+                    ]
+                )
+                meter = PowerMeter(
+                    seed=self._meter_seed(f"sweep:{mode}:{name}:{freq!r}")
+                )
+                measured = measure_kernel_batch(
+                    platform, self.kernels, freq, cores=cores,
+                    meter=meter, executor=ex,
+                )
+                energy = float(np.mean([m.energy_j for _run, m in measured]))
+                out[i] = {
+                    "freq_ghz": freq, "speedup": sp, "energy_j": energy,
+                }
+        return out
+
     def sweep_plan(self) -> list[tuple[str, float]]:
         """The (platform, frequency) grid of Figures 3/4, in the
         deterministic order the serial path walks it."""
@@ -240,19 +340,20 @@ class MobileSoCStudy:
         the mean per-iteration energy normalised to the baseline's.
         """
         base_energy = self.sweep_base_energy()
+        plan = self.sweep_plan()
+        if _scalar_sweep():
+            pts = [self.sweep_point(cores_mode, name, freq) for name, freq in plan]
+        else:
+            pts = self.sweep_points(cores_mode, plan)
         out: dict[str, list[dict[str, float]]] = {}
-        for name, platform in self.platforms.items():
-            series = []
-            for freq in platform.soc.dvfs.frequencies():
-                pt = self.sweep_point(cores_mode, name, freq)
-                series.append(
-                    {
-                        "freq_ghz": pt["freq_ghz"],
-                        "speedup": pt["speedup"],
-                        "energy_norm": pt["energy_j"] / base_energy,
-                    }
-                )
-            out[name] = series
+        for (name, _freq), pt in zip(plan, pts):
+            out.setdefault(name, []).append(
+                {
+                    "freq_ghz": pt["freq_ghz"],
+                    "speedup": pt["speedup"],
+                    "energy_norm": pt["energy_j"] / base_energy,
+                }
+            )
         return out
 
     def speedup_vs_baseline(

@@ -34,6 +34,22 @@ KERNELS: dict[str, Kernel] = {
 }
 
 
+def register_kernel(kernel: Kernel, replace: bool = False) -> None:
+    """Add a kernel to the registry under its tag.
+
+    ``replace=True`` swaps in a new implementation for an existing tag.
+    Executors memoize runs by kernel *identity*, so after a replacement
+    any live :class:`~repro.timing.executor.SimulatedExecutor` must drop
+    the old object's entries via ``evict_kernel`` — otherwise it keeps
+    serving the replaced implementation's timings under the same tag.
+    """
+    if kernel.tag in KERNELS and not replace:
+        raise ValueError(
+            f"kernel {kernel.tag!r} already registered; pass replace=True"
+        )
+    KERNELS[kernel.tag] = kernel
+
+
 def get_kernel(tag: str) -> Kernel:
     """Look up a kernel by its Table 2 tag."""
     try:

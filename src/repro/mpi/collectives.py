@@ -45,11 +45,13 @@ def bcast(ctx: RankContext, obj: Any, root: int = 0, tag: int = 0) -> Generator:
         msg = yield from ctx.recv(src, t)
         obj = msg.payload
         mask = recv_mask << 1
-    # Forward to children in the remaining rounds.
+    # Forward to children in the remaining rounds.  ``isend`` + a bare
+    # yield is ``send`` minus the per-forward generator frame — the
+    # event sequence (and so the schedule) is identical.
     while mask < size:
         if vrank < mask and vrank + mask < size:
             dst = (vrank + mask + root) % size
-            yield from ctx.send(dst, obj, t)
+            yield ctx.isend(dst, obj, t)
         mask <<= 1
     return obj
 
@@ -70,7 +72,7 @@ def reduce(
     while mask < size:
         if vrank & mask:
             dst = (vrank - mask + root) % size
-            yield from ctx.send(dst, acc, t)
+            yield ctx.isend(dst, acc, t)
             return None
         partner = vrank + mask
         if partner < size:
@@ -150,7 +152,7 @@ def gather(
     """Linear gather; the root returns the list ordered by rank."""
     t = _COLL_TAG_BASE + tag
     if ctx.rank != root:
-        yield from ctx.send(root, value, t)
+        yield ctx.isend(root, value, t)
         return None
     out: list[Any] = [None] * ctx.size
     out[root] = value

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.net.link import GBE, Link
 from repro.net.nic import NICAttachment, PCIE
 from repro.obs.recorder import current as _obs_current
@@ -191,6 +193,40 @@ class ProtocolStack:
             lat += 2.0 * self.small_message_latency_us()
         self._lat_memo[nbytes] = lat
         return lat
+
+    def latency_curve_us(self, sizes: "list[int] | tuple[int, ...]") -> np.ndarray:
+        """:meth:`one_way_latency_us` over a whole size grid in one
+        array pass — the per-platform latency curve computed as arrays.
+
+        Both rendezvous branches are evaluated elementwise and selected,
+        replaying the scalar operation order, so entry ``i`` is
+        bit-identical to ``one_way_latency_us(sizes[i])``.  Memoized
+        sizes are served from (and fresh sizes stored into) the same
+        per-size table the scalar path uses.
+        """
+        sizes = [int(s) for s in sizes]
+        if any(s < 0 for s in sizes):
+            raise ValueError("nbytes must be non-negative")
+        nb = np.array(sizes, dtype=float)
+        small = self.small_message_latency_us()
+        rb = self.protocol.rendezvous_bytes
+        rdv = np.zeros(len(sizes), dtype=bool) if rb is None else nb >= rb
+        proto_byte = np.where(
+            rdv,
+            self.protocol.rendezvous_ns_per_byte,
+            self.protocol.sw_ns_per_byte,
+        )
+        sw = (proto_byte + self.attachment.sw_ns_per_byte) / self._cpu_scale
+        ns_per_byte = self.link.wire_ns_per_byte() + sw
+        lat = small + nb * ns_per_byte / 1e3
+        lat = np.where(rdv, lat + 2.0 * small, lat)
+        out = []
+        for i, s in enumerate(sizes):
+            cached = self._lat_memo.get(s)
+            if cached is None:
+                cached = self._lat_memo[s] = float(lat[i])
+            out.append(cached)
+        return np.array(out, dtype=float)
 
     def transfer_time_s(self, nbytes: int) -> float:
         """One-way time in seconds (the MPI simulator's unit).

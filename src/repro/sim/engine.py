@@ -370,6 +370,22 @@ class Engine:
         """A fresh untriggered event."""
         return Event(self)
 
+    def call_in(self, delay: float, fn: Callable[..., None]) -> None:
+        """Schedule a bare callable ``delay`` seconds from now.
+
+        The allocation-free alternative to ``timeout(delay).callbacks
+        .append(fn)`` for fire-and-forget work (message delivery): no
+        Event is built, and exactly one sequence number is consumed —
+        the same as ``timeout`` — so swapping one for the other leaves
+        every later event's dispatch order untouched.
+        """
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        if self._rec is not None:
+            self._rec.bump("engine.scheduled")
+        _heappush(self._heap, (self.now + delay, self._seq, _KIND_CALL, fn, None))
+        self._seq += 1
+
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event that fires ``delay`` seconds from now."""
         if delay < 0:

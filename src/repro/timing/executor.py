@@ -20,11 +20,14 @@ kernel iteration it computes
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.arch.soc import Platform
 from repro.kernels.base import Kernel, OperationProfile
 from repro.timing import calibration
-from repro.timing.roofline import Roofline
+from repro.timing.roofline import Roofline, RooflineBatch
 
 
 @dataclass(frozen=True)
@@ -71,6 +74,9 @@ class SimulatedExecutor:
         # is safe; kernels hash by identity (registry singletons), so
         # two distinct kernel objects can never alias a cache entry.
         self._memo: dict[tuple, SimulatedRun] = {}
+        # Per-µarch efficiency tables: kernel-tag tuple -> fp-efficiency
+        # array, built once per executor (see :meth:`efficiency_table`).
+        self._eff_tables: dict[tuple[str, ...], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def _abi_penalty(self) -> float:
@@ -118,6 +124,75 @@ class SimulatedExecutor:
         peak = soc.core.peak_gflops(freq_ghz) * cores * eff
         return Roofline(
             peak, self.effective_bandwidth_gbs(freq_ghz, cores, profile)
+        )
+
+    # ------------------------------------------------------------------
+    # Batched (operating-point-axis) evaluation.  Every method below is
+    # the elementwise twin of its scalar counterpart: identical IEEE
+    # operations applied in the identical order, so entry ``i`` of every
+    # array equals the scalar result at ``freqs[i]`` bit-for-bit.  The
+    # sweep-equivalence suite (tests/timing/test_sweep_equivalence.py)
+    # enforces the contract; REPRO_SCALAR_SWEEP=1 forces callers back to
+    # the scalar oracle.
+    # ------------------------------------------------------------------
+    def efficiency_table(self, kernels: Sequence[Kernel]) -> np.ndarray:
+        """Per-kernel achieved-fraction-of-peak of this µarch as one
+        array, computed once per executor and kernel set — the per-µarch
+        efficiency table the batched sweep indexes instead of re-walking
+        the scalar lookup at every operating point."""
+        key = tuple(k.tag for k in kernels)
+        cached = self._eff_tables.get(key)
+        if cached is None:
+            core = self.platform.soc.core.name
+            cached = self._eff_tables[key] = np.array(
+                [
+                    calibration.fp_efficiency(
+                        core, k.profile(k.default_size()).characteristics
+                    )
+                    for k in kernels
+                ]
+            )
+        return cached
+
+    def effective_bandwidth_gbs_batch(
+        self, freqs: Sequence[float], cores: int, profile: OperationProfile
+    ) -> np.ndarray:
+        """Elementwise twin of :meth:`effective_bandwidth_gbs` over a
+        frequency array (mirrors ``SoC.l2_bandwidth_gbs`` inline so the
+        resident roof stays one scalar-by-array multiply chain)."""
+        soc = self.platform.soc
+        f = np.asarray(freqs, dtype=float)
+        if np.any(f <= 0):
+            raise ValueError("frequency must be positive")
+        if not (1 <= cores <= soc.n_cores):
+            raise ValueError("cores out of range")
+        if self.is_resident(profile):
+            if cores == 1:
+                scale = 1.0
+            elif soc.l2_shared:
+                scale = min(
+                    1.0 + calibration.SHARED_L2_CORE_SCALING * (cores - 1),
+                    calibration.SHARED_L2_SCALING_CAP,
+                )
+            else:
+                scale = float(cores)
+            bw = soc.l2_bw_bytes_per_cycle * f * scale
+            return bw * calibration.PATTERN_L2_FACTOR[profile.pattern]
+        bw = soc.memory.effective_bandwidth_gbs(cores, soc.core.mlp)
+        return np.full(
+            f.shape, bw * calibration.pattern_bandwidth_factor(profile.pattern)
+        )
+
+    def roofline_batch(
+        self, freqs: Sequence[float], cores: int, profile: OperationProfile
+    ) -> RooflineBatch:
+        """The rooflines this kernel sees across a frequency batch."""
+        soc = self.platform.soc
+        f = np.asarray(freqs, dtype=float)
+        eff = calibration.fp_efficiency(soc.core.name, profile.characteristics)
+        peak = soc.core.fp64_flops_per_cycle * f * cores * eff
+        return RooflineBatch(
+            peak, self.effective_bandwidth_gbs_batch(f, cores, profile)
         )
 
     # ------------------------------------------------------------------
@@ -202,6 +277,117 @@ class SimulatedExecutor:
             bound=bound,
         )
         return run
+
+    def time_kernel_batch(
+        self,
+        kernel: Kernel,
+        freqs: Sequence[float],
+        cores: int = 1,
+        size: int | None = None,
+        passes: int | None = None,
+    ) -> list[SimulatedRun]:
+        """:meth:`time_kernel` over a whole frequency batch at once.
+
+        Already-memoized points are served from the executor memo;
+        missing points are computed as NumPy array ops over the
+        operating-point axis, replaying the scalar model's operation
+        order element by element so every returned run is bit-identical
+        to the scalar path.  Computed points are stored into the memo,
+        so a later scalar ``time_kernel`` call returns the very same
+        frozen run object (the property the measurement path and the
+        on-disk result cache rely on).
+        """
+        freqs = [float(f) for f in freqs]
+        out: list[SimulatedRun | None] = [
+            self._memo.get((kernel, f, cores, size, passes)) for f in freqs
+        ]
+        missing = [i for i, run in enumerate(out) if run is None]
+        if not missing:
+            return out
+        soc = self.platform.soc
+        f = np.array([freqs[i] for i in missing], dtype=float)
+        if np.any(f <= 0):
+            raise ValueError("frequency must be positive")
+        if not (1 <= cores <= soc.n_cores):
+            raise ValueError(
+                f"cores must be in [1, {soc.n_cores}] for {self.platform.name}"
+            )
+        n = kernel.default_size() if size is None else size
+        reps = calibration.passes_for(kernel.tag) if passes is None else passes
+        profile = kernel.profile(n)
+        ch = profile.characteristics
+
+        # --- single-core compute time (cf. time_kernel) ----------------
+        eff = calibration.fp_efficiency(soc.core.name, ch)
+        achieved_gflops_1 = soc.core.fp64_flops_per_cycle * f * eff
+        t_fp = profile.flops / (achieved_gflops_1 * 1e9)
+        issue_cycles = soc.core.issue_cycles(profile.mix)
+        t_issue = issue_cycles / (f * 1e9)
+        t_comp1 = np.maximum(t_fp, t_issue) * self._abi_penalty()
+
+        # --- parallel compute time -------------------------------------
+        pf = ch.parallel_fraction
+        if cores == 1:
+            t_comp = t_comp1
+        else:
+            t_comp = t_comp1 * ((1.0 - pf) + pf * ch.load_imbalance / cores)
+
+        # --- memory time -----------------------------------------------
+        bw = self.effective_bandwidth_gbs_batch(f, cores, profile)
+        traffic = (
+            profile.cache_traffic
+            if self.is_resident(profile)
+            else profile.bytes_from_dram
+        )
+        t_mem = traffic / (bw * 1e9)
+
+        # --- synchronisation overhead ----------------------------------
+        if cores > 1:
+            per_barrier = (
+                calibration.BARRIER_US_PER_THREAD_AT_1GHZ * cores / f
+            ) * 1e-6
+            t_over = (
+                ch.barriers_per_iteration * per_barrier
+                + calibration.FORK_JOIN_US_AT_1GHZ / f * 1e-6
+            )
+        else:
+            t_over = np.zeros_like(f)
+
+        t_pass = np.maximum(t_comp, t_mem) + t_over
+        for j, i in enumerate(missing):
+            tp, tc = float(t_pass[j]), float(t_comp[j])
+            tm, to = float(t_mem[j]), float(t_over[j])
+            key = (kernel, freqs[i], cores, size, passes)
+            out[i] = self._memo[key] = SimulatedRun(
+                kernel=kernel.tag,
+                platform=self.platform.name,
+                freq_ghz=freqs[i],
+                cores=cores,
+                time_s=tp * reps,
+                compute_time_s=tc * reps,
+                memory_time_s=tm * reps,
+                overhead_time_s=to * reps,
+                flops=profile.flops * reps,
+                bound="memory" if tm > tc else "compute",
+            )
+        return out
+
+    def evict_kernel(self, kernel_or_tag: Kernel | str) -> int:
+        """Drop every memoized run of one kernel, by object or by tag.
+
+        The memo keys kernels by identity, so re-registering a kernel
+        implementation under an existing tag would otherwise keep this
+        executor serving runs of the replaced object forever.  Returns
+        the number of entries dropped."""
+        if isinstance(kernel_or_tag, str):
+            doomed = [
+                key for key in self._memo if key[0].tag == kernel_or_tag
+            ]
+        else:
+            doomed = [key for key in self._memo if key[0] is kernel_or_tag]
+        for key in doomed:
+            del self._memo[key]
+        return len(doomed)
 
     def time_suite(
         self,

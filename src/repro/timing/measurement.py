@@ -76,6 +76,37 @@ class PowerMeter:
         trace = self.sample_trace(power_watts, duration_s)
         return float(trace.mean() * duration_s), trace.shape[0]
 
+    def integrate_batch(
+        self,
+        powers_watts: "list[float]",
+        durations_s: "list[float]",
+    ) -> list[tuple[float, int]]:
+        """:meth:`integrate` over a batch of intervals in one RNG draw.
+
+        The meter's seeded stream is preserved exactly: a Generator's
+        batched normal draw produces the same variates as the sequential
+        per-interval draws it replaces, so splitting one
+        ``sum(n_samples)``-long draw at the per-interval sample counts
+        reproduces every scalar trace bit-for-bit (enforced by
+        tests/timing/test_sweep_equivalence.py).  Caller-visible RNG
+        state after the call is identical to the scalar loop's.
+        """
+        if len(powers_watts) != len(durations_s):
+            raise ValueError("need one power per duration")
+        counts = []
+        for duration in durations_s:
+            if duration <= 0:
+                raise ValueError("duration must be positive")
+            counts.append(max(1, int(round(duration * self.sample_hz))))
+        noise = self._rng.normal(0.0, self.precision, sum(counts))
+        out: list[tuple[float, int]] = []
+        offset = 0
+        for power, duration, n in zip(powers_watts, durations_s, counts):
+            trace = power * (1.0 + noise[offset : offset + n])
+            offset += n
+            out.append((float(trace.mean() * duration), n))
+        return out
+
 
 def measure_kernel(
     platform: Platform,
@@ -113,3 +144,57 @@ def measure_kernel(
         n_samples=n_samples,
     )
     return run, measurement
+
+
+def measure_kernel_batch(
+    platform: Platform,
+    kernels: list[Kernel],
+    freq_ghz: float,
+    cores: int = 1,
+    iterations: int = 1,
+    meter: PowerMeter | None = None,
+    executor: SimulatedExecutor | None = None,
+) -> list[tuple[SimulatedRun, EnergyMeasurement]]:
+    """:func:`measure_kernel` over a kernel batch with one meter draw.
+
+    Runs and power levels come from the same models the scalar procedure
+    consults (the executor memo makes re-timing free), and the meter
+    integrates every interval out of a single batched draw via
+    :meth:`PowerMeter.integrate_batch` — so each returned pair is
+    bit-identical to calling :func:`measure_kernel` on the same meter in
+    the same kernel order.
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    meter = meter or PowerMeter()
+    executor = executor or SimulatedExecutor(platform)
+    runs = [executor.time_kernel(k, freq_ghz, cores=cores) for k in kernels]
+    powers = [
+        platform.soc.power.platform_power(
+            freq_ghz,
+            active_cores=cores,
+            total_cores=platform.soc.n_cores,
+            mem_bw_utilisation=run.memory_bw_utilisation,
+        )
+        for run in runs
+    ]
+    durations = [run.time_s * iterations for run in runs]
+    integrated = meter.integrate_batch(powers, durations)
+    out: list[tuple[SimulatedRun, EnergyMeasurement]] = []
+    for kernel, run, duration, (energy, n_samples) in zip(
+        kernels, runs, durations, integrated
+    ):
+        out.append(
+            (
+                run,
+                EnergyMeasurement(
+                    platform=platform.name,
+                    kernel=kernel.tag,
+                    duration_s=duration,
+                    energy_j=energy,
+                    mean_power_w=energy / duration,
+                    n_samples=n_samples,
+                ),
+            )
+        )
+    return out

@@ -181,3 +181,64 @@ class TestStreamingRegime:
         per_byte_small = small.time_s / (12_000 * 24)
         per_byte_big = big.time_s / (4_000_000 * 24)
         assert per_byte_small < per_byte_big
+
+
+class TestMemoEviction:
+    """Regression: the executor memo keys kernels by *identity*, so a
+    kernel re-registered under the same tag leaves the memo serving the
+    replaced object's runs (and pinning it alive) until evicted."""
+
+    def _fresh_vecop(self):
+        from repro.kernels.vecop import VecOp
+
+        return VecOp()
+
+    def test_reregistration_requires_replace_flag(self):
+        from repro.kernels import registry
+
+        with pytest.raises(ValueError):
+            registry.register_kernel(self._fresh_vecop())
+
+    def test_evict_after_reregistration(self, t2):
+        from repro.kernels import registry
+
+        ex = SimulatedExecutor(t2)
+        old = registry.get_kernel("vecop")
+        old_run = ex.time_kernel(old, 1.0)
+        ex.time_kernel(old, 0.76, cores=2)
+        clone = self._fresh_vecop()
+        registry.register_kernel(clone, replace=True)
+        try:
+            assert registry.get_kernel("vecop") is clone
+            # The stale identity still hits the memo — the hazard.
+            assert ex.time_kernel(old, 1.0) is old_run
+            dropped = ex.evict_kernel("vecop")
+            assert dropped == 2
+            assert not any(key[0].tag == "vecop" for key in ex._memo)
+            # Retiming the replacement reproduces the same numbers (the
+            # model is a pure function of tag + profile, not identity).
+            fresh = ex.time_kernel(clone, 1.0)
+            assert fresh is not old_run
+            assert fresh == old_run
+        finally:
+            registry.register_kernel(old, replace=True)
+
+    def test_evict_by_object_only_drops_that_identity(self, t2):
+        ex = SimulatedExecutor(t2)
+        vecop = get_kernel("vecop")
+        dmmm = get_kernel("dmmm")
+        ex.time_kernel(vecop, 1.0)
+        ex.time_kernel(dmmm, 1.0)
+        assert ex.evict_kernel(vecop) == 1
+        assert ex.evict_kernel(vecop) == 0  # idempotent
+        assert any(key[0].tag == "dmmm" for key in ex._memo)
+
+    def test_batch_repopulates_after_eviction(self, t2):
+        """time_kernel_batch and time_kernel agree across an eviction."""
+        ex = SimulatedExecutor(t2)
+        k = get_kernel("vecop")
+        before = ex.time_kernel_batch(k, [0.456, 1.0])
+        ex.evict_kernel("vecop")
+        after = ex.time_kernel_batch(k, [0.456, 1.0])
+        assert after == before
+        assert after[0] is not before[0]
