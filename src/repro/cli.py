@@ -36,6 +36,7 @@ Serving (see :mod:`repro.serve`)::
 
     python -m repro serve --port 7653 --jobs 4   # campaign query server
     python -m repro loadtest --port 7653 --quick # open-loop load generator
+    python -m repro jobs --port 7653 submit --campaign quick  # durable job
 """
 
 from __future__ import annotations
@@ -300,6 +301,12 @@ def _load_loadtest_main(argv: list[str]) -> int:
     return loadtest_main(argv)
 
 
+def _load_jobs_main(argv: list[str]) -> int:
+    from repro.serve.jobs_cli import jobs_main
+
+    return jobs_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level parser: one subcommand per artefact plus the
     ``all`` campaign and the trace/faults/bench tool CLIs."""
@@ -354,6 +361,8 @@ def build_parser() -> argparse.ArgumentParser:
          _load_serve_main),
         ("loadtest", "open-loop load generator for serve (repro.serve)",
          _load_loadtest_main),
+        ("jobs", "durable campaign job tier client for serve (repro.serve)",
+         _load_jobs_main),
     ):
         tool_p = sub.add_parser(
             name,

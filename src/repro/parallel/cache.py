@@ -19,9 +19,14 @@ The store is size-capped: once the object files exceed ``max_bytes``
 (default :data:`DEFAULT_MAX_BYTES` = 256 MiB; ``0`` = unlimited) a
 ``put`` prunes oldest-mtime-first until back under the cap, so a
 long-lived serving process cannot grow the cache without bound.
-Corrupt or alien object files are treated as misses *and unlinked* —
-leaving the corpse on disk made every subsequent ``get`` re-read and
-re-fail on it.
+Objects written since the previous eviction round are exempt for one
+round: with several writers on one directory (the serving front end's
+probe/batch handles, the job tier), eviction pressure from one writer
+must not be able to unlink an object another writer committed
+microseconds ago — the job tier's resume contract treats a completed
+unit's cache entry as its checkpoint.  Corrupt or alien object files
+are treated as misses *and unlinked* — leaving the corpse on disk made
+every subsequent ``get`` re-read and re-fail on it.
 """
 
 from __future__ import annotations
@@ -30,6 +35,8 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
@@ -50,6 +57,24 @@ DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 #: Sentinel returned by :meth:`ResultCache.get` on a miss (``None`` is a
 #: legitimate cached value).
 MISS = object()
+
+#: Process-wide registry of object paths written since the last eviction
+#: round, shared by every :class:`ResultCache` handle on this process —
+#: an eviction round (any handle's) skips them and then retires them, so
+#: a just-written object survives at least one round of concurrent
+#: ``max_bytes`` pressure.  Bounded; entries beyond the bound lose their
+#: exemption oldest-first.
+_FRESH_LIMIT = 4096
+_fresh_paths: OrderedDict[str, None] = OrderedDict()
+_fresh_lock = threading.Lock()
+
+
+def _mark_fresh(path: Path) -> None:
+    with _fresh_lock:
+        _fresh_paths[str(path)] = None
+        _fresh_paths.move_to_end(str(path))
+        while len(_fresh_paths) > _FRESH_LIMIT:
+            _fresh_paths.popitem(last=False)
 
 
 @lru_cache(maxsize=1)
@@ -164,13 +189,12 @@ class ResultCache:
         if self._total_bytes is not None:
             self._total_bytes = max(0, self._total_bytes - size)
 
-    def get(self, key: str) -> Any:
-        """The cached value for ``key``, or the :data:`MISS` sentinel."""
+    def _load(self, key: str) -> Any:
+        """Uncounted read: the value for ``key`` or :data:`MISS`."""
         path = self._path(key)
         try:
             text = path.read_text()
         except OSError:
-            self._count(hit=False)
             return MISS
         try:
             doc = json.loads(text)
@@ -181,10 +205,35 @@ class ResultCache:
             # Corrupt or alien: a miss — and the corpse must go, or
             # every later get would re-read and re-fail on it.
             self._discard(path)
-            self._count(hit=False)
             return MISS
-        self._count(hit=True)
         return doc["value"]
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or the :data:`MISS` sentinel."""
+        value = self._load(key)
+        self._count(hit=value is not MISS)
+        return value
+
+    def get_many(self, keys: list[str]) -> list[Any]:
+        """Batched probe: the value (or :data:`MISS`) for every key.
+
+        One pass, one stats/obs update per outcome class instead of one
+        per key — the campaign runner and the job tier's resume probe
+        touch hundreds of keys back to back, and per-key counter bumps
+        were a measurable fraction of an all-hits probe.
+        """
+        values = [self._load(key) for key in keys]
+        hits = sum(1 for v in values if v is not MISS)
+        misses = len(values) - hits
+        self.stats.hits += hits
+        self.stats.misses += misses
+        rec = _obs_current()
+        if rec is not None:
+            if hits:
+                rec.bump("cache.hit", hits)
+            if misses:
+                rec.bump("cache.miss", misses)
+        return values
 
     def put(self, key: str, value: Any, kind: str = "") -> None:
         """Store ``value`` (must be JSON-serialisable) atomically, then
@@ -209,6 +258,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        _mark_fresh(path)
         if self.max_bytes:
             if self._total_bytes is None:
                 self._total_bytes = sum(
@@ -223,11 +273,19 @@ class ResultCache:
         """Prune object files oldest-mtime-first until under the cap.
 
         Ties (same mtime at filesystem granularity) break by path, so
-        eviction order is deterministic.  The just-written object has
-        the newest mtime and is therefore pruned last — only a cap
-        smaller than a single object ever evicts it.
+        eviction order is deterministic.  Objects written (by any
+        handle in this process) since the previous eviction round are
+        exempt for this round: mtime order alone let one writer's
+        pressure unlink an object another writer had committed
+        microseconds earlier — the concurrent-writer race the serving
+        layers hit once probe, batch and job caches shared a directory.
+        An all-fresh store may therefore stay over the cap for a round;
+        the next round (when those objects have aged out of the
+        registry) collects them.
         """
         rec = _obs_current()
+        with _fresh_lock:
+            fresh = set(_fresh_paths)
         aged = sorted(
             ((p.stat().st_mtime_ns, p) for p in self._object_files()),
             key=lambda pair: (pair[0], str(pair[1])),
@@ -236,6 +294,8 @@ class ResultCache:
         for _, victim in aged:
             if total <= self.max_bytes:
                 break
+            if str(victim) in fresh:
+                continue  # exempt for this round
             try:
                 size = victim.stat().st_size
                 victim.unlink()
@@ -246,3 +306,8 @@ class ResultCache:
             if rec is not None:
                 rec.bump("cache.evict")
         self._total_bytes = total
+        # Retire this round's exemptions: each object is "new" for
+        # exactly one eviction round.
+        with _fresh_lock:
+            for path in fresh:
+                _fresh_paths.pop(path, None)

@@ -45,6 +45,28 @@ from repro.parallel.units import (
 )
 
 
+@dataclass(frozen=True)
+class UnitFailure:
+    """A unit that raised instead of returning a value.
+
+    ``run_units(safe=True)`` returns one of these in the failed unit's
+    slot instead of propagating the exception and losing the rest of
+    the batch — the job tier needs per-unit failure isolation to retry
+    or quarantine exactly the poison unit.  Never cached.
+    """
+
+    error: str
+
+
+def safe_pool_entry(job: tuple[str, dict[str, Any], int]) -> tuple[str, Any]:
+    """Pool target that captures per-unit exceptions as data (a raised
+    exception in ``pool.map`` poisons the whole batch)."""
+    try:
+        return ("ok", pool_entry(job))
+    except Exception as exc:  # noqa: BLE001 - the point is containment
+        return ("err", f"{type(exc).__name__}: {exc}")
+
+
 def _pool_context(start_method: str | None = None):
     """The multiprocessing context for a worker pool.
 
@@ -71,6 +93,32 @@ def _pool_context(start_method: str | None = None):
     return multiprocessing.get_context(start_method)
 
 
+def probe_units(
+    units: list[WorkUnit],
+    cache: ResultCache | None,
+    seed: int = 0,
+) -> tuple[list[Any], list[int]]:
+    """Resolve whatever the cache already holds: ``(values, todo)``
+    where ``values`` carries the hits in unit order (misses ``None``)
+    and ``todo`` lists the miss indices.  One batched probe
+    (:meth:`ResultCache.get_many`), not a per-unit ``get`` — this is
+    also the job tier's restart-resume hook: completed units land in
+    the cache, so the probe *is* the checkpoint read."""
+    values: list[Any] = [None] * len(units)
+    if cache is None:
+        return values, list(range(len(units)))
+    hits = cache.get_many(
+        [unit_key(u.kind, u.params, seed) for u in units]
+    )
+    todo: list[int] = []
+    for i, hit in enumerate(hits):
+        if hit is MISS:
+            todo.append(i)
+        else:
+            values[i] = hit
+    return values, todo
+
+
 def run_units(
     units: list[WorkUnit],
     jobs: int = 1,
@@ -78,6 +126,8 @@ def run_units(
     seed: int = 0,
     start_method: str | None = None,
     pool=None,
+    safe: bool = False,
+    on_result=None,
 ) -> list[Any]:
     """Execute ``units``, returning their values in input order.
 
@@ -87,35 +137,52 @@ def run_units(
     theirs while the process is still single-threaded, because forking
     from a threaded process can hand workers a lock some other thread
     held at fork time, deadlocking them before they take a task.
+
+    ``safe=True`` captures each unit's exception as a
+    :class:`UnitFailure` in its slot (never cached) instead of raising
+    and discarding the batch.  ``on_result(index, value)`` is invoked
+    for every unit as it resolves — cache hits immediately, fresh
+    values in unit order as the pool yields them — so a caller can
+    checkpoint progress mid-batch instead of only at the end.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
-    values: list[Any] = [None] * len(units)
-    todo: list[int] = []
-    for i, unit in enumerate(units):
-        if cache is not None:
-            hit = cache.get(unit_key(unit.kind, unit.params, seed))
-            if hit is not MISS:
-                values[i] = hit
-                continue
-        todo.append(i)
+    values, todo = probe_units(units, cache, seed)
+    if on_result is not None:
+        todo_set = set(todo)
+        for i in range(len(units)):
+            if i not in todo_set:
+                on_result(i, values[i])
     if todo:
+        entry = safe_pool_entry if safe else pool_entry
         jobs_args = [(units[i].kind, units[i].params, seed) for i in todo]
         if pool is not None and len(todo) > 1:
-            fresh = pool.map(pool_entry, jobs_args, chunksize=1)
+            fresh = pool.imap(entry, jobs_args, chunksize=1)
         elif jobs == 1 or len(todo) == 1:
-            fresh = [pool_entry(job) for job in jobs_args]
+            fresh = map(entry, jobs_args)
         else:
-            with _pool_context(start_method).Pool(min(jobs, len(todo))) as pool_:
-                fresh = pool_.map(pool_entry, jobs_args, chunksize=1)
-        for i, value in zip(todo, fresh):
-            values[i] = value
-            if cache is not None:
-                cache.put(
-                    unit_key(units[i].kind, units[i].params, seed),
-                    value,
-                    kind=units[i].kind,
-                )
+            own_pool = _pool_context(start_method).Pool(min(jobs, len(todo)))
+            fresh = own_pool.imap(entry, jobs_args, chunksize=1)
+        try:
+            for i, value in zip(todo, fresh):
+                if safe:
+                    tag, payload = value
+                    value = (
+                        payload if tag == "ok" else UnitFailure(payload)
+                    )
+                values[i] = value
+                if cache is not None and not isinstance(value, UnitFailure):
+                    cache.put(
+                        unit_key(units[i].kind, units[i].params, seed),
+                        value,
+                        kind=units[i].kind,
+                    )
+                if on_result is not None:
+                    on_result(i, value)
+        finally:
+            if pool is None and not (jobs == 1 or len(todo) == 1):
+                own_pool.close()
+                own_pool.join()
     return values
 
 

@@ -27,10 +27,21 @@ is the matching open-loop load generator, and the ``serve`` perf suite
 records throughput and tail latency cold vs warm in
 ``BENCH_serve.json``.
 
+For work that outlives a request — whole figure campaigns, batch
+sweeps — the **durable job tier** (:mod:`~repro.serve.jobs`) accepts
+``submit``/``status``/``result``/``cancel`` ops backed by a crash-safe
+write-ahead journal (:mod:`~repro.serve.journal`): jobs survive a
+SIGKILL, resume from the result cache on restart (unit completion is
+the checkpoint), are dispatched fairly across tenants under per-tenant
+quotas, and retry-then-quarantine failing units.  ``repro jobs``
+(:mod:`~repro.serve.jobs_cli`) is the matching client.
+
 Layering: :mod:`~repro.serve.frontend` is transport-independent pure
-asyncio; :mod:`~repro.serve.server` puts a JSON-lines TCP protocol in
-front of it; :mod:`~repro.serve.cli` is the ``repro serve`` /
-``repro loadtest`` argument surface.
+asyncio; :mod:`~repro.serve.jobs` adds the durable queue on top of the
+front end's executor; :mod:`~repro.serve.server` puts a JSON-lines TCP
+protocol in front of both; :mod:`~repro.serve.cli` is the
+``repro serve`` / ``repro loadtest`` argument surface and
+:mod:`~repro.serve.jobs_cli` the ``repro jobs`` one.
 """
 
 from repro.serve.frontend import (
@@ -40,9 +51,15 @@ from repro.serve.frontend import (
     ServeStats,
     percentile,
 )
+from repro.serve.jobs import Job, JobManager, JobsConfig
+from repro.serve.journal import JobJournal
 
 __all__ = [
     "CampaignFrontEnd",
+    "Job",
+    "JobJournal",
+    "JobManager",
+    "JobsConfig",
     "Overloaded",
     "ServeConfig",
     "ServeStats",

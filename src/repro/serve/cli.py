@@ -24,10 +24,15 @@ import signal
 from pathlib import Path
 
 from repro.cli import jobs_count
-from repro.parallel.cache import DEFAULT_CACHE_DIR
+from repro.parallel.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.serve.frontend import CampaignFrontEnd, ServeConfig
+from repro.serve.jobs import JobManager, JobsConfig
+from repro.serve.journal import JobJournal
 from repro.serve.loadtest import format_report, run_loadtest_fleet
 from repro.serve.server import ServeServer
+
+#: Default journal location for the durable job tier.
+DEFAULT_JOURNAL_DIR = Path(".repro-jobs")
 
 
 def serve_main(argv: list[str] | None = None) -> int:
@@ -75,6 +80,39 @@ def serve_main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=0,
         help="study seed baked into cache keys (default: 0)",
     )
+    parser.add_argument(
+        "--journal-dir", type=Path, default=DEFAULT_JOURNAL_DIR,
+        metavar="DIR",
+        help="durable job-tier journal location "
+        f"(default: {DEFAULT_JOURNAL_DIR})",
+    )
+    parser.add_argument(
+        "--no-jobs", action="store_true",
+        help="serve queries only: disable the durable job tier",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="S",
+        help="bound each shutdown drain stage (default: unbounded); "
+        "at the deadline incomplete jobs stay parked in the journal "
+        "and unresolved queries get an overloaded/draining response",
+    )
+    parser.add_argument(
+        "--tenant-quota", type=int, default=4096, metavar="N",
+        help="max queued job units per tenant (default: 4096)",
+    )
+    parser.add_argument(
+        "--unit-attempts", type=int, default=3, metavar="N",
+        help="unit attempts before quarantine (default: 3)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="S",
+        help="base of the exponential unit-retry backoff (default: 0.05)",
+    )
+    parser.add_argument(
+        "--job-batch", type=int, default=16, metavar="N",
+        help="job units dispatched per batch — the checkpoint "
+        "granularity a crash can lose (default: 16)",
+    )
     args = parser.parse_args(argv)
     try:
         config = ServeConfig(
@@ -85,32 +123,83 @@ def serve_main(argv: list[str] | None = None) -> int:
             cache_dir=None if args.no_cache else args.cache_dir,
             seed=args.seed,
         )
+        jobs_config = JobsConfig(
+            tenant_quota_units=args.tenant_quota,
+            max_attempts=args.unit_attempts,
+            retry_backoff_s=args.retry_backoff,
+            batch_units=args.job_batch,
+            seed=args.seed,
+        )
     except ValueError as exc:
         parser.error(str(exc))
-    return asyncio.run(_serve(config, args.host, args.port))
+    return asyncio.run(
+        _serve(
+            config, args.host, args.port,
+            journal_dir=None if args.no_jobs else args.journal_dir,
+            jobs_config=jobs_config,
+            drain_timeout_s=args.drain_timeout,
+        )
+    )
 
 
-async def _serve(config: ServeConfig, host: str, port: int) -> int:
+async def _serve(
+    config: ServeConfig,
+    host: str,
+    port: int,
+    journal_dir: Path | None = None,
+    jobs_config: JobsConfig | None = None,
+    drain_timeout_s: float | None = None,
+) -> int:
     frontend = CampaignFrontEnd(config)
-    server = ServeServer(frontend, host, port)
+    manager = None
+    if journal_dir is not None:
+        # The job tier checkpoints into the SAME cache directory the
+        # query path serves hits from: a unit computed for a job
+        # answers later queries, and vice versa.
+        manager = JobManager(
+            JobJournal(journal_dir),
+            ResultCache(config.cache_dir)
+            if config.cache_dir is not None else None,
+            frontend.execute_units,
+            jobs_config or JobsConfig(seed=config.seed),
+        )
+    server = ServeServer(
+        frontend, host, port,
+        jobs_manager=manager, drain_timeout_s=drain_timeout_s,
+    )
     await server.start()
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGINT, signal.SIGTERM):
         with contextlib.suppress(NotImplementedError, ValueError):
             loop.add_signal_handler(sig, server.request_shutdown)
+    recovered = ""
+    if server.recovered is not None and server.recovered["restored"]:
+        recovered = (
+            f" — recovered {server.recovered['restored']} job(s), "
+            f"{server.recovered['resumed_units']} unit(s) from cache"
+        )
     print(
         f"repro serve: listening on {server.host}:{server.port} "
         f"(jobs={config.jobs}, queue_limit={config.queue_limit}, "
-        f"cache={'off' if config.cache_dir is None else config.cache_dir})",
+        f"cache={'off' if config.cache_dir is None else config.cache_dir}, "
+        f"journal={'off' if journal_dir is None else journal_dir})"
+        f"{recovered}",
         flush=True,
     )
     await server.serve_until_shutdown()
     snap = frontend.stats.snapshot()
+    jobs_note = ""
+    if manager is not None:
+        t = manager.totals
+        jobs_note = (
+            f"; jobs: {t['submitted']} submitted, {t['done']} done, "
+            f"{t['units_done']} unit(s)"
+        )
     print(
         "repro serve: drained and stopped — "
         f"{snap['accepted']} accepted, {snap['rejected']} rejected, "
         f"hit ratio {snap['hit_ratio']:.1%} over "
-        f"{snap['batches']} batch(es)"
+        f"{snap['batches']} batch(es)" + jobs_note
     )
     return 0
 

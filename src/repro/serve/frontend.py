@@ -24,7 +24,12 @@ punish exactly the traffic the front end is best at.
 
 Graceful shutdown: :meth:`CampaignFrontEnd.drain` stops admitting new
 work, waits for every accepted request to resolve, then retires the
-batcher — none dropped.
+batcher — none dropped.  ``drain(timeout_s=...)`` bounds the wait: at
+the deadline the remaining unresolved queries are failed with
+:class:`Overloaded` (``reason="draining"``, with a retry hint) instead
+of holding shutdown hostage to a slow batch — the durable job tier
+(:mod:`repro.serve.jobs`) is where long work survives a restart, not
+an unbounded drain.
 
 Observability: when :mod:`repro.obs` is recording, batches emit
 ``serve.batch`` spans (wall-clock seconds since front-end start — a
@@ -236,13 +241,38 @@ class CampaignFrontEnd:
                 self._batcher()
             )
 
-    async def drain(self) -> None:
+    async def drain(self, timeout_s: float | None = None) -> bool:
         """Graceful shutdown: admit nothing new, resolve everything
-        accepted (none dropped), then retire the batcher thread."""
+        accepted (none dropped), then retire the batcher thread.
+
+        ``timeout_s`` bounds the wait.  At the deadline every still-
+        unresolved query future is failed with :class:`Overloaded`
+        (``reason="draining"`` plus a retry hint) and worker teardown
+        switches to non-blocking — the returned ``False`` tells the
+        caller the drain was cut short.  Pre-fix, a single wedged batch
+        blocked shutdown indefinitely.
+        """
         self._draining = True
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        drained = True
         while self._inflight:
             futures = [p.future for p in self._inflight.values()]
-            await asyncio.gather(*futures, return_exceptions=True)
+            if deadline is None:
+                await asyncio.gather(*futures, return_exceptions=True)
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining > 0:
+                done, pending = await asyncio.wait(
+                    futures, timeout=remaining
+                )
+            else:
+                pending = [f for f in futures if not f.done()]
+            if pending:
+                self._abort_pending()
+                drained = False
+                break
         if self._batcher_task is not None:
             self._batcher_task.cancel()
             try:
@@ -250,11 +280,40 @@ class CampaignFrontEnd:
             except asyncio.CancelledError:
                 pass
             self._batcher_task = None
-        self._executor.shutdown(wait=True)
+        self._executor.shutdown(wait=drained)
         if self._pool is not None:
-            self._pool.close()
+            if drained:
+                self._pool.close()
+            else:
+                # A batch may still be wedged inside the pool; close()
+                # would wait on it via join below.
+                self._pool.terminate()
             self._pool.join()
             self._pool = None
+        return drained
+
+    def _abort_pending(self) -> None:
+        """Timed-out drain: fail every unresolved query future with a
+        retryable :class:`Overloaded` so waiters are released *now*.
+        Entries still queued (never dispatched) also release their
+        pending-unit slots; the executing batch's ``finally`` block
+        releases its own when the worker eventually returns."""
+        exc = Overloaded(self._retry_after(), reason="draining")
+        while True:
+            try:
+                entry = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            self._inflight.pop(entry.key, None)
+            self._pending_units -= 1
+            if not entry.future.done():
+                entry.future.set_exception(exc)
+        for entry in list(self._inflight.values()):
+            # Executing right now: release the waiter, keep the
+            # bookkeeping for the batch's own cleanup path.
+            if not entry.future.done():
+                entry.future.set_exception(exc)
+            self._inflight.pop(entry.key, None)
 
     @property
     def draining(self) -> bool:
@@ -346,10 +405,21 @@ class CampaignFrontEnd:
     def _retry_after(self) -> float:
         """A drain-time estimate for the 429 hint: the current backlog
         over the recently observed batch throughput, floored at one
-        batch window."""
+        batch window.
+
+        Before any batch has completed there is no observed throughput;
+        pre-fix the hint degenerated to the bare floor no matter how
+        deep the backlog was, telling a client to hammer a cold server
+        that provably could not have drained yet.  The fallback assumes
+        one ``batch_window_s`` per ``max_batch``-sized batch, so the
+        hint still scales with the backlog.
+        """
         floor = max(self.config.batch_window_s, 0.01)
         if self._last_batch_rate <= 0:
-            return floor
+            batches = math.ceil(
+                max(self._pending_units, 1) / self.config.max_batch
+            )
+            return batches * floor
         return max(floor, self._pending_units / self._last_batch_rate)
 
     # -- batching ----------------------------------------------------------
@@ -430,4 +500,54 @@ class CampaignFrontEnd:
             cache=self._batch_cache,
             seed=self.config.seed,
             pool=self._pool,
+        )
+
+    # -- job-tier execution ------------------------------------------------
+    async def execute_units(
+        self, units: list[WorkUnit], seed: int | None = None
+    ) -> list[Any]:
+        """Run a job-tier unit batch on the serve executor thread.
+
+        Job batches and query micro-batches share the ONE executor
+        thread (and its pre-forked pool), so they serialise instead of
+        fighting over workers, and the fork-safety invariant from
+        :meth:`start` keeps holding.  Failures come back as
+        :class:`~repro.parallel.runner.UnitFailure` slots (``safe``
+        execution) — the job tier retries or quarantines per unit;
+        completed values are written through to the cache, which is
+        exactly what makes unit completion a restart checkpoint.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, self._run_job_units, units,
+            self.config.seed if seed is None else seed,
+        )
+
+    def _run_job_units(self, units: list[WorkUnit], seed: int) -> list[Any]:
+        from repro.parallel.runner import UnitFailure, run_units
+
+        if self._runner is not None:
+            try:
+                values = self._runner(units)
+            except Exception as exc:  # noqa: BLE001 - containment
+                return [
+                    UnitFailure(f"{type(exc).__name__}: {exc}")
+                    for _ in units
+                ]
+            if self._batch_cache is not None:
+                for unit, value in zip(units, values):
+                    if not isinstance(value, UnitFailure):
+                        self._batch_cache.put(
+                            unit_key(unit.kind, unit.params, seed),
+                            value,
+                            kind=unit.kind,
+                        )
+            return values
+        return run_units(
+            units,
+            jobs=self.config.jobs,
+            cache=self._batch_cache,
+            seed=seed,
+            pool=self._pool,
+            safe=True,
         )

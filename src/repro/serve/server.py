@@ -16,13 +16,34 @@ Protocol (one JSON object per line, both directions)::
     -> {"op": "shutdown", "id": 4}
     <- {"id": 4, "ok": true}          # then: graceful drain, server exit
 
+Job-tier ops (when the server is wired to a
+:class:`~repro.serve.jobs.JobManager`; see :mod:`repro.serve.jobs`)::
+
+    -> {"op": "submit", "id": 5, "tenant": "alice",
+        "units": [{"kind": "sweep_point", "params": {...}}, ...]}
+    -> {"op": "submit", "id": 5, "tenant": "alice", "campaign": "quick"}
+    <- {"id": 5, "ok": true, "job_id": "4f2a...", "state": "queued",
+        "n_units": 17}
+
+    -> {"op": "status", "id": 6, "job_id": "4f2a..."}   # job_id optional
+    <- {"id": 6, "ok": true, "job": {...}}              # or "jobs": [...]
+
+    -> {"op": "result", "id": 7, "job_id": "4f2a..."}
+    <- {"id": 7, "ok": true, "result": {"units": [...], ...}}
+
+    -> {"op": "cancel", "id": 8, "job_id": "4f2a..."}
+    <- {"id": 8, "ok": true, "cancelled": true}
+
 Error responses carry ``ok: false`` plus ``error`` — ``"overloaded"``
-(admission control; includes ``retry_after_s`` and ``reason``, the
-429-style refusal), ``"bad_request"`` (malformed JSON / unknown op or
-kind), or ``"internal"`` (execution failure).  Queries on one
+(admission control or a tenant over its job quota; includes
+``retry_after_s`` and ``reason``, the 429-style refusal),
+``"bad_request"`` (malformed JSON / unknown op, kind or job),
+``"not_ready"`` (``result`` on a non-terminal job; includes the job's
+``state``), or ``"internal"`` (execution failure).  Queries on one
 connection run concurrently — responses are matched by ``id``, not by
 order — which is what lets a single connection exercise single-flight
-coalescing.
+coalescing.  Job ops are answered inline: they touch only in-memory
+state plus a journal append, never the worker pool.
 """
 
 from __future__ import annotations
@@ -33,6 +54,7 @@ import json
 from typing import Any
 
 from repro.serve.frontend import CampaignFrontEnd, Overloaded
+from repro.serve.jobs import JobManager, JobNotReady, campaign_job_units
 
 
 class ServeServer:
@@ -44,17 +66,31 @@ class ServeServer:
     """
 
     def __init__(
-        self, frontend: CampaignFrontEnd, host: str = "127.0.0.1", port: int = 0
+        self,
+        frontend: CampaignFrontEnd,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs_manager: JobManager | None = None,
+        drain_timeout_s: float | None = None,
     ) -> None:
         self.frontend = frontend
         self.host = host
         self.port = port
+        self.jobs = jobs_manager
+        self.drain_timeout_s = drain_timeout_s
+        self.recovered: dict[str, int] | None = None
         self._server: asyncio.Server | None = None
         self._shutdown = asyncio.Event()
         self._conn_tasks: set[asyncio.Task] = set()
 
     async def start(self) -> None:
         await self.frontend.start()
+        if self.jobs is not None:
+            # Replay the journal and resume from the cache BEFORE the
+            # socket opens: clients must never observe pre-recovery
+            # state, and recovered jobs re-enter dispatch immediately.
+            self.recovered = self.jobs.recover()
+            await self.jobs.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -62,13 +98,20 @@ class ServeServer:
 
     async def serve_until_shutdown(self) -> None:
         """Run until a ``shutdown`` op arrives, then drain gracefully:
-        stop accepting connections, resolve every accepted request,
-        answer any stragglers on open connections, close."""
+        stop accepting connections, park incomplete jobs in the journal
+        (they are durable — a restart resumes them), resolve every
+        accepted query, answer any stragglers on open connections,
+        close.  ``drain_timeout_s`` bounds each drain stage instead of
+        letting a slow batch hold shutdown hostage."""
         assert self._server is not None, "start() first"
         await self._shutdown.wait()
         self._server.close()
         await self._server.wait_closed()
-        await self.frontend.drain()
+        if self.jobs is not None:
+            await self.jobs.drain(self.drain_timeout_s)
+        await self.frontend.drain(self.drain_timeout_s)
+        if self.jobs is not None:
+            self.jobs.close()
         for task in list(self._conn_tasks):
             task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -111,12 +154,18 @@ class ServeServer:
                     pending.add(sub)
                     sub.add_done_callback(pending.discard)
                 elif op == "stats":
+                    doc = {
+                        "id": rid, "ok": True,
+                        "stats": self.frontend.stats.snapshot(),
+                        "queue_depth": self.frontend.queue_depth,
+                        "draining": self.frontend.draining,
+                    }
+                    if self.jobs is not None:
+                        doc["jobs"] = dict(self.jobs.totals)
+                    await self._send(writer, write_lock, doc)
+                elif op in ("submit", "status", "result", "cancel"):
                     await self._send(
-                        writer, write_lock,
-                        {"id": rid, "ok": True,
-                         "stats": self.frontend.stats.snapshot(),
-                         "queue_depth": self.frontend.queue_depth,
-                         "draining": self.frontend.draining},
+                        writer, write_lock, self._answer_job(op, rid, req)
                     )
                 elif op == "ping":
                     await self._send(writer, write_lock, {"id": rid, "ok": True})
@@ -151,6 +200,69 @@ class ServeServer:
                 ConnectionResetError, BrokenPipeError, OSError
             ):
                 await writer.wait_closed()
+
+    def _answer_job(self, op: str, rid: Any, req: dict[str, Any]) -> dict[str, Any]:
+        """Handle a job-tier op synchronously; returns the response doc.
+
+        Job ops never touch the worker pool — they are in-memory state
+        plus (for ``submit``/``cancel``) a flushed journal append — so
+        answering them inline keeps them responsive even while a batch
+        is executing.
+        """
+        if self.jobs is None:
+            return {"id": rid, "ok": False, "error": "bad_request",
+                    "detail": "job tier disabled (serve --no-jobs)"}
+        try:
+            if op == "submit":
+                tenant = req.get("tenant", "default")
+                campaign = req.get("campaign")
+                if campaign is not None:
+                    if campaign not in ("quick", "full"):
+                        raise ValueError(
+                            "campaign must be 'quick' or 'full'"
+                        )
+                    units = campaign_job_units(quick=campaign == "quick")
+                elif isinstance(req.get("units"), list):
+                    units = req["units"]
+                else:
+                    raise ValueError(
+                        "submit needs a 'units' array or a 'campaign' name"
+                    )
+                job = self.jobs.submit(
+                    tenant, units, seed=req.get("seed"),
+                    job_id=req.get("job_id"),
+                )
+                return {"id": rid, "ok": True, "job_id": job.job_id,
+                        "state": job.state, "n_units": len(job.units)}
+            if op == "status":
+                job_id = req.get("job_id")
+                if job_id is None:
+                    return {"id": rid, "ok": True,
+                            "jobs": self.jobs.status()}
+                return {"id": rid, "ok": True,
+                        "job": self.jobs.status(job_id)}
+            if op == "result":
+                return {"id": rid, "ok": True,
+                        "result": self.jobs.result(req.get("job_id"))}
+            # op == "cancel"
+            return {"id": rid, "ok": True,
+                    "cancelled": self.jobs.cancel(req.get("job_id"))}
+        except Overloaded as exc:
+            return {"id": rid, "ok": False, "error": "overloaded",
+                    "reason": exc.reason,
+                    "retry_after_s": exc.retry_after_s}
+        except JobNotReady as exc:
+            return {"id": rid, "ok": False, "error": "not_ready",
+                    "state": exc.state}
+        except KeyError as exc:
+            return {"id": rid, "ok": False, "error": "bad_request",
+                    "detail": str(exc).strip("'\"")}
+        except (ValueError, TypeError) as exc:
+            return {"id": rid, "ok": False, "error": "bad_request",
+                    "detail": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - transport containment
+            return {"id": rid, "ok": False, "error": "internal",
+                    "detail": f"{type(exc).__name__}: {exc}"}
 
     @staticmethod
     def _parse(line: bytes) -> dict[str, Any] | None:

@@ -4,7 +4,11 @@ Pre-fix behaviours reproduced here:
 
 * the object store grew without bound — no ``max_bytes``, no eviction;
 * a corrupt/alien object file was left on disk, so *every* subsequent
-  ``get`` re-read and re-failed on the same corpse.
+  ``get`` re-read and re-failed on the same corpse;
+* eviction pressure from one handle could unlink an object another
+  handle committed microseconds earlier (mtime ties at filesystem
+  granularity break by path) — fatal once the job tier treats a
+  completed unit's cache entry as its restart checkpoint.
 """
 
 import json
@@ -122,3 +126,67 @@ class TestCorruptUnlink:
         path.write_text("{broken")
         assert cache.get(_key(1)) is MISS
         assert cache._total_bytes < before
+
+
+class TestFreshObjectExemption:
+    """The concurrent-writer eviction race: a just-written object is
+    exempt from eviction for exactly one round, whatever its mtime."""
+
+    def _clear_fresh_registry(self):
+        from repro.parallel.cache import _fresh_lock, _fresh_paths
+
+        with _fresh_lock:
+            _fresh_paths.clear()
+
+    def test_fresh_object_survives_concurrent_eviction_round(self, tmp_path):
+        """Pre-fix failure: writer B's brand-new object carries the
+        oldest mtime (clock skew / coarse fs timestamps), so writer A's
+        eviction round picks it as the first victim."""
+        # Cap sized so the store only crosses it at writer A's LAST
+        # put — otherwise earlier puts run eviction rounds of their own
+        # and retire the exemption under test.
+        writer_a = ResultCache(tmp_path, max_bytes=2_500)
+        for i in range(3):
+            writer_a.put(_key(i), "x" * 512)
+            os.utime(writer_a._path(_key(i)), ns=(10**12, 10**12))
+        # Those three are from "a previous round": retire their
+        # exemptions the way a completed eviction round would.
+        self._clear_fresh_registry()
+
+        writer_b = ResultCache(tmp_path, max_bytes=2_500)
+        writer_b.put(_key(10), "x" * 512)
+        # Adversarial mtime: B's fresh object sorts OLDEST.
+        os.utime(writer_b._path(_key(10)), ns=(0, 0))
+
+        # Big enough to cross the cap on A's own ledger (per-handle
+        # size accounting is incremental and does not see B's put).
+        writer_a.put(_key(3), "x" * 1024)
+        assert writer_a.stats.evictions > 0
+        # B's just-committed object survived the round; aged ones paid.
+        assert writer_b.get(_key(10)) == "x" * 512
+
+    def test_exemption_lasts_exactly_one_round(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=2_500)
+        for i in range(3):
+            cache.put(_key(i), "x" * 512)
+            os.utime(cache._path(_key(i)), ns=(10**12, 10**12))
+        self._clear_fresh_registry()
+
+        cache.put(_key(10), "x" * 512)          # under the cap: no round
+        os.utime(cache._path(_key(10)), ns=(0, 0))
+        cache.put(_key(3), "x" * 512)           # round 1: exempt, survives
+        os.utime(cache._path(_key(3)), ns=(10**12, 10**12))
+        assert cache.get(_key(10)) == "x" * 512
+        cache.put(_key(4), "x" * 512)           # round 2: retired -> gone
+        assert cache.get(_key(10)) is MISS
+
+    def test_writer_can_always_read_back_its_own_put(self, tmp_path):
+        """Interleaved writers on one directory under constant cap
+        pressure: every put must be readable by its writer immediately
+        afterwards."""
+        a = ResultCache(tmp_path, max_bytes=1_500)
+        b = ResultCache(tmp_path, max_bytes=1_500)
+        for i in range(20):
+            writer, key = (a, _key(i)) if i % 2 == 0 else (b, _key(i))
+            writer.put(key, "x" * 512)
+            assert writer.get(key) == "x" * 512, f"lost own put {i}"

@@ -101,3 +101,44 @@ class TestResultCache:
         assert rec.totals.get("cache.hit") == 1.0
         # and nothing leaks when tracing is off
         assert recorder.current() is None
+
+
+class TestGetMany:
+    def _keys(self, n):
+        return [unit_key("k", {"i": i}, fingerprint="f") for i in range(n)]
+
+    def test_order_preserved_with_miss_sentinels(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = self._keys(4)
+        cache.put(keys[1], "one")
+        cache.put(keys[3], "three")
+        values = cache.get_many(keys)
+        assert values[0] is MISS and values[2] is MISS
+        assert values[1] == "one" and values[3] == "three"
+
+    def test_counts_aggregate_once_per_batch(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = self._keys(5)
+        for key in keys[:3]:
+            cache.put(key, 1)
+        with recorder.recording() as rec:
+            cache.get_many(keys)
+        assert cache.stats.hits == 3 and cache.stats.misses == 2
+        assert rec.totals["cache.hit"] == 3.0
+        assert rec.totals["cache.miss"] == 2.0
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with recorder.recording() as rec:
+            assert cache.get_many([]) == []
+        assert cache.stats.total == 0
+        assert "cache.hit" not in rec.totals
+
+    def test_matches_get_semantics_for_corrupt_objects(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = self._keys(2)
+        cache.put(keys[0], "good")
+        cache.put(keys[1], "bad")
+        cache._path(keys[1]).write_text("{broken")
+        assert cache.get_many(keys) == ["good", MISS]
+        assert not cache._path(keys[1]).exists()  # corpse unlinked

@@ -290,6 +290,103 @@ class TestGracefulDrain:
         assert served == "cache" and value == "sweep_base()"
 
 
+class TestBoundedDrain:
+    def test_drain_timeout_fails_stragglers_with_retryable_error(self):
+        async def scenario():
+            release = threading.Event()
+
+            def blocking(units):
+                release.wait(timeout=10)
+                return [u.label() for u in units]
+
+            fe = CampaignFrontEnd(
+                ServeConfig(cache_dir=None, batch_window_s=0.0),
+                runner=blocking,
+            )
+            await fe.start()
+            inflight = [
+                asyncio.ensure_future(
+                    fe.submit("sweep_point", {**POINT_A, "freq": 0.1 * i})
+                )
+                for i in range(1, 4)
+            ]
+            await asyncio.sleep(0.05)
+            t0 = asyncio.get_running_loop().time()
+            drained = await fe.drain(timeout_s=0.1)
+            elapsed = asyncio.get_running_loop().time() - t0
+            results = await asyncio.gather(*inflight, return_exceptions=True)
+            release.set()
+            return drained, elapsed, results
+
+        drained, elapsed, results = run_async(scenario())
+        assert drained is False
+        assert elapsed < 5.0  # bounded, not held hostage by the batch
+        # Every unresolved waiter is released NOW with a retryable error.
+        assert all(isinstance(r, Overloaded) for r in results)
+        assert all(r.reason == "draining" for r in results)
+        assert all(r.retry_after_s > 0 for r in results)
+
+    def test_drain_timeout_noop_when_everything_resolves_in_time(self):
+        async def scenario():
+            fe = CampaignFrontEnd(
+                ServeConfig(cache_dir=None),
+                runner=lambda units: [u.label() for u in units],
+            )
+            await fe.start()
+            await fe.submit("sweep_base", {})
+            return await fe.drain(timeout_s=5.0)
+
+        assert run_async(scenario()) is True
+
+
+class TestRetryAfterHint:
+    def test_hint_is_finite_and_positive_before_any_batch(self):
+        """Regression: before the first batch completes the observed
+        throughput is zero, and the hint degenerated instead of falling
+        back to the batch window."""
+
+        async def scenario():
+            release = threading.Event()
+
+            def blocking(units):
+                release.wait(timeout=10)
+                return [u.label() for u in units]
+
+            fe = CampaignFrontEnd(
+                ServeConfig(
+                    cache_dir=None, batch_window_s=0.02, queue_limit=1,
+                    max_batch=4,
+                ),
+                runner=blocking,
+            )
+            await fe.start()
+            first = asyncio.ensure_future(fe.submit("sweep_base", {}))
+            await asyncio.sleep(0.005)
+            with pytest.raises(Overloaded) as excinfo:
+                await fe.submit("sweep_point", POINT_A)
+            release.set()
+            await first
+            await fe.drain()
+            return excinfo.value
+
+        exc = run_async(scenario())
+        assert exc.retry_after_s > 0
+        assert exc.retry_after_s != float("inf")
+        # One pending batch at zero observed throughput: the hint is the
+        # batch window per not-yet-started batch, never zero.
+        assert exc.retry_after_s >= 0.02
+
+    def test_hint_scales_with_backlog_before_any_batch(self):
+        fe = CampaignFrontEnd(
+            ServeConfig(cache_dir=None, batch_window_s=0.02, max_batch=2),
+            runner=lambda units: [u.label() for u in units],
+        )
+        fe._pending_units = 10  # 5 batches of 2 still to run
+        assert fe._retry_after() == pytest.approx(5 * 0.02)
+        fe._pending_units = 1
+        assert fe._retry_after() == pytest.approx(0.02)
+
+
 class TestObsIntegration:
     def test_serve_totals_and_batch_spans_recorded(self):
         async def scenario():
