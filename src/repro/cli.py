@@ -37,6 +37,7 @@ Serving (see :mod:`repro.serve`)::
     python -m repro serve --port 7653 --jobs 4   # campaign query server
     python -m repro loadtest --port 7653 --quick # open-loop load generator
     python -m repro jobs --port 7653 submit --campaign quick  # durable job
+    python -m repro cluster-serve --backends 2 --port 7660    # sharded tier
 """
 
 from __future__ import annotations
@@ -307,6 +308,12 @@ def _load_jobs_main(argv: list[str]) -> int:
     return jobs_main(argv)
 
 
+def _load_cluster_serve_main(argv: list[str]) -> int:
+    from repro.serve.cluster import cluster_serve_main
+
+    return cluster_serve_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level parser: one subcommand per artefact plus the
     ``all`` campaign and the trace/faults/bench tool CLIs."""
@@ -363,6 +370,9 @@ def build_parser() -> argparse.ArgumentParser:
          _load_loadtest_main),
         ("jobs", "durable campaign job tier client for serve (repro.serve)",
          _load_jobs_main),
+        ("cluster-serve",
+         "sharded serve cluster: router + N backends (repro.serve)",
+         _load_cluster_serve_main),
     ):
         tool_p = sub.add_parser(
             name,

@@ -19,6 +19,9 @@ The store is size-capped: once the object files exceed ``max_bytes``
 (default :data:`DEFAULT_MAX_BYTES` = 256 MiB; ``0`` = unlimited) a
 ``put`` prunes oldest-mtime-first until back under the cap, so a
 long-lived serving process cannot grow the cache without bound.
+Reads refresh the object file's mtime (touch-on-read), so
+oldest-mtime-first is genuine LRU: under size pressure the coldest
+keys pay, never the hottest.
 Objects written since the previous eviction round are exempt for one
 round: with several writers on one directory (the serving front end's
 probe/batch handles, the job tier), eviction pressure from one writer
@@ -206,6 +209,16 @@ class ResultCache:
             # every later get would re-read and re-fail on it.
             self._discard(path)
             return MISS
+        try:
+            # Touch-on-read: eviction is oldest-mtime-first, so without
+            # this a hot key kept its write-time mtime and size pressure
+            # evicted the most-requested objects first (FIFO masquerading
+            # as LRU).  A concurrent unlink (another handle's eviction or
+            # corrupt-object discard) between the read and the touch is
+            # fine — the value was already parsed.
+            os.utime(path)
+        except OSError:
+            pass
         return doc["value"]
 
     def get(self, key: str) -> Any:

@@ -36,11 +36,24 @@ the checkpoint), are dispatched fairly across tenants under per-tenant
 quotas, and retry-then-quarantine failing units.  ``repro jobs``
 (:mod:`~repro.serve.jobs_cli`) is the matching client.
 
+Horizontal scale comes from the **cluster tier**
+(:mod:`~repro.serve.router`): ``repro cluster-serve`` boots N backend
+serve processes plus a :class:`~repro.serve.router.ServeRouter` front
+door that consistent-hashes every query's ``(kind, params)`` key to its
+home shard, so each backend's cache and single-flight table see only
+their slice of the hot set.  Backends cross-fill from each other's
+caches via the compute-free ``probe`` op
+(:class:`~repro.serve.router.CachePeerFill`), and cluster shutdown
+drains router-then-backends in boot order.  The protocol through the
+router is byte-identical to a single backend's.
+
 Layering: :mod:`~repro.serve.frontend` is transport-independent pure
 asyncio; :mod:`~repro.serve.jobs` adds the durable queue on top of the
 front end's executor; :mod:`~repro.serve.server` puts a JSON-lines TCP
-protocol in front of both; :mod:`~repro.serve.cli` is the
-``repro serve`` / ``repro loadtest`` argument surface and
+protocol in front of both; :mod:`~repro.serve.router` shards that
+protocol across backends; :mod:`~repro.serve.cli` is the
+``repro serve`` / ``repro loadtest`` argument surface,
+:mod:`~repro.serve.cluster` the ``repro cluster-serve`` one and
 :mod:`~repro.serve.jobs_cli` the ``repro jobs`` one.
 """
 
@@ -53,15 +66,20 @@ from repro.serve.frontend import (
 )
 from repro.serve.jobs import Job, JobManager, JobsConfig
 from repro.serve.journal import JobJournal
+from repro.serve.router import CachePeerFill, HashRing, ServeRouter, route_key
 
 __all__ = [
+    "CachePeerFill",
     "CampaignFrontEnd",
+    "HashRing",
     "Job",
     "JobJournal",
     "JobManager",
     "JobsConfig",
     "Overloaded",
     "ServeConfig",
+    "ServeRouter",
     "ServeStats",
     "percentile",
+    "route_key",
 ]

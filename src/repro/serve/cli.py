@@ -28,7 +28,13 @@ from repro.parallel.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.serve.frontend import CampaignFrontEnd, ServeConfig
 from repro.serve.jobs import JobManager, JobsConfig
 from repro.serve.journal import JobJournal
-from repro.serve.loadtest import format_report, run_loadtest_fleet
+from repro.serve.loadtest import (
+    format_report,
+    format_saturation_report,
+    request_shutdown,
+    run_loadtest_fleet,
+    run_saturation,
+)
 from repro.serve.server import ServeServer
 
 #: Default journal location for the durable job tier.
@@ -81,6 +87,21 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="study seed baked into cache keys (default: 0)",
     )
     parser.add_argument(
+        "--name", default="serve",
+        help="this backend's cluster shard name (default: serve); only "
+        "meaningful with --peers",
+    )
+    parser.add_argument(
+        "--peers", default=None, metavar="NAME=HOST:PORT,...",
+        help="cluster peer map for cache peer-fill, e.g. "
+        "'b0=127.0.0.1:7001,b1=127.0.0.1:7002'; must include this "
+        "backend's own --name",
+    )
+    parser.add_argument(
+        "--peer-timeout", type=float, default=2.0, metavar="S",
+        help="cache peer-fill probe budget in seconds (default: 2.0)",
+    )
+    parser.add_argument(
         "--journal-dir", type=Path, default=DEFAULT_JOURNAL_DIR,
         metavar="DIR",
         help="durable job-tier journal location "
@@ -130,6 +151,12 @@ def serve_main(argv: list[str] | None = None) -> int:
             batch_units=args.job_batch,
             seed=args.seed,
         )
+        peers = parse_peers(args.peers) if args.peers else None
+        if peers is not None and args.name not in peers:
+            raise ValueError(
+                f"--peers must include this backend's own name "
+                f"({args.name!r}); got {sorted(peers)}"
+            )
     except ValueError as exc:
         parser.error(str(exc))
     return asyncio.run(
@@ -138,8 +165,34 @@ def serve_main(argv: list[str] | None = None) -> int:
             journal_dir=None if args.no_jobs else args.journal_dir,
             jobs_config=jobs_config,
             drain_timeout_s=args.drain_timeout,
+            name=args.name,
+            peers=peers,
+            peer_timeout_s=args.peer_timeout,
         )
     )
+
+
+def parse_peers(spec: str) -> dict[str, tuple[str, int]]:
+    """Parse ``'b0=127.0.0.1:7001,b1=127.0.0.1:7002'`` into
+    ``{name: (host, port)}``."""
+    peers: dict[str, tuple[str, int]] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, sep, addr = item.partition("=")
+        host, sep2, port = addr.rpartition(":")
+        if not sep or not sep2 or not name or not host:
+            raise ValueError(
+                f"bad peer {item!r}: expected NAME=HOST:PORT"
+            )
+        try:
+            peers[name] = (host, int(port))
+        except ValueError:
+            raise ValueError(f"bad peer port in {item!r}") from None
+    if not peers:
+        raise ValueError("--peers given but no peers parsed")
+    return peers
 
 
 async def _serve(
@@ -149,8 +202,20 @@ async def _serve(
     journal_dir: Path | None = None,
     jobs_config: JobsConfig | None = None,
     drain_timeout_s: float | None = None,
+    name: str = "serve",
+    peers: dict[str, tuple[str, int]] | None = None,
+    peer_timeout_s: float = 2.0,
 ) -> int:
     frontend = CampaignFrontEnd(config)
+    if peers is not None:
+        # Cluster shard: a local cache miss asks the key's home shard
+        # (compute-free probe) before paying for the computation.
+        from repro.serve.router import CachePeerFill, HashRing
+
+        frontend.peer_fill = CachePeerFill(
+            HashRing(sorted(peers)), name, peers,
+            probe_timeout_s=peer_timeout_s,
+        )
     manager = None
     if journal_dir is not None:
         # The job tier checkpoints into the SAME cache directory the
@@ -178,12 +243,15 @@ async def _serve(
             f" — recovered {server.recovered['restored']} job(s), "
             f"{server.recovered['resumed_units']} unit(s) from cache"
         )
+    shard = ""
+    if peers is not None:
+        shard = f", shard={name}/{len(peers)}"
     print(
         f"repro serve: listening on {server.host}:{server.port} "
         f"(jobs={config.jobs}, queue_limit={config.queue_limit}, "
         f"cache={'off' if config.cache_dir is None else config.cache_dir}, "
-        f"journal={'off' if journal_dir is None else journal_dir})"
-        f"{recovered}",
+        f"journal={'off' if journal_dir is None else journal_dir}"
+        f"{shard}){recovered}",
         flush=True,
     )
     await server.serve_until_shutdown()
@@ -243,6 +311,34 @@ def loadtest_main(argv: list[str] | None = None) -> int:
         help="CI smoke preset: 600 requests at 600 rps",
     )
     parser.add_argument(
+        "--max-rate", action="store_true",
+        help="closed-loop saturation mode: ramp the offered rate until "
+        "p99 degrades and report max_sustainable_ops_per_s (ignores "
+        "--requests/--rate/--quick sizing)",
+    )
+    parser.add_argument(
+        "--start-rate", type=float, default=500.0, metavar="RPS",
+        help="--max-rate: first ramp step's offered rate (default: 500)",
+    )
+    parser.add_argument(
+        "--growth", type=float, default=2.0, metavar="X",
+        help="--max-rate: offered-rate multiplier per step (default: 2)",
+    )
+    parser.add_argument(
+        "--step-seconds", type=float, default=0.5, metavar="S",
+        help="--max-rate: offered load per step, in seconds of traffic "
+        "(default: 0.5)",
+    )
+    parser.add_argument(
+        "--max-steps", type=int, default=10, metavar="N",
+        help="--max-rate: ramp steps before giving up (default: 10)",
+    )
+    parser.add_argument(
+        "--p99-slo", type=float, default=0.05, metavar="S",
+        help="--max-rate: p99 latency beyond which a step counts as "
+        "degraded (default: 0.05)",
+    )
+    parser.add_argument(
         "--assert-hit-ratio", type=float, default=None, metavar="X",
         help="exit 1 unless the coalesce+cache hit ratio reaches X",
     )
@@ -255,6 +351,28 @@ def loadtest_main(argv: list[str] | None = None) -> int:
         help="print the report as JSON instead of the text summary",
     )
     args = parser.parse_args(argv)
+    if args.max_rate:
+        report = asyncio.run(
+            run_saturation(
+                args.host,
+                args.port,
+                seed=args.seed,
+                hot_fraction=args.hot_fraction,
+                connections=max(args.jobs, 2),
+                start_rate=args.start_rate,
+                growth=args.growth,
+                step_seconds=args.step_seconds,
+                max_steps=args.max_steps,
+                p99_limit_s=args.p99_slo,
+            )
+        )
+        if args.shutdown:
+            asyncio.run(request_shutdown(args.host, args.port))
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_saturation_report(report))
+        return 0 if report["max_sustainable_ops_per_s"] > 0 else 1
     n_requests = 600 if args.quick else args.requests
     rate = 600.0 if args.quick else args.rate
     report = asyncio.run(

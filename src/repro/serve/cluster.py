@@ -1,0 +1,248 @@
+"""``repro cluster-serve`` — boot a sharded serve cluster.
+
+Usage::
+
+    python -m repro cluster-serve --backends 2 --port 7660 --jobs 1
+
+One command brings up N backend ``repro serve`` processes (each a
+cluster shard with its own cache directory and a peer map for cache
+peer-fill) plus the in-process :class:`~repro.serve.router.ServeRouter`
+front door.  Readiness is one flushed line naming every address::
+
+    repro cluster-serve: listening on 127.0.0.1:7660 \
+        (backends: b0=127.0.0.1:34001 b1=127.0.0.1:34002)
+
+CI and scripts wait for it, point ``repro loadtest`` at the router
+port, and (for peer-fill tests) talk to the backend ports directly.
+A ``shutdown`` op at the router — or SIGINT/SIGTERM — drains the whole
+cluster: the router stops admitting and empties its in-flight
+forwards, then each backend drains in boot order, and the final
+``drained and stopped`` line confirms none of it was dropped.
+
+Backends run ``--no-jobs``: the durable job tier journals against one
+process's journal directory, and sharding jobs across the ring (or
+electing a job home with failover) is out of scope for this tier — the
+router forwards job ops to the first backend, whose tier is disabled,
+so clients get a clean ``bad_request`` instead of half a cluster's
+answer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import socket
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+from repro.cli import jobs_count
+from repro.parallel.cache import DEFAULT_CACHE_DIR
+from repro.serve.router import ServeRouter
+
+#: Seconds to wait for one backend's readiness line before declaring
+#: the boot failed.
+BACKEND_BOOT_TIMEOUT_S = 30.0
+
+#: Seconds to wait for one backend to exit after the drain before
+#: escalating to terminate().
+BACKEND_EXIT_TIMEOUT_S = 30.0
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An ephemeral port that was free a moment ago.
+
+    Backends need their peer map at boot, and the peer map needs every
+    backend's port — pre-picking ports breaks that chicken-and-egg.
+    The tiny reuse race is acceptable for a dev/CI cluster; a backend
+    that loses it fails to bind and the boot aborts loudly.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+class _Backend:
+    """One backend subprocess plus its stdout pump."""
+
+    def __init__(self, name: str, host: str, port: int, argv: list[str]) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.argv = argv
+        self.proc: subprocess.Popen | None = None
+        self.ready = threading.Event()
+        self._pump: threading.Thread | None = None
+
+    def start(self) -> None:
+        self.proc = subprocess.Popen(
+            self.argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self._pump = threading.Thread(
+            target=self._pump_stdout, name=f"pump-{self.name}", daemon=True
+        )
+        self._pump.start()
+
+    def _pump_stdout(self) -> None:
+        assert self.proc is not None and self.proc.stdout is not None
+        for line in self.proc.stdout:
+            if "listening on" in line:
+                self.ready.set()
+            # Prefixed passthrough: backend logs stay attributable.
+            sys.stdout.write(f"[{self.name}] {line}")
+            sys.stdout.flush()
+        self.ready.set()  # EOF: stop any waiter, ready or not
+
+    def wait_ready(self, timeout_s: float) -> bool:
+        ok = self.ready.wait(timeout_s)
+        return ok and self.proc is not None and self.proc.poll() is None
+
+    def stop(self, timeout_s: float) -> bool:
+        """Await a (presumably drained) exit; escalate to terminate."""
+        if self.proc is None:
+            return True
+        try:
+            self.proc.wait(timeout_s)
+            return True
+        except subprocess.TimeoutExpired:
+            self.proc.terminate()
+            with contextlib.suppress(subprocess.TimeoutExpired):
+                self.proc.wait(5.0)
+            if self.proc.poll() is None:
+                self.proc.kill()
+                self.proc.wait()
+            return False
+
+
+def cluster_serve_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cluster-serve",
+        description="Boot a sharded serve cluster: N backend processes "
+        "plus a consistent-hashing router front door.",
+    )
+    parser.add_argument(
+        "--backends", type=int, default=2, metavar="N",
+        help="backend serve processes (default: 2)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for router and backends (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="router port (default: 0 = ephemeral, printed on the "
+        "'listening on' line); backends always take ephemeral ports",
+    )
+    parser.add_argument(
+        "--jobs", type=jobs_count, default=1,
+        help="worker processes per backend batch execution (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help="base cache directory; each backend shards into "
+        "DIR/<name> (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="study seed baked into cache keys (default: 0)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=256, metavar="N",
+        help="per-backend pending-computation bound (default: 256)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="S",
+        help="bound each backend's shutdown drain (default: unbounded)",
+    )
+    args = parser.parse_args(argv)
+    if args.backends < 1:
+        parser.error("--backends must be at least 1")
+
+    names = [f"b{i}" for i in range(args.backends)]
+    ports = [free_port(args.host) for _ in names]
+    peers_spec = ",".join(
+        f"{name}={args.host}:{port}" for name, port in zip(names, ports)
+    )
+    backends: list[_Backend] = []
+    for name, port in zip(names, ports):
+        backend_argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", args.host,
+            "--port", str(port),
+            "--name", name,
+            "--peers", peers_spec,
+            "--jobs", str(args.jobs),
+            "--queue-limit", str(args.queue_limit),
+            "--cache-dir", str(args.cache_dir / name),
+            "--seed", str(args.seed),
+            "--no-jobs",
+        ]
+        if args.drain_timeout is not None:
+            backend_argv += ["--drain-timeout", str(args.drain_timeout)]
+        backends.append(_Backend(name, args.host, port, backend_argv))
+
+    for backend in backends:
+        backend.start()
+    for backend in backends:
+        if not backend.wait_ready(BACKEND_BOOT_TIMEOUT_S):
+            print(
+                f"repro cluster-serve: backend {backend.name} failed to "
+                "come up; aborting boot",
+                file=sys.stderr, flush=True,
+            )
+            for b in backends:
+                if b.proc is not None and b.proc.poll() is None:
+                    b.proc.terminate()
+            for b in backends:
+                b.stop(5.0)
+            return 1
+
+    try:
+        return asyncio.run(_run_router(args, backends))
+    finally:
+        # Belt and braces: no backend outlives the router.
+        for backend in backends:
+            if backend.proc is not None and backend.proc.poll() is None:
+                backend.proc.terminate()
+            backend.stop(5.0)
+
+
+async def _run_router(
+    args: argparse.Namespace, backends: list[_Backend]
+) -> int:
+    router = ServeRouter(
+        [(b.name, b.host, b.port) for b in backends],
+        host=args.host,
+        port=args.port,
+    )
+    await router.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(sig, router.request_shutdown)
+    addresses = " ".join(f"{b.name}={b.host}:{b.port}" for b in backends)
+    print(
+        f"repro cluster-serve: listening on {router.host}:{router.port} "
+        f"(backends: {addresses})",
+        flush=True,
+    )
+    # serve_until_shutdown sends each backend the shutdown op in boot
+    # order; the subprocess exit waits below confirm the drains landed.
+    await router.serve_until_shutdown()
+    clean = True
+    for backend in backends:
+        clean = backend.stop(BACKEND_EXIT_TIMEOUT_S) and clean
+    print(
+        "repro cluster-serve: drained and stopped — "
+        f"{router.forwarded} forwarded, {router.unavailable} unavailable, "
+        f"{router.rejected_draining} rejected while draining, "
+        f"backends {'all exited cleanly' if clean else 'NEEDED TERMINATE'}",
+        flush=True,
+    )
+    return 0 if clean else 1

@@ -62,6 +62,7 @@ UNIT_KINDS = ("sweep_base", "sweep_point", "fig6_point", "headline")
 SERVED_CACHE = "cache"
 SERVED_COALESCED = "coalesced"
 SERVED_COMPUTED = "computed"
+SERVED_PEER = "peer"  # filled from the key's home shard's cache
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -122,6 +123,8 @@ class ServeStats:
     rejected: int = 0      #: requests refused by admission control
     cache_hits: int = 0    #: served straight from the result cache
     coalesced: int = 0     #: shared an identical in-flight computation
+    peer_fills: int = 0    #: filled from the key's home shard's cache
+    peer_serves: int = 0   #: probe hits answered TO peers (home-shard side)
     computed: int = 0      #: required fresh work-unit execution
     failed: int = 0        #: admitted but failed in execution
     batches: int = 0       #: run_units calls issued
@@ -131,10 +134,12 @@ class ServeStats:
     @property
     def hit_ratio(self) -> float:
         """Fraction of admitted requests served without fresh work —
-        the coalesce+cache ratio the acceptance gate reads."""
+        the coalesce+cache(+peer) ratio the acceptance gate reads."""
         if not self.accepted:
             return 0.0
-        return (self.cache_hits + self.coalesced) / self.accepted
+        return (
+            self.cache_hits + self.coalesced + self.peer_fills
+        ) / self.accepted
 
     @property
     def mean_batch_size(self) -> float:
@@ -151,6 +156,8 @@ class ServeStats:
             "rejected": self.rejected,
             "cache_hits": self.cache_hits,
             "coalesced": self.coalesced,
+            "peer_fills": self.peer_fills,
+            "peer_serves": self.peer_serves,
             "computed": self.computed,
             "failed": self.failed,
             "batches": self.batches,
@@ -210,6 +217,11 @@ class CampaignFrontEnd:
             if cfg.cache_dir is not None else None
         )
         self._pool = None  # persistent worker pool; created in start()
+        #: Optional cluster hook (duck-typed; see repro.serve.router's
+        #: CachePeerFill): ``await peer_fill.probe(kind, params)``
+        #: returns a cached value from the key's home shard or MISS.
+        #: Strictly an optimisation — any failure must surface as MISS.
+        self.peer_fill = None
         self._inflight: dict[tuple[str, str], _Pending] = {}
         self._queue: asyncio.Queue[_Pending] = asyncio.Queue()
         self._pending_units = 0  # queued + executing distinct units
@@ -368,6 +380,25 @@ class CampaignFrontEnd:
                 self.stats.record_latency(time.perf_counter() - t_in)
                 return hit, SERVED_CACHE
 
+        if self.peer_fill is not None and self._probe_cache is not None:
+            # Cluster peer-fill: before paying for a computation, ask
+            # the key's home shard whether it already holds the value.
+            # A hit is written through to the local cache (so the next
+            # request is a plain local hit) and served without worker
+            # time — which is also why it skips admission control, like
+            # the cache path above.
+            value = await self.peer_fill.probe(kind, params)
+            if value is not MISS:
+                self._probe_cache.put(
+                    unit_key(kind, params, self.config.seed), value, kind=kind
+                )
+                self.stats.accepted += 1
+                self.stats.peer_fills += 1
+                if rec is not None:
+                    rec.bump("serve.peer_fill")
+                self.stats.record_latency(time.perf_counter() - t_in)
+                return value, SERVED_PEER
+
         # A genuine miss needs worker time: admission control applies.
         if self._draining:
             self.stats.rejected += 1
@@ -401,6 +432,27 @@ class CampaignFrontEnd:
             rec.bump("serve.computed")
         self.stats.record_latency(time.perf_counter() - t_in)
         return value, SERVED_COMPUTED
+
+    def cache_peek(self, kind: str, params: dict[str, Any]) -> Any:
+        """Local-cache-only read for the cluster ``probe`` op: the
+        cached value or :data:`MISS`.  Never computes, never coalesces,
+        never consults ``peer_fill`` — the home shard answering a
+        peer's probe with another probe would recurse across the ring.
+        """
+        if kind not in UNIT_KINDS:
+            raise ValueError(
+                f"unknown work-unit kind {kind!r} "
+                f"(one of: {', '.join(UNIT_KINDS)})"
+            )
+        if self._probe_cache is None:
+            return MISS
+        value = self._probe_cache.get(unit_key(kind, params, self.config.seed))
+        if value is not MISS:
+            self.stats.peer_serves += 1
+            rec = _obs_current()
+            if rec is not None:
+                rec.bump("serve.peer_serve")
+        return value
 
     def _retry_after(self) -> float:
         """A drain-time estimate for the 429 hint: the current backlog

@@ -1,0 +1,602 @@
+"""Sharded cluster serving: consistent-hash router + cache peer-fill.
+
+The cluster tier scales ``repro serve`` horizontally without giving up
+the single-process tier's cache economics:
+
+* :class:`HashRing` — consistent hashing of campaign keys
+  (``kind`` + canonically-serialised ``params``) over the backend set,
+  with virtual nodes for balance.  Every key has exactly one *home*
+  shard, so the hot set partitions cleanly: each backend's cache and
+  single-flight table see only their slice, and warm hit ratios match
+  the single-process tier instead of dividing by N.
+
+* :class:`ServeRouter` — a JSON-lines front door speaking the same
+  protocol as :class:`~repro.serve.server.ServeServer`.  ``query`` and
+  ``probe`` ops forward to the key's home shard over one multiplexed
+  connection per backend (:class:`BackendLink`); the backend's response
+  is proxied verbatim (only the ``id`` is remapped), so the serving
+  skin — values, ``served``, error shapes, ``retry_after_s`` — is
+  byte-identical to talking to the backend directly.  ``stats``
+  fans in per-backend snapshots plus an ``aggregate`` rollup;
+  ``shutdown`` drains the whole cluster: the router stops admitting
+  (``overloaded``/``reason="draining"``), awaits its in-flight
+  forwards, then shuts each backend down in boot order.
+
+* :class:`CachePeerFill` — the backend-side half.  A backend that
+  misses its local cache (a query that arrived *not* via the router —
+  direct clients, or a ring reshape) asks the key's home shard via the
+  compute-free ``probe`` op before paying for the computation, and
+  writes a hit through to its own cache.  Strictly an optimisation:
+  any probe failure (peer down, timeout, malformed reply) degrades to
+  a local MISS and the value is computed exactly as before.  Peers on
+  cooldown after a failure are skipped entirely, so one dead shard
+  cannot add per-request latency cluster-wide.
+
+Nothing here touches values: both the router's forward path and the
+peer-fill path move the backend's JSON through unchanged, which is what
+the byte-identity acceptance tests pin down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import hashlib
+import json
+import time
+from typing import Any
+
+from repro.parallel.cache import MISS
+
+#: Virtual nodes per backend on the ring.  64 keeps the max/min key
+#: share within ~20% for small clusters while hashing stays negligible.
+DEFAULT_VNODES = 64
+
+#: Peer probe budget: long enough for a loaded event loop to answer a
+#: cache read, far shorter than computing the value locally would take
+#: to matter.
+DEFAULT_PROBE_TIMEOUT_S = 2.0
+
+#: After a probe failure the peer is skipped for this long — a dead
+#: shard must not put a connect-timeout on every request's path.
+DEFAULT_DOWN_COOLDOWN_S = 1.0
+
+
+def route_key(kind: str, params: dict[str, Any]) -> str:
+    """The cluster routing key for one campaign query.
+
+    Exactly the canonicalisation the front end's single-flight table
+    uses (``json.dumps(..., sort_keys=True)``), so two requests that
+    would coalesce in one process always route to the same shard.
+    """
+    return f"{kind}|{json.dumps(params, sort_keys=True)}"
+
+
+def _ring_hash(material: str) -> int:
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    :param nodes: backend names, in boot order.  Order does not affect
+        placement (the ring is hash-ordered) but duplicates are
+        rejected — two backends with one name would merge on the ring.
+    :param vnodes: virtual nodes per backend.
+    """
+
+    def __init__(self, nodes: list[str], vnodes: int = DEFAULT_VNODES) -> None:
+        if not nodes:
+            raise ValueError("HashRing needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate node names: {nodes}")
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.nodes = list(nodes)
+        self.vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for node in nodes:
+            for i in range(vnodes):
+                points.append((_ring_hash(f"{node}#{i}"), node))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [n for _, n in points]
+
+    def home(self, key: str) -> str:
+        """The backend name owning ``key``."""
+        h = _ring_hash(key)
+        idx = bisect.bisect_right(self._hashes, h) % len(self._hashes)
+        return self._owners[idx]
+
+    def shares(self, sample_keys: list[str]) -> dict[str, int]:
+        """How many of ``sample_keys`` each node owns (balance probe)."""
+        shares = {node: 0 for node in self.nodes}
+        for key in sample_keys:
+            shares[self.home(key)] += 1
+        return shares
+
+
+class BackendLink:
+    """One multiplexed JSON-lines connection to one backend.
+
+    Requests from many router connections share this link; responses
+    are matched back by an internal id (the caller's wire id never
+    travels on the link, so concurrent clients reusing ids cannot
+    collide).  A link failure fails every outstanding request with
+    ``ConnectionError`` and the next request reconnects lazily.
+    """
+
+    def __init__(self, name: str, host: str, port: int) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._read_task: asyncio.Task | None = None
+        self._lock = asyncio.Lock()
+        self._next_id = 0
+        self._waiting: dict[int, asyncio.Future] = {}
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            return
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._read_task = asyncio.get_running_loop().create_task(
+            self._read_loop(self._reader)
+        )
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    raise ConnectionError(f"backend {self.name}: EOF")
+                if not line.strip():
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ConnectionError(
+                        f"backend {self.name}: undecodable frame"
+                    ) from exc
+                if not isinstance(doc, dict):
+                    continue
+                fut = self._waiting.pop(doc.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(doc)
+        except (ConnectionError, OSError) as exc:
+            self._fail_outstanding(exc)
+        except asyncio.CancelledError:
+            self._fail_outstanding(ConnectionError(
+                f"backend {self.name}: link closed"
+            ))
+            raise
+
+    def _fail_outstanding(self, exc: Exception) -> None:
+        waiting, self._waiting = self._waiting, {}
+        for fut in waiting.values():
+            if not fut.done():
+                fut.set_exception(exc)
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._reader = None
+
+    async def request(
+        self, doc: dict[str, Any], timeout_s: float | None = None
+    ) -> dict[str, Any]:
+        """Send ``doc`` (its ``id`` is overwritten) and await the
+        matching response.  Raises ``ConnectionError`` on link loss and
+        ``asyncio.TimeoutError`` past ``timeout_s``."""
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        async with self._lock:
+            await self._ensure_connected()
+            self._next_id += 1
+            link_id = self._next_id
+            self._waiting[link_id] = fut
+            assert self._writer is not None
+            wire = dict(doc)
+            wire["id"] = link_id
+            try:
+                self._writer.write(
+                    (json.dumps(wire, sort_keys=True) + "\n").encode()
+                )
+                await self._writer.drain()
+            except (ConnectionError, OSError) as exc:
+                self._fail_outstanding(ConnectionError(str(exc)))
+                raise ConnectionError(
+                    f"backend {self.name}: send failed: {exc}"
+                ) from exc
+        try:
+            if timeout_s is None:
+                return await fut
+            return await asyncio.wait_for(fut, timeout_s)
+        finally:
+            self._waiting.pop(link_id, None)
+
+    async def close(self) -> None:
+        if self._read_task is not None:
+            self._read_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._read_task
+            self._read_task = None
+        if self._writer is not None:
+            self._writer.close()
+            with contextlib.suppress(
+                ConnectionResetError, BrokenPipeError, OSError
+            ):
+                await self._writer.wait_closed()
+            self._writer = None
+            self._reader = None
+        self._fail_outstanding(ConnectionError(f"backend {self.name}: closed"))
+
+
+class CachePeerFill:
+    """The backend-side peer-fill hook (duck-typed for
+    ``CampaignFrontEnd.peer_fill``).
+
+    ``await probe(kind, params)`` returns the home shard's cached value
+    or :data:`~repro.parallel.cache.MISS`.  MISS is also the answer
+    whenever this backend *is* the home shard (its own cache already
+    missed), the peer is on failure cooldown, or anything at all goes
+    wrong — peer-fill must never make a request fail that local
+    computation would have served.
+    """
+
+    def __init__(
+        self,
+        ring: HashRing,
+        self_name: str,
+        peers: dict[str, tuple[str, int]],
+        probe_timeout_s: float = DEFAULT_PROBE_TIMEOUT_S,
+        down_cooldown_s: float = DEFAULT_DOWN_COOLDOWN_S,
+    ) -> None:
+        if self_name not in ring.nodes:
+            raise ValueError(f"{self_name!r} is not on the ring: {ring.nodes}")
+        self.ring = ring
+        self.self_name = self_name
+        self.probe_timeout_s = probe_timeout_s
+        self.down_cooldown_s = down_cooldown_s
+        self._links = {
+            name: BackendLink(name, host, port)
+            for name, (host, port) in peers.items()
+            if name != self_name
+        }
+        self._down_until: dict[str, float] = {}
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.probes = 0  #: probes actually sent to a peer
+        self.fills = 0   #: probes that came back as hits
+
+    async def probe(self, kind: str, params: dict[str, Any]) -> Any:
+        key = route_key(kind, params)
+        home = self.ring.home(key)
+        if home == self.self_name:
+            return MISS  # we ARE the home shard; a local miss is final
+        link = self._links.get(home)
+        if link is None:
+            return MISS
+        if self._down_until.get(home, 0.0) > time.monotonic():
+            return MISS  # peer on cooldown: don't queue behind a corpse
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # Coalesce concurrent probes for one key, mirroring the
+            # front end's single-flight table.
+            return await asyncio.shield(inflight)
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        fut.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None
+        )
+        self._inflight[key] = fut
+        try:
+            value = await self._probe_home(link, kind, params)
+        except BaseException as exc:
+            if not fut.done():
+                fut.set_exception(exc)
+            raise
+        else:
+            if not fut.done():
+                fut.set_result(value)
+            return value
+        finally:
+            self._inflight.pop(key, None)
+
+    async def _probe_home(
+        self, link: BackendLink, kind: str, params: dict[str, Any]
+    ) -> Any:
+        self.probes += 1
+        try:
+            doc = await link.request(
+                {"op": "probe", "kind": kind, "params": params},
+                timeout_s=self.probe_timeout_s,
+            )
+        except Exception:  # noqa: BLE001 - peer-fill is an optimisation
+            self._down_until[link.name] = (
+                time.monotonic() + self.down_cooldown_s
+            )
+            return MISS
+        if doc.get("ok") and doc.get("hit") and "value" in doc:
+            self.fills += 1
+            return doc["value"]
+        return MISS
+
+    def snapshot(self) -> dict[str, int]:
+        return {"probes": self.probes, "fills": self.fills}
+
+    async def close(self) -> None:
+        for link in self._links.values():
+            await link.close()
+
+
+class ServeRouter:
+    """The cluster front door; see the module docstring.
+
+    :param backends: ``(name, host, port)`` per backend, in boot order
+        (drain shuts them down in this order).
+    """
+
+    def __init__(
+        self,
+        backends: list[tuple[str, str, int]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        vnodes: int = DEFAULT_VNODES,
+        forward_timeout_s: float | None = None,
+    ) -> None:
+        if not backends:
+            raise ValueError("ServeRouter needs at least one backend")
+        self.backends = list(backends)
+        self.host = host
+        self.port = port
+        self.forward_timeout_s = forward_timeout_s
+        self.ring = HashRing([name for name, _, _ in backends], vnodes)
+        self._links = {
+            name: BackendLink(name, host, port)
+            for name, host, port in backends
+        }
+        self._server: asyncio.Server | None = None
+        self._shutdown = asyncio.Event()
+        self._draining = False
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.forwarded = 0       #: query/probe ops forwarded to a shard
+        self.unavailable = 0     #: forwards that died on a link failure
+        self.rejected_draining = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` op arrives, then drain the cluster:
+        stop admitting (new queries get ``overloaded``/``draining``),
+        await in-flight forwards, shut each backend down in boot order,
+        close every link and straggler connection."""
+        assert self._server is not None, "start() first"
+        await self._shutdown.wait()
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        await self._idle.wait()
+        for name, _, _ in self.backends:
+            with contextlib.suppress(Exception):
+                await self._links[name].request({"op": "shutdown"})
+        for link in self._links.values():
+            await link.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+
+    def _track(self, delta: int) -> None:
+        self._inflight += delta
+        if self._inflight == 0:
+            self._idle.set()
+        else:
+            self._idle.clear()
+
+    # -- connection handling ----------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._conn_tasks.add(task)
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                req = self._parse(line)
+                if req is None:
+                    await self._send(
+                        writer, write_lock,
+                        {"id": None, "ok": False, "error": "bad_request",
+                         "detail": "not a JSON object"},
+                    )
+                    continue
+                op = req.get("op")
+                rid = req.get("id")
+                if op in ("query", "probe"):
+                    # Per-request task, as in ServeServer: one slow
+                    # shard must not serialise a connection's traffic.
+                    sub = asyncio.get_running_loop().create_task(
+                        self._answer_forward(writer, write_lock, rid, req)
+                    )
+                    pending.add(sub)
+                    sub.add_done_callback(pending.discard)
+                elif op == "stats":
+                    await self._send(
+                        writer, write_lock, await self._answer_stats(rid)
+                    )
+                elif op in ("submit", "status", "result", "cancel"):
+                    # Job ops are not sharded by key: they live on the
+                    # first backend, the cluster's designated job home.
+                    await self._send(
+                        writer, write_lock,
+                        await self._forward(self.backends[0][0], rid, req),
+                    )
+                elif op == "ping":
+                    await self._send(
+                        writer, write_lock, {"id": rid, "ok": True}
+                    )
+                elif op == "shutdown":
+                    await self._send(
+                        writer, write_lock, {"id": rid, "ok": True}
+                    )
+                    self.request_shutdown()
+                else:
+                    await self._send(
+                        writer, write_lock,
+                        {"id": rid, "ok": False, "error": "bad_request",
+                         "detail": f"unknown op {op!r}"},
+                    )
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            for sub in pending:
+                sub.cancel()
+            self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(
+                ConnectionResetError, BrokenPipeError, OSError
+            ):
+                await writer.wait_closed()
+
+    @staticmethod
+    def _parse(line: bytes) -> dict[str, Any] | None:
+        try:
+            req = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        return req if isinstance(req, dict) else None
+
+    async def _answer_forward(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        rid: Any,
+        req: dict[str, Any],
+    ) -> None:
+        kind = req.get("kind")
+        params = req.get("params")
+        if not isinstance(kind, str) or not isinstance(params, dict):
+            await self._send(
+                writer, write_lock,
+                {"id": rid, "ok": False, "error": "bad_request",
+                 "detail": f"{req.get('op')} needs a string 'kind' "
+                 "and object 'params'"},
+            )
+            return
+        if self._draining:
+            self.rejected_draining += 1
+            await self._send(
+                writer, write_lock,
+                {"id": rid, "ok": False, "error": "overloaded",
+                 "reason": "draining", "retry_after_s": 1.0},
+            )
+            return
+        home = self.ring.home(route_key(kind, params))
+        await self._send(
+            writer, write_lock, await self._forward(home, rid, req)
+        )
+
+    async def _forward(
+        self, backend: str, rid: Any, req: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Proxy ``req`` to ``backend`` and return its response doc
+        VERBATIM except for the id (remapped back to the caller's) —
+        values, ``served``, error shapes and ``retry_after_s`` all pass
+        through untouched; that is the byte-identity contract."""
+        self._track(+1)
+        try:
+            doc = await self._links[backend].request(
+                req, timeout_s=self.forward_timeout_s
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            self.unavailable += 1
+            return {"id": rid, "ok": False, "error": "unavailable",
+                    "backend": backend,
+                    "detail": f"{type(exc).__name__}: {exc}"}
+        finally:
+            self._track(-1)
+        self.forwarded += 1
+        out = dict(doc)
+        out["id"] = rid
+        return out
+
+    async def _answer_stats(self, rid: Any) -> dict[str, Any]:
+        """Own counters + per-backend snapshots + an aggregate rollup."""
+        per_backend: dict[str, Any] = {}
+        agg = {
+            "accepted": 0, "rejected": 0, "cache_hits": 0,
+            "coalesced": 0, "peer_fills": 0, "peer_serves": 0,
+            "computed": 0, "failed": 0,
+        }
+        hit_ratios: dict[str, float] = {}
+        for name, _, _ in self.backends:
+            try:
+                doc = await self._links[name].request(
+                    {"op": "stats"}, timeout_s=self.forward_timeout_s
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                per_backend[name] = {
+                    "ok": False,
+                    "detail": f"{type(exc).__name__}: {exc}",
+                }
+                continue
+            stats = doc.get("stats", {})
+            per_backend[name] = stats
+            hit_ratios[name] = stats.get("hit_ratio", 0.0)
+            for field in agg:
+                agg[field] += stats.get(field, 0)
+        agg["hit_ratio"] = (
+            (agg["cache_hits"] + agg["coalesced"] + agg["peer_fills"])
+            / agg["accepted"]
+            if agg["accepted"] else 0.0
+        )
+        agg["per_backend_hit_ratio"] = hit_ratios
+        return {
+            "id": rid, "ok": True,
+            "router": {
+                "backends": [name for name, _, _ in self.backends],
+                "forwarded": self.forwarded,
+                "unavailable": self.unavailable,
+                "rejected_draining": self.rejected_draining,
+                "draining": self._draining,
+            },
+            "stats": agg,
+            "backends": per_backend,
+        }
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, lock: asyncio.Lock, doc: dict[str, Any]
+    ) -> None:
+        payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        try:
+            async with lock:
+                writer.write(payload)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away

@@ -13,6 +13,14 @@ Protocol (one JSON object per line, both directions)::
     -> {"op": "ping", "id": 3}
     <- {"id": 3, "ok": true}
 
+    -> {"op": "probe", "id": 9, "kind": "sweep_point", "params": {...}}
+    <- {"id": 9, "ok": true, "hit": true, "value": {...}}   # or hit: false
+
+``probe`` is the cluster peer-fill read (see :mod:`repro.serve.router`):
+a local-cache-only lookup that never computes, so a shard can ask a
+key's home shard for an already-computed value without risking
+recursive work amplification.
+
     -> {"op": "shutdown", "id": 4}
     <- {"id": 4, "ok": true}          # then: graceful drain, server exit
 
@@ -53,6 +61,7 @@ import contextlib
 import json
 from typing import Any
 
+from repro.parallel.cache import MISS
 from repro.serve.frontend import CampaignFrontEnd, Overloaded
 from repro.serve.jobs import JobManager, JobNotReady, campaign_job_units
 
@@ -112,6 +121,9 @@ class ServeServer:
         await self.frontend.drain(self.drain_timeout_s)
         if self.jobs is not None:
             self.jobs.close()
+        peer_fill = getattr(self.frontend, "peer_fill", None)
+        if peer_fill is not None:
+            await peer_fill.close()
         for task in list(self._conn_tasks):
             task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -163,6 +175,10 @@ class ServeServer:
                     if self.jobs is not None:
                         doc["jobs"] = dict(self.jobs.totals)
                     await self._send(writer, write_lock, doc)
+                elif op == "probe":
+                    await self._send(
+                        writer, write_lock, self._answer_probe(rid, req)
+                    )
                 elif op in ("submit", "status", "result", "cancel"):
                     await self._send(
                         writer, write_lock, self._answer_job(op, rid, req)
@@ -196,8 +212,13 @@ class ServeServer:
                 sub.cancel()
             self._conn_tasks.discard(task)
             writer.close()
+            # CancelledError here is the close-waiter future dying when
+            # a peer link drops mid-teardown, not task cancellation —
+            # and this handler finishes normally on cancellation anyway
+            # (see the except clause above).
             with contextlib.suppress(
-                ConnectionResetError, BrokenPipeError, OSError
+                ConnectionResetError, BrokenPipeError, OSError,
+                asyncio.CancelledError,
             ):
                 await writer.wait_closed()
 
@@ -263,6 +284,26 @@ class ServeServer:
         except Exception as exc:  # noqa: BLE001 - transport containment
             return {"id": rid, "ok": False, "error": "internal",
                     "detail": f"{type(exc).__name__}: {exc}"}
+
+    def _answer_probe(self, rid: Any, req: dict[str, Any]) -> dict[str, Any]:
+        """Cluster peer-fill read: the LOCAL cache's answer for a key,
+        or a clean miss.  Never computes and never probes further —
+        this is the home-shard end of the peer-fill protocol, so any
+        recursion here would ripple across the whole ring.
+        """
+        kind = req.get("kind")
+        params = req.get("params")
+        if not isinstance(kind, str) or not isinstance(params, dict):
+            return {"id": rid, "ok": False, "error": "bad_request",
+                    "detail": "probe needs a string 'kind' and object 'params'"}
+        try:
+            value = self.frontend.cache_peek(kind, params)
+        except ValueError as exc:
+            return {"id": rid, "ok": False, "error": "bad_request",
+                    "detail": str(exc)}
+        if value is MISS:
+            return {"id": rid, "ok": True, "hit": False}
+        return {"id": rid, "ok": True, "hit": True, "value": value}
 
     @staticmethod
     def _parse(line: bytes) -> dict[str, Any] | None:

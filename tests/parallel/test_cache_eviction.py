@@ -85,6 +85,73 @@ class TestSizeCap:
         assert cache._total_bytes <= 1_000
 
 
+class TestTouchOnRead:
+    """Regression: eviction must be LRU, not write-time FIFO.
+
+    Pre-fix, ``get()``/``get_many()`` never refreshed the object file's
+    mtime, so under ``max_bytes`` pressure the *hottest* keys (written
+    first, read constantly) were evicted first while cold ones survived.
+    """
+
+    def _clear_fresh_registry(self):
+        from repro.parallel.cache import _fresh_lock, _fresh_paths
+
+        with _fresh_lock:
+            _fresh_paths.clear()
+
+    def _aged_store(self, tmp_path, n=4, cap=2_500):
+        """A store of ``n`` objects with strictly increasing write
+        mtimes (key 0 written first), fresh exemptions retired."""
+        cache = ResultCache(tmp_path, max_bytes=cap)
+        for i in range(n):
+            cache.put(_key(i), "x" * 512)
+            os.utime(cache._path(_key(i)), ns=(i * 10**9, i * 10**9))
+        self._clear_fresh_registry()
+        return cache
+
+    def test_hot_key_survives_eviction(self, tmp_path):
+        """The failing-pre-fix shape: key 0 is the oldest WRITE but the
+        hottest READ; eviction must take the coldest key instead."""
+        cache = self._aged_store(tmp_path)
+        assert cache.get(_key(0)) == "x" * 512  # hot: touch refreshes mtime
+        cache.put(_key(9), "x" * 512)           # crosses the cap -> evict
+        assert cache.stats.evictions > 0
+        assert cache.get(_key(0)) == "x" * 512  # pre-fix: evicted first
+        assert cache.get(_key(1)) is MISS       # the cold key paid instead
+
+    def test_get_many_also_touches(self, tmp_path):
+        cache = self._aged_store(tmp_path)
+        values = cache.get_many([_key(0), _key(1)])
+        assert values == ["x" * 512, "x" * 512]
+        cache.put(_key(9), "x" * 512)
+        # Keys 0 and 1 were both read: the never-read key 2 is now the
+        # coldest and pays for the new object.
+        assert cache.get(_key(0)) == "x" * 512
+        assert cache.get(_key(1)) == "x" * 512
+        assert cache.get(_key(2)) is MISS
+
+    def test_read_refreshes_mtime_on_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(_key(0), {"v": 1})
+        path = cache._path(_key(0))
+        os.utime(path, ns=(0, 0))
+        assert cache.get(_key(0)) == {"v": 1}
+        assert path.stat().st_mtime_ns > 0
+
+    def test_touch_tolerates_concurrent_unlink(self, tmp_path, monkeypatch):
+        """The read-vs-evict race: another handle unlinks the file
+        between our read and our touch.  The value was already parsed —
+        the get must still return it."""
+        cache = ResultCache(tmp_path)
+        cache.put(_key(0), "v")
+
+        def racing_utime(*args, **kwargs):
+            raise OSError("raced with eviction")
+
+        monkeypatch.setattr(os, "utime", racing_utime)
+        assert cache.get(_key(0)) == "v"
+
+
 class TestCorruptUnlink:
     def test_truncated_object_unlinked_on_first_get(self, tmp_path):
         """Regression: the second get must not re-read the corpse."""
@@ -177,6 +244,9 @@ class TestFreshObjectExemption:
         cache.put(_key(3), "x" * 512)           # round 1: exempt, survives
         os.utime(cache._path(_key(3)), ns=(10**12, 10**12))
         assert cache.get(_key(10)) == "x" * 512
+        # That get touched the object (LRU); re-age it so round 2 tests
+        # the exemption's lifetime, not the key's recency.
+        os.utime(cache._path(_key(10)), ns=(0, 0))
         cache.put(_key(4), "x" * 512)           # round 2: retired -> gone
         assert cache.get(_key(10)) is MISS
 

@@ -1,0 +1,264 @@
+"""Cache peer-fill: the probe op, the frontend hook, and the
+failure-degrades-to-MISS contract that keeps it strictly an
+optimisation."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.parallel.cache import MISS
+from repro.serve.frontend import CampaignFrontEnd, ServeConfig
+from repro.serve.router import CachePeerFill, HashRing, route_key
+from repro.serve.server import ServeServer
+
+POINT_A = {"mode": "single", "platform": "Tegra2", "freq": 1.0}
+
+
+def label_runner(units):
+    return [u.label() for u in units]
+
+
+async def start_backend(cache_dir, runner=label_runner, **config_kw):
+    config_kw.setdefault("cache_dir", cache_dir)
+    config_kw.setdefault("batch_window_s", 0.005)
+    server = ServeServer(CampaignFrontEnd(ServeConfig(**config_kw), runner))
+    await server.start()
+    run_task = asyncio.ensure_future(server.serve_until_shutdown())
+    return server, run_task
+
+
+async def rpc(port, doc):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write((json.dumps(doc) + "\n").encode())
+    await writer.drain()
+    resp = json.loads(await reader.readline())
+    writer.close()
+    return resp
+
+
+def two_shard_ring(home_port, other_port):
+    """A ring where the key under test is guaranteed NOT home on
+    'other' (we pick names so POINT_A's home is 'home')."""
+    key = route_key("sweep_point", POINT_A)
+    for a, b in (("b0", "b1"), ("b1", "b0")):
+        ring = HashRing([a, b])
+        if ring.home(key) == a:
+            peers = {a: ("127.0.0.1", home_port), b: ("127.0.0.1", other_port)}
+            return ring, a, b, peers
+    raise AssertionError("unreachable")
+
+
+class TestProbeOp:
+    def test_probe_miss_then_hit(self, tmp_path):
+        async def scenario():
+            server, task = await start_backend(tmp_path)
+            miss = await rpc(server.port, {"op": "probe", "id": 1,
+                                           "kind": "sweep_point",
+                                           "params": POINT_A})
+            await rpc(server.port, {"op": "query", "id": 2,
+                                    "kind": "sweep_point", "params": POINT_A})
+            hit = await rpc(server.port, {"op": "probe", "id": 3,
+                                          "kind": "sweep_point",
+                                          "params": POINT_A})
+            await rpc(server.port, {"op": "shutdown", "id": 4})
+            await task
+            return miss, hit, server.frontend.stats.peer_serves
+
+        miss, hit, peer_serves = asyncio.run(scenario())
+        assert miss == {"id": 1, "ok": True, "hit": False}
+        assert hit["ok"] and hit["hit"]
+        assert hit["value"] == "sweep_point(freq=1.0,mode=single,platform=Tegra2)"
+        assert peer_serves == 1
+
+    def test_probe_never_computes(self, tmp_path):
+        """The no-recursion guarantee: however many probes arrive, the
+        runner is never invoked for them."""
+        calls = []
+
+        def counting_runner(units):
+            calls.append(len(units))
+            return [u.label() for u in units]
+
+        async def scenario():
+            server, task = await start_backend(
+                tmp_path, runner=counting_runner
+            )
+            for i in range(5):
+                doc = await rpc(server.port, {"op": "probe", "id": i,
+                                              "kind": "sweep_point",
+                                              "params": POINT_A})
+                assert doc == {"id": i, "ok": True, "hit": False}
+            await rpc(server.port, {"op": "shutdown", "id": 9})
+            await task
+
+        asyncio.run(scenario())
+        assert calls == []
+
+    def test_probe_bad_request(self, tmp_path):
+        async def scenario():
+            server, task = await start_backend(tmp_path)
+            bad_kind = await rpc(server.port, {"op": "probe", "id": 1,
+                                               "kind": "nonsense",
+                                               "params": {}})
+            no_params = await rpc(server.port, {"op": "probe", "id": 2,
+                                                "kind": "sweep_base"})
+            await rpc(server.port, {"op": "shutdown", "id": 3})
+            await task
+            return bad_kind, no_params
+
+        bad_kind, no_params = asyncio.run(scenario())
+        assert bad_kind["error"] == "bad_request"
+        assert no_params["error"] == "bad_request"
+
+    def test_probe_without_cache_is_always_miss(self, tmp_path):
+        async def scenario():
+            server, task = await start_backend(None)
+            await rpc(server.port, {"op": "query", "id": 1,
+                                    "kind": "sweep_base", "params": {}})
+            doc = await rpc(server.port, {"op": "probe", "id": 2,
+                                          "kind": "sweep_base", "params": {}})
+            await rpc(server.port, {"op": "shutdown", "id": 3})
+            await task
+            return doc
+
+        assert asyncio.run(scenario())["hit"] is False
+
+
+class TestCachePeerFill:
+    def test_non_home_backend_fills_from_home(self, tmp_path):
+        async def scenario():
+            s0, t0 = await start_backend(tmp_path / "a")
+            s1, t1 = await start_backend(tmp_path / "b")
+            ring, home_name, other_name, peers = two_shard_ring(
+                s0.port, s1.port
+            )
+            s0.frontend.peer_fill = CachePeerFill(ring, home_name, peers)
+            s1.frontend.peer_fill = CachePeerFill(ring, other_name, peers)
+            # Warm the HOME shard only.
+            first = await rpc(s0.port, {"op": "query", "id": 1,
+                                        "kind": "sweep_point",
+                                        "params": POINT_A})
+            # The OTHER shard must fill from home instead of computing.
+            second = await rpc(s1.port, {"op": "query", "id": 2,
+                                         "kind": "sweep_point",
+                                         "params": POINT_A})
+            # And having written through, serve the next one locally.
+            third = await rpc(s1.port, {"op": "query", "id": 3,
+                                        "kind": "sweep_point",
+                                        "params": POINT_A})
+            for s in (s0, s1):
+                await rpc(s.port, {"op": "shutdown", "id": 9})
+            await asyncio.gather(t0, t1)
+            return first, second, third, s1.frontend
+
+        first, second, third, fe1 = asyncio.run(scenario())
+        assert first["served"] == "computed"
+        assert second["served"] == "peer"
+        assert second["value"] == first["value"]
+        assert third["served"] == "cache"
+        assert fe1.stats.peer_fills == 1
+        assert fe1.peer_fill.snapshot() == {"probes": 1, "fills": 1}
+        assert fe1.stats.hit_ratio == 1.0  # peer fills count as hits
+
+    def test_home_shard_miss_is_final(self, tmp_path):
+        """When this backend IS the key's home, probe() must return
+        MISS without any network traffic — recursing to itself (or
+        round-tripping the ring) would amplify every cold miss."""
+        ring = HashRing(["b0", "b1"])
+        key_kind, key_params = "sweep_point", POINT_A
+        home = ring.home(route_key(key_kind, key_params))
+        pf = CachePeerFill(
+            ring, home,
+            {"b0": ("127.0.0.1", 1), "b1": ("127.0.0.1", 1)},
+        )
+
+        async def scenario():
+            return await pf.probe(key_kind, key_params)
+
+        assert asyncio.run(scenario()) is MISS
+        assert pf.probes == 0
+
+    def test_dead_peer_degrades_to_miss_and_cools_down(self, tmp_path):
+        ring = HashRing(["b0", "b1"])
+        key_kind, key_params = "sweep_point", POINT_A
+        home = ring.home(route_key(key_kind, key_params))
+        other = "b1" if home == "b0" else "b0"
+        # Home resolves to a dead port.
+        pf = CachePeerFill(
+            ring, other,
+            {home: ("127.0.0.1", 1), other: ("127.0.0.1", 1)},
+            down_cooldown_s=60.0,
+        )
+
+        async def scenario():
+            first = await pf.probe(key_kind, key_params)
+            second = await pf.probe(key_kind, key_params)
+            await pf.close()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first is MISS and second is MISS
+        # Only the first probe paid the connect failure; the second
+        # was short-circuited by the cooldown.
+        assert pf.probes == 1
+
+    def test_peer_fill_failure_still_computes(self, tmp_path):
+        """End to end: peer-fill pointed at a corpse must not break
+        serving — the query computes locally as if unclustered."""
+
+        async def scenario():
+            server, task = await start_backend(tmp_path)
+            ring = HashRing(["me", "ghost"])
+            server.frontend.peer_fill = CachePeerFill(
+                ring, "me",
+                {"me": ("127.0.0.1", server.port),
+                 "ghost": ("127.0.0.1", 1)},
+            )
+            docs = []
+            for i, params in enumerate(
+                ({"mode": "single", "platform": p, "freq": 1.0}
+                 for p in ("Tegra2", "Tegra3", "Exynos4")), 1
+            ):
+                docs.append(await rpc(server.port,
+                                      {"op": "query", "id": i,
+                                       "kind": "sweep_point",
+                                       "params": params}))
+            await rpc(server.port, {"op": "shutdown", "id": 9})
+            await task
+            return docs
+
+        docs = asyncio.run(scenario())
+        assert all(d["ok"] for d in docs)
+        assert all(d["served"] == "computed" for d in docs)
+
+    def test_self_name_must_be_on_ring(self):
+        with pytest.raises(ValueError, match="not on the ring"):
+            CachePeerFill(HashRing(["b0"]), "zz", {"b0": ("127.0.0.1", 1)})
+
+    def test_concurrent_probes_coalesce(self, tmp_path):
+        """Concurrent probes for one key share one wire round-trip."""
+
+        async def scenario():
+            home_server, t0 = await start_backend(tmp_path / "h")
+            await rpc(home_server.port, {"op": "query", "id": 0,
+                                         "kind": "sweep_point",
+                                         "params": POINT_A})
+            ring, home_name, other_name, peers = two_shard_ring(
+                home_server.port, 1
+            )
+            pf = CachePeerFill(ring, other_name, peers)
+            values = await asyncio.gather(
+                *(pf.probe("sweep_point", POINT_A) for _ in range(8))
+            )
+            await pf.close()
+            await rpc(home_server.port, {"op": "shutdown", "id": 9})
+            await t0
+            return values, pf
+
+        values, pf = asyncio.run(scenario())
+        assert len(set(map(str, values))) == 1
+        assert values[0] == "sweep_point(freq=1.0,mode=single,platform=Tegra2)"
+        # 8 concurrent probes, at most a couple of wire round-trips
+        # (the coalescing window races the first completion).
+        assert pf.probes <= 2

@@ -1,0 +1,287 @@
+"""The JSON-lines wire protocol as a shared contract.
+
+The router speaks the exact protocol the server does — same error
+vocabulary, same shapes, proxied verbatim — so every case here runs
+against BOTH endpoints through one parametrized harness.  If the
+router ever reinterprets an error (or swallows ``retry_after_s``), the
+same test that pins the server catches it.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.frontend import CampaignFrontEnd, ServeConfig
+from repro.serve.router import CachePeerFill, HashRing, ServeRouter
+from repro.serve.server import ServeServer
+
+POINT_A = {"mode": "single", "platform": "Tegra2", "freq": 1.0}
+
+
+def label_runner(units):
+    return [u.label() for u in units]
+
+
+class Endpoint:
+    """One bootable protocol endpoint: a bare server, or a router in
+    front of N servers."""
+
+    def __init__(self, kind: str, port: int, tasks, servers, router=None):
+        self.kind = kind
+        self.port = port
+        self.tasks = tasks
+        self.servers = servers
+        self.router = router
+
+    async def finish(self):
+        await asyncio.gather(*self.tasks)
+
+
+async def boot_endpoint(
+    kind: str, tmp_path, runner=label_runner, **config_kw
+) -> Endpoint:
+    config_kw.setdefault("batch_window_s", 0.005)
+    servers, tasks = [], []
+    n = 2 if kind == "router" else 1
+    for i in range(n):
+        server = ServeServer(CampaignFrontEnd(
+            ServeConfig(cache_dir=tmp_path / f"b{i}", **config_kw), runner
+        ))
+        await server.start()
+        servers.append(server)
+        tasks.append(asyncio.ensure_future(server.serve_until_shutdown()))
+    if kind == "server":
+        return Endpoint(kind, servers[0].port, tasks, servers)
+    names = [f"b{i}" for i in range(n)]
+    peers = {nm: ("127.0.0.1", s.port) for nm, s in zip(names, servers)}
+    ring = HashRing(names)
+    for nm, s in zip(names, servers):
+        s.frontend.peer_fill = CachePeerFill(ring, nm, peers)
+    router = ServeRouter(
+        [(nm, "127.0.0.1", s.port) for nm, s in zip(names, servers)]
+    )
+    await router.start()
+    tasks.append(asyncio.ensure_future(router.serve_until_shutdown()))
+    return Endpoint(kind, router.port, tasks, servers, router)
+
+
+async def connect(port):
+    return await asyncio.open_connection("127.0.0.1", port)
+
+
+def send(writer, doc):
+    writer.write((json.dumps(doc) + "\n").encode())
+
+
+async def recv(reader):
+    line = await reader.readline()
+    assert line, "endpoint closed the connection unexpectedly"
+    return json.loads(line)
+
+
+async def shutdown_endpoint(ep, reader, writer):
+    send(writer, {"op": "shutdown", "id": "__bye__"})
+    await writer.drain()
+    while True:
+        doc = await recv(reader)
+        if doc.get("id") == "__bye__":
+            break
+    await ep.finish()
+    writer.close()
+
+
+ENDPOINTS = ("server", "router")
+
+
+@pytest.mark.parametrize("kind", ENDPOINTS)
+class TestWireContract:
+    def test_malformed_frame_gets_bad_request(self, tmp_path, kind):
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            writer.write(b"{not json at all\n")
+            writer.write(b"[1, 2, 3]\n")  # JSON, but not an object
+            await writer.drain()
+            docs = [await recv(reader) for _ in range(2)]
+            await shutdown_endpoint(ep, reader, writer)
+            return docs
+
+        docs = asyncio.run(scenario())
+        for doc in docs:
+            assert doc["ok"] is False
+            assert doc["error"] == "bad_request"
+            assert doc["id"] is None
+
+    def test_unknown_op_echoes_id(self, tmp_path, kind):
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            send(writer, {"op": "frobnicate", "id": 17})
+            await writer.drain()
+            doc = await recv(reader)
+            await shutdown_endpoint(ep, reader, writer)
+            return doc
+
+        doc = asyncio.run(scenario())
+        assert doc["id"] == 17
+        assert doc["error"] == "bad_request"
+        assert "frobnicate" in doc["detail"]
+
+    def test_query_missing_fields(self, tmp_path, kind):
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            send(writer, {"op": "query", "id": 1})
+            send(writer, {"op": "query", "id": 2, "kind": "sweep_base",
+                          "params": "not-an-object"})
+            send(writer, {"op": "query", "id": 3, "kind": 42, "params": {}})
+            await writer.drain()
+            docs = {}
+            for _ in range(3):
+                doc = await recv(reader)
+                docs[doc["id"]] = doc
+            await shutdown_endpoint(ep, reader, writer)
+            return docs
+
+        docs = asyncio.run(scenario())
+        for rid in (1, 2, 3):
+            assert docs[rid]["error"] == "bad_request", docs[rid]
+
+    def test_unknown_kind_maps_to_bad_request(self, tmp_path, kind):
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            send(writer, {"op": "query", "id": 1, "kind": "nonsense",
+                          "params": {}})
+            await writer.drain()
+            doc = await recv(reader)
+            await shutdown_endpoint(ep, reader, writer)
+            return doc
+
+        doc = asyncio.run(scenario())
+        assert doc["error"] == "bad_request"
+        assert "nonsense" in doc["detail"]
+
+    def test_duplicate_ids_get_two_answers(self, tmp_path, kind):
+        """Ids are the CLIENT's correlation tokens: the endpoint must
+        answer every frame, even when a client reuses an id (the
+        router's internal link ids must not collide either)."""
+
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            send(writer, {"op": "query", "id": 7, "kind": "sweep_point",
+                          "params": POINT_A})
+            send(writer, {"op": "query", "id": 7, "kind": "sweep_base",
+                          "params": {}})
+            await writer.drain()
+            docs = [await recv(reader) for _ in range(2)]
+            await shutdown_endpoint(ep, reader, writer)
+            return docs
+
+        docs = asyncio.run(scenario())
+        assert [d["id"] for d in docs] == [7, 7]
+        assert {d["value"] for d in docs} == {
+            "sweep_point(freq=1.0,mode=single,platform=Tegra2)", "sweep_base()"
+        }
+
+    def test_truncated_frame_then_disconnect_is_harmless(self, tmp_path, kind):
+        """A client dying mid-frame must not wedge the endpoint: the
+        next connection gets full service."""
+
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            r1, w1 = await connect(ep.port)
+            w1.write(b'{"op": "query", "id": 1, "kin')  # no newline, bye
+            await w1.drain()
+            w1.close()
+            r2, w2 = await connect(ep.port)
+            send(w2, {"op": "ping", "id": 2})
+            await w2.drain()
+            doc = await recv(r2)
+            await shutdown_endpoint(ep, r2, w2)
+            return doc
+
+        assert asyncio.run(scenario()) == {"id": 2, "ok": True}
+
+    def test_overloaded_retry_after_proxied_verbatim(self, tmp_path, kind):
+        """The 429 shape — ok:false, error, reason, retry_after_s — is
+        produced by the backend; a router in the path must carry every
+        field through untouched."""
+
+        async def scenario():
+            # queue_limit=1 plus a runner gate: the first miss wedges
+            # the queue so the second distinct miss is rejected.
+            gate = asyncio.Event()
+            loop_holder = {}
+
+            def slow_runner(units):
+                # Executor thread: block until the test releases it.
+                fut = asyncio.run_coroutine_threadsafe(
+                    gate.wait(), loop_holder["loop"]
+                )
+                fut.result(timeout=30)
+                return [u.label() for u in units]
+
+            ep = await boot_endpoint(
+                kind, tmp_path, runner=slow_runner,
+                queue_limit=1, batch_window_s=0.0, max_batch=1,
+            )
+            loop_holder["loop"] = asyncio.get_running_loop()
+            reader, writer = await connect(ep.port)
+            send(writer, {"op": "query", "id": 1, "kind": "sweep_point",
+                          "params": POINT_A})
+            await writer.drain()
+            # Give the first query time to occupy the queue slot.
+            await asyncio.sleep(0.2)
+            rejected = None
+            for attempt in range(2, 30):
+                send(writer, {"op": "query", "id": attempt,
+                              "kind": "sweep_point",
+                              "params": {"mode": "multi",
+                                         "platform": "Tegra3",
+                                         "freq": float(attempt)}})
+                await writer.drain()
+                await asyncio.sleep(0.05)
+            gate.set()
+            docs = []
+            while len(docs) < 29 - 1:
+                docs.append(await recv(reader))
+            await shutdown_endpoint(ep, reader, writer)
+            return docs
+
+        docs = asyncio.run(scenario())
+        rejected = [d for d in docs if not d.get("ok")]
+        assert rejected, "admission control never fired"
+        for doc in rejected:
+            assert doc["error"] == "overloaded"
+            assert doc["reason"] == "overloaded"
+            assert isinstance(doc["retry_after_s"], float)
+            assert doc["retry_after_s"] > 0
+            # The verbatim-proxy check: exactly the backend's shape,
+            # no router-added or router-dropped keys.
+            assert set(doc) == {"id", "ok", "error", "reason",
+                                "retry_after_s"}
+
+    def test_interleaved_responses_match_by_id(self, tmp_path, kind):
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            ids = list(range(20))
+            for i in ids:
+                send(writer, {"op": "query", "id": i, "kind": "sweep_point",
+                              "params": {"mode": "single",
+                                         "platform": "Tegra2",
+                                         "freq": 1.0 + (i % 3)}})
+            await writer.drain()
+            docs = {}
+            for _ in ids:
+                doc = await recv(reader)
+                docs[doc["id"]] = doc
+            await shutdown_endpoint(ep, reader, writer)
+            return docs
+
+        docs = asyncio.run(scenario())
+        assert sorted(docs) == list(range(20))
+        assert all(docs[i]["ok"] for i in docs)
