@@ -47,6 +47,16 @@ caches via the compute-free ``probe`` op
 drains router-then-backends in boot order.  The protocol through the
 router is byte-identical to a single backend's.
 
+The router proxies by default, but it is a single process and caps
+cluster throughput; the **redirect protocol** takes it off the data
+path.  A ``locate`` op returns the full topology plus a deterministic
+**topology epoch** (:func:`~repro.serve.router.topology_epoch`), and a
+:class:`~repro.serve.client.RingClient` then routes every query to its
+home shard itself with the very same ring, falling back to the router
+(and re-learning the topology) only on failure.  ``repro loadtest
+--direct`` drives this path; ``serve.cluster4_direct`` in
+``BENCH_serve.json`` records the scaling it buys.
+
 Layering: :mod:`~repro.serve.frontend` is transport-independent pure
 asyncio; :mod:`~repro.serve.jobs` adds the durable queue on top of the
 front end's executor; :mod:`~repro.serve.server` puts a JSON-lines TCP
@@ -57,6 +67,7 @@ protocol across backends; :mod:`~repro.serve.cli` is the
 :mod:`~repro.serve.jobs_cli` the ``repro jobs`` one.
 """
 
+from repro.serve.client import RingClient, request_once
 from repro.serve.frontend import (
     CampaignFrontEnd,
     Overloaded,
@@ -66,7 +77,13 @@ from repro.serve.frontend import (
 )
 from repro.serve.jobs import Job, JobManager, JobsConfig
 from repro.serve.journal import JobJournal
-from repro.serve.router import CachePeerFill, HashRing, ServeRouter, route_key
+from repro.serve.router import (
+    CachePeerFill,
+    HashRing,
+    ServeRouter,
+    route_key,
+    topology_epoch,
+)
 
 __all__ = [
     "CachePeerFill",
@@ -77,9 +94,12 @@ __all__ = [
     "JobManager",
     "JobsConfig",
     "Overloaded",
+    "RingClient",
     "ServeConfig",
     "ServeRouter",
     "ServeStats",
     "percentile",
+    "request_once",
     "route_key",
+    "topology_epoch",
 ]

@@ -231,6 +231,7 @@ async def _serve(
     server = ServeServer(
         frontend, host, port,
         jobs_manager=manager, drain_timeout_s=drain_timeout_s,
+        name=name,
     )
     await server.start()
     loop = asyncio.get_running_loop()
@@ -339,6 +340,14 @@ def loadtest_main(argv: list[str] | None = None) -> int:
         "degraded (default: 0.05)",
     )
     parser.add_argument(
+        "--direct", action="store_true",
+        help="ring-aware data path: learn the cluster topology via "
+        "'locate' and send each query straight to its home shard, "
+        "falling back to the router only on failure (works in both "
+        "open-loop and --max-rate modes; against a bare server it "
+        "degenerates to a one-node topology)",
+    )
+    parser.add_argument(
         "--assert-hit-ratio", type=float, default=None, metavar="X",
         help="exit 1 unless the coalesce+cache hit ratio reaches X",
     )
@@ -364,6 +373,7 @@ def loadtest_main(argv: list[str] | None = None) -> int:
                 step_seconds=args.step_seconds,
                 max_steps=args.max_steps,
                 p99_limit_s=args.p99_slo,
+                direct=args.direct,
             )
         )
         if args.shutdown:
@@ -385,6 +395,7 @@ def loadtest_main(argv: list[str] | None = None) -> int:
             hot_fraction=args.hot_fraction,
             connections=args.jobs,
             shutdown_after=args.shutdown,
+            direct=args.direct,
         )
     )
     if args.json:

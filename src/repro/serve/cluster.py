@@ -10,10 +10,14 @@ peer-fill) plus the in-process :class:`~repro.serve.router.ServeRouter`
 front door.  Readiness is one flushed line naming every address::
 
     repro cluster-serve: listening on 127.0.0.1:7660 \
-        (backends: b0=127.0.0.1:34001 b1=127.0.0.1:34002)
+        (backends: b0=127.0.0.1:34001 b1=127.0.0.1:34002) \
+        (epoch: 3f2a9c41d07b)
 
 CI and scripts wait for it, point ``repro loadtest`` at the router
 port, and (for peer-fill tests) talk to the backend ports directly.
+The trailing ``epoch`` is the cluster's topology version (see
+:func:`~repro.serve.router.topology_epoch`) — ring-aware clients
+learn it via the ``locate`` op and use it to detect stale rings.
 A ``shutdown`` op at the router — or SIGINT/SIGTERM — drains the whole
 cluster: the router stops admitting and empties its in-flight
 forwards, then each backend drains in boot order, and the final
@@ -229,7 +233,7 @@ async def _run_router(
     addresses = " ".join(f"{b.name}={b.host}:{b.port}" for b in backends)
     print(
         f"repro cluster-serve: listening on {router.host}:{router.port} "
-        f"(backends: {addresses})",
+        f"(backends: {addresses}) (epoch: {router.epoch})",
         flush=True,
     )
     # serve_until_shutdown sends each backend the shutdown op in boot

@@ -127,6 +127,7 @@ class ServeStats:
     peer_serves: int = 0   #: probe hits answered TO peers (home-shard side)
     computed: int = 0      #: required fresh work-unit execution
     failed: int = 0        #: admitted but failed in execution
+    direct: int = 0        #: queries tagged via="direct" by a ring client
     batches: int = 0       #: run_units calls issued
     batched_units: int = 0  #: distinct units across all batches
     latencies_s: list[float] = field(default_factory=list)
@@ -160,6 +161,7 @@ class ServeStats:
             "peer_serves": self.peer_serves,
             "computed": self.computed,
             "failed": self.failed,
+            "direct": self.direct,
             "batches": self.batches,
             "mean_batch_size": self.mean_batch_size,
             "hit_ratio": self.hit_ratio,

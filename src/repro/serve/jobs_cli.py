@@ -24,35 +24,22 @@ from __future__ import annotations
 
 import argparse
 import json
-import socket
 import sys
 import time
 from pathlib import Path
 from typing import Any
 
-
-def _request(
-    host: str, port: int, doc: dict[str, Any], timeout_s: float = 30.0
-) -> dict[str, Any]:
-    """One op, one connection, one matched response line."""
-    with socket.create_connection((host, port), timeout=timeout_s) as sock:
-        sock.sendall((json.dumps({**doc, "id": 1}) + "\n").encode())
-        with sock.makefile("r", encoding="utf-8") as fh:
-            line = fh.readline()
-    if not line:
-        raise ConnectionError("server closed the connection mid-request")
-    resp = json.loads(line)
-    if not isinstance(resp, dict):
-        raise ValueError(f"malformed response: {line!r}")
-    return resp
+from repro.serve.client import request_once as _request
 
 
 def _fail(resp: dict[str, Any]) -> int:
     error = resp.get("error", "unknown")
     detail = resp.get("detail") or resp.get("reason") or ""
     hint = ""
+    if "job_home" in resp:
+        hint += f" (job home: {resp['job_home']})"
     if "retry_after_s" in resp:
-        hint = f" (retry after {resp['retry_after_s']:.2f} s)"
+        hint += f" (retry after {resp['retry_after_s']:.2f} s)"
     print(f"repro jobs: {error}{': ' if detail else ''}{detail}{hint}",
           file=sys.stderr)
     return 1

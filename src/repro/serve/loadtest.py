@@ -96,6 +96,93 @@ async def request_shutdown(host: str, port: int) -> None:
         pass
 
 
+async def run_loadtest_direct(
+    host: str,
+    port: int,
+    workload: list[tuple[str, dict[str, Any]]],
+    rate: float,
+    arrival_seed: int = 1,
+) -> dict[str, Any]:
+    """The direct data path: one :class:`~repro.serve.client.RingClient`
+    learns the topology from the router at ``host:port`` once, then
+    drives ``workload`` at Poisson ``rate`` straight at each key's home
+    shard (router fallback on trouble).  Same report shape as
+    :func:`run_loadtest` plus the client's routing counters."""
+    from repro.serve.client import RingClient
+
+    client = RingClient(host, port)
+    last: Exception | None = None
+    for _ in range(CONNECT_RETRIES):
+        try:
+            await client.connect()
+            break
+        except (ConnectionError, OSError) as exc:
+            last = exc
+            await asyncio.sleep(CONNECT_DELAY_S)
+    else:
+        raise ConnectionError(
+            f"could not learn the topology from {host}:{port}"
+        ) from last
+
+    loop = asyncio.get_running_loop()
+    rng = random.Random(arrival_seed)
+    tasks: list[asyncio.Task] = []
+    t_start = loop.time()
+    t_next = t_start
+    for kind, params in workload:
+        delay = t_next - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        # Open-loop like the proxied path: fire-and-collect, the
+        # arrival schedule never waits on a response.
+        tasks.append(loop.create_task(client.query(kind, params)))
+        t_next += rng.expovariate(rate)
+    send_wall_s = loop.time() - t_start
+    responses = await asyncio.gather(*tasks, return_exceptions=True)
+    wall_s = loop.time() - t_start
+    await client.close()
+
+    report = _tally(workload, responses, wall_s, send_wall_s)
+    report["direct_queries"] = client.direct_queries
+    report["router_fallbacks"] = client.router_fallbacks
+    return report
+
+
+def _tally(
+    workload: list[tuple[str, dict[str, Any]]],
+    responses: list[Any],
+    wall_s: float,
+    send_wall_s: float,
+) -> dict[str, Any]:
+    """Fold raw per-request outcomes into one report dict."""
+    completed = rejected = errors = 0
+    served: dict[str, int] = {
+        "cache": 0, "coalesced": 0, "computed": 0, "peer": 0,
+    }
+    latencies: list[float] = []
+    for doc in responses:
+        if isinstance(doc, Exception):
+            errors += 1
+        elif doc.get("ok"):
+            completed += 1
+            served[doc["served"]] = served.get(doc["served"], 0) + 1
+            latencies.append(doc["latency_s"])
+        elif doc.get("error") == "overloaded":
+            rejected += 1
+        else:
+            errors += 1
+    return {
+        "requests": len(workload),
+        "completed": completed,
+        "rejected": rejected,
+        "errors": errors,
+        "served": served,
+        "wall_s": wall_s,
+        "send_wall_s": send_wall_s,
+        "latencies_s": latencies,
+    }
+
+
 async def run_loadtest(
     host: str,
     port: int,
@@ -183,32 +270,7 @@ async def run_loadtest(
     except (ConnectionResetError, BrokenPipeError, OSError):
         pass
 
-    completed = rejected = errors = 0
-    served: dict[str, int] = {
-        "cache": 0, "coalesced": 0, "computed": 0, "peer": 0,
-    }
-    latencies: list[float] = []
-    for doc in responses:
-        if isinstance(doc, Exception):
-            errors += 1
-        elif doc.get("ok"):
-            completed += 1
-            served[doc["served"]] = served.get(doc["served"], 0) + 1
-            latencies.append(doc["latency_s"])
-        elif doc.get("error") == "overloaded":
-            rejected += 1
-        else:
-            errors += 1
-    return {
-        "requests": len(workload),
-        "completed": completed,
-        "rejected": rejected,
-        "errors": errors,
-        "served": served,
-        "wall_s": wall_s,
-        "send_wall_s": send_wall_s,
-        "latencies_s": latencies,
-    }
+    return _tally(workload, list(responses), wall_s, send_wall_s)
 
 
 async def run_loadtest_fleet(
@@ -220,16 +282,24 @@ async def run_loadtest_fleet(
     hot_fraction: float = 0.9,
     connections: int = 1,
     shutdown_after: bool = False,
+    direct: bool = False,
 ) -> dict[str, Any]:
     """Split one seeded workload round-robin across ``connections``
-    concurrent clients (sharing the offered rate) and merge the reports."""
+    concurrent clients (sharing the offered rate) and merge the reports.
+
+    ``direct=True`` swaps each client for a ring-aware one
+    (:func:`run_loadtest_direct`): ``host:port`` must then be the
+    *router*, which serves only topology discovery and fallback while
+    the queries flow straight to the home shards.
+    """
     workload = build_workload(n_requests, seed=seed, hot_fraction=hot_fraction)
     connections = max(1, min(connections, len(workload) or 1))
     shards = [workload[i::connections] for i in range(connections)]
     per_conn_rate = rate / connections
+    driver = run_loadtest_direct if direct else run_loadtest
     reports = await asyncio.gather(
         *(
-            run_loadtest(
+            driver(
                 host, port, shard, per_conn_rate, arrival_seed=seed + 1 + i
             )
             for i, shard in enumerate(shards)
@@ -250,6 +320,9 @@ async def run_loadtest_fleet(
     for rep in reports:
         for key in ("requests", "completed", "rejected", "errors"):
             merged[key] += rep[key]
+        for key in ("direct_queries", "router_fallbacks"):
+            if key in rep:
+                merged[key] = merged.get(key, 0) + rep[key]
         for key, count in rep["served"].items():
             served[key] = served.get(key, 0) + count
         latencies.extend(rep["latencies_s"])
@@ -293,6 +366,7 @@ async def run_saturation(
     p99_limit_s: float = 0.05,
     min_step_requests: int = 200,
     max_step_requests: int = 20_000,
+    direct: bool = False,
 ) -> dict[str, Any]:
     """Closed-loop saturation probe: find the real throughput ceiling.
 
@@ -326,6 +400,7 @@ async def run_saturation(
         report = await run_loadtest_fleet(
             host, port, n_requests=n_requests, rate=rate, seed=seed,
             hot_fraction=hot_fraction, connections=connections,
+            direct=direct,
         )
         p99 = report.get("p99_latency_s")
         achieved = report["throughput_rps"]
@@ -343,7 +418,7 @@ async def run_saturation(
             and achieved >= 0.9 * min(rate, realized)
             and (p99 is None or p99 <= p99_limit_s)
         )
-        steps.append({
+        step: dict[str, Any] = {
             "offered_rate_rps": rate,
             "realized_offered_rps": realized,
             "achieved_rps": achieved,
@@ -353,7 +428,11 @@ async def run_saturation(
             "p99_latency_s": p99,
             "hit_ratio": report["hit_ratio"],
             "sustained": sustained,
-        })
+        }
+        if direct:
+            step["direct_queries"] = report.get("direct_queries", 0)
+            step["router_fallbacks"] = report.get("router_fallbacks", 0)
+        steps.append(step)
         if not sustained:
             saturated = True
             break
@@ -363,6 +442,7 @@ async def run_saturation(
     return {
         "mode": "saturation",
         "connections": connections,
+        "direct": direct,
         "p99_limit_s": p99_limit_s,
         "steps": steps,
         "max_sustainable_ops_per_s": best_rate,
@@ -374,8 +454,9 @@ async def run_saturation(
 def format_saturation_report(report: dict[str, Any]) -> str:
     lines = [
         f"saturation: {len(report['steps'])} step(s) over "
-        f"{report['connections']} connection(s), "
-        f"p99 limit {report['p99_limit_s'] * 1e3:.0f} ms"
+        f"{report['connections']} connection(s)"
+        + (" [direct data path]" if report.get("direct") else "")
+        + f", p99 limit {report['p99_limit_s'] * 1e3:.0f} ms"
     ]
     for step in report["steps"]:
         p99 = step["p99_latency_s"]
@@ -410,6 +491,11 @@ def format_report(report: dict[str, Any]) -> str:
         )
         + f"  (hit ratio {report['hit_ratio']:.1%})",
     ]
+    if "direct_queries" in report:
+        lines.append(
+            f"  routing: {report['direct_queries']} direct to home "
+            f"shards, {report['router_fallbacks']} router fallback(s)"
+        )
     if "p50_latency_s" in report:
         lines.append(
             f"  latency: p50 {report['p50_latency_s'] * 1e3:.2f} ms, "

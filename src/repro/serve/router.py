@@ -78,6 +78,20 @@ def _ring_hash(material: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def topology_epoch(backends: list[tuple[str, str, int]]) -> str:
+    """A version tag for one cluster topology.
+
+    Deterministic over the backend set (order-independent, like ring
+    placement): every ``locate``/redirect answer carries it, so a
+    client holding a stale ring can detect the mismatch and re-learn
+    the topology instead of querying the wrong home shard forever.
+    """
+    material = ",".join(
+        sorted(f"{name}={host}:{port}" for name, host, port in backends)
+    )
+    return hashlib.sha256(material.encode()).hexdigest()[:12]
+
+
 class HashRing:
     """Consistent hashing with virtual nodes.
 
@@ -267,6 +281,11 @@ class CachePeerFill:
             if name != self_name
         }
         self._down_until: dict[str, float] = {}
+        # Monotonic timestamp of the last successful probe per peer: a
+        # probe failure only (re-)stamps the cooldown when no probe has
+        # succeeded since it STARTED — a slow failure racing a fresh
+        # success must not re-declare a provably live peer dead.
+        self._last_success: dict[str, float] = {}
         self._inflight: dict[str, asyncio.Future] = {}
         self.probes = 0  #: probes actually sent to a peer
         self.fills = 0   #: probes that came back as hits
@@ -285,7 +304,12 @@ class CachePeerFill:
         if inflight is not None:
             # Coalesce concurrent probes for one key, mirroring the
             # front end's single-flight table.
-            return await asyncio.shield(inflight)
+            try:
+                return await asyncio.shield(inflight)
+            except asyncio.CancelledError:
+                raise  # THIS waiter was cancelled, not the leader
+            except Exception:  # noqa: BLE001 - optimisation only
+                return MISS
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         fut.add_done_callback(
             lambda f: f.exception() if not f.cancelled() else None
@@ -293,9 +317,13 @@ class CachePeerFill:
         self._inflight[key] = fut
         try:
             value = await self._probe_home(link, kind, params)
-        except BaseException as exc:
+        except BaseException:
+            # The leader died (typically cancelled mid-probe).  Its own
+            # caller sees the failure, but every coalesced waiter must
+            # degrade to MISS — peer-fill may never fail a request that
+            # local compute would have served.
             if not fut.done():
-                fut.set_exception(exc)
+                fut.set_result(MISS)
             raise
         else:
             if not fut.done():
@@ -308,16 +336,23 @@ class CachePeerFill:
         self, link: BackendLink, kind: str, params: dict[str, Any]
     ) -> Any:
         self.probes += 1
+        t_start = time.monotonic()
         try:
             doc = await link.request(
                 {"op": "probe", "kind": kind, "params": params},
                 timeout_s=self.probe_timeout_s,
             )
         except Exception:  # noqa: BLE001 - peer-fill is an optimisation
-            self._down_until[link.name] = (
-                time.monotonic() + self.down_cooldown_s
-            )
+            if self._last_success.get(link.name, float("-inf")) <= t_start:
+                self._down_until[link.name] = (
+                    time.monotonic() + self.down_cooldown_s
+                )
             return MISS
+        # Any response at all proves the peer alive: clear the cooldown
+        # (a stale entry otherwise outlives its expiry forever) and
+        # record the success so racing failures cannot re-stamp it.
+        self._last_success[link.name] = time.monotonic()
+        self._down_until.pop(link.name, None)
         if doc.get("ok") and doc.get("hit") and "value" in doc:
             self.fills += 1
             return doc["value"]
@@ -352,6 +387,7 @@ class ServeRouter:
         self.host = host
         self.port = port
         self.forward_timeout_s = forward_timeout_s
+        self.epoch = topology_epoch(self.backends)
         self.ring = HashRing([name for name, _, _ in backends], vnodes)
         self._links = {
             name: BackendLink(name, host, port)
@@ -367,6 +403,9 @@ class ServeRouter:
         self.forwarded = 0       #: query/probe ops forwarded to a shard
         self.unavailable = 0     #: forwards that died on a link failure
         self.rejected_draining = 0
+        self.located = 0         #: locate ops answered
+        self.redirected = 0      #: queries answered with a redirect
+        self.job_home_down = 0   #: job ops refused: job home unreachable
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> None:
@@ -444,12 +483,16 @@ class ServeRouter:
                     await self._send(
                         writer, write_lock, await self._answer_stats(rid)
                     )
+                elif op == "locate":
+                    await self._send(
+                        writer, write_lock, self._answer_locate(rid, req)
+                    )
                 elif op in ("submit", "status", "result", "cancel"):
                     # Job ops are not sharded by key: they live on the
                     # first backend, the cluster's designated job home.
                     await self._send(
                         writer, write_lock,
-                        await self._forward(self.backends[0][0], rid, req),
+                        await self._forward_job(rid, req),
                     )
                 elif op == "ping":
                     await self._send(
@@ -517,9 +560,68 @@ class ServeRouter:
             )
             return
         home = self.ring.home(route_key(kind, params))
+        if req.get("op") == "query" and req.get("redirect"):
+            # Opt-in client redirect: answer with the home shard's
+            # address instead of proxying — the client connects direct
+            # and the router's single process leaves the data path.
+            self.redirected += 1
+            await self._send(
+                writer, write_lock, self._redirect_doc(rid, home)
+            )
+            return
         await self._send(
             writer, write_lock, await self._forward(home, rid, req)
         )
+
+    def _redirect_doc(self, rid: Any, home: str) -> dict[str, Any]:
+        host, port = next(
+            (h, p) for name, h, p in self.backends if name == home
+        )
+        return {"id": rid, "ok": False, "error": "redirect",
+                "backend": home, "host": host, "port": port,
+                "epoch": self.epoch}
+
+    def _answer_locate(self, rid: Any, req: dict[str, Any]) -> dict[str, Any]:
+        """The redirect protocol's discovery op: the full topology (and
+        epoch), plus — when the request names a key — that key's home
+        shard.  Answered from the ring alone, no backend round-trip."""
+        kind = req.get("kind")
+        params = req.get("params")
+        doc: dict[str, Any] = {
+            "id": rid, "ok": True, "epoch": self.epoch,
+            "backends": {
+                name: [host, port] for name, host, port in self.backends
+            },
+        }
+        if kind is not None or params is not None:
+            if not isinstance(kind, str) or not isinstance(params, dict):
+                return {"id": rid, "ok": False, "error": "bad_request",
+                        "detail": "locate needs a string 'kind' and "
+                        "object 'params' (or neither)"}
+            home = self.ring.home(route_key(kind, params))
+            host, port = next(
+                (h, p) for name, h, p in self.backends if name == home
+            )
+            doc.update(backend=home, host=host, port=port)
+        self.located += 1
+        return doc
+
+    async def _forward_job(self, rid: Any, req: dict[str, Any]) -> dict[str, Any]:
+        """Job ops live on the boot-order-first backend (the cluster's
+        job home).  When that backend is down, answer with a structured
+        ``job_home_down`` — naming the home and a retry hint — instead
+        of the generic ``unavailable``: there is no failover to
+        attempt, and the caller deserves to know the jobs themselves
+        are intact, just briefly unreachable."""
+        home = self.backends[0][0]
+        doc = await self._forward(home, rid, req)
+        if doc.get("ok") is False and doc.get("error") == "unavailable":
+            self.job_home_down += 1
+            return {"id": rid, "ok": False, "error": "job_home_down",
+                    "job_home": home,
+                    "retry_after_s": DEFAULT_DOWN_COOLDOWN_S,
+                    "detail": doc.get("detail", "")}
+        return doc
 
     async def _forward(
         self, backend: str, rid: Any, req: dict[str, Any]
@@ -551,7 +653,7 @@ class ServeRouter:
         agg = {
             "accepted": 0, "rejected": 0, "cache_hits": 0,
             "coalesced": 0, "peer_fills": 0, "peer_serves": 0,
-            "computed": 0, "failed": 0,
+            "computed": 0, "failed": 0, "direct": 0,
         }
         hit_ratios: dict[str, float] = {}
         for name, _, _ in self.backends:
@@ -580,9 +682,13 @@ class ServeRouter:
             "id": rid, "ok": True,
             "router": {
                 "backends": [name for name, _, _ in self.backends],
+                "topology_epoch": self.epoch,
                 "forwarded": self.forwarded,
                 "unavailable": self.unavailable,
                 "rejected_draining": self.rejected_draining,
+                "located": self.located,
+                "redirected": self.redirected,
+                "job_home_down": self.job_home_down,
                 "draining": self._draining,
             },
             "stats": agg,

@@ -81,10 +81,12 @@ class ServeServer:
         port: int = 0,
         jobs_manager: JobManager | None = None,
         drain_timeout_s: float | None = None,
+        name: str = "serve",
     ) -> None:
         self.frontend = frontend
         self.host = host
         self.port = port
+        self.name = name
         self.jobs = jobs_manager
         self.drain_timeout_s = drain_timeout_s
         self.recovered: dict[str, int] | None = None
@@ -178,6 +180,10 @@ class ServeServer:
                 elif op == "probe":
                     await self._send(
                         writer, write_lock, self._answer_probe(rid, req)
+                    )
+                elif op == "locate":
+                    await self._send(
+                        writer, write_lock, self._answer_locate(rid, req)
                     )
                 elif op in ("submit", "status", "result", "cancel"):
                     await self._send(
@@ -285,6 +291,29 @@ class ServeServer:
             return {"id": rid, "ok": False, "error": "internal",
                     "detail": f"{type(exc).__name__}: {exc}"}
 
+    def _answer_locate(self, rid: Any, req: dict[str, Any]) -> dict[str, Any]:
+        """The redirect protocol's discovery op, answered by a bare
+        backend as a one-node topology: this server is every key's home
+        shard.  Same shape as the router's answer, so a ring-aware
+        client pointed at a single server degenerates cleanly to a
+        plain client (and the wire contract stays endpoint-uniform)."""
+        from repro.serve.router import topology_epoch
+
+        kind = req.get("kind")
+        params = req.get("params")
+        doc: dict[str, Any] = {
+            "id": rid, "ok": True,
+            "epoch": topology_epoch([(self.name, self.host, self.port)]),
+            "backends": {self.name: [self.host, self.port]},
+        }
+        if kind is not None or params is not None:
+            if not isinstance(kind, str) or not isinstance(params, dict):
+                return {"id": rid, "ok": False, "error": "bad_request",
+                        "detail": "locate needs a string 'kind' and "
+                        "object 'params' (or neither)"}
+            doc.update(backend=self.name, host=self.host, port=self.port)
+        return doc
+
     def _answer_probe(self, rid: Any, req: dict[str, Any]) -> dict[str, Any]:
         """Cluster peer-fill read: the LOCAL cache's answer for a key,
         or a clean miss.  Never computes and never probes further —
@@ -329,6 +358,11 @@ class ServeServer:
                  "detail": "query needs a string 'kind' and object 'params'"},
             )
             return
+        if req.get("via") == "direct":
+            # Ring-aware clients tag queries they routed themselves so
+            # the stats distinguish router-proxied from direct traffic
+            # (the response shape stays identical on both paths).
+            self.frontend.stats.direct += 1
         loop = asyncio.get_running_loop()
         t0 = loop.time()
         try:

@@ -236,6 +236,151 @@ class TestCachePeerFill:
         with pytest.raises(ValueError, match="not on the ring"):
             CachePeerFill(HashRing(["b0"]), "zz", {"b0": ("127.0.0.1", 1)})
 
+    def test_leader_cancellation_degrades_waiters_to_miss(self, tmp_path):
+        """Regression: cancelling the coalescing *leader* mid-probe must
+        not propagate ``CancelledError`` into the coalesced waiters —
+        they degrade to MISS (and compute locally) like every other
+        peer-fill failure.  Pre-fix the waiters inherited the leader's
+        fate through the shared future."""
+
+        async def scenario():
+            async def stall(reader, writer):
+                await reader.readline()
+                await asyncio.sleep(3600)
+
+            stall_srv = await asyncio.start_server(stall, "127.0.0.1", 0)
+            stall_port = stall_srv.sockets[0].getsockname()[1]
+            ring, home_name, other_name, peers = two_shard_ring(
+                stall_port, 1
+            )
+            pf = CachePeerFill(ring, other_name, peers, probe_timeout_s=30.0)
+            leader = asyncio.ensure_future(pf.probe("sweep_point", POINT_A))
+            await asyncio.sleep(0.05)  # leader owns the in-flight slot
+            waiters = [
+                asyncio.ensure_future(pf.probe("sweep_point", POINT_A))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0.05)  # waiters parked on the future
+            leader.cancel()
+            results = await asyncio.wait_for(
+                asyncio.gather(*waiters), timeout=5.0
+            )
+            with pytest.raises(asyncio.CancelledError):
+                await leader
+            await pf.close()
+            stall_srv.close()
+            await stall_srv.wait_closed()
+            return results
+
+        results = asyncio.run(scenario())
+        assert all(value is MISS for value in results)
+
+    def test_waiter_cancellation_does_not_break_the_leader(self, tmp_path):
+        """The converse: cancelling one coalesced waiter cancels only
+        that waiter; the leader and the other waiters still resolve."""
+
+        async def scenario():
+            home_server, t0 = await start_backend(tmp_path / "h")
+            await rpc(home_server.port, {"op": "query", "id": 0,
+                                         "kind": "sweep_point",
+                                         "params": POINT_A})
+            ring, home_name, other_name, peers = two_shard_ring(
+                home_server.port, 1
+            )
+            pf = CachePeerFill(ring, other_name, peers)
+            leader = asyncio.ensure_future(pf.probe("sweep_point", POINT_A))
+            await asyncio.sleep(0)
+            doomed = asyncio.ensure_future(pf.probe("sweep_point", POINT_A))
+            survivor = asyncio.ensure_future(
+                pf.probe("sweep_point", POINT_A)
+            )
+            await asyncio.sleep(0)
+            doomed.cancel()
+            value = await leader
+            other = await survivor
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            await pf.close()
+            await rpc(home_server.port, {"op": "shutdown", "id": 9})
+            await t0
+            return value, other
+
+        value, other = asyncio.run(scenario())
+        expected = "sweep_point(freq=1.0,mode=single,platform=Tegra2)"
+        assert value == expected and other == expected
+
+    def test_cooldown_cleared_on_success_and_failure_race(self, tmp_path):
+        """Regression, both orders of the cooldown/success race:
+
+        * a slow probe *failure* that started before a concurrent
+          probe's *success* landed must not stamp the cooldown — the
+          success proves the peer alive *after* the failure began;
+        * a failure with no success since its start DOES stamp it, and
+          the next successful probe clears the entry (pre-fix
+          ``_down_until`` was never cleared, so a stale entry outlived
+          its expiry forever).
+        """
+        from repro.serve.router import BackendLink
+
+        async def scenario():
+            async def stall(reader, writer):
+                await reader.readline()
+                await asyncio.sleep(3600)
+
+            stall_srv = await asyncio.start_server(stall, "127.0.0.1", 0)
+            stall_port = stall_srv.sockets[0].getsockname()[1]
+            home_server, t0 = await start_backend(tmp_path / "h")
+            await rpc(home_server.port, {"op": "query", "id": 0,
+                                         "kind": "sweep_point",
+                                         "params": POINT_A})
+            ring, home_name, other_name, peers = two_shard_ring(
+                home_server.port, 1
+            )
+            pf = CachePeerFill(
+                ring, other_name, peers,
+                probe_timeout_s=0.3, down_cooldown_s=60.0,
+            )
+            # A link to the stall server wearing the home's name: its
+            # requests time out slowly, standing in for a sick path to
+            # a peer that other probes reach fine.
+            slow_dead = BackendLink(home_name, "127.0.0.1", stall_port)
+
+            # Order 1: failure in flight when a success lands.
+            failing = asyncio.ensure_future(
+                pf._probe_home(slow_dead, "sweep_point", POINT_A)
+            )
+            await asyncio.sleep(0.05)
+            ok = await pf.probe("sweep_point", POINT_A)  # live home link
+            raced_miss = await failing  # the timeout resolves after
+            stamped_despite_success = home_name in pf._down_until
+
+            # Order 2: failure with no success since its start stamps
+            # the cooldown; the next success clears it.
+            miss = await pf._probe_home(slow_dead, "sweep_point", POINT_A)
+            stamped = home_name in pf._down_until
+            await pf._probe_home(
+                pf._links[home_name], "sweep_point", POINT_A
+            )
+            cleared = home_name not in pf._down_until
+
+            await pf.close()
+            await slow_dead.close()
+            stall_srv.close()
+            await stall_srv.wait_closed()
+            await rpc(home_server.port, {"op": "shutdown", "id": 9})
+            await t0
+            return (ok, raced_miss, stamped_despite_success,
+                    miss, stamped, cleared)
+
+        (ok, raced_miss, stamped_despite_success,
+         miss, stamped, cleared) = asyncio.run(scenario())
+        assert ok == "sweep_point(freq=1.0,mode=single,platform=Tegra2)"
+        assert raced_miss is MISS
+        assert not stamped_despite_success
+        assert miss is MISS
+        assert stamped
+        assert cleared
+
     def test_concurrent_probes_coalesce(self, tmp_path):
         """Concurrent probes for one key share one wire round-trip."""
 

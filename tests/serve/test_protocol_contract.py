@@ -12,11 +12,31 @@ import json
 
 import pytest
 
+from repro.parallel.units import execute_unit as run_unit
 from repro.serve.frontend import CampaignFrontEnd, ServeConfig
-from repro.serve.router import CachePeerFill, HashRing, ServeRouter
+from repro.serve.router import (
+    CachePeerFill,
+    HashRing,
+    ServeRouter,
+    route_key,
+    topology_epoch,
+)
 from repro.serve.server import ServeServer
 
 POINT_A = {"mode": "single", "platform": "Tegra2", "freq": 1.0}
+POINT_B = {"mode": "multi", "platform": "Exynos5250", "freq": 1.4}
+FIG6_POINT = {"app": "HPL", "max_nodes": 96, "n": 96}
+
+#: One representative operating point per reproduced figure.
+IDENTITY_CASES = [
+    ("sweep_point", POINT_A),    # figure3 (single-core sweep)
+    ("sweep_point", POINT_B),    # figure4 (multi-core sweep)
+    ("fig6_point", FIG6_POINT),  # figure6 (cluster scaling)
+]
+
+
+def canon(value):
+    return json.dumps(value, sort_keys=True)
 
 
 def label_runner(units):
@@ -264,6 +284,149 @@ class TestWireContract:
             assert set(doc) == {"id", "ok", "error", "reason",
                                 "retry_after_s"}
 
+    def test_locate_returns_selfconsistent_topology(self, tmp_path, kind):
+        """``locate`` answers the full topology plus an epoch derived
+        from it — on the router AND on a bare server (which answers as
+        a one-node topology, so ring clients degenerate cleanly)."""
+
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            send(writer, {"op": "locate", "id": 5})
+            await writer.drain()
+            doc = await recv(reader)
+            await shutdown_endpoint(ep, reader, writer)
+            return doc
+
+        doc = asyncio.run(scenario())
+        assert doc["id"] == 5 and doc["ok"] is True
+        backends = doc["backends"]
+        assert len(backends) == (2 if kind == "router" else 1)
+        for name, (host, port) in backends.items():
+            assert isinstance(host, str) and isinstance(port, int)
+        assert doc["epoch"] == topology_epoch(
+            [(n, h, p) for n, (h, p) in backends.items()]
+        )
+
+    def test_locate_with_key_names_home(self, tmp_path, kind):
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            send(writer, {"op": "locate", "id": 1, "kind": "sweep_point",
+                          "params": POINT_A})
+            await writer.drain()
+            doc = await recv(reader)
+            await shutdown_endpoint(ep, reader, writer)
+            return doc
+
+        doc = asyncio.run(scenario())
+        assert doc["ok"] is True
+        assert [doc["host"], doc["port"]] == doc["backends"][doc["backend"]]
+        # Client-side placement must agree: the very same ring.
+        expected = HashRing(sorted(doc["backends"])).home(
+            route_key("sweep_point", POINT_A)
+        )
+        assert doc["backend"] == expected
+
+    def test_locate_rejects_bad_key_types(self, tmp_path, kind):
+        """Half a key — or ill-typed kind/params — is a ``bad_request``
+        with the id echoed, same vocabulary as every other op."""
+
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            send(writer, {"op": "locate", "id": 1, "kind": 42,
+                          "params": {}})
+            send(writer, {"op": "locate", "id": 2, "kind": "sweep_point",
+                          "params": "not-an-object"})
+            send(writer, {"op": "locate", "id": 3, "kind": "sweep_point"})
+            await writer.drain()
+            docs = {}
+            for _ in range(3):
+                doc = await recv(reader)
+                docs[doc["id"]] = doc
+            await shutdown_endpoint(ep, reader, writer)
+            return docs
+
+        docs = asyncio.run(scenario())
+        for rid in (1, 2, 3):
+            assert docs[rid]["ok"] is False, docs[rid]
+            assert docs[rid]["error"] == "bad_request"
+
+    def test_locate_duplicate_ids_get_two_answers(self, tmp_path, kind):
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            send(writer, {"op": "locate", "id": 9})
+            send(writer, {"op": "locate", "id": 9})
+            await writer.drain()
+            docs = [await recv(reader) for _ in range(2)]
+            await shutdown_endpoint(ep, reader, writer)
+            return docs
+
+        docs = asyncio.run(scenario())
+        assert [d["id"] for d in docs] == [9, 9]
+        assert docs[0]["backends"] == docs[1]["backends"]
+
+    def test_locate_after_truncated_frame(self, tmp_path, kind):
+        """A client dying mid-frame must not wedge ``locate`` for the
+        next connection."""
+
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            r1, w1 = await connect(ep.port)
+            w1.write(b'{"op": "locate", "id"')  # no newline, bye
+            await w1.drain()
+            w1.close()
+            r2, w2 = await connect(ep.port)
+            send(w2, {"op": "locate", "id": 1})
+            await w2.drain()
+            doc = await recv(r2)
+            await shutdown_endpoint(ep, r2, w2)
+            return doc
+
+        assert asyncio.run(scenario())["ok"] is True
+
+    def test_redirect_flag(self, tmp_path, kind):
+        """``redirect: true`` on a query: the router answers with the
+        home's address instead of proxying (and following it yields the
+        same value the proxied path returns); a bare server — already
+        the home of everything — just serves the query."""
+
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            send(writer, {"op": "query", "id": 1, "kind": "sweep_point",
+                          "params": POINT_A, "redirect": True})
+            await writer.drain()
+            first = await recv(reader)
+            followed = proxied = None
+            if kind == "router":
+                send(writer, {"op": "query", "id": 2, "kind": "sweep_point",
+                              "params": POINT_A})
+                await writer.drain()
+                proxied = await recv(reader)
+                r2, w2 = await connect(first["port"])
+                send(w2, {"op": "query", "id": 3, "kind": "sweep_point",
+                          "params": POINT_A, "via": "direct"})
+                await w2.drain()
+                followed = await recv(r2)
+                w2.close()
+            await shutdown_endpoint(ep, reader, writer)
+            return first, followed, proxied, ep
+
+        first, followed, proxied, ep = asyncio.run(scenario())
+        if kind == "server":
+            assert first["ok"] is True and "value" in first
+            return
+        assert first["ok"] is False and first["error"] == "redirect"
+        assert set(first) == {"id", "ok", "error", "backend", "host",
+                              "port", "epoch"}
+        assert first["epoch"] == ep.router.epoch
+        assert followed["ok"] is True
+        assert canon(followed["value"]) == canon(proxied["value"])
+        assert ep.router.redirected == 1
+
     def test_interleaved_responses_match_by_id(self, tmp_path, kind):
         async def scenario():
             ep = await boot_endpoint(kind, tmp_path)
@@ -285,3 +448,114 @@ class TestWireContract:
         docs = asyncio.run(scenario())
         assert sorted(docs) == list(range(20))
         assert all(docs[i]["ok"] for i in docs)
+
+
+class TestDirectPathByteIdentity:
+    """The redirect protocol's core promise: a query routed by the
+    client straight to its home shard returns the exact value the
+    proxied path returns, and both are the bytes of the run-unit
+    oracle — one representative point per reproduced figure."""
+
+    def test_direct_vs_proxied_vs_oracle(self, tmp_path):
+        async def scenario():
+            ep = await boot_endpoint("router", tmp_path, runner=None)
+            reader, writer = await connect(ep.port)
+            proxied = {}
+            for i, (kind, params) in enumerate(IDENTITY_CASES):
+                send(writer, {"op": "query", "id": i, "kind": kind,
+                              "params": params})
+            await writer.drain()
+            for _ in IDENTITY_CASES:
+                doc = await recv(reader)
+                proxied[doc["id"]] = doc
+
+            send(writer, {"op": "locate", "id": "topo"})
+            await writer.drain()
+            topo = await recv(reader)
+            direct = {}
+            for i, (kind, params) in enumerate(IDENTITY_CASES):
+                home = HashRing(sorted(topo["backends"])).home(
+                    route_key(kind, params)
+                )
+                host, port = topo["backends"][home]
+                r2, w2 = await connect(port)
+                send(w2, {"op": "query", "id": i, "kind": kind,
+                          "params": params, "via": "direct"})
+                await w2.drain()
+                direct[i] = await recv(r2)
+                w2.close()
+            counted = sum(s.frontend.stats.direct for s in ep.servers)
+            await shutdown_endpoint(ep, reader, writer)
+            return proxied, direct, counted
+
+        proxied, direct, counted = asyncio.run(scenario())
+        for i, (kind, params) in enumerate(IDENTITY_CASES):
+            oracle = canon(run_unit(kind, params))
+            assert canon(proxied[i]["value"]) == oracle, (kind, params)
+            assert canon(direct[i]["value"]) == oracle, (kind, params)
+            # Same frame shape on both paths, not just the same value.
+            assert set(proxied[i]) == set(direct[i])
+        # The shards counted the direct traffic separately.
+        assert counted == len(IDENTITY_CASES)
+
+
+class TestJobHomeDown:
+    """Job ops live on the boot-order-first backend; when it is down
+    the router must answer a structured ``job_home_down`` (naming the
+    home, with a retry hint) instead of the generic ``unavailable``."""
+
+    def test_job_ops_to_down_home_are_structured(self, tmp_path):
+        async def scenario():
+            live = ServeServer(CampaignFrontEnd(
+                ServeConfig(cache_dir=tmp_path / "b1",
+                            batch_window_s=0.005),
+                label_runner,
+            ))
+            await live.start()
+            live_task = asyncio.ensure_future(live.serve_until_shutdown())
+            router = ServeRouter([
+                ("b0", "127.0.0.1", 1),  # the job home: nobody there
+                ("b1", "127.0.0.1", live.port),
+            ])
+            await router.start()
+            router_task = asyncio.ensure_future(
+                router.serve_until_shutdown()
+            )
+            reader, writer = await connect(router.port)
+            reqs = [
+                {"op": "submit", "id": 0, "tenant": "t",
+                 "units": [{"kind": "sweep_base", "params": {}}]},
+                {"op": "status", "id": 1, "job_id": "nope"},
+                {"op": "result", "id": 2, "job_id": "nope"},
+                {"op": "cancel", "id": 3, "job_id": "nope"},
+            ]
+            for req in reqs:
+                send(writer, req)
+            await writer.drain()
+            docs = {}
+            for _ in reqs:
+                doc = await recv(reader)
+                docs[doc["id"]] = doc
+            # Queries are unaffected: they shard by key, and this key's
+            # home may be either backend — served or unavailable, but
+            # never job_home_down.
+            send(writer, {"op": "query", "id": 9, "kind": "sweep_base",
+                          "params": {}})
+            await writer.drain()
+            query_doc = await recv(reader)
+            send(writer, {"op": "shutdown", "id": 99})
+            await writer.drain()
+            await asyncio.gather(router_task, live_task)
+            writer.close()
+            return docs, query_doc, router.job_home_down
+
+        docs, query_doc, counter = asyncio.run(scenario())
+        for rid in range(4):
+            doc = docs[rid]
+            assert doc["ok"] is False, doc
+            assert doc["error"] == "job_home_down"
+            assert doc["job_home"] == "b0"
+            assert isinstance(doc["retry_after_s"], float)
+            assert doc["retry_after_s"] > 0
+        assert counter == 4
+        assert query_doc.get("error") != "job_home_down"
