@@ -366,16 +366,19 @@ def serve_suite_with_ref(
 
     n_requests = 400 if quick else 1500
     rate = 800.0 if quick else 1000.0
+    # The hot-value LRU lifted the single-process ceiling past the old
+    # quick ramp's top step (8 k offered): 7 quick steps reach 32 k so
+    # neither wire's ceiling is clipped by ramp exhaustion.
     sat_kw = dict(
         seed=0,
         connections=2 if quick else 4,
         start_rate=500.0,
         growth=2.0,
         step_seconds=0.25 if quick else 0.5,
-        max_steps=5 if quick else 9,
+        max_steps=7 if quick else 9,
     )
 
-    async def _drive(cache_dir) -> tuple[dict, dict, dict]:
+    async def _drive(cache_dir) -> tuple[dict, dict, dict, dict]:
         server = ServeServer(
             CampaignFrontEnd(ServeConfig(jobs=2, cache_dir=cache_dir))
         )
@@ -392,12 +395,17 @@ def serve_suite_with_ref(
         saturation = await run_saturation(
             "127.0.0.1", server.port, **sat_kw
         )
+        # Same warm server, same ramp, binary1 framing: the pair is the
+        # controlled comparison the serve.saturation_binary gate reads.
+        saturation_bin = await run_saturation(
+            "127.0.0.1", server.port, wire="binary", **sat_kw
+        )
         server.request_shutdown()
         await run_task
-        return cold, warm, saturation
+        return cold, warm, saturation, saturation_bin
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as td:
-        cold, warm, saturation = asyncio.run(_drive(td))
+        cold, warm, saturation, saturation_bin = asyncio.run(_drive(td))
 
     def result(name: str, report: dict) -> BenchResult:
         extras = {"hit_ratio": report["hit_ratio"]}
@@ -435,6 +443,29 @@ def serve_suite_with_ref(
             },
         ),
     ]
+    sat_bin_completed = sum(s["completed"] for s in saturation_bin["steps"])
+    results.append(BenchResult(
+        name="serve.saturation_binary",
+        ops=sat_bin_completed,
+        wall_s=(
+            sat_bin_completed / saturation_bin["max_sustainable_ops_per_s"]
+            if saturation_bin["max_sustainable_ops_per_s"] else 0.0
+        ),
+        ops_per_s=saturation_bin["max_sustainable_ops_per_s"],
+        repeats=1,
+        peak_rss_bytes=peak_rss_bytes(),
+        extras={
+            "saturated": saturation_bin["saturated"],
+            "steps": len(saturation_bin["steps"]),
+            "sustained_p99_s": saturation_bin["sustained_p99_s"],
+            "wire": "binary1",
+            "vs_json": (
+                saturation_bin["max_sustainable_ops_per_s"]
+                / saturation["max_sustainable_ops_per_s"]
+                if saturation["max_sustainable_ops_per_s"] else 0.0
+            ),
+        },
+    ))
     cluster_base: float | None = None
     for n_backends in (1, 2, 4):
         entry = _cluster_saturation_result(
@@ -453,12 +484,19 @@ def serve_suite_with_ref(
         direct_entry.ops_per_s / cluster_base if cluster_base else 0.0
     )
     results.append(direct_entry)
+    direct_bin_entry = _cluster_saturation_result(
+        4, quick, sat_kw, peak_rss_bytes, direct=True, wire="binary"
+    )
+    direct_bin_entry.extras["scaling_vs_1"] = (
+        direct_bin_entry.ops_per_s / cluster_base if cluster_base else 0.0
+    )
+    results.append(direct_bin_entry)
     return results, {"serve.loadtest_warm": cold["throughput_rps"]}
 
 
 def _cluster_saturation_result(
     n_backends: int, quick: bool, sat_kw: dict, peak_rss_bytes,
-    direct: bool = False,
+    direct: bool = False, wire: str = "json",
 ) -> BenchResult:
     """One ``serve.cluster<N>`` entry: boot the shipped
     ``repro cluster-serve`` CLI with N backends, warm the shards with
@@ -471,7 +509,10 @@ def _cluster_saturation_result(
     state either way), but the saturation probe runs ring-aware
     clients that route every query straight to its home shard — the
     redirect protocol's data path, whose ceiling is what the
-    ``scaling_vs_1 >= 1.5`` baseline gate checks."""
+    ``scaling_vs_1 >= 1.5`` baseline gate checks.  ``wire="binary"``
+    additionally negotiates the binary1 framing on every shard link
+    (the ``_binary`` entry names), probing the same path minus the
+    JSON codec."""
     import asyncio
     import json as _json
     import re
@@ -527,7 +568,7 @@ def _cluster_saturation_result(
                     rate=800.0, seed=0, connections=2,
                 )
                 saturation = await run_saturation(
-                    "127.0.0.1", port, direct=direct, **sat_kw
+                    "127.0.0.1", port, direct=direct, wire=wire, **sat_kw
                 )
                 stats = await _one_op("127.0.0.1", port, "stats")
                 await _one_op("127.0.0.1", port, "shutdown")
@@ -561,8 +602,12 @@ def _cluster_saturation_result(
         extras["router_fallbacks"] = sum(
             s.get("router_fallbacks", 0) for s in saturation["steps"]
         )
+    if wire == "binary":
+        extras["wire"] = "binary1"
     return BenchResult(
-        name=f"serve.cluster{n_backends}{'_direct' if direct else ''}",
+        name=f"serve.cluster{n_backends}"
+        f"{'_direct' if direct else ''}"
+        f"{'_binary' if wire == 'binary' else ''}",
         ops=completed,
         wall_s=(
             completed / saturation["max_sustainable_ops_per_s"]

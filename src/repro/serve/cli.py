@@ -134,6 +134,18 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="job units dispatched per batch — the checkpoint "
         "granularity a crash can lose (default: 16)",
     )
+    parser.add_argument(
+        "--wire", choices=("auto", "json"), default="auto",
+        help="wire protocols to accept: 'auto' (default) negotiates "
+        "the binary1 framing per connection and keeps JSON-lines as "
+        "the default; 'json' disables binary entirely",
+    )
+    parser.add_argument(
+        "--advertise-host", default=None, metavar="HOST",
+        help="address locate/redirect answers hand to clients "
+        "(default: the bind address, or this machine's primary "
+        "address when binding a wildcard)",
+    )
     args = parser.parse_args(argv)
     try:
         config = ServeConfig(
@@ -168,6 +180,8 @@ def serve_main(argv: list[str] | None = None) -> int:
             name=args.name,
             peers=peers,
             peer_timeout_s=args.peer_timeout,
+            binary_wire=args.wire != "json",
+            advertise_host=args.advertise_host,
         )
     )
 
@@ -205,6 +219,8 @@ async def _serve(
     name: str = "serve",
     peers: dict[str, tuple[str, int]] | None = None,
     peer_timeout_s: float = 2.0,
+    binary_wire: bool = True,
+    advertise_host: str | None = None,
 ) -> int:
     frontend = CampaignFrontEnd(config)
     if peers is not None:
@@ -231,7 +247,8 @@ async def _serve(
     server = ServeServer(
         frontend, host, port,
         jobs_manager=manager, drain_timeout_s=drain_timeout_s,
-        name=name,
+        name=name, binary_wire=binary_wire,
+        advertise_host=advertise_host,
     )
     await server.start()
     loop = asyncio.get_running_loop()
@@ -251,7 +268,8 @@ async def _serve(
         f"repro serve: listening on {server.host}:{server.port} "
         f"(jobs={config.jobs}, queue_limit={config.queue_limit}, "
         f"cache={'off' if config.cache_dir is None else config.cache_dir}, "
-        f"journal={'off' if journal_dir is None else journal_dir}"
+        f"journal={'off' if journal_dir is None else journal_dir}, "
+        f"wire={'json+binary1' if binary_wire else 'json'}"
         f"{shard}){recovered}",
         flush=True,
     )
@@ -348,6 +366,12 @@ def loadtest_main(argv: list[str] | None = None) -> int:
         "degenerates to a one-node topology)",
     )
     parser.add_argument(
+        "--wire", choices=("json", "binary"), default="json",
+        help="client framing: 'binary' negotiates binary1 per "
+        "connection (a JSON-only server downgrades the run cleanly); "
+        "default json",
+    )
+    parser.add_argument(
         "--assert-hit-ratio", type=float, default=None, metavar="X",
         help="exit 1 unless the coalesce+cache hit ratio reaches X",
     )
@@ -374,6 +398,7 @@ def loadtest_main(argv: list[str] | None = None) -> int:
                 max_steps=args.max_steps,
                 p99_limit_s=args.p99_slo,
                 direct=args.direct,
+                wire=args.wire,
             )
         )
         if args.shutdown:
@@ -396,6 +421,7 @@ def loadtest_main(argv: list[str] | None = None) -> int:
             connections=args.jobs,
             shutdown_after=args.shutdown,
             direct=args.direct,
+            wire=args.wire,
         )
     )
     if args.json:

@@ -55,18 +55,29 @@ from repro.serve.router import (
     HashRing,
     route_key,
 )
+from repro.serve.wire import DecodeMemo, EncodeMemo, SyncWireClient
 
 
 def request_once(
-    host: str, port: int, doc: dict[str, Any], timeout_s: float = 30.0
+    host: str,
+    port: int,
+    doc: dict[str, Any],
+    timeout_s: float = 30.0,
+    wire: str = "json",
 ) -> dict[str, Any]:
-    """One op, one connection, one matched response line (synchronous).
+    """One op, one connection, one matched response (synchronous).
 
     The shared client primitive for one-shot CLI tools (``repro jobs``)
     and scripts: job ops are cheap and stateless per connection, so
-    holding a socket buys nothing.
+    holding a socket buys nothing.  ``wire="binary"`` negotiates
+    ``binary1`` first (one extra round-trip; a server that declines
+    leaves the exchange on JSON-lines).
     """
     with socket.create_connection((host, port), timeout=timeout_s) as sock:
+        if wire == "binary":
+            client = SyncWireClient(sock)
+            client.negotiate()
+            return client.request({**doc, "id": 1})
         sock.sendall((json.dumps({**doc, "id": 1}) + "\n").encode())
         with sock.makefile("r", encoding="utf-8") as fh:
             line = fh.readline()
@@ -98,8 +109,18 @@ class RingClient:
         vnodes: int = DEFAULT_VNODES,
         request_timeout_s: float | None = 30.0,
         down_cooldown_s: float = DEFAULT_DOWN_COOLDOWN_S,
+        wire: str = "json",
     ) -> None:
-        self.router = BackendLink("router", router_host, router_port)
+        # One memo pair shared by the router link and every shard link:
+        # the hot set's params/values are the same objects whichever
+        # link carries them, so the caches compound instead of split.
+        self.wire = wire
+        self._encode_memo = EncodeMemo()
+        self._decode_memo = DecodeMemo()
+        self.router = BackendLink(
+            "router", router_host, router_port, wire=wire,
+            encode_memo=self._encode_memo, decode_memo=self._decode_memo,
+        )
         self.vnodes = vnodes
         self.request_timeout_s = request_timeout_s
         self.down_cooldown_s = down_cooldown_s
@@ -132,7 +153,11 @@ class RingClient:
             return
         old = list(self._links.values())
         self._links = {
-            name: BackendLink(name, host, int(port))
+            name: BackendLink(
+                name, host, int(port), wire=self.wire,
+                encode_memo=self._encode_memo,
+                decode_memo=self._decode_memo,
+            )
             for name, (host, port) in sorted(backends.items())
         }
         # Same construction as the router's: placement is independent

@@ -45,7 +45,7 @@ from pathlib import Path
 
 from repro.cli import jobs_count
 from repro.parallel.cache import DEFAULT_CACHE_DIR
-from repro.serve.router import ServeRouter
+from repro.serve.router import ServeRouter, advertised_host
 
 #: Seconds to wait for one backend's readiness line before declaring
 #: the boot failed.
@@ -164,14 +164,31 @@ def cluster_serve_main(argv: list[str] | None = None) -> int:
         "--drain-timeout", type=float, default=None, metavar="S",
         help="bound each backend's shutdown drain (default: unbounded)",
     )
+    parser.add_argument(
+        "--wire", choices=("auto", "json", "binary"), default="auto",
+        help="'auto' (default): router and backends accept binary1 "
+        "negotiation, backend links stay JSON unless asked; 'binary': "
+        "the router also negotiates binary1 on its backend links; "
+        "'json': JSON-lines only, cluster-wide",
+    )
+    parser.add_argument(
+        "--advertise-host", default=None, metavar="HOST",
+        help="address the peer map and locate/redirect answers carry "
+        "(default: the bind address, or this machine's primary "
+        "address when binding a wildcard)",
+    )
     args = parser.parse_args(argv)
     if args.backends < 1:
         parser.error("--backends must be at least 1")
 
+    # The peer map travels to every backend and back out to ring
+    # clients via locate — it must carry a connectable address even
+    # when the bind host is a wildcard.
+    adv = advertised_host(args.host, args.advertise_host)
     names = [f"b{i}" for i in range(args.backends)]
     ports = [free_port(args.host) for _ in names]
     peers_spec = ",".join(
-        f"{name}={args.host}:{port}" for name, port in zip(names, ports)
+        f"{name}={adv}:{port}" for name, port in zip(names, ports)
     )
     backends: list[_Backend] = []
     for name, port in zip(names, ports):
@@ -186,10 +203,13 @@ def cluster_serve_main(argv: list[str] | None = None) -> int:
             "--cache-dir", str(args.cache_dir / name),
             "--seed", str(args.seed),
             "--no-jobs",
+            "--advertise-host", adv,
         ]
+        if args.wire == "json":
+            backend_argv += ["--wire", "json"]
         if args.drain_timeout is not None:
             backend_argv += ["--drain-timeout", str(args.drain_timeout)]
-        backends.append(_Backend(name, args.host, port, backend_argv))
+        backends.append(_Backend(name, adv, port, backend_argv))
 
     for backend in backends:
         backend.start()
@@ -224,6 +244,9 @@ async def _run_router(
         [(b.name, b.host, b.port) for b in backends],
         host=args.host,
         port=args.port,
+        binary_wire=args.wire != "json",
+        backend_wire="binary" if args.wire == "binary" else "json",
+        advertise_host=args.advertise_host,
     )
     await router.start()
     loop = asyncio.get_running_loop()

@@ -8,7 +8,10 @@ funnel, cheapest mechanism first:
 1. **single-flight** — an identical request already in flight shares
    its future; one computation serves every concurrent duplicate;
 2. **result cache** — the content-addressed on-disk store answers
-   anything any previous run (or process) already computed;
+   anything any previous run (or process) already computed; a bounded
+   in-memory LRU (``hot_values``) fronts it, so the hot set skips the
+   disk read *and* hands the transport the same value object every
+   time (which is what makes the binary wire's encode memo hit);
 3. **micro-batch** — the distinct misses that remain are collected for
    ``batch_window_s`` (up to ``max_batch``) and executed as ONE
    :func:`repro.parallel.runner.run_units` call sharded over a bounded
@@ -46,6 +49,7 @@ import asyncio
 import json
 import math
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -103,10 +107,16 @@ class ServeConfig:
     cache_dir: Path | None = DEFAULT_CACHE_DIR  #: None = no cache
     cache_max_bytes: int | None = None  #: None = ResultCache default
     seed: int = 0                  #: study seed baked into cache keys
+    #: In-memory LRU fronting the disk cache (entries; 0 disables).
+    #: Sound because cached values are immutable per (kind, params,
+    #: seed) — the memory front can never go stale.
+    hot_values: int = 4096
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if self.hot_values < 0:
+            raise ValueError("hot_values must be non-negative")
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if self.queue_limit < 1:
@@ -122,6 +132,7 @@ class ServeStats:
     accepted: int = 0      #: requests admitted (every served request)
     rejected: int = 0      #: requests refused by admission control
     cache_hits: int = 0    #: served straight from the result cache
+    hot_hits: int = 0      #: cache_hits answered by the in-memory LRU
     coalesced: int = 0     #: shared an identical in-flight computation
     peer_fills: int = 0    #: filled from the key's home shard's cache
     peer_serves: int = 0   #: probe hits answered TO peers (home-shard side)
@@ -156,6 +167,7 @@ class ServeStats:
             "accepted": self.accepted,
             "rejected": self.rejected,
             "cache_hits": self.cache_hits,
+            "hot_hits": self.hot_hits,
             "coalesced": self.coalesced,
             "peer_fills": self.peer_fills,
             "peer_serves": self.peer_serves,
@@ -217,6 +229,10 @@ class CampaignFrontEnd:
         self._batch_cache = (
             ResultCache(cfg.cache_dir, **cache_kw)
             if cfg.cache_dir is not None else None
+        )
+        self._hot_values: OrderedDict[tuple[str, str], Any] | None = (
+            OrderedDict()
+            if cfg.cache_dir is not None and cfg.hot_values > 0 else None
         )
         self._pool = None  # persistent worker pool; created in start()
         #: Optional cluster hook (duck-typed; see repro.serve.router's
@@ -372,9 +388,23 @@ class CampaignFrontEnd:
             self.stats.record_latency(time.perf_counter() - t_in)
             return value, SERVED_COALESCED
 
+        hot = self._hot_values
+        if hot is not None:
+            value = hot.get(key, MISS)
+            if value is not MISS:
+                hot.move_to_end(key)
+                self.stats.accepted += 1
+                self.stats.cache_hits += 1
+                self.stats.hot_hits += 1
+                if rec is not None:
+                    rec.bump("serve.hit")
+                self.stats.record_latency(time.perf_counter() - t_in)
+                return value, SERVED_CACHE
+
         if self._probe_cache is not None:
             hit = self._probe_cache.get(unit_key(kind, params, self.config.seed))
             if hit is not MISS:
+                self._remember(key, hit)
                 self.stats.accepted += 1
                 self.stats.cache_hits += 1
                 if rec is not None:
@@ -394,6 +424,7 @@ class CampaignFrontEnd:
                 self._probe_cache.put(
                     unit_key(kind, params, self.config.seed), value, kind=kind
                 )
+                self._remember(key, value)
                 self.stats.accepted += 1
                 self.stats.peer_fills += 1
                 if rec is not None:
@@ -429,11 +460,27 @@ class CampaignFrontEnd:
         except Exception:
             self.stats.failed += 1
             raise
+        self._remember(key, value)
         self.stats.computed += 1
         if rec is not None:
             rec.bump("serve.computed")
         self.stats.record_latency(time.perf_counter() - t_in)
         return value, SERVED_COMPUTED
+
+    def _remember(self, key: tuple[str, str], value: Any) -> None:
+        """Front ``value`` in the hot-value LRU (no-op when disabled).
+
+        The stored object is returned as-is on later hits, so the
+        transport sees one stable object identity per hot key — the
+        property the wire-level encode memo keys on.
+        """
+        hot = self._hot_values
+        if hot is None:
+            return
+        hot[key] = value
+        hot.move_to_end(key)
+        if len(hot) > self.config.hot_values:
+            hot.popitem(last=False)
 
     def cache_peek(self, kind: str, params: dict[str, Any]) -> Any:
         """Local-cache-only read for the cluster ``probe`` op: the

@@ -32,6 +32,13 @@ import random
 from typing import Any
 
 from repro.serve.frontend import percentile
+from repro.serve.wire import (
+    BadFrame,
+    DecodeMemo,
+    EncodeMemo,
+    WireConnection,
+    WireError,
+)
 
 #: How long the generator keeps retrying the initial connect (CI boots
 #: the server as a sibling process and races it to the port).
@@ -102,6 +109,7 @@ async def run_loadtest_direct(
     workload: list[tuple[str, dict[str, Any]]],
     rate: float,
     arrival_seed: int = 1,
+    wire: str = "json",
 ) -> dict[str, Any]:
     """The direct data path: one :class:`~repro.serve.client.RingClient`
     learns the topology from the router at ``host:port`` once, then
@@ -110,7 +118,7 @@ async def run_loadtest_direct(
     :func:`run_loadtest` plus the client's routing counters."""
     from repro.serve.client import RingClient
 
-    client = RingClient(host, port)
+    client = RingClient(host, port, wire=wire)
     last: Exception | None = None
     for _ in range(CONNECT_RETRIES):
         try:
@@ -189,10 +197,27 @@ async def run_loadtest(
     workload: list[tuple[str, dict[str, Any]]],
     rate: float,
     arrival_seed: int = 1,
+    wire: str = "json",
+    memos: tuple[EncodeMemo, DecodeMemo] | None = None,
 ) -> dict[str, Any]:
     """Drive one connection through ``workload`` at Poisson ``rate``;
-    returns a report dict (raw latencies under ``latencies_s``)."""
+    returns a report dict (raw latencies under ``latencies_s``).
+
+    ``wire="binary"`` negotiates the ``binary1`` framing first; a
+    server that declines leaves the run on JSON-lines (the report still
+    completes, which is the downgrade contract).  ``memos`` lets a
+    fleet share one codec-cache pair across its connections — the
+    workload's hot set references the same params objects in every
+    shard, so the caches compound.
+    """
     reader, writer = await _connect(host, port)
+    encode_memo, decode_memo = memos if memos is not None else (None, None)
+    conn = WireConnection(
+        reader, writer, allow_binary=False,
+        encode_memo=encode_memo, decode_memo=decode_memo,
+    )
+    if wire == "binary":
+        await conn.negotiate()
     loop = asyncio.get_running_loop()
     waiting: dict[int, asyncio.Future] = {
         rid: loop.create_future() for rid in range(len(workload))
@@ -219,15 +244,14 @@ async def run_loadtest(
     async def _read_responses() -> None:
         try:
             while waiting:
-                line = await reader.readline()
-                if not line:
+                doc = await conn.recv()
+                if doc is None:
                     _fail_outstanding(ConnectionError("server hung up"))
                     return
-                doc = json.loads(line)
                 fut = waiting.pop(doc.get("id"), None)
                 if fut is not None and not fut.done():
                     fut.set_result(doc)
-        except (ConnectionError, OSError, json.JSONDecodeError) as exc:
+        except (ConnectionError, OSError, WireError, BadFrame) as exc:
             _fail_outstanding(exc)
 
     reader_task = loop.create_task(_read_responses())
@@ -240,12 +264,10 @@ async def run_loadtest(
             delay = t_next - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
-            writer.write(
-                (json.dumps(
-                    {"op": "query", "id": rid, "kind": kind, "params": params}
-                ) + "\n").encode()
+            conn.write_request(
+                {"op": "query", "id": rid, "kind": kind, "params": params}
             )
-            await writer.drain()
+            await conn.drain()
             t_next += rng.expovariate(rate)
     except (ConnectionError, OSError) as exc:
         # The never-sent requests (and any sent-but-unanswered ones)
@@ -270,7 +292,11 @@ async def run_loadtest(
     except (ConnectionResetError, BrokenPipeError, OSError):
         pass
 
-    return _tally(workload, list(responses), wall_s, send_wall_s)
+    report = _tally(workload, list(responses), wall_s, send_wall_s)
+    # What the connection actually spoke after negotiation — "json"
+    # even under wire="binary" when the server declined.
+    report["wire"] = conn.wire
+    return report
 
 
 async def run_loadtest_fleet(
@@ -283,6 +309,7 @@ async def run_loadtest_fleet(
     connections: int = 1,
     shutdown_after: bool = False,
     direct: bool = False,
+    wire: str = "json",
 ) -> dict[str, Any]:
     """Split one seeded workload round-robin across ``connections``
     concurrent clients (sharing the offered rate) and merge the reports.
@@ -296,11 +323,20 @@ async def run_loadtest_fleet(
     connections = max(1, min(connections, len(workload) or 1))
     shards = [workload[i::connections] for i in range(connections)]
     per_conn_rate = rate / connections
-    driver = run_loadtest_direct if direct else run_loadtest
+    memos = (
+        (EncodeMemo(), DecodeMemo())
+        if wire == "binary" and not direct else None
+    )
     reports = await asyncio.gather(
         *(
-            driver(
-                host, port, shard, per_conn_rate, arrival_seed=seed + 1 + i
+            run_loadtest_direct(
+                host, port, shard, per_conn_rate,
+                arrival_seed=seed + 1 + i, wire=wire,
+            )
+            if direct else
+            run_loadtest(
+                host, port, shard, per_conn_rate,
+                arrival_seed=seed + 1 + i, wire=wire, memos=memos,
             )
             for i, shard in enumerate(shards)
         )
@@ -335,6 +371,7 @@ async def run_loadtest_fleet(
         wall_s=wall_s,
         send_wall_s=send_wall_s,
         connections=connections,
+        wire=reports[0].get("wire", wire),
         offered_rate_rps=rate,
         throughput_rps=completed / wall_s if wall_s > 0 else 0.0,
         hit_ratio=(
@@ -367,6 +404,7 @@ async def run_saturation(
     min_step_requests: int = 200,
     max_step_requests: int = 20_000,
     direct: bool = False,
+    wire: str = "json",
 ) -> dict[str, Any]:
     """Closed-loop saturation probe: find the real throughput ceiling.
 
@@ -400,7 +438,7 @@ async def run_saturation(
         report = await run_loadtest_fleet(
             host, port, n_requests=n_requests, rate=rate, seed=seed,
             hot_fraction=hot_fraction, connections=connections,
-            direct=direct,
+            direct=direct, wire=wire,
         )
         p99 = report.get("p99_latency_s")
         achieved = report["throughput_rps"]
@@ -443,6 +481,7 @@ async def run_saturation(
         "mode": "saturation",
         "connections": connections,
         "direct": direct,
+        "wire": wire,
         "p99_limit_s": p99_limit_s,
         "steps": steps,
         "max_sustainable_ops_per_s": best_rate,

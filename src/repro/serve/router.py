@@ -10,11 +10,16 @@ the single-process tier's cache economics:
   single-flight table see only their slice, and warm hit ratios match
   the single-process tier instead of dividing by N.
 
-* :class:`ServeRouter` — a JSON-lines front door speaking the same
-  protocol as :class:`~repro.serve.server.ServeServer`.  ``query`` and
+* :class:`ServeRouter` — a front door speaking the same protocol as
+  :class:`~repro.serve.server.ServeServer`, JSON-lines by default with
+  the same per-connection ``binary1`` negotiation
+  (:mod:`repro.serve.wire`) on both its faces: clients may go binary
+  towards the router, and the router's backend links may go binary
+  towards the shards, independently.  ``query`` and
   ``probe`` ops forward to the key's home shard over one multiplexed
   connection per backend (:class:`BackendLink`); the backend's response
-  is proxied verbatim (only the ``id`` is remapped), so the serving
+  is proxied verbatim (only the ``id`` is remapped, and the framing
+  re-encoded for the client's negotiated wire), so the serving
   skin — values, ``served``, error shapes, ``retry_after_s`` — is
   byte-identical to talking to the backend directly.  ``stats``
   fans in per-backend snapshots plus an ``aggregate`` rollup;
@@ -44,10 +49,19 @@ import bisect
 import contextlib
 import hashlib
 import json
+import socket
 import time
 from typing import Any
 
 from repro.parallel.cache import MISS
+from repro.serve.wire import (
+    BadFrame,
+    DecodeMemo,
+    EncodeMemo,
+    WireConnection,
+    WireError,
+    hello_ack_doc,
+)
 
 #: Virtual nodes per backend on the ring.  64 keeps the max/min key
 #: share within ~20% for small clusters while hashing stays negligible.
@@ -71,6 +85,33 @@ def route_key(kind: str, params: dict[str, Any]) -> str:
     would coalesce in one process always route to the same shard.
     """
     return f"{kind}|{json.dumps(params, sort_keys=True)}"
+
+
+def advertised_host(bind_host: str, override: str | None = None) -> str:
+    """The peer-reachable address to put on the wire for ``bind_host``.
+
+    A concrete bind address advertises itself.  A wildcard bind
+    (``0.0.0.0``/``::``/empty) is *never* connectable — pre-fix, locate
+    and redirect answers handed ring clients ``0.0.0.0:<port>`` — so it
+    resolves to this machine's primary outbound address via a
+    connected UDP socket (no packet is sent), falling back to loopback
+    on machines with no route at all.  ``override`` (the
+    ``--advertise-host`` flag) wins unconditionally: only the operator
+    knows the right answer across NAT.
+    """
+    if override:
+        return override
+    if bind_host not in ("", "0.0.0.0", "::"):
+        return bind_host
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        probe.connect(("10.255.255.255", 1))
+        addr = probe.getsockname()[0]
+    except OSError:
+        addr = "127.0.0.1"
+    finally:
+        probe.close()
+    return addr if addr and not addr.startswith("0.") else "127.0.0.1"
 
 
 def _ring_hash(material: str) -> int:
@@ -133,25 +174,49 @@ class HashRing:
 
 
 class BackendLink:
-    """One multiplexed JSON-lines connection to one backend.
+    """One multiplexed connection to one backend.
 
     Requests from many router connections share this link; responses
     are matched back by an internal id (the caller's wire id never
     travels on the link, so concurrent clients reusing ids cannot
     collide).  A link failure fails every outstanding request with
     ``ConnectionError`` and the next request reconnects lazily.
+
+    ``wire="binary"`` negotiates the ``binary1`` framing on connect
+    (:meth:`~repro.serve.wire.WireConnection.negotiate`); a peer that
+    declines leaves the link on JSON-lines — the downgrade is silent by
+    design, so a mixed cluster keeps working.
     """
 
-    def __init__(self, name: str, host: str, port: int) -> None:
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        wire: str = "json",
+        encode_memo: EncodeMemo | None = None,
+        decode_memo: DecodeMemo | None = None,
+    ) -> None:
         self.name = name
         self.host = host
         self.port = port
+        self.wire = wire
+        self._encode_memo = encode_memo
+        self._decode_memo = decode_memo
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        self._conn: WireConnection | None = None
         self._read_task: asyncio.Task | None = None
         self._lock = asyncio.Lock()
         self._next_id = 0
         self._waiting: dict[int, asyncio.Future] = {}
+
+    @property
+    def wire_active(self) -> str:
+        """The framing this link actually negotiated (``"json"`` until
+        connected, or after a downgrade)."""
+        conn = self._conn
+        return conn.wire if conn is not None else "json"
 
     async def _ensure_connected(self) -> None:
         if self._writer is not None and not self._writer.is_closing():
@@ -159,26 +224,32 @@ class BackendLink:
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port
         )
+        conn = WireConnection(
+            self._reader, self._writer,
+            allow_binary=False,
+            encode_memo=self._encode_memo,
+            decode_memo=self._decode_memo,
+        )
+        if self.wire == "binary":
+            # Negotiation runs before the read loop exists, so the ack
+            # cannot race a concurrent request's response.
+            await conn.negotiate()
+        self._conn = conn
         self._read_task = asyncio.get_running_loop().create_task(
-            self._read_loop(self._reader)
+            self._read_loop(conn)
         )
 
-    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+    async def _read_loop(self, conn: WireConnection) -> None:
         try:
             while True:
-                line = await reader.readline()
-                if not line:
-                    raise ConnectionError(f"backend {self.name}: EOF")
-                if not line.strip():
-                    continue
                 try:
-                    doc = json.loads(line)
-                except json.JSONDecodeError as exc:
+                    doc = await conn.recv()
+                except (BadFrame, WireError) as exc:
                     raise ConnectionError(
                         f"backend {self.name}: undecodable frame"
                     ) from exc
-                if not isinstance(doc, dict):
-                    continue
+                if doc is None:
+                    raise ConnectionError(f"backend {self.name}: EOF")
                 fut = self._waiting.pop(doc.get("id"), None)
                 if fut is not None and not fut.done():
                     fut.set_result(doc)
@@ -199,32 +270,47 @@ class BackendLink:
             self._writer.close()
             self._writer = None
             self._reader = None
+            self._conn = None
 
     async def request(
         self, doc: dict[str, Any], timeout_s: float | None = None
     ) -> dict[str, Any]:
         """Send ``doc`` (its ``id`` is overwritten) and await the
         matching response.  Raises ``ConnectionError`` on link loss and
-        ``asyncio.TimeoutError`` past ``timeout_s``."""
+        ``asyncio.TimeoutError`` past ``timeout_s``.
+
+        The lock covers connecting, id allocation and the buffered
+        write only; ``drain()`` happens OUTSIDE it.  Pre-fix the drain
+        ran under the lock, so one backpressured backend
+        head-of-line-blocked every concurrent request on the link at
+        send time — waiting on socket flow control is exactly the part
+        that needs no mutual exclusion (the write buffer is appended
+        atomically, and concurrent drains are supported waiters).
+        """
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         async with self._lock:
             await self._ensure_connected()
             self._next_id += 1
             link_id = self._next_id
             self._waiting[link_id] = fut
-            assert self._writer is not None
-            wire = dict(doc)
-            wire["id"] = link_id
+            conn = self._conn
+            assert conn is not None
+            wire_doc = dict(doc)
+            wire_doc["id"] = link_id
             try:
-                self._writer.write(
-                    (json.dumps(wire, sort_keys=True) + "\n").encode()
-                )
-                await self._writer.drain()
+                conn.write_request(wire_doc)
             except (ConnectionError, OSError) as exc:
                 self._fail_outstanding(ConnectionError(str(exc)))
                 raise ConnectionError(
                     f"backend {self.name}: send failed: {exc}"
                 ) from exc
+        try:
+            await conn.drain()
+        except (ConnectionError, OSError) as exc:
+            self._fail_outstanding(ConnectionError(str(exc)))
+            raise ConnectionError(
+                f"backend {self.name}: send failed: {exc}"
+            ) from exc
         try:
             if timeout_s is None:
                 return await fut
@@ -246,6 +332,7 @@ class BackendLink:
                 await self._writer.wait_closed()
             self._writer = None
             self._reader = None
+            self._conn = None
         self._fail_outstanding(ConnectionError(f"backend {self.name}: closed"))
 
 
@@ -268,6 +355,7 @@ class CachePeerFill:
         peers: dict[str, tuple[str, int]],
         probe_timeout_s: float = DEFAULT_PROBE_TIMEOUT_S,
         down_cooldown_s: float = DEFAULT_DOWN_COOLDOWN_S,
+        wire: str = "json",
     ) -> None:
         if self_name not in ring.nodes:
             raise ValueError(f"{self_name!r} is not on the ring: {ring.nodes}")
@@ -276,7 +364,7 @@ class CachePeerFill:
         self.probe_timeout_s = probe_timeout_s
         self.down_cooldown_s = down_cooldown_s
         self._links = {
-            name: BackendLink(name, host, port)
+            name: BackendLink(name, host, port, wire=wire)
             for name, (host, port) in peers.items()
             if name != self_name
         }
@@ -370,7 +458,14 @@ class ServeRouter:
     """The cluster front door; see the module docstring.
 
     :param backends: ``(name, host, port)`` per backend, in boot order
-        (drain shuts them down in this order).
+        (drain shuts them down in this order).  Wildcard backend hosts
+        are mapped through :func:`advertised_host` once, here, so every
+        consumer of ``self.backends`` — locate answers, redirect docs,
+        the topology epoch, the links themselves — sees a connectable
+        address.
+    :param binary_wire: accept ``binary1`` negotiation from clients.
+    :param backend_wire: framing for the backend links (``"json"`` or
+        ``"binary"``); backends that decline silently stay on JSON.
     """
 
     def __init__(
@@ -380,18 +475,39 @@ class ServeRouter:
         port: int = 0,
         vnodes: int = DEFAULT_VNODES,
         forward_timeout_s: float | None = None,
+        binary_wire: bool = True,
+        backend_wire: str = "json",
+        advertise_host: str | None = None,
     ) -> None:
         if not backends:
             raise ValueError("ServeRouter needs at least one backend")
-        self.backends = list(backends)
+        self.backends = [
+            (name, advertised_host(bhost, advertise_host), bport)
+            for name, bhost, bport in backends
+        ]
         self.host = host
         self.port = port
         self.forward_timeout_s = forward_timeout_s
+        self.binary_wire = binary_wire
+        self.backend_wire = backend_wire
         self.epoch = topology_epoch(self.backends)
         self.ring = HashRing([name for name, _, _ in backends], vnodes)
+        # Two memo pairs, shared across all connections on each side of
+        # the proxy.  Client-side decoded params are stable objects
+        # (same blob -> same dict), so the link-side EncodeMemo hits on
+        # the forward; link-side decoded values are stable, so the
+        # client-side EncodeMemo hits on the re-framed response.
+        self._client_encode = EncodeMemo()
+        self._client_decode = DecodeMemo()
+        self._link_encode = EncodeMemo()
+        self._link_decode = DecodeMemo()
         self._links = {
-            name: BackendLink(name, host, port)
-            for name, host, port in backends
+            name: BackendLink(
+                name, bhost, bport, wire=backend_wire,
+                encode_memo=self._link_encode,
+                decode_memo=self._link_decode,
+            )
+            for name, bhost, bport in self.backends
         }
         self._server: asyncio.Server | None = None
         self._shutdown = asyncio.Event()
@@ -452,60 +568,66 @@ class ServeRouter:
         task = asyncio.current_task()
         assert task is not None
         self._conn_tasks.add(task)
-        write_lock = asyncio.Lock()
+        conn = WireConnection(
+            reader, writer,
+            allow_binary=self.binary_wire,
+            encode_memo=self._client_encode,
+            decode_memo=self._client_decode,
+        )
         pending: set[asyncio.Task] = set()
         try:
             while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                req = self._parse(line)
-                if req is None:
+                try:
+                    req = await conn.recv()
+                except BadFrame as exc:
+                    # The frame header was sound, so the stream is
+                    # still in sync: answer and keep reading.
                     await self._send(
-                        writer, write_lock,
+                        conn,
                         {"id": None, "ok": False, "error": "bad_request",
-                         "detail": "not a JSON object"},
+                         "detail": str(exc)},
                     )
                     continue
+                except WireError:
+                    break  # framing lost; only the connection can die
+                if req is None:
+                    break
                 op = req.get("op")
                 rid = req.get("id")
                 if op in ("query", "probe"):
                     # Per-request task, as in ServeServer: one slow
                     # shard must not serialise a connection's traffic.
                     sub = asyncio.get_running_loop().create_task(
-                        self._answer_forward(writer, write_lock, rid, req)
+                        self._answer_forward(conn, rid, req)
                     )
                     pending.add(sub)
                     sub.add_done_callback(pending.discard)
                 elif op == "stats":
-                    await self._send(
-                        writer, write_lock, await self._answer_stats(rid)
-                    )
+                    await self._send(conn, await self._answer_stats(rid))
                 elif op == "locate":
-                    await self._send(
-                        writer, write_lock, self._answer_locate(rid, req)
-                    )
+                    await self._send(conn, self._answer_locate(rid, req))
                 elif op in ("submit", "status", "result", "cancel"):
                     # Job ops are not sharded by key: they live on the
                     # first backend, the cluster's designated job home.
-                    await self._send(
-                        writer, write_lock,
-                        await self._forward_job(rid, req),
-                    )
+                    await self._send(conn, await self._forward_job(rid, req))
+                elif op == "hello" and self.binary_wire:
+                    ack, enable = hello_ack_doc(rid, req, self.binary_wire)
+                    try:
+                        await conn.send_hello_ack(
+                            ack, enable and not conn.binary
+                        )
+                    except (ConnectionResetError, BrokenPipeError):
+                        break
                 elif op == "ping":
-                    await self._send(
-                        writer, write_lock, {"id": rid, "ok": True}
-                    )
+                    await self._send(conn, {"id": rid, "ok": True})
                 elif op == "shutdown":
-                    await self._send(
-                        writer, write_lock, {"id": rid, "ok": True}
-                    )
+                    await self._send(conn, {"id": rid, "ok": True})
                     self.request_shutdown()
                 else:
+                    # With binary_wire off, "hello" lands here: the
+                    # bad_request IS the client's downgrade signal.
                     await self._send(
-                        writer, write_lock,
+                        conn,
                         {"id": rid, "ok": False, "error": "bad_request",
                          "detail": f"unknown op {op!r}"},
                     )
@@ -526,18 +648,9 @@ class ServeRouter:
             ):
                 await writer.wait_closed()
 
-    @staticmethod
-    def _parse(line: bytes) -> dict[str, Any] | None:
-        try:
-            req = json.loads(line)
-        except json.JSONDecodeError:
-            return None
-        return req if isinstance(req, dict) else None
-
     async def _answer_forward(
         self,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
+        conn: WireConnection,
         rid: Any,
         req: dict[str, Any],
     ) -> None:
@@ -545,7 +658,7 @@ class ServeRouter:
         params = req.get("params")
         if not isinstance(kind, str) or not isinstance(params, dict):
             await self._send(
-                writer, write_lock,
+                conn,
                 {"id": rid, "ok": False, "error": "bad_request",
                  "detail": f"{req.get('op')} needs a string 'kind' "
                  "and object 'params'"},
@@ -554,7 +667,7 @@ class ServeRouter:
         if self._draining:
             self.rejected_draining += 1
             await self._send(
-                writer, write_lock,
+                conn,
                 {"id": rid, "ok": False, "error": "overloaded",
                  "reason": "draining", "retry_after_s": 1.0},
             )
@@ -565,13 +678,17 @@ class ServeRouter:
             # address instead of proxying — the client connects direct
             # and the router's single process leaves the data path.
             self.redirected += 1
-            await self._send(
-                writer, write_lock, self._redirect_doc(rid, home)
-            )
+            await self._send(conn, self._redirect_doc(rid, home))
             return
-        await self._send(
-            writer, write_lock, await self._forward(home, rid, req)
-        )
+        doc = await self._forward(home, rid, req)
+        # send_response re-frames a successful query response on the
+        # QRESP fast path when the client negotiated binary; the doc
+        # itself is the backend's verbatim (id-remapped) answer either
+        # way.
+        try:
+            await conn.send_response(doc)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
 
     def _redirect_doc(self, rid: Any, home: str) -> dict[str, Any]:
         host, port = next(
@@ -696,13 +813,8 @@ class ServeRouter:
         }
 
     @staticmethod
-    async def _send(
-        writer: asyncio.StreamWriter, lock: asyncio.Lock, doc: dict[str, Any]
-    ) -> None:
-        payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
+    async def _send(conn: WireConnection, doc: dict[str, Any]) -> None:
         try:
-            async with lock:
-                writer.write(payload)
-                await writer.drain()
+            await conn.send(doc)
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away

@@ -42,6 +42,15 @@ Job-tier ops (when the server is wired to a
     -> {"op": "cancel", "id": 8, "job_id": "4f2a..."}
     <- {"id": 8, "ok": true, "cancelled": true}
 
+Wire negotiation: the connection starts as JSON-lines.  A client may
+send ``{"op": "hello", "wire": "binary1"}`` (or open with the magic
+byte ``0xAB``) to switch both directions to the length-prefixed binary
+framing of :mod:`repro.serve.wire`; the documents above are identical
+in either framing, only the bytes differ.  Servers started with the
+binary wire disabled answer ``hello`` as an unknown op (``bad_request``)
+— exactly like servers that predate it — which is the client's clean
+downgrade signal.
+
 Error responses carry ``ok: false`` plus ``error`` — ``"overloaded"``
 (admission control or a tenant over its job quota; includes
 ``retry_after_s`` and ``reason``, the 429-style refusal),
@@ -58,12 +67,18 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-import json
 from typing import Any
 
 from repro.parallel.cache import MISS
 from repro.serve.frontend import CampaignFrontEnd, Overloaded
 from repro.serve.jobs import JobManager, JobNotReady, campaign_job_units
+from repro.serve.wire import (
+    BadFrame,
+    EncodeMemo,
+    WireConnection,
+    WireError,
+    hello_ack_doc,
+)
 
 
 class ServeServer:
@@ -72,6 +87,19 @@ class ServeServer:
     ``port=0`` binds an ephemeral port; the actual port is on
     ``self.port`` after :meth:`start` (and printed by the CLI so
     clients and CI can find it).
+
+    ``binary_wire`` gates the ``binary1`` framing (see
+    :mod:`repro.serve.wire`): when True (the default), a client may
+    negotiate binary via the ``hello`` op or open with the magic byte;
+    when False the server is JSON-lines only — ``hello`` is an unknown
+    op (exactly like a server that predates it) and a magic-byte
+    opener gets the connection closed.
+
+    ``advertise_host`` is the address handed out by ``locate`` answers.
+    It defaults to the bind host unless that is a wildcard
+    (``0.0.0.0``/``::``) — a wildcard is never connectable, so it is
+    resolved to this machine's primary address instead of telling ring
+    clients to dial ``0.0.0.0:<port>``.
     """
 
     def __init__(
@@ -82,6 +110,8 @@ class ServeServer:
         jobs_manager: JobManager | None = None,
         drain_timeout_s: float | None = None,
         name: str = "serve",
+        binary_wire: bool = True,
+        advertise_host: str | None = None,
     ) -> None:
         self.frontend = frontend
         self.host = host
@@ -89,12 +119,22 @@ class ServeServer:
         self.name = name
         self.jobs = jobs_manager
         self.drain_timeout_s = drain_timeout_s
+        self.binary_wire = binary_wire
+        self.advertise_host = advertise_host
         self.recovered: dict[str, int] | None = None
         self._server: asyncio.Server | None = None
         self._shutdown = asyncio.Event()
         self._conn_tasks: set[asyncio.Task] = set()
+        # Response-value blobs are memoised per server, not per
+        # connection: the hot set is shared, so every connection reuses
+        # the same encodings.
+        self._encode_memo = EncodeMemo()
 
     async def start(self) -> None:
+        if self.advertise_host is None:
+            from repro.serve.router import advertised_host
+
+            self.advertise_host = advertised_host(self.host)
         await self.frontend.start()
         if self.jobs is not None:
             # Replay the journal and resume from the cache BEFORE the
@@ -140,30 +180,37 @@ class ServeServer:
         task = asyncio.current_task()
         assert task is not None
         self._conn_tasks.add(task)
-        write_lock = asyncio.Lock()  # interleaved responses, whole lines
+        conn = WireConnection(
+            reader, writer,
+            allow_binary=self.binary_wire,
+            encode_memo=self._encode_memo,
+        )
         pending: set[asyncio.Task] = set()
         try:
             while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                req = self._parse(line)
-                if req is None:
+                try:
+                    req = await conn.recv()
+                except BadFrame as exc:
+                    # One bad frame, a still-framed stream: answer and
+                    # keep reading — a wedged read loop would be worse
+                    # than the malformed request.
                     await self._send(
-                        writer, write_lock,
+                        conn,
                         {"id": None, "ok": False, "error": "bad_request",
-                         "detail": "not a JSON object"},
+                         "detail": str(exc)},
                     )
                     continue
+                except WireError:
+                    break  # framing broken beyond resync: drop the link
+                if req is None:
+                    break
                 op = req.get("op")
                 rid = req.get("id")
                 if op == "query":
                     # Per-request task: queries on one connection run
                     # concurrently, so duplicates actually coalesce.
                     sub = asyncio.get_running_loop().create_task(
-                        self._answer_query(writer, write_lock, rid, req)
+                        self._answer_query(conn, rid, req)
                     )
                     pending.add(sub)
                     sub.add_done_callback(pending.discard)
@@ -176,27 +223,32 @@ class ServeServer:
                     }
                     if self.jobs is not None:
                         doc["jobs"] = dict(self.jobs.totals)
-                    await self._send(writer, write_lock, doc)
+                    await self._send(conn, doc)
                 elif op == "probe":
-                    await self._send(
-                        writer, write_lock, self._answer_probe(rid, req)
-                    )
+                    await self._send(conn, self._answer_probe(rid, req))
                 elif op == "locate":
-                    await self._send(
-                        writer, write_lock, self._answer_locate(rid, req)
-                    )
+                    await self._send(conn, self._answer_locate(rid, req))
                 elif op in ("submit", "status", "result", "cancel"):
-                    await self._send(
-                        writer, write_lock, self._answer_job(op, rid, req)
-                    )
+                    await self._send(conn, self._answer_job(op, rid, req))
                 elif op == "ping":
-                    await self._send(writer, write_lock, {"id": rid, "ok": True})
+                    await self._send(conn, {"id": rid, "ok": True})
+                elif op == "hello" and self.binary_wire:
+                    ack, enable = hello_ack_doc(rid, req, self.binary_wire)
+                    try:
+                        await conn.send_hello_ack(
+                            ack, enable and not conn.binary
+                        )
+                    except (ConnectionResetError, BrokenPipeError):
+                        break
                 elif op == "shutdown":
-                    await self._send(writer, write_lock, {"id": rid, "ok": True})
+                    await self._send(conn, {"id": rid, "ok": True})
                     self.request_shutdown()
                 else:
+                    # A JSON-only server treats "hello" like any other
+                    # unknown op — that bad_request IS the downgrade
+                    # signal binary-preferring clients key off.
                     await self._send(
-                        writer, write_lock,
+                        conn,
                         {"id": rid, "ok": False, "error": "bad_request",
                          "detail": f"unknown op {op!r}"},
                     )
@@ -296,22 +348,27 @@ class ServeServer:
         backend as a one-node topology: this server is every key's home
         shard.  Same shape as the router's answer, so a ring-aware
         client pointed at a single server degenerates cleanly to a
-        plain client (and the wire contract stays endpoint-uniform)."""
+        plain client (and the wire contract stays endpoint-uniform).
+
+        The advertised address goes on the wire, never the bind host:
+        pre-fix, ``--host 0.0.0.0`` handed ring clients the
+        unconnectable ``0.0.0.0:<port>``."""
         from repro.serve.router import topology_epoch
 
+        host = self.advertise_host if self.advertise_host else self.host
         kind = req.get("kind")
         params = req.get("params")
         doc: dict[str, Any] = {
             "id": rid, "ok": True,
-            "epoch": topology_epoch([(self.name, self.host, self.port)]),
-            "backends": {self.name: [self.host, self.port]},
+            "epoch": topology_epoch([(self.name, host, self.port)]),
+            "backends": {self.name: [host, self.port]},
         }
         if kind is not None or params is not None:
             if not isinstance(kind, str) or not isinstance(params, dict):
                 return {"id": rid, "ok": False, "error": "bad_request",
                         "detail": "locate needs a string 'kind' and "
                         "object 'params' (or neither)"}
-            doc.update(backend=self.name, host=self.host, port=self.port)
+            doc.update(backend=self.name, host=host, port=self.port)
         return doc
 
     def _answer_probe(self, rid: Any, req: dict[str, Any]) -> dict[str, Any]:
@@ -334,42 +391,35 @@ class ServeServer:
             return {"id": rid, "ok": True, "hit": False}
         return {"id": rid, "ok": True, "hit": True, "value": value}
 
-    @staticmethod
-    def _parse(line: bytes) -> dict[str, Any] | None:
-        try:
-            req = json.loads(line)
-        except json.JSONDecodeError:
-            return None
-        return req if isinstance(req, dict) else None
-
     async def _answer_query(
         self,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
+        conn: WireConnection,
         rid: Any,
         req: dict[str, Any],
     ) -> None:
         kind = req.get("kind")
         params = req.get("params")
+        # Ring-aware clients tag queries they routed themselves so the
+        # stats distinguish router-proxied from direct traffic (the
+        # response shape stays identical on both paths).  Counted only
+        # for queries the funnel actually admits — pre-fix the counter
+        # ticked before validation, so malformed via:"direct" frames
+        # permanently skewed the direct-vs-proxied accounting.
+        direct = req.get("via") == "direct"
         if not isinstance(kind, str) or not isinstance(params, dict):
             await self._send(
-                writer, write_lock,
+                conn,
                 {"id": rid, "ok": False, "error": "bad_request",
                  "detail": "query needs a string 'kind' and object 'params'"},
             )
             return
-        if req.get("via") == "direct":
-            # Ring-aware clients tag queries they routed themselves so
-            # the stats distinguish router-proxied from direct traffic
-            # (the response shape stays identical on both paths).
-            self.frontend.stats.direct += 1
         loop = asyncio.get_running_loop()
         t0 = loop.time()
         try:
             value, served = await self.frontend.submit(kind, params)
         except Overloaded as exc:
             await self._send(
-                writer, write_lock,
+                conn,
                 {"id": rid, "ok": False, "error": "overloaded",
                  "reason": exc.reason,
                  "retry_after_s": exc.retry_after_s},
@@ -377,32 +427,32 @@ class ServeServer:
             return
         except ValueError as exc:
             await self._send(
-                writer, write_lock,
+                conn,
                 {"id": rid, "ok": False, "error": "bad_request",
                  "detail": str(exc)},
             )
             return
         except Exception as exc:
+            if direct:
+                self.frontend.stats.direct += 1  # admitted, then failed
             await self._send(
-                writer, write_lock,
+                conn,
                 {"id": rid, "ok": False, "error": "internal",
                  "detail": f"{type(exc).__name__}: {exc}"},
             )
             return
-        await self._send(
-            writer, write_lock,
-            {"id": rid, "ok": True, "value": value, "served": served,
-             "latency_s": loop.time() - t0},
-        )
+        if direct:
+            self.frontend.stats.direct += 1
+        try:
+            await conn.send_query_response(
+                rid, value, served, loop.time() - t0
+            )
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; the front end still counted the work
 
     @staticmethod
-    async def _send(
-        writer: asyncio.StreamWriter, lock: asyncio.Lock, doc: dict[str, Any]
-    ) -> None:
-        payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
+    async def _send(conn: WireConnection, doc: dict[str, Any]) -> None:
         try:
-            async with lock:
-                writer.write(payload)
-                await writer.drain()
+            await conn.send(doc)
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away; the front end still counted the work

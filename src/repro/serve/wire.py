@@ -1,0 +1,703 @@
+"""Binary wire framing for the serve tier (``binary1``).
+
+JSON-lines stays the compatibility skin and the default: every frame on
+a fresh connection is a JSON object terminated by ``\\n``.  A client
+that wants the binary wire either
+
+* sends ``{"op": "hello", "wire": "binary1"}`` as JSON and waits for
+  the ack ``{"id": ..., "ok": true, "wire": "binary1"}`` (also JSON) —
+  everything after the ack, in BOTH directions, is binary; a server
+  that answers anything else (an old server's ``bad_request`` for the
+  unknown op, or ``"wire": "json"``) leaves the connection on
+  JSON-lines, which is the sanctioned downgrade; or
+* opens with the magic byte ``0xAB`` — no JSON object can start with
+  it, so a binary-capable server sniffs the first byte of a connection
+  and switches immediately (a ``--wire json`` server closes instead).
+
+Frame layout (all integers big-endian)::
+
+    +------+------+----------+=================+
+    | 0xAB | type | len: u32 | payload (len B) |
+    +------+------+----------+=================+
+
+Three frame types:
+
+* ``0x01 DOC`` — one request/response document in the tag codec below.
+  Semantically identical to one JSON line; every op travels this way
+  unless a fast path applies.
+* ``0x02 QREQ`` — query fast path, request direction: ``id: u64``,
+  ``flags: u8`` (bit0 = ``via: "direct"``, bit1 = ``redirect: true``),
+  ``kind: u8`` (index into the unit-kind table), then the params dict
+  in the tag codec.
+* ``0x03 QRESP`` — query fast path, response direction: ``id: u64``,
+  ``latency_s: f64``, ``served: u8`` (index into the served table),
+  then the value in the tag codec.  The value blob is memoised by
+  object identity on the sending side and by blob bytes on the
+  receiving side — campaign values are content-addressed and immutable,
+  so a hot key's value crosses the wire without re-encoding.
+
+Tag codec (a msgpack-shaped subset closed over the JSON value domain;
+``decode(encode(v)) == v`` exactly, including float bit patterns)::
+
+    0xc0 null          0xc2 false          0xc3 true
+    0xcb float: f64    0xd3 int: i64       0xd4 bigint: u32 len + signed bytes
+    0xdb str: u32 len + utf8               0xdd list: u32 count + items
+    0xdf dict: u32 count + sorted (str key, value) pairs
+
+Dict keys are coerced exactly as ``json.dumps`` coerces them
+(``True`` -> ``"true"``, ``3`` -> ``"3"``, ...) and sorted, so the
+encoding is canonical: equal values yield equal bytes, which is what
+makes the receive-side blob memo sound.
+
+Error surface: a frame whose *header* is unusable (bad magic, length
+over :data:`MAX_FRAME_LEN`) raises :class:`WireError` — the stream can
+never resynchronise, the connection must close.  A frame whose header
+parsed but whose *payload* is undecodable raises :class:`BadFrame` —
+exactly ``len`` bytes were consumed, the stream is still framed, and
+the server answers ``bad_request`` and keeps reading.
+
+Version/compat rules: ``binary1`` is the only binary version.  A hello
+offering anything else is acked with ``"wire": "json"`` (negotiate down
+to the best both sides speak); unknown frame *types* under ``binary1``
+are a :class:`BadFrame` (skippable), unknown codec *tags* likewise.
+New frame types or tags mean a ``binary2`` hello, never a silent
+reinterpretation of ``binary1`` bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from collections import OrderedDict
+from typing import Any
+
+from repro.serve.frontend import UNIT_KINDS
+
+WIRE_BINARY1 = "binary1"
+WIRE_JSON = "json"
+
+MAGIC = 0xAB
+FRAME_DOC = 0x01
+FRAME_QREQ = 0x02
+FRAME_QRESP = 0x03
+
+#: Hard per-frame payload bound; anything larger is a framing error
+#: (campaign values are a few hundred bytes — 64 MiB is generous).
+MAX_FRAME_LEN = 64 * 1024 * 1024
+
+#: Bytes pulled from the socket per read in binary mode; several frames
+#: usually arrive per chunk, so the per-frame await cost amortises.
+READ_CHUNK = 65536
+
+_HEADER = struct.Struct(">BBI")   # magic, frame type, payload length
+_QREQ = struct.Struct(">QBB")     # id, flags, kind code
+_QRESP = struct.Struct(">QdB")    # id, latency_s, served code
+
+_QREQ_FLAG_DIRECT = 0x01
+_QREQ_FLAG_REDIRECT = 0x02
+
+#: Kind/served tables for the fast-path frames.  Indexes are part of
+#: the ``binary1`` wire contract: append-only.
+KIND_CODES = {kind: i for i, kind in enumerate(UNIT_KINDS)}
+SERVED_ORDER = ("cache", "coalesced", "computed", "peer")
+SERVED_CODES = {served: i for i, served in enumerate(SERVED_ORDER)}
+
+#: The fields a query doc may carry and still take the QREQ fast path —
+#: anything extra must travel as a DOC frame so no field is dropped.
+_QREQ_FIELDS = frozenset(("op", "id", "kind", "params", "via", "redirect"))
+
+_U64_MAX = (1 << 64) - 1
+
+_TAG_NIL = 0xC0
+_TAG_FALSE = 0xC2
+_TAG_TRUE = 0xC3
+_TAG_FLOAT = 0xCB
+_TAG_INT64 = 0xD3
+_TAG_BIGINT = 0xD4
+_TAG_STR = 0xDB
+_TAG_LIST = 0xDD
+_TAG_DICT = 0xDF
+
+_U32 = struct.Struct(">I")
+_TL = struct.Struct(">BI")   # tag + u32 length/count
+_TF = struct.Struct(">Bd")   # tag + f64
+_TI = struct.Struct(">Bq")   # tag + i64
+_F64 = struct.Struct(">d")
+_I64 = struct.Struct(">q")
+
+
+class WireError(Exception):
+    """Unrecoverable framing damage: the connection must close."""
+
+
+class BadFrame(Exception):
+    """One undecodable frame; the stream itself is still framed."""
+
+
+def _coerce_key(key: Any) -> str:
+    """Coerce a non-str dict key exactly as ``json.dumps`` would."""
+    if key is True:
+        return "true"
+    if key is False:
+        return "false"
+    if key is None:
+        return "null"
+    if isinstance(key, (int, float)):
+        return json.dumps(key)
+    raise ValueError(f"key {key!r} is not JSON-serialisable")
+
+
+def _enc(obj: Any, out: bytearray) -> None:
+    if isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out += _TL.pack(_TAG_STR, len(raw))
+        out += raw
+    elif obj is None:
+        out.append(_TAG_NIL)
+    elif obj is True:
+        out.append(_TAG_TRUE)
+    elif obj is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(obj, float):
+        out += _TF.pack(_TAG_FLOAT, obj)
+    elif isinstance(obj, int):
+        try:
+            out += _TI.pack(_TAG_INT64, obj)
+        except struct.error:
+            raw = obj.to_bytes((obj.bit_length() + 8) // 8, "big", signed=True)
+            out += _TL.pack(_TAG_BIGINT, len(raw))
+            out += raw
+    elif isinstance(obj, dict):
+        items = sorted(
+            (k if isinstance(k, str) else _coerce_key(k), v)
+            for k, v in obj.items()
+        )
+        out += _TL.pack(_TAG_DICT, len(items))
+        for key, value in items:
+            raw = key.encode("utf-8")
+            out += _TL.pack(_TAG_STR, len(raw))
+            out += raw
+            _enc(value, out)
+    elif isinstance(obj, (list, tuple)):
+        out += _TL.pack(_TAG_LIST, len(obj))
+        for item in obj:
+            _enc(item, out)
+    else:
+        raise ValueError(f"value {obj!r} is not JSON-serialisable")
+
+
+def encode_value(obj: Any) -> bytes:
+    """One value in the tag codec; raises ``ValueError`` off-domain."""
+    out = bytearray()
+    _enc(obj, out)
+    return bytes(out)
+
+
+def _dec(buf: bytes, off: int) -> tuple[Any, int]:
+    tag = buf[off]
+    off += 1
+    if tag == _TAG_STR:
+        (n,) = _U32.unpack_from(buf, off)
+        off += 4
+        end = off + n
+        if end > len(buf):
+            raise ValueError("truncated string")
+        return buf[off:end].decode("utf-8"), end
+    if tag == _TAG_FLOAT:
+        (value,) = _F64.unpack_from(buf, off)
+        return value, off + 8
+    if tag == _TAG_INT64:
+        (value,) = _I64.unpack_from(buf, off)
+        return value, off + 8
+    if tag == _TAG_DICT:
+        (count,) = _U32.unpack_from(buf, off)
+        off += 4
+        if count * 2 > len(buf) - off:
+            raise ValueError("dict count exceeds payload")
+        doc = {}
+        for _ in range(count):
+            key, off = _dec(buf, off)
+            if not isinstance(key, str):
+                raise ValueError("non-string dict key on the wire")
+            doc[key], off = _dec(buf, off)
+        return doc, off
+    if tag == _TAG_LIST:
+        (count,) = _U32.unpack_from(buf, off)
+        off += 4
+        if count > len(buf) - off:
+            raise ValueError("list count exceeds payload")
+        items = []
+        for _ in range(count):
+            item, off = _dec(buf, off)
+            items.append(item)
+        return items, off
+    if tag == _TAG_NIL:
+        return None, off
+    if tag == _TAG_TRUE:
+        return True, off
+    if tag == _TAG_FALSE:
+        return False, off
+    if tag == _TAG_BIGINT:
+        (n,) = _U32.unpack_from(buf, off)
+        off += 4
+        end = off + n
+        if end > len(buf):
+            raise ValueError("truncated bigint")
+        return int.from_bytes(buf[off:end], "big", signed=True), end
+    raise ValueError(f"unknown tag 0x{tag:02x}")
+
+
+def decode_value(buf: bytes) -> Any:
+    """Inverse of :func:`encode_value`; raises ``ValueError`` on any
+    malformed or trailing bytes."""
+    try:
+        value, off = _dec(buf, 0)
+    except (IndexError, struct.error, UnicodeDecodeError) as exc:
+        raise ValueError(f"malformed payload: {exc}") from exc
+    if off != len(buf):
+        raise ValueError(f"{len(buf) - off} trailing byte(s) after value")
+    return value
+
+
+class EncodeMemo:
+    """Encoded-blob cache keyed by object *identity*.
+
+    The serve tier's values are content-addressed and treated as
+    immutable, and hot values are stable objects (the front end's hot
+    memo, the cache peer-fill path), so ``id(value)`` is a sound key as
+    long as the entry pins the object alive — a strong reference in the
+    entry guarantees the id cannot be recycled, and the stored object
+    is identity-checked on every hit anyway.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict[int, tuple[Any, bytes]] = OrderedDict()
+
+    def encode(self, value: Any) -> bytes:
+        key = id(value)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is value:
+            self._entries.move_to_end(key)
+            return entry[1]
+        blob = encode_value(value)
+        self._entries[key] = (value, blob)
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return blob
+
+
+class DecodeMemo:
+    """Decoded-value cache keyed by blob bytes.
+
+    The codec is canonical (sorted keys, single representation per
+    value), so equal bytes decode to equal values; callers must treat
+    returned objects as immutable — the same object is handed to every
+    request carrying the same blob.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict[bytes, Any] = OrderedDict()
+
+    def decode(self, blob: bytes) -> Any:
+        hit = self._entries.get(blob, _MISS)
+        if hit is not _MISS:
+            self._entries.move_to_end(blob)
+            return hit
+        value = decode_value(blob)
+        self._entries[blob] = value
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return value
+
+
+_MISS = object()
+
+
+def encode_doc_frame(doc: dict[str, Any]) -> bytes:
+    payload = encode_value(doc)
+    if len(payload) > MAX_FRAME_LEN:
+        raise ValueError(f"frame payload {len(payload)} B over the cap")
+    return _HEADER.pack(MAGIC, FRAME_DOC, len(payload)) + payload
+
+
+def _is_frame_id(rid: Any) -> bool:
+    return type(rid) is int and 0 <= rid <= _U64_MAX
+
+
+def decode_frame(
+    ftype: int, payload: bytes, decode_memo: DecodeMemo
+) -> dict[str, Any]:
+    """One frame's payload back into its request/response document.
+
+    Raises :class:`BadFrame` on any payload-level damage — the caller
+    consumed exactly the framed length, so the stream stays usable.
+    """
+    try:
+        if ftype == FRAME_DOC:
+            doc = decode_value(payload)
+            if not isinstance(doc, dict):
+                raise ValueError("frame is not a document")
+            return doc
+        if ftype == FRAME_QREQ:
+            rid, flags, kcode = _QREQ.unpack_from(payload)
+            if kcode >= len(UNIT_KINDS):
+                raise ValueError(f"unknown kind code {kcode}")
+            params = decode_memo.decode(payload[_QREQ.size:])
+            if not isinstance(params, dict):
+                raise ValueError("QREQ params is not an object")
+            req: dict[str, Any] = {
+                "op": "query", "id": rid,
+                "kind": UNIT_KINDS[kcode], "params": params,
+            }
+            if flags & _QREQ_FLAG_DIRECT:
+                req["via"] = "direct"
+            if flags & _QREQ_FLAG_REDIRECT:
+                req["redirect"] = True
+            return req
+        if ftype == FRAME_QRESP:
+            rid, latency_s, scode = _QRESP.unpack_from(payload)
+            if scode >= len(SERVED_ORDER):
+                raise ValueError(f"unknown served code {scode}")
+            value = decode_memo.decode(payload[_QRESP.size:])
+            return {
+                "id": rid, "ok": True, "value": value,
+                "served": SERVED_ORDER[scode], "latency_s": latency_s,
+            }
+        raise ValueError(f"unknown frame type 0x{ftype:02x}")
+    except (ValueError, struct.error) as exc:
+        raise BadFrame(str(exc)) from None
+
+
+class WireConnection:
+    """One connection's mode-aware codec state, wrapped around an
+    asyncio stream pair.
+
+    Starts in JSON-lines mode; :meth:`negotiate` (client side) or a
+    sniffed magic byte / hello ack (server side, driven by the caller)
+    flips it to binary.  ``allow_binary=False`` makes :meth:`recv`
+    never sniff — for servers that speak JSON only, and for client
+    links whose mode is set explicitly after negotiation.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        allow_binary: bool = True,
+        encode_memo: EncodeMemo | None = None,
+        decode_memo: DecodeMemo | None = None,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.allow_binary = allow_binary
+        self.binary = False
+        self.encode_memo = encode_memo if encode_memo is not None else EncodeMemo()
+        self.decode_memo = decode_memo if decode_memo is not None else DecodeMemo()
+        self._lock = asyncio.Lock()
+        self._buf = bytearray()
+        self._pos = 0  # consumed prefix of _buf (compacted lazily)
+        self._sniffed = False
+        self._first: bytes | None = None
+
+    @property
+    def wire(self) -> str:
+        return WIRE_BINARY1 if self.binary else WIRE_JSON
+
+    # -- receiving ---------------------------------------------------------
+    async def recv(self) -> dict[str, Any] | None:
+        """The next request/response document, or ``None`` on EOF.
+
+        Raises :class:`BadFrame` for one undecodable frame (stream
+        still framed — answer ``bad_request`` and keep reading) and
+        :class:`WireError` when the stream can no longer be trusted.
+        """
+        if self.binary:
+            return await self._recv_binary()
+        if self.allow_binary and not self._sniffed:
+            # Sniff exactly the connection's first byte: a blind-binary
+            # client's opening magic, or the start of a JSON line.
+            self._sniffed = True
+            try:
+                first = await self.reader.readexactly(1)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return None
+            if first[0] == MAGIC:
+                self.binary = True
+                self._buf += first
+                return await self._recv_binary()
+            self._first = first
+        while True:
+            if self._first is not None:
+                prefix, self._first = self._first, None
+                line = prefix + (
+                    await self.reader.readline() if prefix != b"\n" else b""
+                )
+            else:
+                line = await self.reader.readline()
+            if not line:
+                return None
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                raise BadFrame("not a JSON object") from None
+            if not isinstance(doc, dict):
+                raise BadFrame("not a JSON object")
+            return doc
+
+    async def _recv_binary(self) -> dict[str, Any] | None:
+        # The consumed prefix is tracked by offset and compacted only
+        # when the buffer runs dry: deleting per frame would memmove
+        # the whole remainder for every ~30-byte frame, going quadratic
+        # exactly when a burst piles frames up.
+        buf = self._buf
+        while True:
+            pos = self._pos
+            if len(buf) - pos >= _HEADER.size:
+                magic, ftype, length = _HEADER.unpack_from(buf, pos)
+                if magic != MAGIC:
+                    raise WireError(f"bad frame magic 0x{magic:02x}")
+                if length > MAX_FRAME_LEN:
+                    raise WireError(f"frame length {length} over the cap")
+                end = pos + _HEADER.size + length
+                if len(buf) >= end:
+                    payload = bytes(buf[pos + _HEADER.size:end])
+                    if end == len(buf):
+                        del buf[:]  # cheap reset, no tail to move
+                        self._pos = 0
+                    else:
+                        self._pos = end
+                    return self._decode_frame(ftype, payload)
+            if self._pos:
+                del buf[:self._pos]
+                self._pos = 0
+            chunk = await self.reader.read(READ_CHUNK)
+            if not chunk:
+                return None  # EOF (mid-frame or between frames alike)
+            buf += chunk
+
+    def _decode_frame(self, ftype: int, payload: bytes) -> dict[str, Any]:
+        return decode_frame(ftype, payload, self.decode_memo)
+
+    # -- sending -----------------------------------------------------------
+    def _request_bytes(self, doc: dict[str, Any]) -> bytes:
+        """Encode one outbound request, fast-pathing eligible queries."""
+        if not self.binary:
+            return (json.dumps(doc, sort_keys=True) + "\n").encode()
+        if (
+            doc.get("op") == "query"
+            and _is_frame_id(doc.get("id"))
+            and doc.get("kind") in KIND_CODES
+            and isinstance(doc.get("params"), dict)
+            and doc.get("via") in (None, "direct")
+            and doc.get("redirect") in (None, True, False)
+            and _QREQ_FIELDS.issuperset(doc)
+        ):
+            flags = 0
+            if doc.get("via") == "direct":
+                flags |= _QREQ_FLAG_DIRECT
+            if doc.get("redirect"):
+                flags |= _QREQ_FLAG_REDIRECT
+            blob = self.encode_memo.encode(doc["params"])
+            return (
+                _HEADER.pack(MAGIC, FRAME_QREQ, _QREQ.size + len(blob))
+                + _QREQ.pack(doc["id"], flags, KIND_CODES[doc["kind"]])
+                + blob
+            )
+        return encode_doc_frame(doc)
+
+    def write_request(self, doc: dict[str, Any]) -> None:
+        """Synchronous buffered write (no drain) — for senders that
+        manage their own flow control, like the multiplexed links."""
+        self.writer.write(self._request_bytes(doc))
+
+    async def drain(self) -> None:
+        await self.writer.drain()
+
+    async def send(self, doc: dict[str, Any]) -> None:
+        """One document, whole-frame atomic, flow-controlled."""
+        if self.binary:
+            data = encode_doc_frame(doc)
+        else:
+            data = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        async with self._lock:
+            self.writer.write(data)
+            await self.writer.drain()
+
+    async def send_query_response(
+        self, rid: Any, value: Any, served: str, latency_s: float
+    ) -> None:
+        """A query's success response; QRESP fast path when eligible."""
+        scode = SERVED_CODES.get(served)
+        if self.binary and scode is not None and _is_frame_id(rid):
+            blob = self.encode_memo.encode(value)
+            data = (
+                _HEADER.pack(MAGIC, FRAME_QRESP, _QRESP.size + len(blob))
+                + _QRESP.pack(rid, latency_s, scode)
+                + blob
+            )
+            async with self._lock:
+                self.writer.write(data)
+                await self.writer.drain()
+            return
+        await self.send({
+            "id": rid, "ok": True, "value": value,
+            "served": served, "latency_s": latency_s,
+        })
+
+    async def send_response(self, doc: dict[str, Any]) -> None:
+        """A response document of any shape; query successes take the
+        fast path (the router's proxy re-framing uses this)."""
+        if (
+            self.binary
+            and doc.get("ok") is True
+            and len(doc) == 5
+            and "value" in doc
+            and "served" in doc
+            and "latency_s" in doc
+            and isinstance(doc.get("latency_s"), float)
+        ):
+            await self.send_query_response(
+                doc.get("id"), doc["value"], doc["served"], doc["latency_s"]
+            )
+            return
+        await self.send(doc)
+
+    async def send_hello_ack(self, doc: dict[str, Any], enable: bool) -> None:
+        """The hello ack must be the LAST JSON frame of the connection:
+        flipping to binary under the write lock guarantees no response
+        produced concurrently lands between the ack and the flip."""
+        data = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        async with self._lock:
+            self.writer.write(data)
+            await self.writer.drain()
+            if enable:
+                self.binary = True
+
+    # -- client-side negotiation -------------------------------------------
+    async def negotiate(self) -> bool:
+        """Offer ``binary1`` (one JSON hello, one JSON ack) and flip to
+        binary if the peer agreed.  Returns whether binary is on; a
+        refusal of any shape (``bad_request`` from a pre-hello server,
+        ``"wire": "json"``) is the clean downgrade, not an error.  Must
+        run before the connection carries any other traffic."""
+        self.writer.write(
+            (json.dumps({"op": "hello", "id": 0, "wire": WIRE_BINARY1})
+             + "\n").encode()
+        )
+        await self.writer.drain()
+        line = await self.reader.readline()
+        if not line:
+            raise ConnectionError("connection closed during wire negotiation")
+        try:
+            ack = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConnectionError(f"malformed hello ack: {line!r}") from exc
+        if (
+            isinstance(ack, dict)
+            and ack.get("ok")
+            and ack.get("wire") == WIRE_BINARY1
+        ):
+            self.binary = True
+        return self.binary
+
+
+def hello_ack_doc(rid: Any, req: dict[str, Any], allow_binary: bool) -> tuple[dict[str, Any], bool]:
+    """Server-side hello negotiation: ``(ack doc, enable binary)``.
+
+    Offers we cannot speak (unknown versions, or binary disabled) are
+    acked with ``"wire": "json"`` — negotiate down, never error: the
+    client keeps working on the compatibility skin.
+    """
+    offered = req.get("wire")
+    if allow_binary and offered == WIRE_BINARY1:
+        return {"id": rid, "ok": True, "wire": WIRE_BINARY1}, True
+    return {"id": rid, "ok": True, "wire": WIRE_JSON}, False
+
+
+# -- synchronous one-shot client helpers ------------------------------------
+
+class SyncWireClient:
+    """Blocking-socket counterpart of :class:`WireConnection` for the
+    one-shot client (:func:`repro.serve.client.request_once`): one
+    buffered reader shared by the JSON and binary paths, so the hello
+    ack and the binary frames that follow never fight over buffering.
+    """
+
+    def __init__(self, sock: Any) -> None:
+        self.sock = sock
+        self.binary = False
+        self._buf = bytearray()
+
+    def _fill(self) -> bool:
+        chunk = self.sock.recv(READ_CHUNK)
+        if not chunk:
+            return False
+        self._buf += chunk
+        return True
+
+    def readline(self) -> bytes:
+        while b"\n" not in self._buf:
+            if not self._fill():
+                break
+        idx = self._buf.find(b"\n")
+        if idx < 0:
+            line, self._buf = bytes(self._buf), bytearray()
+            return line
+        line = bytes(self._buf[: idx + 1])
+        del self._buf[: idx + 1]
+        return line
+
+    def negotiate(self) -> bool:
+        self.sock.sendall(
+            (json.dumps({"op": "hello", "id": 0, "wire": WIRE_BINARY1})
+             + "\n").encode()
+        )
+        line = self.readline()
+        if not line:
+            raise ConnectionError("connection closed during wire negotiation")
+        try:
+            ack = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConnectionError(f"malformed hello ack: {line!r}") from exc
+        if (
+            isinstance(ack, dict)
+            and ack.get("ok")
+            and ack.get("wire") == WIRE_BINARY1
+        ):
+            self.binary = True
+        return self.binary
+
+    def request(self, doc: dict[str, Any]) -> dict[str, Any]:
+        if self.binary:
+            self.sock.sendall(encode_doc_frame(doc))
+            return self._read_frame()
+        self.sock.sendall((json.dumps(doc) + "\n").encode())
+        line = self.readline()
+        if not line:
+            raise ConnectionError("server closed the connection mid-request")
+        resp = json.loads(line)
+        if not isinstance(resp, dict):
+            raise ValueError(f"malformed response: {line!r}")
+        return resp
+
+    def _read_frame(self) -> dict[str, Any]:
+        while True:
+            if len(self._buf) >= _HEADER.size:
+                magic, ftype, length = _HEADER.unpack_from(self._buf)
+                if magic != MAGIC:
+                    raise ConnectionError(f"bad frame magic 0x{magic:02x}")
+                if length > MAX_FRAME_LEN:
+                    raise ConnectionError(f"frame length {length} over the cap")
+                end = _HEADER.size + length
+                if len(self._buf) >= end:
+                    payload = bytes(self._buf[_HEADER.size:end])
+                    del self._buf[:end]
+                    return decode_frame(ftype, payload, DecodeMemo(max_entries=8))
+            if not self._fill():
+                raise ConnectionError("server closed the connection mid-frame")

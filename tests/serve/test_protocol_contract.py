@@ -22,6 +22,7 @@ from repro.serve.router import (
     topology_epoch,
 )
 from repro.serve.server import ServeServer
+from repro.serve.wire import WireConnection, encode_doc_frame
 
 POINT_A = {"mode": "single", "platform": "Tegra2", "freq": 1.0}
 POINT_B = {"mode": "multi", "platform": "Exynos5250", "freq": 1.4}
@@ -59,7 +60,9 @@ class Endpoint:
 
 
 async def boot_endpoint(
-    kind: str, tmp_path, runner=label_runner, **config_kw
+    kind: str, tmp_path, runner=label_runner,
+    binary_wire=True, backend_binary=True, backend_wire="json",
+    **config_kw
 ) -> Endpoint:
     config_kw.setdefault("batch_window_s", 0.005)
     servers, tasks = [], []
@@ -67,7 +70,7 @@ async def boot_endpoint(
     for i in range(n):
         server = ServeServer(CampaignFrontEnd(
             ServeConfig(cache_dir=tmp_path / f"b{i}", **config_kw), runner
-        ))
+        ), binary_wire=binary_wire if kind == "server" else backend_binary)
         await server.start()
         servers.append(server)
         tasks.append(asyncio.ensure_future(server.serve_until_shutdown()))
@@ -79,7 +82,9 @@ async def boot_endpoint(
     for nm, s in zip(names, servers):
         s.frontend.peer_fill = CachePeerFill(ring, nm, peers)
     router = ServeRouter(
-        [(nm, "127.0.0.1", s.port) for nm, s in zip(names, servers)]
+        [(nm, "127.0.0.1", s.port) for nm, s in zip(names, servers)],
+        binary_wire=binary_wire,
+        backend_wire=backend_wire,
     )
     await router.start()
     tasks.append(asyncio.ensure_future(router.serve_until_shutdown()))
@@ -559,3 +564,348 @@ class TestJobHomeDown:
             assert doc["retry_after_s"] > 0
         assert counter == 4
         assert query_doc.get("error") != "job_home_down"
+
+
+LABEL_A = "sweep_point(freq=1.0,mode=single,platform=Tegra2)"
+
+
+async def wire_connect(port, negotiate=True):
+    """A client-side :class:`WireConnection`; optionally negotiated up
+    to ``binary1`` (returns whether the peer agreed)."""
+    reader, writer = await connect(port)
+    conn = WireConnection(reader, writer, allow_binary=False)
+    agreed = await conn.negotiate() if negotiate else False
+    return conn, agreed
+
+
+async def wire_request(conn, doc):
+    conn.write_request(doc)
+    await conn.drain()
+    resp = await conn.recv()
+    assert resp is not None, "endpoint closed the connection unexpectedly"
+    return resp
+
+
+async def wire_shutdown(ep, conn):
+    conn.write_request({"op": "shutdown", "id": "__bye__"})
+    await conn.drain()
+    while True:
+        doc = await conn.recv()
+        if doc is None or doc.get("id") == "__bye__":
+            break
+    await ep.finish()
+    conn.writer.close()
+
+
+@pytest.mark.parametrize("kind", ENDPOINTS)
+class TestWireNegotiation:
+    """The binary1 negotiation matrix, run against the server AND the
+    router: every pairing of binary-preferring/JSON clients with
+    binary-capable/JSON-only endpoints must end in a working session —
+    the only variable is which framing carries it."""
+
+    def test_binary_client_binary_endpoint(self, tmp_path, kind):
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            conn, agreed = await wire_connect(ep.port)
+            doc = await wire_request(conn, {
+                "op": "query", "id": 1, "kind": "sweep_point",
+                "params": POINT_A,
+            })
+            await wire_shutdown(ep, conn)
+            return agreed, conn.wire, doc
+
+        agreed, wire, doc = asyncio.run(scenario())
+        assert agreed and wire == "binary1"
+        assert doc["ok"] is True
+        assert doc["value"] == LABEL_A
+
+    def test_binary_client_json_only_endpoint_downgrades(self, tmp_path, kind):
+        """A binary-preferring client against a ``--wire json`` endpoint:
+        the hello comes back refused (old servers answer ``bad_request``
+        for the unknown op, new JSON-only ones ack ``wire: "json"``),
+        the client stays on JSON-lines, and the session just works."""
+
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path, binary_wire=False,
+                                     backend_binary=False)
+            conn, agreed = await wire_connect(ep.port)
+            doc = await wire_request(conn, {
+                "op": "query", "id": 1, "kind": "sweep_point",
+                "params": POINT_A,
+            })
+            await wire_shutdown(ep, conn)
+            return agreed, conn.wire, doc
+
+        agreed, wire, doc = asyncio.run(scenario())
+        assert not agreed and wire == "json"
+        assert doc["ok"] is True
+        assert doc["value"] == LABEL_A
+
+    def test_json_client_binary_endpoint_unchanged(self, tmp_path, kind):
+        """A plain JSON-lines client never sends a hello; a
+        binary-capable endpoint must serve it exactly as before."""
+
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            send(writer, {"op": "query", "id": 1, "kind": "sweep_point",
+                          "params": POINT_A})
+            await writer.drain()
+            doc = await recv(reader)
+            await shutdown_endpoint(ep, reader, writer)
+            return doc
+
+        doc = asyncio.run(scenario())
+        assert doc["ok"] is True
+        assert doc["value"] == LABEL_A
+
+    def test_magic_byte_sniff_skips_the_hello(self, tmp_path, kind):
+        """No JSON object can start with 0xAB, so a client may open
+        blind-binary: the endpoint sniffs the first byte and answers in
+        kind."""
+
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            reader, writer = await connect(ep.port)
+            conn = WireConnection(reader, writer, allow_binary=False)
+            conn.binary = True  # speak binary from byte one
+            doc = await wire_request(conn, {
+                "op": "query", "id": 1, "kind": "sweep_point",
+                "params": POINT_A,
+            })
+            await wire_shutdown(ep, conn)
+            return doc
+
+        doc = asyncio.run(scenario())
+        assert doc["ok"] is True
+        assert doc["value"] == LABEL_A
+
+    def test_corrupt_payload_is_bad_request_not_a_wedge(self, tmp_path, kind):
+        """A frame whose header parses but whose payload is garbage
+        consumes exactly its framed length: the endpoint answers
+        ``bad_request`` and the SAME connection keeps working."""
+
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            conn, agreed = await wire_connect(ep.port)
+            assert agreed
+            # Valid header, undecodable payload (0xc1 is no tag).
+            conn.writer.write(b"\xab\x01\x00\x00\x00\x01\xc1")
+            await conn.drain()
+            bad = await conn.recv()
+            good = await wire_request(conn, {
+                "op": "query", "id": 2, "kind": "sweep_point",
+                "params": POINT_A,
+            })
+            await wire_shutdown(ep, conn)
+            return bad, good
+
+        bad, good = asyncio.run(scenario())
+        assert bad["ok"] is False and bad["error"] == "bad_request"
+        assert good["ok"] is True
+
+    def test_broken_framing_closes_without_wedging(self, tmp_path, kind):
+        """Bytes that cannot be a frame header (wrong magic) mean the
+        stream can never resynchronise: the endpoint must close that
+        connection — and the NEXT connection gets full service."""
+
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            conn, agreed = await wire_connect(ep.port)
+            assert agreed
+            conn.writer.write(b"\xff" * 8)
+            await conn.drain()
+            closed = await conn.recv() is None
+            conn.writer.close()
+            conn2, agreed2 = await wire_connect(ep.port)
+            doc = await wire_request(conn2, {
+                "op": "query", "id": 1, "kind": "sweep_point",
+                "params": POINT_A,
+            })
+            await wire_shutdown(ep, conn2)
+            return closed, agreed2, doc
+
+        closed, agreed2, doc = asyncio.run(scenario())
+        assert closed, "endpoint kept reading an unframed stream"
+        assert agreed2 and doc["ok"] is True
+
+    def test_truncated_binary_frame_then_disconnect(self, tmp_path, kind):
+        """The binary twin of the JSON truncated-frame test: a client
+        dying mid-frame must not wedge the endpoint."""
+
+        async def scenario():
+            ep = await boot_endpoint(kind, tmp_path)
+            conn, agreed = await wire_connect(ep.port)
+            assert agreed
+            frame = encode_doc_frame({"op": "ping", "id": 1})
+            conn.writer.write(frame[: len(frame) - 3])  # header, partial payload
+            await conn.drain()
+            conn.writer.close()
+            conn2, _ = await wire_connect(ep.port)
+            doc = await wire_request(conn2, {"op": "ping", "id": 2})
+            await wire_shutdown(ep, conn2)
+            return doc
+
+        assert asyncio.run(scenario()) == {"id": 2, "ok": True}
+
+
+class TestMixedWireCluster:
+    """A cluster may be binary on one face and JSON on the other —
+    in EITHER direction — and values must cross unchanged (exact float
+    equality: ``canon`` is ``json.dumps`` of round-trippable reprs)."""
+
+    @pytest.mark.parametrize("client_wire,backend_wire", [
+        ("binary", "json"),    # binary client -> router -> JSON links
+        ("json", "binary"),    # JSON client -> router -> binary links
+        ("binary", "binary"),  # binary end to end
+    ])
+    def test_values_identical_across_mixed_framings(
+        self, tmp_path, client_wire, backend_wire
+    ):
+        async def scenario():
+            ep = await boot_endpoint(
+                "router", tmp_path, runner=None, backend_wire=backend_wire
+            )
+            if client_wire == "binary":
+                conn, agreed = await wire_connect(ep.port)
+                assert agreed
+            else:
+                conn, _ = await wire_connect(ep.port, negotiate=False)
+            docs = {}
+            for i, (kind, params) in enumerate(IDENTITY_CASES):
+                docs[i] = await wire_request(conn, {
+                    "op": "query", "id": i, "kind": kind, "params": params,
+                })
+            links = [
+                link.wire_active for link in ep.router._links.values()
+                if link.wire_active != "json" or backend_wire == "json"
+            ]
+            await wire_shutdown(ep, conn)
+            return docs, links
+
+        docs, links = asyncio.run(scenario())
+        for i, (kind, params) in enumerate(IDENTITY_CASES):
+            assert docs[i]["ok"] is True, docs[i]
+            assert canon(docs[i]["value"]) == canon(run_unit(kind, params))
+        if backend_wire == "binary":
+            assert "binary1" in links, "no backend link negotiated binary"
+
+
+class TestAdvertiseHost:
+    """Wildcard binds must never leak onto the wire: pre-fix,
+    ``--host 0.0.0.0`` handed ring clients the unconnectable
+    ``0.0.0.0:<port>`` in locate and redirect answers."""
+
+    def test_server_on_wildcard_advertises_connectable_host(self, tmp_path):
+        async def scenario():
+            server = ServeServer(CampaignFrontEnd(
+                ServeConfig(cache_dir=tmp_path, batch_window_s=0.005),
+                label_runner,
+            ), host="0.0.0.0")
+            await server.start()
+            task = asyncio.ensure_future(server.serve_until_shutdown())
+            reader, writer = await connect(server.port)
+            send(writer, {"op": "locate", "id": 1, "kind": "sweep_point",
+                          "params": POINT_A})
+            send(writer, {"op": "shutdown", "id": 2})
+            await writer.drain()
+            docs = [await recv(reader) for _ in range(2)]
+            await task
+            writer.close()
+            return docs[0]
+
+        doc = asyncio.run(scenario())
+        assert doc["ok"] is True
+        assert doc["host"] != "0.0.0.0"
+        for host, _port in doc["backends"].values():
+            assert host != "0.0.0.0"
+
+    def test_server_advertise_override_wins(self, tmp_path):
+        async def scenario():
+            server = ServeServer(CampaignFrontEnd(
+                ServeConfig(cache_dir=tmp_path, batch_window_s=0.005),
+                label_runner,
+            ), host="0.0.0.0", advertise_host="198.51.100.7")
+            await server.start()
+            task = asyncio.ensure_future(server.serve_until_shutdown())
+            reader, writer = await connect(server.port)
+            send(writer, {"op": "locate", "id": 1})
+            send(writer, {"op": "shutdown", "id": 2})
+            await writer.drain()
+            docs = [await recv(reader) for _ in range(2)]
+            await task
+            writer.close()
+            return docs[0]
+
+        doc = asyncio.run(scenario())
+        assert doc["backends"] == {
+            name: ["198.51.100.7", port]
+            for name, (_h, port) in doc["backends"].items()
+        }
+
+    def test_router_resolves_wildcard_backends(self, tmp_path):
+        """Backends registered at a wildcard address (as a cluster boot
+        binding 0.0.0.0 would) must be advertised at a connectable
+        one — in locate AND in redirect answers."""
+
+        async def scenario():
+            router = ServeRouter([("b0", "0.0.0.0", 45999)])
+            await router.start()
+            task = asyncio.ensure_future(router.serve_until_shutdown())
+            reader, writer = await connect(router.port)
+            send(writer, {"op": "locate", "id": 1})
+            send(writer, {"op": "query", "id": 2, "kind": "sweep_point",
+                          "params": POINT_A, "redirect": True})
+            send(writer, {"op": "shutdown", "id": 3})
+            await writer.drain()
+            docs = {}
+            for _ in range(3):
+                doc = await recv(reader)
+                docs[doc["id"]] = doc
+            await task
+            writer.close()
+            return docs
+
+        docs = asyncio.run(scenario())
+        for host, _port in docs[1]["backends"].values():
+            assert host != "0.0.0.0"
+        assert docs[2]["error"] == "redirect"
+        assert docs[2]["host"] != "0.0.0.0"
+
+
+class TestDirectStatsAdmissionOnly:
+    """``stats.direct`` counts queries the funnel ADMITS: pre-fix the
+    counter ticked before validation, so malformed ``via: "direct"``
+    frames skewed the direct-vs-proxied accounting forever."""
+
+    def test_rejected_direct_queries_do_not_count(self, tmp_path):
+        async def scenario():
+            ep = await boot_endpoint("server", tmp_path)
+            server = ep.servers[0]
+            reader, writer = await connect(ep.port)
+            # Three rejections: missing params, ill-typed kind, unknown
+            # kind — all tagged via:"direct".
+            send(writer, {"op": "query", "id": 1, "kind": "sweep_point",
+                          "via": "direct"})
+            send(writer, {"op": "query", "id": 2, "kind": 42, "params": {},
+                          "via": "direct"})
+            send(writer, {"op": "query", "id": 3, "kind": "nonsense",
+                          "params": {}, "via": "direct"})
+            await writer.drain()
+            rejected = [await recv(reader) for _ in range(3)]
+            after_rejects = server.frontend.stats.direct
+            send(writer, {"op": "query", "id": 4, "kind": "sweep_point",
+                          "params": POINT_A, "via": "direct"})
+            await writer.drain()
+            admitted = await recv(reader)
+            after_admit = server.frontend.stats.direct
+            await shutdown_endpoint(ep, reader, writer)
+            return rejected, after_rejects, admitted, after_admit
+
+        rejected, after_rejects, admitted, after_admit = asyncio.run(scenario())
+        for doc in rejected:
+            assert doc["error"] == "bad_request", doc
+        assert after_rejects == 0, "rejected queries counted as direct"
+        assert admitted["ok"] is True
+        assert after_admit == 1

@@ -355,3 +355,105 @@ class TestByteIdentity:
         # At least one direct backend query was served by peer-fill
         # (with 2 shards and 3 keys, some backend is not home).
         assert peer_served >= 1
+
+
+class _StallingWriter:
+    """A writer whose ``drain()`` blocks until released: simulates a
+    backend whose socket is backpressured at flush time."""
+
+    def __init__(self):
+        self.writes = []
+        self.gate = asyncio.Event()
+
+    def is_closing(self):
+        return False
+
+    def write(self, data):
+        self.writes.append(bytes(data))
+
+    async def drain(self):
+        await self.gate.wait()
+
+    def close(self):
+        pass
+
+
+class TestBackendLinkNoHeadOfLineBlocking:
+    """``BackendLink.request`` must not hold the link lock across
+    ``drain()``: pre-fix, one backpressured flush serialised every
+    concurrent request on the link at SEND time — the second request
+    could not even reach the write buffer until the first's drain
+    returned."""
+
+    def test_second_request_writes_while_first_drain_stalls(self):
+        from repro.serve.router import BackendLink
+        from repro.serve.wire import WireConnection
+
+        async def scenario():
+            link = BackendLink("b0", "127.0.0.1", 1)
+            writer = _StallingWriter()
+            # Pre-connected link with a stalled transport: requests go
+            # through the real lock/write/drain path, no socket needed.
+            link._writer = writer
+            link._conn = WireConnection(None, writer, allow_binary=False)
+
+            t1 = asyncio.ensure_future(
+                link.request({"op": "query", "kind": "sweep_base",
+                              "params": {}})
+            )
+            await asyncio.sleep(0.01)
+            assert len(writer.writes) == 1, "first request never sent"
+            t2 = asyncio.ensure_future(
+                link.request({"op": "query", "kind": "sweep_base",
+                              "params": {}})
+            )
+            await asyncio.sleep(0.01)
+            # THE regression assertion: with the drain stalled and the
+            # lock (pre-fix) held across it, the second request's bytes
+            # never reached the buffer.
+            writes_while_stalled = len(writer.writes)
+            writer.gate.set()
+            await asyncio.sleep(0)
+            for link_id, fut in list(link._waiting.items()):
+                if not fut.done():
+                    fut.set_result({"id": link_id, "ok": True})
+            r1, r2 = await asyncio.gather(t1, t2)
+            return writes_while_stalled, r1, r2
+
+        writes_while_stalled, r1, r2 = asyncio.run(scenario())
+        assert writes_while_stalled == 2, (
+            "a stalled drain head-of-line-blocked the link"
+        )
+        assert r1["ok"] is True and r2["ok"] is True
+
+    def test_fix_does_not_reorder_ids(self):
+        """Narrowing the critical section must keep id allocation and
+        buffer writes atomic per request: ids on the wire appear in
+        allocation order even under concurrency."""
+        from repro.serve.router import BackendLink
+        from repro.serve.wire import WireConnection
+
+        async def scenario():
+            link = BackendLink("b0", "127.0.0.1", 1)
+            writer = _StallingWriter()
+            link._writer = writer
+            link._conn = WireConnection(None, writer, allow_binary=False)
+            tasks = [
+                asyncio.ensure_future(link.request(
+                    {"op": "query", "kind": "sweep_base", "params": {}}
+                ))
+                for _ in range(8)
+            ]
+            await asyncio.sleep(0.02)
+            sent_ids = [json.loads(w)["id"] for w in writer.writes]
+            writer.gate.set()
+            await asyncio.sleep(0)
+            for link_id, fut in list(link._waiting.items()):
+                if not fut.done():
+                    fut.set_result({"id": link_id, "ok": True})
+            await asyncio.gather(*tasks)
+            return sent_ids
+
+        sent_ids = asyncio.run(scenario())
+        assert sent_ids == sorted(sent_ids)
+        assert len(set(sent_ids)) == 8

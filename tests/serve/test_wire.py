@@ -1,0 +1,249 @@
+"""The ``binary1`` codec and framing layer, tested in isolation.
+
+The one property everything else rests on: ``decode(encode(v)) == v``
+EXACTLY for every JSON value — float bit patterns included — so the
+binary wire can never change what a query answers, only how fast the
+answer travels.  The oracle tests below close the loop against the
+run-unit results the serve tier actually ships.
+"""
+
+import json
+import math
+import struct
+
+import pytest
+
+from repro.parallel.units import execute_unit as run_unit
+from repro.serve.frontend import UNIT_KINDS
+from repro.serve.wire import (
+    FRAME_DOC,
+    FRAME_QREQ,
+    FRAME_QRESP,
+    KIND_CODES,
+    MAGIC,
+    MAX_FRAME_LEN,
+    SERVED_ORDER,
+    BadFrame,
+    DecodeMemo,
+    EncodeMemo,
+    decode_frame,
+    decode_value,
+    encode_doc_frame,
+    encode_value,
+)
+
+_HEADER = struct.Struct(">BBI")
+_QREQ = struct.Struct(">QBB")
+_QRESP = struct.Struct(">QdB")
+
+#: One operating point per reproduced figure — the same set the
+#: protocol-contract identity tests pin.
+ORACLE_CASES = [
+    ("sweep_point", {"mode": "single", "platform": "Tegra2", "freq": 1.0}),
+    ("sweep_point", {"mode": "multi", "platform": "Exynos5250", "freq": 1.4}),
+    ("fig6_point", {"app": "HPL", "max_nodes": 96, "n": 96}),
+]
+
+
+def bits(x: float) -> int:
+    return struct.unpack("!Q", struct.pack("!d", x))[0]
+
+
+def assert_identical(a, b):
+    """Equality with float *bit-pattern* strictness, recursively."""
+    assert type(a) is type(b), (a, b)
+    if isinstance(a, float):
+        assert bits(a) == bits(b), (a.hex(), b.hex())
+    elif isinstance(a, list):
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert_identical(x, y)
+    elif isinstance(a, dict):
+        assert sorted(a) == sorted(b)
+        for k in a:
+            assert_identical(a[k], b[k])
+    else:
+        assert a == b
+
+
+class TestCodecRoundTrip:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -1, 2**62, -(2**62),
+        2**63 - 1, -(2**63),          # i64 edges
+        2**63, 2**200, -(2**200),     # bigint spills
+        0.0, -0.0, 1.5, -1.5, 1e308, 5e-324, math.inf, -math.inf,
+        "", "plain", "uniçødé \U0001f600", "with\nnewline",
+        [], [1, 2, 3], [[[]]], [None, True, 0.5, "x", {"k": []}],
+        {}, {"a": 1}, {"nested": {"deep": [{"leaf": -0.0}]}},
+    ])
+    def test_round_trip_exact(self, value):
+        assert_identical(decode_value(encode_value(value)), value)
+
+    def test_nan_round_trips_bit_exact(self):
+        # json.dumps would choke on NaN with allow_nan=False; the tag
+        # codec carries the raw f64, payload bits preserved.
+        out = decode_value(encode_value(math.nan))
+        assert math.isnan(out) and bits(out) == bits(math.nan)
+
+    def test_negative_zero_survives(self):
+        out = decode_value(encode_value(-0.0))
+        assert out == 0.0 and math.copysign(1.0, out) == -1.0
+
+    def test_int_stays_int_float_stays_float(self):
+        # 1 and 1.0 compare equal in Python; the wire must not conflate
+        # them or the JSON and binary paths would answer differently.
+        assert type(decode_value(encode_value(1))) is int
+        assert type(decode_value(encode_value(1.0))) is float
+
+    def test_dict_keys_coerced_like_json_dumps(self):
+        mixed = {True: 1, 3: "x", 2.5: None, None: []}
+        expected = json.loads(json.dumps(mixed))
+        assert decode_value(encode_value(mixed)) == expected
+
+    def test_canonical_equal_values_equal_bytes(self):
+        a = {"b": 2, "a": 1}
+        b = {"a": 1, "b": 2}
+        assert encode_value(a) == encode_value(b)
+
+    def test_tuple_encodes_as_list(self):
+        assert decode_value(encode_value((1, 2))) == [1, 2]
+
+    def test_off_domain_values_raise(self):
+        for bad in (object(), {1, 2}, b"bytes", {"k": object()}):
+            with pytest.raises(ValueError):
+                encode_value(bad)
+
+
+class TestCodecAdversarial:
+    """Malformed payloads must raise, never crash or mis-decode."""
+
+    @pytest.mark.parametrize("blob", [
+        b"",                               # empty
+        b"\xc1",                           # unknown tag
+        b"\xdb\x00\x00\x00\x05ab",         # truncated string
+        b"\xcb\x00\x00",                   # truncated float
+        b"\xd3\x01",                       # truncated int
+        b"\xdd\xff\xff\xff\xff",           # list count over payload
+        b"\xdf\xff\xff\xff\xff",           # dict count over payload
+        b"\xdf\x00\x00\x00\x01\xc0\xc0",   # non-string dict key
+        b"\xd4\x00\x00\x00\x09abc",        # truncated bigint
+        encode_value(1) + b"\x00",         # trailing bytes
+        b"\xdb\xff\xff\xff\xff" + b"x" * 16,  # str length over payload
+    ])
+    def test_malformed_payload_raises_valueerror(self, blob):
+        with pytest.raises(ValueError):
+            decode_value(blob)
+
+    def test_invalid_utf8_raises(self):
+        with pytest.raises(ValueError):
+            decode_value(b"\xdb\x00\x00\x00\x02\xff\xfe")
+
+
+class TestFrames:
+    def test_doc_frame_round_trip(self):
+        doc = {"op": "query", "id": 7, "kind": "sweep_base", "params": {}}
+        frame = encode_doc_frame(doc)
+        magic, ftype, length = _HEADER.unpack_from(frame)
+        assert magic == MAGIC and ftype == FRAME_DOC
+        assert length == len(frame) - _HEADER.size
+        out = decode_frame(ftype, frame[_HEADER.size:], DecodeMemo())
+        assert out == doc
+
+    def test_qreq_frame_decodes_to_query_doc(self):
+        kind = UNIT_KINDS[1]
+        params = {"freq": 1.0, "mode": "single", "platform": "Tegra2"}
+        payload = (
+            _QREQ.pack(42, 0x03, KIND_CODES[kind]) + encode_value(params)
+        )
+        doc = decode_frame(FRAME_QREQ, payload, DecodeMemo())
+        assert doc == {
+            "op": "query", "id": 42, "kind": kind, "params": params,
+            "via": "direct", "redirect": True,
+        }
+
+    def test_qresp_frame_decodes_to_response_doc(self):
+        payload = _QRESP.pack(9, 0.25, 0) + encode_value({"v": [1.5]})
+        doc = decode_frame(FRAME_QRESP, payload, DecodeMemo())
+        assert doc == {
+            "id": 9, "ok": True, "value": {"v": [1.5]},
+            "served": SERVED_ORDER[0], "latency_s": 0.25,
+        }
+
+    @pytest.mark.parametrize("ftype,payload", [
+        (0x7F, b""),                                    # unknown frame type
+        (FRAME_DOC, b"\xc1"),                           # bad codec tag
+        (FRAME_DOC, encode_value([1, 2])),              # doc not a dict
+        (FRAME_QREQ, b"\x00"),                          # short QREQ header
+        (FRAME_QREQ, _QREQ.pack(1, 0, 250) + b"\xc0"),  # unknown kind code
+        (FRAME_QREQ, _QREQ.pack(1, 0, 0) + encode_value("x")),  # params not dict
+        (FRAME_QRESP, _QRESP.pack(1, 0.0, 250) + b"\xc0"),  # unknown served
+        (FRAME_QRESP, b"\x00\x00"),                     # short QRESP header
+    ])
+    def test_damaged_payload_is_badframe(self, ftype, payload):
+        with pytest.raises(BadFrame):
+            decode_frame(ftype, payload, DecodeMemo())
+
+    def test_oversized_doc_payload_rejected_at_encode(self):
+        with pytest.raises(ValueError):
+            encode_doc_frame({"blob": "x" * (MAX_FRAME_LEN + 16)})
+
+
+class TestMemos:
+    def test_encode_memo_identity_hit(self):
+        memo = EncodeMemo()
+        value = {"a": [1.5, 2.5]}
+        first = memo.encode(value)
+        assert memo.encode(value) is first          # same object: cached blob
+        assert memo.encode({"a": [1.5, 2.5]}) == first  # equal object: equal bytes
+
+    def test_encode_memo_pins_objects_against_id_reuse(self):
+        # The id() key is sound only because the entry holds a strong
+        # reference AND re-checks identity: a different object that
+        # happens to collide must miss.
+        memo = EncodeMemo(max_entries=4)
+        blobs = [memo.encode({"i": i}) for i in range(16)]
+        assert blobs == [encode_value({"i": i}) for i in range(16)]
+
+    def test_encode_memo_evicts_at_cap(self):
+        memo = EncodeMemo(max_entries=2)
+        keep = [{"i": i} for i in range(5)]
+        for value in keep:
+            memo.encode(value)
+        assert len(memo._entries) == 2
+
+    def test_decode_memo_returns_shared_object(self):
+        memo = DecodeMemo()
+        blob = encode_value({"k": [1.0, 2.0]})
+        assert memo.decode(blob) is memo.decode(bytes(blob))
+
+    def test_decode_memo_propagates_badness(self):
+        with pytest.raises(ValueError):
+            DecodeMemo().decode(b"\xc1")
+
+
+class TestOracleIdentity:
+    """The codec round-trips the serve tier's REAL values — one
+    representative run-unit result per reproduced figure — with exact
+    float equality, and agrees with the JSON encoding byte-for-float."""
+
+    @pytest.mark.parametrize("kind,params", ORACLE_CASES)
+    def test_run_unit_value_round_trips_exact(self, kind, params):
+        value = run_unit(kind, params)
+        assert_identical(decode_value(encode_value(value)), value)
+
+    @pytest.mark.parametrize("kind,params", ORACLE_CASES)
+    def test_matches_json_round_trip(self, kind, params):
+        # The JSON-lines wire is the reference behaviour: whatever
+        # json round-trips a value to, the binary wire must match.
+        value = run_unit(kind, params)
+        via_json = json.loads(json.dumps(value))
+        assert_identical(decode_value(encode_value(value)), via_json)
+
+    @pytest.mark.parametrize("kind,params", ORACLE_CASES)
+    def test_params_canonical_both_wires(self, kind, params):
+        # Route keys and cache keys are derived from params: the binary
+        # decode must hand back params the JSON path would recognise.
+        decoded = decode_value(encode_value(params))
+        assert json.dumps(decoded, sort_keys=True) == json.dumps(
+            params, sort_keys=True
+        )
